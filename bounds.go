@@ -1,0 +1,62 @@
+package heavyhitters
+
+import (
+	"cmp"
+
+	"repro/internal/frequent"
+	"repro/internal/lossycounting"
+	"repro/internal/spacesaving"
+)
+
+// EstimateBounds returns certain lower and upper bounds on item's true
+// frequency, derived from the summary's per-item metadata rather than the
+// global tail bound:
+//
+//   - SPACESAVING (either backing structure): stored items satisfy
+//     c_i − ε_i ≤ f_i ≤ c_i (Lemma 3 of Metwally et al.); unstored items
+//     satisfy 0 ≤ f_i ≤ Δ (the minimum counter).
+//   - FREQUENT: stored items satisfy c_i ≤ f_i ≤ c_i + d, where d is the
+//     number of decrement-all operations (Appendix B); unstored items
+//     satisfy 0 ≤ f_i ≤ d.
+//   - LOSSYCOUNTING: stored items satisfy c_i ≤ f_i ≤ c_i + Δ_i; unstored
+//     items satisfy 0 ≤ f_i ≤ ⌈N/w⌉.
+//
+// For summary types without per-item metadata the point estimate is
+// returned for both bounds.
+func EstimateBounds[K comparable](s Summary[K], item K) (lo, hi uint64) {
+	switch alg := any(s).(type) {
+	case *spacesaving.StreamSummary[K]:
+		c := alg.Estimate(item)
+		if c == 0 {
+			return 0, alg.MinCount()
+		}
+		return c - alg.ErrorOf(item), c
+	case *frequent.Frequent[K]:
+		c := alg.Estimate(item)
+		if c == 0 {
+			return 0, alg.Decrements()
+		}
+		return c, c + alg.Decrements()
+	case *lossycounting.LossyCounting[K]:
+		c := alg.Estimate(item)
+		if c == 0 {
+			window := uint64(alg.Capacity())
+			return 0, (alg.N() + window - 1) / window
+		}
+		return c, c + alg.DeltaOf(item)
+	default:
+		c := s.Estimate(item)
+		return c, c
+	}
+}
+
+// EstimateBoundsHeap is EstimateBounds for the heap-backed SPACESAVING
+// variant (a separate function because its key constraint is cmp.Ordered
+// rather than comparable).
+func EstimateBoundsHeap[K cmp.Ordered](s *SpaceSavingHeap[K], item K) (lo, hi uint64) {
+	c := s.Estimate(item)
+	if c == 0 {
+		return 0, s.MinCount()
+	}
+	return c - s.ErrorOf(item), c
+}

@@ -1,0 +1,135 @@
+package heavyhitters_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	hh "repro"
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+func TestEstimateBoundsSpaceSaving(t *testing.T) {
+	ss := hh.NewSpaceSaving[uint64](2)
+	for _, x := range []uint64{1, 1, 2, 3} { // 3 evicts 2, starts at 2 with ε=1
+		ss.Update(x)
+	}
+	lo, hi := hh.EstimateBounds[uint64](ss, 3)
+	if lo != 1 || hi != 2 {
+		t.Errorf("bounds(3) = [%d, %d], want [1, 2]", lo, hi)
+	}
+	lo, hi = hh.EstimateBounds[uint64](ss, 1)
+	if lo != 2 || hi != 2 {
+		t.Errorf("bounds(1) = [%d, %d], want [2, 2]", lo, hi)
+	}
+	// Unstored: [0, minCount].
+	lo, hi = hh.EstimateBounds[uint64](ss, 99)
+	if lo != 0 || hi != ss.MinCount() {
+		t.Errorf("bounds(unstored) = [%d, %d], want [0, %d]", lo, hi, ss.MinCount())
+	}
+}
+
+func TestEstimateBoundsFrequent(t *testing.T) {
+	f := hh.NewFrequent[uint64](2)
+	for _, x := range []uint64{1, 1, 2, 3} { // one decrement-all
+		f.Update(x)
+	}
+	lo, hi := hh.EstimateBounds[uint64](f, 1)
+	if lo != 1 || hi != 2 {
+		t.Errorf("bounds(1) = [%d, %d], want [1, 2]", lo, hi)
+	}
+	lo, hi = hh.EstimateBounds[uint64](f, 3)
+	if lo != 0 || hi != 1 {
+		t.Errorf("bounds(unstored) = [%d, %d], want [0, 1]", lo, hi)
+	}
+}
+
+func TestEstimateBoundsLossyCounting(t *testing.T) {
+	l := hh.NewLossyCounting[uint64](4)
+	for _, x := range []uint64{1, 1, 1, 2, 3} {
+		l.Update(x)
+	}
+	lo, hi := hh.EstimateBounds[uint64](l, 1)
+	if lo != 3 || hi < 3 {
+		t.Errorf("bounds(1) = [%d, %d], want lo=3", lo, hi)
+	}
+	lo, hi = hh.EstimateBounds[uint64](l, 99)
+	if lo != 0 || hi != 2 { // ceil(5/4)
+		t.Errorf("bounds(unstored) = [%d, %d], want [0, 2]", lo, hi)
+	}
+}
+
+func TestEstimateBoundsHeap(t *testing.T) {
+	h := hh.NewSpaceSavingHeap[uint64](2)
+	for _, x := range []uint64{1, 1, 2, 3} {
+		h.Update(x)
+	}
+	lo, hi := hh.EstimateBoundsHeap(h, 3)
+	if lo != 1 || hi != 2 {
+		t.Errorf("heap bounds(3) = [%d, %d], want [1, 2]", lo, hi)
+	}
+	lo, hi = hh.EstimateBoundsHeap(h, 99)
+	if lo != 0 || hi != h.MinCount() {
+		t.Errorf("heap bounds(unstored) = [%d, %d]", lo, hi)
+	}
+}
+
+func TestPropertyBoundsContainTruth(t *testing.T) {
+	// The intervals must always contain the true frequency — for every
+	// algorithm, every stream, every item.
+	err := quick.Check(func(raw []uint8, mRaw uint8) bool {
+		m := int(mRaw)%10 + 1
+		truth := exact.New()
+		ss := hh.NewSpaceSaving[uint64](m)
+		fr := hh.NewFrequent[uint64](m)
+		lc := hh.NewLossyCounting[uint64](m)
+		hp := hh.NewSpaceSavingHeap[uint64](m)
+		for _, b := range raw {
+			x := uint64(b) % 20
+			truth.Update(x)
+			ss.Update(x)
+			fr.Update(x)
+			lc.Update(x)
+			hp.Update(x)
+		}
+		for i := uint64(0); i < 20; i++ {
+			f := truth.Freq(i)
+			if lo, hi := hh.EstimateBounds[uint64](ss, i); float64(lo) > f || f > float64(hi) {
+				return false
+			}
+			if lo, hi := hh.EstimateBounds[uint64](fr, i); float64(lo) > f || f > float64(hi) {
+				return false
+			}
+			if lo, hi := hh.EstimateBounds[uint64](lc, i); float64(lo) > f || f > float64(hi) {
+				return false
+			}
+			if lo, hi := hh.EstimateBoundsHeap(hp, i); float64(lo) > f || f > float64(hi) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundsIntervalWidthShrinksWithM(t *testing.T) {
+	s := stream.Zipf(500, 1.1, 50000, stream.OrderRandom, 3)
+	prev := -1.0
+	for _, m := range []int{10, 50, 250} {
+		ss := hh.NewSpaceSaving[uint64](m)
+		for _, x := range s {
+			ss.Update(x)
+		}
+		total := 0.0
+		for i := uint64(0); i < 20; i++ {
+			lo, hi := hh.EstimateBounds[uint64](ss, i)
+			total += float64(hi - lo)
+		}
+		if prev >= 0 && total > prev {
+			t.Errorf("m=%d: interval mass %v grew from %v", m, total, prev)
+		}
+		prev = total
+	}
+}

@@ -1,0 +1,88 @@
+// Command hhbench regenerates the reproduction's experiment tables
+// (E1–E11, catalogued in DESIGN.md §4): Table 1 of the paper measured
+// empirically, plus one experiment per theorem.
+//
+// Usage:
+//
+//	hhbench                     # run every experiment at full size
+//	hhbench -experiment E3      # run one experiment
+//	hhbench -small              # reduced workload (seconds, not minutes)
+//	hhbench -n 500000 -universe 50000 -alpha 1.2 -seed 7
+//
+// Output is plain text, one table per experiment, matching the entries
+// recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		experimentID = flag.String("experiment", "", "run a single experiment (E1..E11); empty runs all")
+		small        = flag.Bool("small", false, "use the reduced workload size")
+		n            = flag.Uint64("n", 0, "override stream length")
+		universe     = flag.Int("universe", 0, "override universe size")
+		alpha        = flag.Float64("alpha", 0, "override Zipf parameter")
+		seed         = flag.Uint64("seed", 0, "override random seed")
+		format       = flag.String("format", "text", "output format: text | csv")
+	)
+	flag.Parse()
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "hhbench: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	cfg := experiments.Default()
+	if *small {
+		cfg = experiments.Small()
+	}
+	if *n != 0 {
+		cfg.N = *n
+	}
+	if *universe != 0 {
+		cfg.Universe = *universe
+	}
+	if *alpha != 0 {
+		cfg.Alpha = *alpha
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	if *experimentID != "" {
+		run := experiments.Lookup(*experimentID)
+		if run == nil {
+			fmt.Fprintf(os.Stderr, "hhbench: unknown experiment %q (want E1..E11)\n", *experimentID)
+			os.Exit(2)
+		}
+		runOne(*experimentID, run, cfg, *format)
+		return
+	}
+	for _, e := range experiments.All() {
+		runOne(e.ID, e.Run, cfg, *format)
+	}
+}
+
+func runOne(id string, run experiments.Runner, cfg experiments.Config, format string) {
+	start := time.Now()
+	tbl := run(cfg)
+	var err error
+	if format == "csv" {
+		err = tbl.RenderCSV(os.Stdout)
+	} else {
+		err = tbl.Render(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hhbench: rendering %s: %v\n", id, err)
+		os.Exit(1)
+	}
+	if format == "text" {
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

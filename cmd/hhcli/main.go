@@ -1,0 +1,155 @@
+// Command hhcli streams a workload file (written by cmd/hhgen) through a
+// chosen summary algorithm and reports the top-k items with their
+// estimates, error metadata and the paper's tail error bound.
+//
+// Usage:
+//
+//	hhcli -alg spacesaving -m 1000 -k 10 stream.bin
+//	hhcli -alg frequent -m 500 -k 20 stream.bin
+//	hhcli -alg spacesavingR -m 100 -k 5 flows.bin   # weighted streams
+//
+// For unit streams the tool also prints the Theorem 6 residual estimate
+// and the resulting k-tail error bound — the numbers a practitioner would
+// use to decide whether m was large enough.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	hh "repro"
+	"repro/internal/stream"
+)
+
+func main() {
+	var (
+		algName = flag.String("alg", "spacesaving", "algorithm: spacesaving | spacesaving-heap | frequent | lossycounting | spacesavingR | frequentR")
+		m       = flag.Int("m", 1000, "number of counters")
+		k       = flag.Int("k", 10, "report the top k items")
+		phi     = flag.Float64("phi", 0, "also report all phi-heavy hitters (items with f >= phi*N)")
+		dump    = flag.String("dump", "", "also write the summary to this file (for cmd/hhmerge)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hhcli [-alg name] [-m counters] [-k top] stream.bin")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hhcli: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	switch *algName {
+	case "spacesavingR", "frequentR":
+		if *dump != "" {
+			fmt.Fprintln(os.Stderr, "hhcli: -dump supports unit-weight algorithms only")
+			os.Exit(2)
+		}
+		runWeighted(f, *algName, *m, *k)
+	default:
+		runUnit(f, *algName, *m, *k, *phi, *dump)
+	}
+}
+
+func runUnit(f *os.File, algName string, m, k int, phi float64, dump string) {
+	items, err := stream.ReadUnit(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hhcli: reading stream: %v\n", err)
+		os.Exit(1)
+	}
+	var alg hh.Summary[uint64]
+	guaranteed := true
+	switch algName {
+	case "spacesaving":
+		alg = hh.NewSpaceSaving[uint64](m)
+	case "spacesaving-heap":
+		alg = hh.NewSpaceSavingHeap[uint64](m)
+	case "frequent":
+		alg = hh.NewFrequent[uint64](m)
+	case "lossycounting":
+		alg = hh.NewLossyCounting[uint64](m)
+		guaranteed = false
+	default:
+		fmt.Fprintf(os.Stderr, "hhcli: unknown algorithm %q\n", algName)
+		os.Exit(2)
+	}
+	for _, x := range items {
+		alg.Update(x)
+	}
+
+	fmt.Printf("processed %d elements with %s (m=%d)\n", alg.N(), algName, m)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\titem\testimate\terr bound (per item)")
+	for i, e := range hh.Top(alg, k) {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t±%d\n", i+1, e.Item, e.Count, e.Err)
+	}
+	tw.Flush()
+
+	if guaranteed {
+		res := hh.EstimateResidual(alg, k, float64(alg.N()))
+		bound := hh.ErrorBound(hh.TailGuarantee{A: 1, B: 1}, m, k, res)
+		fmt.Printf("estimated F1^res(%d) = %.0f; k-tail error bound = %.1f\n", k, res, bound)
+	}
+
+	if phi > 0 {
+		hits := hh.HeavyHitters(alg, phi)
+		fmt.Printf("\n%d items may exceed phi=%.4g (threshold %.0f):\n", len(hits), phi, phi*float64(alg.N()))
+		for _, h := range hits {
+			mark := "possible"
+			if h.Guaranteed {
+				mark = "guaranteed"
+			}
+			fmt.Printf("  item %d  f in [%d, %d]  %s\n", h.Item, h.Lo, h.Hi, mark)
+		}
+	}
+
+	if dump != "" {
+		out, err := os.Create(dump)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hhcli: %v\n", err)
+			os.Exit(1)
+		}
+		if err := hh.EncodeSummary(out, alg); err != nil {
+			fmt.Fprintf(os.Stderr, "hhcli: writing summary: %v\n", err)
+			os.Exit(1)
+		}
+		if err := out.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hhcli: closing summary: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("summary written to %s\n", dump)
+	}
+}
+
+func runWeighted(f *os.File, algName string, m, k int) {
+	ups, err := stream.ReadWeighted(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hhcli: reading weighted stream: %v\n", err)
+		os.Exit(1)
+	}
+	var alg hh.WeightedSummary[uint64]
+	switch algName {
+	case "spacesavingR":
+		alg = hh.NewSpaceSavingR[uint64](m)
+	case "frequentR":
+		alg = hh.NewFrequentR[uint64](m)
+	default:
+		fmt.Fprintf(os.Stderr, "hhcli: unknown weighted algorithm %q\n", algName)
+		os.Exit(2)
+	}
+	for _, u := range ups {
+		alg.UpdateWeighted(u.Item, u.Weight)
+	}
+	fmt.Printf("processed %d updates, total weight %.1f, with %s (m=%d)\n",
+		len(ups), alg.TotalWeight(), algName, m)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\titem\testimate\terr bound (per item)")
+	for i, e := range hh.TopWeighted(alg, k) {
+		fmt.Fprintf(tw, "%d\t%d\t%.1f\t±%.1f\n", i+1, e.Item, e.Count, e.Err)
+	}
+	tw.Flush()
+}

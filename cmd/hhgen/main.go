@@ -1,0 +1,82 @@
+// Command hhgen generates synthetic stream files in the repository's
+// binary stream format, for replay through cmd/hhcli.
+//
+// Usage:
+//
+//	hhgen -kind zipf -n 1000000 -universe 100000 -alpha 1.1 -o stream.bin
+//	hhgen -kind zipf-sampled -order random ...
+//	hhgen -kind uniform ...
+//	hhgen -kind weighted-zipf -o flows.bin     # weighted update stream
+//
+// Orders for -kind zipf: random, sorted-asc, sorted-desc, round-robin,
+// blocks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/stream"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "zipf", "workload: zipf | zipf-sampled | uniform | weighted-zipf")
+		n        = flag.Uint64("n", 1_000_000, "stream length (total weight for weighted kinds)")
+		universe = flag.Int("universe", 100_000, "number of distinct items")
+		alpha    = flag.Float64("alpha", 1.1, "Zipf parameter")
+		order    = flag.String("order", "random", "arrival order for -kind zipf")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		out      = flag.String("o", "", "output file (required)")
+	)
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "hhgen: -o output file is required")
+		os.Exit(2)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hhgen: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	switch *kind {
+	case "zipf":
+		ord, ok := parseOrder(*order)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hhgen: unknown order %q\n", *order)
+			os.Exit(2)
+		}
+		err = stream.WriteUnit(f, stream.Zipf(*universe, *alpha, *n, ord, *seed))
+	case "zipf-sampled":
+		err = stream.WriteUnit(f, stream.ZipfSampled(*universe, *alpha, *n, *seed))
+	case "uniform":
+		err = stream.WriteUnit(f, stream.Uniform(*universe, *n, *seed))
+	case "weighted-zipf":
+		err = stream.WriteWeighted(f, stream.WeightedZipf(*universe, *alpha, float64(*n), 4, *seed))
+	default:
+		fmt.Fprintf(os.Stderr, "hhgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hhgen: writing %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "hhgen: closing %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%s, n=%d, universe=%d)\n", *out, *kind, *n, *universe)
+}
+
+func parseOrder(s string) (stream.Order, bool) {
+	for _, o := range stream.Orders() {
+		if o.String() == s {
+			return o, true
+		}
+	}
+	return 0, false
+}

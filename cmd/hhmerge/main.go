@@ -1,0 +1,71 @@
+// Command hhmerge merges summary files produced by workers into one
+// summary of the combined stream (Section 6.2 / Theorem 11), printing its
+// top-k. Together with the library's EncodeSummary this gives the full
+// distributed pipeline: workers summarize shards, write summary blobs,
+// and hhmerge aggregates them.
+//
+// Usage:
+//
+//	hhmerge -m 1000 -k 10 worker1.sum worker2.sum worker3.sum
+//
+// Summary files are written with heavyhitters.EncodeSummary (see
+// examples/distributed for the in-process equivalent).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	hh "repro"
+)
+
+func main() {
+	var (
+		m = flag.Int("m", 1000, "counters in the merged summary")
+		k = flag.Int("k", 10, "report the top k items")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: hhmerge [-m counters] [-k top] summary.sum...")
+		os.Exit(2)
+	}
+
+	blobs := make([]*hh.SummaryBlob[uint64], 0, flag.NArg())
+	var totalN uint64
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hhmerge: %v\n", err)
+			os.Exit(1)
+		}
+		blob, err := hh.DecodeSummary(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hhmerge: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		blobs = append(blobs, blob)
+		totalN += blob.N
+	}
+
+	merged := hh.MergeBlobs(*m, blobs...)
+	fmt.Printf("merged %d summaries covering %d stream elements\n", len(blobs), totalN)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\titem\testimate")
+	for i, e := range hh.TopWeighted[uint64](merged, *k) {
+		fmt.Fprintf(tw, "%d\t%d\t%.1f\n", i+1, e.Item, e.Count)
+	}
+	tw.Flush()
+
+	g := hh.MergedGuarantee(hh.TailGuarantee{A: 1, B: 1})
+	res := merged.TotalWeight()
+	for _, e := range hh.TopWeighted[uint64](merged, *k) {
+		res -= e.Count
+	}
+	if res < 0 {
+		res = 0
+	}
+	fmt.Printf("merged k-tail error bound (Theorem 11): %.1f\n", g.Bound(*m, *k, res))
+}

@@ -1,0 +1,88 @@
+// Command hhstat computes exact statistics of a stream file: the norms
+// and residuals the paper's bounds are expressed in, a Zipf-parameter fit
+// (log-log rank/frequency regression), and the Theorem 8 counter budget
+// the fit suggests for a target error rate.
+//
+// Usage:
+//
+//	hhstat stream.bin
+//	hhstat -k 20 -eps 0.001 stream.bin
+//
+// This is the "sizing" companion to hhcli: run hhstat on a representative
+// trace to pick m, then deploy hhcli (or the library) with that budget.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/exact"
+	"repro/internal/stream"
+	"repro/internal/zipfmath"
+)
+
+func main() {
+	var (
+		k   = flag.Int("k", 10, "residual parameter k")
+		eps = flag.Float64("eps", 0.001, "target error rate for the counter-budget suggestion")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hhstat [-k int] [-eps float] stream.bin")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hhstat: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	truth := exact.New()
+	items, err := stream.ReadUnit(f)
+	if err != nil {
+		// Retry as a weighted stream.
+		if _, serr := f.Seek(0, 0); serr != nil {
+			fmt.Fprintf(os.Stderr, "hhstat: %v\n", serr)
+			os.Exit(1)
+		}
+		ups, werr := stream.ReadWeighted(f)
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "hhstat: not a stream file: %v / %v\n", err, werr)
+			os.Exit(1)
+		}
+		for _, u := range ups {
+			truth.UpdateWeighted(u.Item, u.Weight)
+		}
+	} else {
+		for _, x := range items {
+			truth.Update(x)
+		}
+	}
+
+	sorted := make([]float64, 0, truth.Distinct())
+	for _, v := range truth.Sparse() {
+		sorted = append(sorted, v)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+
+	alphaHat, r2 := zipfmath.FitAlpha(sorted, 1000)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "total mass F1\t%.1f\n", truth.F1())
+	fmt.Fprintf(tw, "distinct items\t%d\n", truth.Distinct())
+	fmt.Fprintf(tw, "F1^res(%d)\t%.1f\n", *k, truth.Res1(*k))
+	fmt.Fprintf(tw, "F2^res(%d)\t%.3e\n", *k, truth.ResP(*k, 2))
+	if len(sorted) > 0 {
+		fmt.Fprintf(tw, "max frequency\t%.1f\n", sorted[0])
+	}
+	fmt.Fprintf(tw, "fitted Zipf alpha\t%.3f (r2 %.3f)\n", alphaHat, r2)
+	suggested := zipfmath.SuggestCounters(alphaHat, *eps, 1, 1)
+	fmt.Fprintf(tw, "Theorem 8 budget for eps=%.4g\t%d counters\n", *eps, suggested)
+	genericBudget := int(2 / *eps)
+	fmt.Fprintf(tw, "generic budget 2/eps\t%d counters\n", genericBudget)
+	tw.Flush()
+}

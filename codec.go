@@ -1,0 +1,202 @@
+package heavyhitters
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+)
+
+// This file implements wire serialization of summaries, enabling the
+// distributed workflow Theorem 11 supports: workers summarize locally,
+// ship compact summaries, and a coordinator merges them. The format is a
+// versioned header followed by uvarint-encoded entries; string and uint64
+// keys are supported (the two key types the examples and tools use).
+//
+// Only the counter state travels: m, N, and the entries with their error
+// metadata — everything Merge/MergeAll and the recovery functions need.
+
+var (
+	summaryMagic = [6]byte{'H', 'H', 'S', 'U', 'M', '1'}
+
+	// ErrBadSummary reports a malformed or foreign summary blob.
+	ErrBadSummary = errors.New("heavyhitters: malformed summary encoding")
+)
+
+const (
+	keyKindUint64 byte = 1
+	keyKindString byte = 2
+)
+
+// SummaryBlob is a decoded, algorithm-agnostic summary: the portable form
+// of a Summary's state. It can be re-merged (FeedInto) or inspected
+// directly.
+type SummaryBlob[K comparable] struct {
+	// Capacity is the m the producing summary ran with.
+	Capacity int
+	// N is the stream length the producer processed.
+	N uint64
+	// Entries are the stored counters, sorted by decreasing count.
+	Entries []Entry[K]
+}
+
+// FeedInto replays the blob's counters as weighted updates into a
+// weighted summary — the merge primitive of Section 6.2.
+func (b *SummaryBlob[K]) FeedInto(dst WeightedSummary[K]) {
+	for _, e := range b.Entries {
+		if e.Count > 0 {
+			dst.UpdateWeighted(e.Item, float64(e.Count))
+		}
+	}
+}
+
+// EncodeSummary writes a uint64-keyed summary's state to w.
+func EncodeSummary(w io.Writer, s Summary[uint64]) error {
+	return encodeEntries(w, keyKindUint64, s.Capacity(), s.N(), s.Entries(),
+		func(bw *bufio.Writer, k uint64) error { return writeUvarint(bw, k) })
+}
+
+// EncodeStringSummary writes a string-keyed summary's state to w.
+func EncodeStringSummary(w io.Writer, s Summary[string]) error {
+	return encodeEntries(w, keyKindString, s.Capacity(), s.N(), s.Entries(),
+		func(bw *bufio.Writer, k string) error {
+			if err := writeUvarint(bw, uint64(len(k))); err != nil {
+				return err
+			}
+			_, err := bw.WriteString(k)
+			return err
+		})
+}
+
+// DecodeSummary reads a uint64-keyed summary blob from r.
+func DecodeSummary(r io.Reader) (*SummaryBlob[uint64], error) {
+	return decodeEntries(r, keyKindUint64, func(br *bufio.Reader) (uint64, error) {
+		return binary.ReadUvarint(br)
+	})
+}
+
+// DecodeStringSummary reads a string-keyed summary blob from r.
+func DecodeStringSummary(r io.Reader) (*SummaryBlob[string], error) {
+	return decodeEntries(r, keyKindString, func(br *bufio.Reader) (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("%w: unreasonable key length %d", ErrBadSummary, n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	})
+}
+
+func encodeEntries[K comparable](w io.Writer, kind byte, capacity int, n uint64, entries []core.Entry[K], writeKey func(*bufio.Writer, K) error) error {
+	if capacity < 0 {
+		return fmt.Errorf("heavyhitters: negative capacity %d", capacity)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(summaryMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(kind); err != nil {
+		return err
+	}
+	if err := writeUvarint(bw, uint64(capacity)); err != nil {
+		return err
+	}
+	if err := writeUvarint(bw, n); err != nil {
+		return err
+	}
+	if err := writeUvarint(bw, uint64(len(entries))); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := writeKey(bw, e.Item); err != nil {
+			return err
+		}
+		if err := writeUvarint(bw, e.Count); err != nil {
+			return err
+		}
+		if err := writeUvarint(bw, e.Err); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func decodeEntries[K comparable](r io.Reader, wantKind byte, readKey func(*bufio.Reader) (K, error)) (*SummaryBlob[K], error) {
+	br := bufio.NewReader(r)
+	var magic [6]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadSummary, err)
+	}
+	if magic != summaryMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSummary)
+	}
+	kind, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: key kind: %v", ErrBadSummary, err)
+	}
+	if kind != wantKind {
+		return nil, fmt.Errorf("%w: key kind %d, want %d", ErrBadSummary, kind, wantKind)
+	}
+	capacity, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: capacity: %v", ErrBadSummary, err)
+	}
+	if capacity > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: unreasonable capacity %d", ErrBadSummary, capacity)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: N: %v", ErrBadSummary, err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: entry count: %v", ErrBadSummary, err)
+	}
+	if count > capacity+1 && count > 1<<24 {
+		return nil, fmt.Errorf("%w: unreasonable entry count %d", ErrBadSummary, count)
+	}
+	blob := &SummaryBlob[K]{Capacity: int(capacity), N: n}
+	for i := uint64(0); i < count; i++ {
+		item, err := readKey(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %d key: %v", ErrBadSummary, i, err)
+		}
+		c, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %d count: %v", ErrBadSummary, i, err)
+		}
+		e, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %d err: %v", ErrBadSummary, i, err)
+		}
+		blob.Entries = append(blob.Entries, Entry[K]{Item: item, Count: c, Err: e})
+	}
+	return blob, nil
+}
+
+func writeUvarint(bw *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := bw.Write(buf[:n])
+	return err
+}
+
+// MergeBlobs merges decoded summary blobs into a fresh m-counter weighted
+// summary by refeeding every counter (the MergeAll construction).
+func MergeBlobs[K comparable](m int, blobs ...*SummaryBlob[K]) *SpaceSavingR[K] {
+	dst := NewSpaceSavingR[K](m)
+	for _, b := range blobs {
+		b.FeedInto(dst)
+	}
+	return dst
+}

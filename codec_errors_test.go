@@ -1,0 +1,63 @@
+package heavyhitters_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	hh "repro"
+)
+
+// failingWriter errors after accepting n bytes, exercising every write
+// error path of the encoder.
+type failingWriter struct {
+	remaining int
+}
+
+var errSink = errors.New("sink failed")
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if len(p) > w.remaining {
+		n := w.remaining
+		w.remaining = 0
+		return n, errSink
+	}
+	w.remaining -= len(p)
+	return len(p), nil
+}
+
+func TestEncodeSummaryPropagatesWriteErrors(t *testing.T) {
+	ss := hh.NewSpaceSaving[uint64](4)
+	for _, x := range []uint64{1, 1, 2, 3} {
+		ss.Update(x)
+	}
+	var full bytes.Buffer
+	if err := hh.EncodeSummary(&full, ss); err != nil {
+		t.Fatal(err)
+	}
+	size := full.Len()
+	// Any budget below the full size must surface the sink's error; the
+	// exact size must succeed.
+	for budget := 0; budget < size; budget++ {
+		if err := hh.EncodeSummary(&failingWriter{remaining: budget}, ss); err == nil {
+			t.Errorf("budget %d/%d: expected write error", budget, size)
+		}
+	}
+	if err := hh.EncodeSummary(&failingWriter{remaining: size}, ss); err != nil {
+		t.Errorf("exact budget failed: %v", err)
+	}
+}
+
+func TestEncodeStringSummaryPropagatesWriteErrors(t *testing.T) {
+	ss := hh.NewSpaceSaving[string](4)
+	ss.Update("a-reasonably-long-key-to-cross-buffer-boundaries")
+	var full bytes.Buffer
+	if err := hh.EncodeStringSummary(&full, ss); err != nil {
+		t.Fatal(err)
+	}
+	for budget := 0; budget < full.Len(); budget++ {
+		if err := hh.EncodeStringSummary(&failingWriter{remaining: budget}, ss); err == nil {
+			t.Errorf("budget %d: expected write error", budget)
+		}
+	}
+}

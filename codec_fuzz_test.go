@@ -1,0 +1,60 @@
+package heavyhitters_test
+
+import (
+	"bytes"
+	"testing"
+
+	hh "repro"
+)
+
+// Decoders must never panic on arbitrary input; successful decodes of
+// well-formed blobs must preserve the entries.
+
+func FuzzDecodeSummary(f *testing.F) {
+	ss := hh.NewSpaceSaving[uint64](4)
+	for _, x := range []uint64{1, 1, 2, 3, 4, 5} {
+		ss.Update(x)
+	}
+	var seed bytes.Buffer
+	if err := hh.EncodeSummary(&seed, ss); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("HHSUM1"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		blob, err := hh.DecodeSummary(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// Entry counts must be internally consistent.
+		if blob.Capacity < 0 {
+			t.Fatal("negative capacity decoded")
+		}
+		// Refeeding a decoded blob must not panic.
+		dst := hh.NewSpaceSavingR[uint64](4)
+		blob.FeedInto(dst)
+	})
+}
+
+func FuzzDecodeStringSummary(f *testing.F) {
+	ss := hh.NewSpaceSaving[string](4)
+	for _, w := range []string{"a", "bb", "a", ""} {
+		ss.Update(w)
+	}
+	var seed bytes.Buffer
+	if err := hh.EncodeStringSummary(&seed, ss); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("HHSUM1\x02"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		blob, err := hh.DecodeStringSummary(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		dst := hh.NewSpaceSavingR[string](4)
+		blob.FeedInto(dst)
+	})
+}

@@ -1,0 +1,166 @@
+package heavyhitters_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	hh "repro"
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+func TestSummaryCodecRoundTripUint64(t *testing.T) {
+	ss := hh.NewSpaceSaving[uint64](8)
+	for _, x := range []uint64{1, 1, 1, 2, 2, 3, 1 << 50} {
+		ss.Update(x)
+	}
+	var buf bytes.Buffer
+	if err := hh.EncodeSummary(&buf, ss); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := hh.DecodeSummary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blob.Capacity != 8 || blob.N != 7 {
+		t.Errorf("blob meta = m:%d N:%d, want 8/7", blob.Capacity, blob.N)
+	}
+	want := ss.Entries()
+	if len(blob.Entries) != len(want) {
+		t.Fatalf("entries = %d, want %d", len(blob.Entries), len(want))
+	}
+	for i := range want {
+		if blob.Entries[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, blob.Entries[i], want[i])
+		}
+	}
+}
+
+func TestSummaryCodecRoundTripString(t *testing.T) {
+	ss := hh.NewSpaceSaving[string](4)
+	for _, w := range []string{"alpha", "beta", "alpha", "", "gamma-with-long-name"} {
+		ss.Update(w)
+	}
+	var buf bytes.Buffer
+	if err := hh.EncodeStringSummary(&buf, ss); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := hh.DecodeStringSummary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]uint64{}
+	for _, e := range blob.Entries {
+		got[e.Item] = e.Count
+	}
+	if got["alpha"] != 2 {
+		t.Errorf("alpha count = %d, want 2", got["alpha"])
+	}
+	if _, ok := got[""]; !ok {
+		t.Error("empty-string key lost in round trip")
+	}
+}
+
+func TestSummaryCodecEmptySummary(t *testing.T) {
+	f := hh.NewFrequent[uint64](4)
+	var buf bytes.Buffer
+	if err := hh.EncodeSummary(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := hh.DecodeSummary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob.Entries) != 0 || blob.N != 0 {
+		t.Errorf("blob = %+v, want empty", blob)
+	}
+}
+
+func TestSummaryCodecRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":      {},
+		"bad magic":  []byte("XXXXXXXXXXXX"),
+		"truncated":  {'H', 'H', 'S', 'U', 'M', '1', 1},
+		"wrong kind": append([]byte{'H', 'H', 'S', 'U', 'M', '1', 9}, 0, 0, 0),
+	}
+	for name, raw := range cases {
+		if _, err := hh.DecodeSummary(bytes.NewReader(raw)); !errors.Is(err, hh.ErrBadSummary) {
+			t.Errorf("%s: err = %v, want ErrBadSummary", name, err)
+		}
+	}
+}
+
+func TestSummaryCodecKindMismatch(t *testing.T) {
+	ss := hh.NewSpaceSaving[uint64](4)
+	ss.Update(1)
+	var buf bytes.Buffer
+	if err := hh.EncodeSummary(&buf, ss); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hh.DecodeStringSummary(&buf); !errors.Is(err, hh.ErrBadSummary) {
+		t.Errorf("string decoder accepted uint64 blob: %v", err)
+	}
+}
+
+func TestSummaryCodecTruncatedEntries(t *testing.T) {
+	ss := hh.NewSpaceSaving[uint64](4)
+	for _, x := range []uint64{1, 2, 3} {
+		ss.Update(x)
+	}
+	var buf bytes.Buffer
+	if err := hh.EncodeSummary(&buf, ss); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := hh.DecodeSummary(bytes.NewReader(raw[:len(raw)-2])); err == nil {
+		t.Error("truncated blob decoded without error")
+	}
+}
+
+func TestMergeBlobsMatchesDirectMerge(t *testing.T) {
+	// Ship-and-merge must agree with merging in-process.
+	const n, total, m, k = 300, 60000, 100, 10
+	s := stream.Zipf(n, 1.1, total, stream.OrderRandom, 17)
+	truth := exact.FromStream(s)
+	a := hh.NewSpaceSaving[uint64](m)
+	b := hh.NewSpaceSaving[uint64](m)
+	for i, x := range s {
+		if i%2 == 0 {
+			a.Update(x)
+		} else {
+			b.Update(x)
+		}
+	}
+	var bufA, bufB bytes.Buffer
+	if err := hh.EncodeSummary(&bufA, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := hh.EncodeSummary(&bufB, b); err != nil {
+		t.Fatal(err)
+	}
+	blobA, err := hh.DecodeSummary(&bufA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobB, err := hh.DecodeSummary(&bufB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaWire := hh.MergeBlobs(m, blobA, blobB)
+	direct := hh.MergeAll[uint64](m, a, b)
+	for i := uint64(0); i < n; i++ {
+		if viaWire.EstimateWeighted(i) != direct.EstimateWeighted(i) {
+			t.Fatalf("item %d: wire merge %v != direct merge %v",
+				i, viaWire.EstimateWeighted(i), direct.EstimateWeighted(i))
+		}
+	}
+	// And the merged result still honours the (3,2) bound.
+	bound := hh.MergedGuarantee(hh.TailGuarantee{A: 1, B: 1}).Bound(m, k, truth.Res1(k))
+	for i := uint64(0); i < n; i++ {
+		if d := math.Abs(truth.Freq(i) - viaWire.EstimateWeighted(i)); d > bound {
+			t.Errorf("item %d: error %v exceeds bound %v", i, d, bound)
+		}
+	}
+}

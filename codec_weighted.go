@@ -1,0 +1,151 @@
+package heavyhitters
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Weighted-summary serialization: the real-valued counterpart of
+// EncodeSummary/DecodeSummary, for shipping SPACESAVINGR / FREQUENTR
+// state (e.g. byte-weighted flow summaries) between workers.
+//
+// Counts and errors are stored as IEEE-754 bits in fixed 8-byte words;
+// items as uvarints (uint64 keys only — the weighted tools operate on
+// numeric flow keys).
+
+const weightedKindUint64 byte = 3
+
+// WeightedSummaryBlob is the portable state of a WeightedSummary.
+type WeightedSummaryBlob struct {
+	// Capacity is the producing summary's m.
+	Capacity int
+	// TotalWeight is Σ b_i processed by the producer.
+	TotalWeight float64
+	// Entries are the stored counters, sorted by decreasing count.
+	Entries []WeightedEntry[uint64]
+}
+
+// FeedInto replays the blob's counters into a weighted summary.
+func (b *WeightedSummaryBlob) FeedInto(dst WeightedSummary[uint64]) {
+	for _, e := range b.Entries {
+		if e.Count > 0 {
+			dst.UpdateWeighted(e.Item, e.Count)
+		}
+	}
+}
+
+// EncodeWeightedSummary writes a uint64-keyed weighted summary's state to
+// w.
+func EncodeWeightedSummary(w io.Writer, s WeightedSummary[uint64]) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(summaryMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(weightedKindUint64); err != nil {
+		return err
+	}
+	if err := writeUvarint(bw, uint64(s.Capacity())); err != nil {
+		return err
+	}
+	if err := writeFloat(bw, s.TotalWeight()); err != nil {
+		return err
+	}
+	entries := s.WeightedEntries()
+	if err := writeUvarint(bw, uint64(len(entries))); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := writeUvarint(bw, e.Item); err != nil {
+			return err
+		}
+		if err := writeFloat(bw, e.Count); err != nil {
+			return err
+		}
+		if err := writeFloat(bw, e.Err); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeWeightedSummary reads a weighted summary blob from r.
+func DecodeWeightedSummary(r io.Reader) (*WeightedSummaryBlob, error) {
+	br := bufio.NewReader(r)
+	var magic [6]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadSummary, err)
+	}
+	if magic != summaryMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSummary)
+	}
+	kind, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: key kind: %v", ErrBadSummary, err)
+	}
+	if kind != weightedKindUint64 {
+		return nil, fmt.Errorf("%w: key kind %d, want %d", ErrBadSummary, kind, weightedKindUint64)
+	}
+	capacity, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: capacity: %v", ErrBadSummary, err)
+	}
+	if capacity > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: unreasonable capacity %d", ErrBadSummary, capacity)
+	}
+	total, err := readFloat(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: total weight: %v", ErrBadSummary, err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: entry count: %v", ErrBadSummary, err)
+	}
+	if count > capacity+1 && count > 1<<24 {
+		return nil, fmt.Errorf("%w: unreasonable entry count %d", ErrBadSummary, count)
+	}
+	blob := &WeightedSummaryBlob{Capacity: int(capacity), TotalWeight: total}
+	for i := uint64(0); i < count; i++ {
+		item, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %d item: %v", ErrBadSummary, i, err)
+		}
+		c, err := readFloat(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %d count: %v", ErrBadSummary, i, err)
+		}
+		e, err := readFloat(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %d err: %v", ErrBadSummary, i, err)
+		}
+		blob.Entries = append(blob.Entries, WeightedEntry[uint64]{Item: item, Count: c, Err: e})
+	}
+	return blob, nil
+}
+
+// MergeWeightedBlobs merges decoded weighted blobs into a fresh m-counter
+// summary by refeeding every counter.
+func MergeWeightedBlobs(m int, blobs ...*WeightedSummaryBlob) *SpaceSavingR[uint64] {
+	dst := NewSpaceSavingR[uint64](m)
+	for _, b := range blobs {
+		b.FeedInto(dst)
+	}
+	return dst
+}
+
+func writeFloat(bw *bufio.Writer, v float64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	_, err := bw.Write(buf[:])
+	return err
+}
+
+func readFloat(br *bufio.Reader) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}

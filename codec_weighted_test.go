@@ -1,0 +1,115 @@
+package heavyhitters_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	hh "repro"
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+func TestWeightedCodecRoundTrip(t *testing.T) {
+	r := hh.NewSpaceSavingR[uint64](4)
+	r.UpdateWeighted(1, 2.5)
+	r.UpdateWeighted(2, 0.125)
+	r.UpdateWeighted(1, 1e9)
+	var buf bytes.Buffer
+	if err := hh.EncodeWeightedSummary(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := hh.DecodeWeightedSummary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blob.Capacity != 4 || blob.TotalWeight != r.TotalWeight() {
+		t.Errorf("blob meta = %d/%v", blob.Capacity, blob.TotalWeight)
+	}
+	want := r.WeightedEntries()
+	if len(blob.Entries) != len(want) {
+		t.Fatalf("entries = %d, want %d", len(blob.Entries), len(want))
+	}
+	for i := range want {
+		if blob.Entries[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, blob.Entries[i], want[i])
+		}
+	}
+}
+
+func TestWeightedCodecRejectsUnitBlob(t *testing.T) {
+	ss := hh.NewSpaceSaving[uint64](4)
+	ss.Update(1)
+	var buf bytes.Buffer
+	if err := hh.EncodeSummary(&buf, ss); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hh.DecodeWeightedSummary(&buf); !errors.Is(err, hh.ErrBadSummary) {
+		t.Errorf("weighted decoder accepted unit blob: %v", err)
+	}
+}
+
+func TestWeightedCodecGarbage(t *testing.T) {
+	for _, raw := range [][]byte{nil, []byte("x"), []byte("HHSUM1\x03")} {
+		if _, err := hh.DecodeWeightedSummary(bytes.NewReader(raw)); err == nil {
+			t.Errorf("garbage %q decoded without error", raw)
+		}
+	}
+}
+
+func TestMergeWeightedBlobsPipeline(t *testing.T) {
+	// The netflow scenario: two workers summarize byte-weighted shards,
+	// ship blobs, the coordinator merges and keeps the tail guarantee.
+	const m, k = 60, 8
+	ups := stream.WeightedZipf(300, 1.2, 200000, 3, 19)
+	truth := exact.New()
+	a := hh.NewSpaceSavingR[uint64](m)
+	b := hh.NewSpaceSavingR[uint64](m)
+	for i, u := range ups {
+		truth.UpdateWeighted(u.Item, u.Weight)
+		if i%2 == 0 {
+			a.UpdateWeighted(u.Item, u.Weight)
+		} else {
+			b.UpdateWeighted(u.Item, u.Weight)
+		}
+	}
+	var bufA, bufB bytes.Buffer
+	if err := hh.EncodeWeightedSummary(&bufA, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := hh.EncodeWeightedSummary(&bufB, b); err != nil {
+		t.Fatal(err)
+	}
+	blobA, err := hh.DecodeWeightedSummary(&bufA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobB, err := hh.DecodeWeightedSummary(&bufB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := hh.MergeWeightedBlobs(m, blobA, blobB)
+	bound := hh.MergedGuarantee(hh.TailGuarantee{A: 1, B: 1}).Bound(m, k, truth.Res1(k))
+	for i := uint64(0); i < 300; i++ {
+		if d := math.Abs(truth.Freq(i) - merged.EstimateWeighted(i)); d > bound {
+			t.Errorf("item %d: error %v exceeds bound %v", i, d, bound)
+		}
+	}
+}
+
+func TestWeightedCodecFrequentR(t *testing.T) {
+	f := hh.NewFrequentR[uint64](4)
+	f.UpdateWeighted(7, 3.5)
+	var buf bytes.Buffer
+	if err := hh.EncodeWeightedSummary(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := hh.DecodeWeightedSummary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob.Entries) != 1 || blob.Entries[0].Count != 3.5 {
+		t.Errorf("blob = %+v", blob)
+	}
+}

@@ -1,0 +1,153 @@
+package heavyhitters
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/merge"
+)
+
+// Concurrent is a thread-safe heavy-hitter summary built from P
+// independent SPACESAVING shards, each guarded by its own mutex. Updates
+// hash to a shard (so a given item always lands on the same shard, and
+// each shard sees a sub-stream); Snapshot merges the shards with the
+// Section 6.2 construction.
+//
+// The error guarantee follows directly from Theorem 11: each shard
+// provides a (1, 1) k-tail guarantee on its sub-stream, so the merged
+// snapshot provides a (3, 2) k-tail guarantee on the full stream. Because
+// items are partitioned (not replicated) across shards, each item's
+// counts live entirely in one shard — so per-item estimates via Estimate
+// are exact shard estimates and keep the shard-level (1, 1) guarantee
+// against the item's own sub-stream, which here is its full stream.
+//
+// Construct with NewConcurrent; the zero value is not usable.
+type Concurrent[K comparable] struct {
+	shards []concurrentShard[K]
+	hash   func(K) uint64
+	m      int
+	n      atomic.Uint64
+}
+
+type concurrentShard[K comparable] struct {
+	mu  sync.Mutex
+	alg *SpaceSaving[K]
+	// Padding to keep shard locks on distinct cache lines.
+	_ [40]byte
+}
+
+// NewConcurrent returns a summary with p shards of m counters each, using
+// hash to place items (a good stateless hash of the key; see
+// NewConcurrentUint64 and NewConcurrentString for ready-made versions).
+// It panics unless p ≥ 1, m ≥ 1 and hash ≠ nil.
+func NewConcurrent[K comparable](p, m int, hash func(K) uint64) *Concurrent[K] {
+	if p < 1 {
+		panic("heavyhitters: shard count must be >= 1")
+	}
+	if m < 1 {
+		panic("heavyhitters: m must be >= 1")
+	}
+	if hash == nil {
+		panic("heavyhitters: nil hash function")
+	}
+	c := &Concurrent[K]{shards: make([]concurrentShard[K], p), hash: hash, m: m}
+	for i := range c.shards {
+		c.shards[i].alg = NewSpaceSaving[K](m)
+	}
+	return c
+}
+
+// NewConcurrentUint64 returns a sharded summary for uint64 items using a
+// Fibonacci-multiplicative shard hash.
+func NewConcurrentUint64(p, m int) *Concurrent[uint64] {
+	return NewConcurrent[uint64](p, m, func(x uint64) uint64 {
+		x ^= x >> 33
+		x *= 0x9e3779b97f4a7c15
+		return x ^ x>>29
+	})
+}
+
+// NewConcurrentString returns a sharded summary for string items using
+// FNV-1a.
+func NewConcurrentString(p, m int) *Concurrent[string] {
+	return NewConcurrent[string](p, m, func(s string) uint64 {
+		const (
+			offset = 14695981039346656037
+			prime  = 1099511628211
+		)
+		h := uint64(offset)
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+		return h
+	})
+}
+
+// Update records one occurrence of item. Safe for concurrent use.
+func (c *Concurrent[K]) Update(item K) {
+	sh := &c.shards[c.hash(item)%uint64(len(c.shards))]
+	sh.mu.Lock()
+	sh.alg.Update(item)
+	sh.mu.Unlock()
+	c.n.Add(1)
+}
+
+// Estimate returns the owning shard's estimate for item. Safe for
+// concurrent use.
+func (c *Concurrent[K]) Estimate(item K) uint64 {
+	sh := &c.shards[c.hash(item)%uint64(len(c.shards))]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.alg.Estimate(item)
+}
+
+// N returns the number of updates processed so far. Safe for concurrent
+// use; under concurrent updates the value is a point-in-time snapshot.
+func (c *Concurrent[K]) N() uint64 { return c.n.Load() }
+
+// Shards returns the shard count P.
+func (c *Concurrent[K]) Shards() int { return len(c.shards) }
+
+// ShardCapacity returns m, the counters per shard.
+func (c *Concurrent[K]) ShardCapacity() int { return c.m }
+
+// Snapshot merges all shards into a single m-counter weighted summary
+// with the Theorem 11 (3, 2) k-tail guarantee over the full stream. It
+// locks shards one at a time, so a snapshot taken during concurrent
+// updates reflects some consistent per-shard states, not a single global
+// instant.
+func (c *Concurrent[K]) Snapshot(m int) *SpaceSavingR[K] {
+	entries := make([][]Entry[K], len(c.shards))
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		entries[i] = sh.alg.Entries()
+		sh.mu.Unlock()
+	}
+	return merge.MSparse(m, entries...)
+}
+
+// Top returns the k largest counters of a fresh snapshot merged at the
+// per-shard capacity.
+func (c *Concurrent[K]) Top(k int) []WeightedEntry[K] {
+	return TopWeighted[K](c.Snapshot(c.m), k)
+}
+
+// Reset clears every shard. It is not atomic with respect to concurrent
+// updates: callers should quiesce writers first.
+func (c *Concurrent[K]) Reset() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.alg.Reset()
+		sh.mu.Unlock()
+	}
+	c.n.Store(0)
+}
+
+// String describes the configuration.
+func (c *Concurrent[K]) String() string {
+	return fmt.Sprintf("heavyhitters.Concurrent{shards: %d, m: %d}", len(c.shards), c.m)
+}

@@ -1,0 +1,145 @@
+package heavyhitters_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	hh "repro"
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+func TestConcurrentSequentialCorrectness(t *testing.T) {
+	c := hh.NewConcurrentUint64(4, 32)
+	s := stream.Zipf(500, 1.2, 50000, stream.OrderRandom, 3)
+	truth := exact.FromStream(s)
+	for _, x := range s {
+		c.Update(x)
+	}
+	if c.N() != uint64(len(s)) {
+		t.Errorf("N = %d, want %d", c.N(), len(s))
+	}
+	// Items are partitioned across shards, so per-item estimates keep a
+	// shard-level overestimate guarantee: estimate >= true for stored.
+	for i := uint64(0); i < 10; i++ {
+		if float64(c.Estimate(i)) < truth.Freq(i) {
+			t.Errorf("item %d: estimate %d under true %v", i, c.Estimate(i), truth.Freq(i))
+		}
+	}
+}
+
+func TestConcurrentSnapshotGuarantee(t *testing.T) {
+	const n, total, m, k = 400, 80000, 100, 10
+	c := hh.NewConcurrentUint64(8, m)
+	s := stream.Zipf(n, 1.1, total, stream.OrderRandom, 5)
+	truth := exact.FromStream(s)
+	for _, x := range s {
+		c.Update(x)
+	}
+	snap := c.Snapshot(m)
+	bound := hh.MergedGuarantee(hh.TailGuarantee{A: 1, B: 1}).Bound(m, k, truth.Res1(k))
+	for i := uint64(0); i < n; i++ {
+		if d := math.Abs(truth.Freq(i) - snap.EstimateWeighted(i)); d > bound {
+			t.Errorf("item %d: snapshot error %v exceeds (3,2) bound %v", i, d, bound)
+		}
+	}
+}
+
+func TestConcurrentParallelUpdates(t *testing.T) {
+	// Hammer the structure from many goroutines; run with -race in CI.
+	const goroutines, perG = 8, 20000
+	c := hh.NewConcurrentUint64(4, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			s := stream.Zipf(200, 1.1, perG, stream.OrderRandom, seed)
+			for _, x := range s {
+				c.Update(x)
+			}
+		}(uint64(g))
+	}
+	// Concurrent readers.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				c.Estimate(0)
+				c.Snapshot(64)
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if c.N() != goroutines*perG {
+		t.Errorf("N = %d, want %d", c.N(), goroutines*perG)
+	}
+	// Item 0 is the heavy hitter of every goroutine's stream; it must
+	// dominate the final snapshot.
+	top := c.Top(1)
+	if len(top) != 1 || top[0].Item != 0 {
+		t.Errorf("Top(1) = %v, want item 0", top)
+	}
+}
+
+func TestConcurrentStringKeys(t *testing.T) {
+	c := hh.NewConcurrentString(4, 16)
+	for i := 0; i < 100; i++ {
+		c.Update("hot")
+		if i%10 == 0 {
+			c.Update("warm")
+		}
+	}
+	if got := c.Estimate("hot"); got < 100 {
+		t.Errorf("Estimate(hot) = %d, want >= 100", got)
+	}
+	top := c.Top(1)
+	if top[0].Item != "hot" {
+		t.Errorf("Top = %v", top)
+	}
+}
+
+func TestConcurrentReset(t *testing.T) {
+	c := hh.NewConcurrentUint64(2, 8)
+	c.Update(1)
+	c.Reset()
+	if c.N() != 0 || c.Estimate(1) != 0 {
+		t.Error("Reset did not clear state")
+	}
+	c.Update(2)
+	if c.Estimate(2) != 1 {
+		t.Error("unusable after Reset")
+	}
+}
+
+func TestConcurrentConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"p=0":      func() { hh.NewConcurrentUint64(0, 8) },
+		"m=0":      func() { hh.NewConcurrentUint64(2, 0) },
+		"nil hash": func() { hh.NewConcurrent[uint64](2, 8, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConcurrentAccessors(t *testing.T) {
+	c := hh.NewConcurrentUint64(3, 16)
+	if c.Shards() != 3 || c.ShardCapacity() != 16 {
+		t.Errorf("Shards/ShardCapacity = %d/%d", c.Shards(), c.ShardCapacity())
+	}
+	if c.String() == "" {
+		t.Error("empty String()")
+	}
+}

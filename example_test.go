@@ -1,0 +1,106 @@
+package heavyhitters_test
+
+import (
+	"fmt"
+
+	hh "repro"
+)
+
+// The most common use: count word frequencies in bounded memory and read
+// off the heavy hitters.
+func Example() {
+	words := []string{
+		"to", "be", "or", "not", "to", "be", "that", "is",
+		"the", "question", "to", "be", "to", "not",
+	}
+	ss := hh.NewSpaceSaving[string](6)
+	for _, w := range words {
+		ss.Update(w)
+	}
+	for _, e := range hh.Top[string](ss, 2) {
+		fmt.Printf("%s %d\n", e.Item, e.Count)
+	}
+	// Output:
+	// to 4
+	// be 3
+}
+
+// FREQUENT never overestimates, which makes its counters safe lower
+// bounds — useful when over-reporting is costly.
+func ExampleNewFrequent() {
+	f := hh.NewFrequent[string](2)
+	for _, w := range []string{"a", "a", "a", "b", "c", "a"} {
+		f.Update(w)
+	}
+	fmt.Println("estimate(a):", f.Estimate("a"))
+	fmt.Println("true count is 4; FREQUENT only ever undercounts")
+	// Output:
+	// estimate(a): 3
+	// true count is 4; FREQUENT only ever undercounts
+}
+
+// Weighted updates (Section 6.1): heavy hitters by total bytes rather
+// than by packet count.
+func ExampleNewSpaceSavingR() {
+	ss := hh.NewSpaceSavingR[string](4)
+	ss.UpdateWeighted("flow-a", 1500)
+	ss.UpdateWeighted("flow-b", 64)
+	ss.UpdateWeighted("flow-a", 9000)
+	top := hh.TopWeighted[string](ss, 1)
+	fmt.Printf("%s %.0f\n", top[0].Item, top[0].Count)
+	// Output:
+	// flow-a 10500
+}
+
+// Summaries built on separate streams merge into a summary of the union
+// (Theorem 11) — the basis for distributed aggregation.
+func ExampleMerge() {
+	shard1 := hh.NewSpaceSaving[string](8)
+	shard2 := hh.NewSpaceSaving[string](8)
+	for _, w := range []string{"x", "x", "y"} {
+		shard1.Update(w)
+	}
+	for _, w := range []string{"x", "z", "z", "z", "z"} {
+		shard2.Update(w)
+	}
+	merged := hh.Merge[string](8, 4, shard1, shard2)
+	for _, e := range hh.TopWeighted[string](merged, 2) {
+		fmt.Printf("%s %.0f\n", e.Item, e.Count)
+	}
+	// Output:
+	// z 4
+	// x 3
+}
+
+// The classical φ-heavy-hitters query: report everything possibly at or
+// above a frequency threshold, with certainty labels and no false
+// negatives.
+func ExampleHeavyHitters() {
+	ss := hh.NewSpaceSaving[string](8)
+	for i := 0; i < 7; i++ {
+		ss.Update("hot")
+	}
+	for i := 0; i < 2; i++ {
+		ss.Update("warm")
+	}
+	ss.Update("rare")
+	for _, h := range hh.HeavyHitters[string](ss, 0.2) { // threshold: 2 of 10
+		fmt.Printf("%s in [%d, %d] guaranteed=%v\n", h.Item, h.Lo, h.Hi, h.Guaranteed)
+	}
+	// Output:
+	// hot in [7, 7] guaranteed=true
+	// warm in [2, 2] guaranteed=true
+}
+
+// The k-sparse recovery (Theorem 5) reconstructs an approximate frequency
+// vector from the summary.
+func ExampleKSparseRecovery() {
+	ss := hh.NewSpaceSaving[string](8)
+	for _, w := range []string{"a", "a", "a", "b", "b", "c"} {
+		ss.Update(w)
+	}
+	f := hh.KSparseRecovery[string](ss, 2)
+	fmt.Printf("a=%.0f b=%.0f c=%.0f\n", f["a"], f["b"], f["c"])
+	// Output:
+	// a=3 b=2 c=0
+}

@@ -1,0 +1,108 @@
+// Distributed: Theorem 11 in practice — eight independent workers each
+// summarize their own shard of a stream; a coordinator merges the eight
+// summaries into one summary of the union without touching the raw data,
+// and the merged error stays within the paper's (3A, A+B) bound.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"math"
+
+	hh "repro"
+	"repro/internal/stream"
+)
+
+func main() {
+	const (
+		universe = 20_000
+		total    = 800_000
+		shardCnt = 8
+		m        = 200
+		k        = 10
+	)
+	s := stream.Zipf(universe, 1.1, total, stream.OrderRandom, 99)
+
+	// Exact union frequencies, for validation only.
+	truth := make([]float64, universe)
+	for _, x := range s {
+		truth[x]++
+	}
+
+	// Each worker summarizes its contiguous shard independently.
+	summaries := make([]hh.Summary[uint64], shardCnt)
+	per := len(s) / shardCnt
+	for w := 0; w < shardCnt; w++ {
+		lo, hi := w*per, (w+1)*per
+		if w == shardCnt-1 {
+			hi = len(s)
+		}
+		ss := hh.NewSpaceSaving[uint64](m)
+		for _, x := range s[lo:hi] {
+			ss.Update(x)
+		}
+		summaries[w] = ss
+	}
+
+	// The coordinator merges all counters of every summary (the robust
+	// variant of the Theorem 11 construction — see MergeAll's doc
+	// comment for why it is preferred over the literal k-sparse merge).
+	merged := hh.MergeAll(m, summaries...)
+
+	fmt.Printf("%d workers, %d counters each, merged into one %d-counter summary\n\n",
+		shardCnt, m, m)
+	fmt.Println("top 5 items of the union (merged estimate vs exact):")
+	for i, e := range hh.TopWeighted[uint64](merged, 5) {
+		fmt.Printf("  %d. item %-6d est %8.0f  true %8.0f\n", i+1, e.Item, e.Count, truth[e.Item])
+	}
+
+	// Validate the (3, 2) merged tail guarantee over the whole universe.
+	res := residual(truth, k)
+	bound := hh.MergedGuarantee(hh.TailGuarantee{A: 1, B: 1}).Bound(m, k, res)
+	worst := 0.0
+	for i, f := range truth {
+		if d := math.Abs(f - merged.EstimateWeighted(uint64(i))); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("\nworst merged error %.0f vs Theorem 11 bound %.0f (ratio %.2f)\n",
+		worst, bound, worst/bound)
+
+	// The literal Theorem 11 construction (k-sparse merge) for contrast:
+	// with homogeneous shards it drops the union's (k+1)-th item from
+	// every shard summary, so its worst error is about f_{k+1}.
+	ksparse := hh.Merge(m, k, summaries...)
+	worstK := 0.0
+	for i, f := range truth {
+		if d := math.Abs(f - ksparse.EstimateWeighted(uint64(i))); d > worstK {
+			worstK = d
+		}
+	}
+	fmt.Printf("k-sparse merge worst error %.0f (f_%d = %.0f) — see EXPERIMENTS.md E9\n",
+		worstK, k+1, truth[k])
+}
+
+// residual returns F1^res(k) of an exact frequency vector.
+func residual(freq []float64, k int) float64 {
+	sorted := make([]float64, len(freq))
+	copy(sorted, freq)
+	// Simple selection of the k largest by repeated max extraction — k is
+	// tiny here.
+	sum := 0.0
+	for _, f := range sorted {
+		sum += f
+	}
+	for i := 0; i < k; i++ {
+		best := -1
+		for j, f := range sorted {
+			if best == -1 || f > sorted[best] {
+				_ = j
+				best = j
+			}
+		}
+		sum -= sorted[best]
+		sorted[best] = -1
+	}
+	return sum
+}

@@ -1,0 +1,163 @@
+// Package core defines the counter-algorithm contract shared by every
+// algorithm in the repository, together with the error-guarantee
+// arithmetic of Section 2 of the paper: the heavy-hitter guarantee
+// (Definition 1), the k-tail guarantee (Definition 2) and the bounds they
+// imply.
+//
+// The paper's class of Heavy-Tolerant Counter (HTC) algorithms is captured
+// operationally: an Algorithm exposes its full counter state (Entries), so
+// the heavy-tolerance property of Definition 4 — extra occurrences of a
+// prefix-guaranteed element leave all other errors unchanged — can be
+// verified experimentally by the CheckHeavyTolerance helper.
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// Entry is one stored counter: an item together with its estimated count.
+// Err carries per-entry overestimation metadata where the algorithm tracks
+// it (SpaceSaving's ε_i, the value of the evicted counter when the item
+// entered the frequent set); it is zero for underestimating algorithms.
+type Entry[K comparable] struct {
+	Item  K
+	Count uint64
+	Err   uint64
+}
+
+// Algorithm is the unit-weight counter-algorithm contract (the paper's
+// model of Section 2: a vector of at most m non-zero counters updated per
+// arrival).
+type Algorithm[K comparable] interface {
+	// Update processes one occurrence of item.
+	Update(item K)
+	// Estimate returns the current estimate f̂ of item's frequency
+	// (zero if the item is not stored).
+	Estimate(item K) uint64
+	// Entries returns a snapshot of the stored counters sorted by
+	// decreasing count (ties in unspecified order). The caller owns the
+	// returned slice.
+	Entries() []Entry[K]
+	// Capacity returns m, the maximum number of counters.
+	Capacity() int
+	// Len returns the number of currently stored counters (|T|).
+	Len() int
+	// N returns the number of stream elements processed.
+	N() uint64
+	// Reset restores the empty state, retaining capacity.
+	Reset()
+}
+
+// WeightedEntry is one stored counter of a real-valued update algorithm
+// (Section 6.1).
+type WeightedEntry[K comparable] struct {
+	Item  K
+	Count float64
+	Err   float64
+}
+
+// WeightedAlgorithm is the real-valued update contract of Section 6.1:
+// each arrival carries a positive real weight b_i.
+type WeightedAlgorithm[K comparable] interface {
+	// UpdateWeighted processes b occurrences' worth of item; b must be
+	// positive.
+	UpdateWeighted(item K, b float64)
+	// EstimateWeighted returns the current estimate of item's total
+	// weight.
+	EstimateWeighted(item K) float64
+	// WeightedEntries snapshots the stored counters, sorted by
+	// decreasing count.
+	WeightedEntries() []WeightedEntry[K]
+	// Capacity returns m.
+	Capacity() int
+	// Len returns |T|.
+	Len() int
+	// TotalWeight returns Σ b_i processed so far (F1).
+	TotalWeight() float64
+	// Reset restores the empty state.
+	Reset()
+}
+
+// TailGuarantee carries the constants (A, B) of a k-tail guarantee
+// (Definition 2): for every item, δ_i ≤ A·F1^res(k) / (m − B·k).
+type TailGuarantee struct {
+	A, B float64
+}
+
+// Bound evaluates the k-tail error bound A·res1/(m − B·k) for a counter
+// budget m. It returns +Inf when the denominator is non-positive (the
+// guarantee is vacuous for such k).
+func (g TailGuarantee) Bound(m, k int, res1 float64) float64 {
+	den := float64(m) - g.B*float64(k)
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return g.A * res1 / den
+}
+
+// MaxK returns the largest k for which the guarantee is non-vacuous at
+// counter budget m (i.e. m − B·k > 0).
+func (g TailGuarantee) MaxK(m int) int {
+	if g.B <= 0 {
+		return m
+	}
+	k := int(math.Ceil(float64(m)/g.B)) - 1
+	if k < 0 {
+		return 0
+	}
+	return k
+}
+
+// HeavyHitterBound evaluates the Definition 1 bound A·F1/m — the 0-tail
+// guarantee every algorithm in the paper starts from.
+func HeavyHitterBound(a float64, m int, f1 float64) float64 {
+	if m <= 0 {
+		return math.Inf(1)
+	}
+	return a * f1 / float64(m)
+}
+
+// Theorem2Guarantee maps a heavy-hitter guarantee with constant A to the
+// k-tail guarantee (A, 2A) that Theorem 2 proves for every heavy-tolerant
+// algorithm.
+func Theorem2Guarantee(a float64) TailGuarantee {
+	return TailGuarantee{A: a, B: 2 * a}
+}
+
+// SortEntries sorts entries in place by decreasing count; ties are broken
+// by insertion order of the slice (stable).
+func SortEntries[K comparable](entries []Entry[K]) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		return entries[i].Count > entries[j].Count
+	})
+}
+
+// SortWeightedEntries sorts weighted entries in place by decreasing count,
+// stably.
+func SortWeightedEntries[K comparable](entries []WeightedEntry[K]) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		return entries[i].Count > entries[j].Count
+	})
+}
+
+// MaxError returns the largest |f_i − f̂_i| over the universe [0, n),
+// given exact frequencies freq (indexed by item) and the algorithm's
+// estimates. It covers unstored items, whose estimate is zero.
+func MaxError(alg Algorithm[uint64], freq []float64) float64 {
+	worst := 0.0
+	for i, f := range freq {
+		est := float64(alg.Estimate(uint64(i)))
+		if d := math.Abs(f - est); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Feed runs a whole unit-weight stream through the algorithm.
+func Feed[K comparable](alg Algorithm[K], items []K) {
+	for _, x := range items {
+		alg.Update(x)
+	}
+}

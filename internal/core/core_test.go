@@ -1,0 +1,212 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/frequent"
+	"repro/internal/spacesaving"
+)
+
+func TestTailGuaranteeBound(t *testing.T) {
+	g := core.TailGuarantee{A: 1, B: 1}
+	if got := g.Bound(10, 2, 80); got != 10 {
+		t.Errorf("Bound = %v, want 10", got)
+	}
+	if got := g.Bound(10, 10, 80); !math.IsInf(got, 1) {
+		t.Errorf("vacuous bound = %v, want +Inf", got)
+	}
+	g2 := core.TailGuarantee{A: 1, B: 2}
+	if got := g2.Bound(10, 5, 80); !math.IsInf(got, 1) {
+		t.Errorf("vacuous bound (B=2) = %v, want +Inf", got)
+	}
+	if got := g2.Bound(10, 4, 80); got != 40 {
+		t.Errorf("Bound = %v, want 40", got)
+	}
+}
+
+func TestMaxK(t *testing.T) {
+	cases := []struct {
+		g    core.TailGuarantee
+		m    int
+		want int
+	}{
+		{core.TailGuarantee{A: 1, B: 1}, 10, 9},
+		{core.TailGuarantee{A: 1, B: 2}, 10, 4},
+		{core.TailGuarantee{A: 1, B: 2}, 11, 5},
+		{core.TailGuarantee{A: 1, B: 0}, 7, 7},
+	}
+	for _, c := range cases {
+		if got := c.g.MaxK(c.m); got != c.want {
+			t.Errorf("MaxK(%+v, m=%d) = %d, want %d", c.g, c.m, got, c.want)
+		}
+		if c.g.B > 0 {
+			if !math.IsInf(c.g.Bound(c.m, c.want+1, 1), 1) && float64(c.m)-c.g.B*float64(c.want+1) > 0 {
+				t.Errorf("MaxK(%+v, m=%d): k+1 still non-vacuous", c.g, c.m)
+			}
+		}
+	}
+}
+
+func TestHeavyHitterBound(t *testing.T) {
+	if got := core.HeavyHitterBound(1, 10, 100); got != 10 {
+		t.Errorf("HeavyHitterBound = %v, want 10", got)
+	}
+	if got := core.HeavyHitterBound(1, 0, 100); !math.IsInf(got, 1) {
+		t.Errorf("HeavyHitterBound(m=0) = %v, want +Inf", got)
+	}
+}
+
+func TestTheorem2Guarantee(t *testing.T) {
+	g := core.Theorem2Guarantee(1)
+	if g.A != 1 || g.B != 2 {
+		t.Errorf("Theorem2Guarantee(1) = %+v, want (1,2)", g)
+	}
+}
+
+func TestSortEntries(t *testing.T) {
+	es := []core.Entry[uint64]{{Item: 1, Count: 2}, {Item: 2, Count: 9}, {Item: 3, Count: 5}}
+	core.SortEntries(es)
+	if es[0].Count != 9 || es[1].Count != 5 || es[2].Count != 2 {
+		t.Errorf("SortEntries = %v", es)
+	}
+	ws := []core.WeightedEntry[uint64]{{Item: 1, Count: 1.5}, {Item: 2, Count: 7.5}}
+	core.SortWeightedEntries(ws)
+	if ws[0].Count != 7.5 {
+		t.Errorf("SortWeightedEntries = %v", ws)
+	}
+}
+
+func TestDiffersByExactlyOne(t *testing.T) {
+	a := core.CounterState[uint64]{1: 5, 2: 3}
+	b := core.CounterState[uint64]{1: 4, 2: 3}
+	if !core.DiffersByExactlyOne(a, b, 1) {
+		t.Error("expected difference of exactly e_1")
+	}
+	if core.DiffersByExactlyOne(a, b, 2) {
+		t.Error("difference attributed to wrong item")
+	}
+	if core.DiffersByExactlyOne(a, core.CounterState[uint64]{1: 4}, 1) {
+		t.Error("different supports accepted")
+	}
+	if core.DiffersByExactlyOne(core.CounterState[uint64]{1: 5, 2: 4}, b, 1) {
+		t.Error("two differences accepted")
+	}
+	if core.DiffersByExactlyOne(a, core.CounterState[uint64]{1: 4, 3: 3}, 1) {
+		t.Error("mismatched keys accepted")
+	}
+}
+
+func TestStateOfAndFeed(t *testing.T) {
+	alg := spacesaving.New[uint64](4)
+	core.Feed[uint64](alg, []uint64{1, 1, 2, 3})
+	st := core.StateOf[uint64](alg)
+	if st[1] != 2 || st[2] != 1 || st[3] != 1 {
+		t.Errorf("StateOf = %v", st)
+	}
+}
+
+func TestMaxError(t *testing.T) {
+	alg := frequent.New[uint64](8)
+	core.Feed[uint64](alg, []uint64{0, 0, 0, 1})
+	// freq vector for universe of 3: [3, 1, 0]; estimates exact (under
+	// capacity), so MaxError = 0.
+	if got := core.MaxError(alg, []float64{3, 1, 0}); got != 0 {
+		t.Errorf("MaxError = %v, want 0", got)
+	}
+	if got := core.MaxError(alg, []float64{3, 1, 4}); got != 4 {
+		t.Errorf("MaxError = %v, want 4 (unstored item)", got)
+	}
+}
+
+func TestGuaranteePrefixMakesItemGuaranteed(t *testing.T) {
+	// A prefix built by GuaranteePrefix must leave the item with a large
+	// stored count under both algorithms, and the count must survive any
+	// suffix of the declared length.
+	noise := make([]uint64, 50)
+	for i := range noise {
+		noise[i] = uint64(100 + i)
+	}
+	const m, suffixLen = 8, 40
+	prefix := core.GuaranteePrefix[uint64](7, noise, suffixLen, m)
+	suffix := make([]uint64, suffixLen)
+	for i := range suffix {
+		suffix[i] = uint64(200 + i%17)
+	}
+	algs := map[string]core.Algorithm[uint64]{
+		"frequent":    frequent.New[uint64](m),
+		"spacesaving": spacesaving.New[uint64](m),
+	}
+	for name, alg := range algs {
+		core.Feed(alg, prefix)
+		core.Feed(alg, suffix)
+		if alg.Estimate(7) == 0 {
+			t.Errorf("%s: item 7 evicted despite guarantee prefix", name)
+		}
+	}
+}
+
+func TestGuaranteePrefixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GuaranteePrefix(m=1) did not panic")
+		}
+	}()
+	core.GuaranteePrefix[uint64](1, nil, 5, 1)
+}
+
+func TestHeavyTolerancePropertyRandomStreams(t *testing.T) {
+	// Theorem 1 on randomized inputs: for random noise and suffix
+	// streams, inserting one extra occurrence of a prefix-guaranteed
+	// element changes the final counter vector by exactly e_i, for both
+	// algorithms and the deterministic heap variant.
+	err := quick.Check(func(noiseRaw, suffixRaw []uint8, mRaw uint8) bool {
+		m := int(mRaw)%6 + 2 // m >= 2 for GuaranteePrefix
+		noise := make([]uint64, len(noiseRaw))
+		for i, b := range noiseRaw {
+			noise[i] = 100 + uint64(b)%20
+		}
+		suffix := make([]uint64, len(suffixRaw))
+		for i, b := range suffixRaw {
+			suffix[i] = 200 + uint64(b)%20
+		}
+		const item = 42
+		prefix := core.GuaranteePrefix[uint64](item, noise, len(suffix), m)
+		factories := []func() core.Algorithm[uint64]{
+			func() core.Algorithm[uint64] { return frequent.New[uint64](m) },
+			func() core.Algorithm[uint64] { return spacesaving.New[uint64](m) },
+			func() core.Algorithm[uint64] { return spacesaving.NewHeap[uint64](m) },
+		}
+		for _, factory := range factories {
+			if !core.CheckHeavyTolerance(factory, prefix, item, suffix) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckHeavyToleranceOnBothAlgorithms(t *testing.T) {
+	// Theorem 1: FREQUENT and SPACESAVING are heavy-tolerant. Verify the
+	// counter-vector invariant on a concrete prefix-guaranteed element.
+	noise := []uint64{3, 4, 5, 3, 4, 6, 7, 8, 9, 10, 11, 3, 3, 4}
+	suffix := []uint64{5, 6, 12, 13, 14, 15, 3, 3, 16, 17, 18, 5, 5, 19}
+	const m = 5
+	prefix := core.GuaranteePrefix[uint64](42, noise, len(suffix), m)
+
+	factories := map[string]func() core.Algorithm[uint64]{
+		"frequent":         func() core.Algorithm[uint64] { return frequent.New[uint64](m) },
+		"spacesaving-list": func() core.Algorithm[uint64] { return spacesaving.New[uint64](m) },
+		"spacesaving-heap": func() core.Algorithm[uint64] { return spacesaving.NewHeap[uint64](m) },
+	}
+	for name, factory := range factories {
+		if !core.CheckHeavyTolerance(factory, prefix, 42, suffix) {
+			t.Errorf("%s: heavy-tolerance invariant violated", name)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+// This file implements an operational checker for the paper's
+// heavy-tolerance property (Definition 4, proved for FREQUENT and
+// SPACESAVING in Theorem 1):
+//
+//   if element i = u_x is (x−1)-prefix guaranteed, then for every suffix,
+//   the counter vectors of the streams with and without that occurrence
+//   differ exactly by e_i (the proof's induction invariant), so no other
+//   item's error grows.
+//
+// The checker replays two streams — one containing an extra occurrence of
+// a heavy element directly after a prefix that guarantees it — and
+// compares final counter vectors. Algorithm implementations use it in
+// their test suites; the experiment harness uses it to demonstrate
+// Theorem 1 on random streams.
+
+// CounterState captures an algorithm's full visible counter vector.
+type CounterState[K comparable] map[K]uint64
+
+// StateOf snapshots the algorithm's counter vector.
+func StateOf[K comparable](alg Algorithm[K]) CounterState[K] {
+	s := make(CounterState[K])
+	for _, e := range alg.Entries() {
+		s[e.Item] = e.Count
+	}
+	return s
+}
+
+// DiffersByExactlyOne reports whether state a equals state b plus exactly
+// one extra count on item i (the Theorem 1 invariant
+// c(u_1…x v) = c(u_1…(x−1) v) + e_i).
+func DiffersByExactlyOne[K comparable](a, b CounterState[K], item K) bool {
+	if len(a) != len(b) {
+		// Same support is part of the invariant (i is guaranteed, so it
+		// is present in both).
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok {
+			return false
+		}
+		if k == item {
+			if va != vb+1 {
+				return false
+			}
+		} else if va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckHeavyTolerance runs the Theorem 1 experiment: feed prefix, then an
+// extra occurrence of item, then suffix, and compare against the run
+// without the extra occurrence. It returns true when the final counter
+// vectors differ by exactly e_item.
+//
+// The caller must choose prefix/item so that item is prefix-guaranteed
+// (e.g. item occurs in the prefix more often than any achievable error
+// bound); GuaranteePrefix builds such prefixes.
+func CheckHeavyTolerance[K comparable](newAlg func() Algorithm[K], prefix []K, item K, suffix []K) bool {
+	with := newAlg()
+	Feed(with, prefix)
+	with.Update(item)
+	Feed(with, suffix)
+
+	without := newAlg()
+	Feed(without, prefix)
+	Feed(without, suffix)
+
+	return DiffersByExactlyOne(StateOf(with), StateOf(without), item)
+}
+
+// GuaranteePrefix returns a prefix that makes item x-prefix guaranteed for
+// any m-counter algorithm with the heavy-hitter guarantee: item occurs
+// suffixLen + 1 more times than the Definition 1 bound on the combined
+// stream can erode. Concretely it emits item rep times where
+// rep = (prefixNoise + suffixLen + rep)/m + suffixLen + 1 is satisfied;
+// solving conservatively, rep = 2·(prefixNoise + suffixLen + m)/ (m-1) + suffixLen
+// is more than enough for m ≥ 2. The prefix is item^rep followed by the
+// provided noise items.
+func GuaranteePrefix[K comparable](item K, noise []K, suffixLen, m int) []K {
+	if m < 2 {
+		panic("core: GuaranteePrefix requires m >= 2")
+	}
+	total := len(noise) + suffixLen + m
+	rep := 2*total/(m-1) + suffixLen + 2
+	out := make([]K, 0, rep+len(noise))
+	for i := 0; i < rep; i++ {
+		out = append(out, item)
+	}
+	out = append(out, noise...)
+	return out
+}

@@ -1,0 +1,109 @@
+// Package exact provides ground-truth frequency counting used to evaluate
+// the approximation algorithms: exact per-item frequencies, exact top-k
+// sets, and exports to the vector package's representations.
+package exact
+
+import (
+	"sort"
+
+	"repro/internal/vector"
+)
+
+// Counter counts exact (possibly weighted) frequencies of uint64 items.
+// The zero value is not usable; construct with New.
+type Counter struct {
+	counts map[uint64]float64
+	mass   float64
+}
+
+// New returns an empty exact counter.
+func New() *Counter {
+	return &Counter{counts: make(map[uint64]float64)}
+}
+
+// Update records one unit-weight occurrence of item x.
+func (c *Counter) Update(x uint64) { c.UpdateWeighted(x, 1) }
+
+// UpdateWeighted records an occurrence of x with the given positive weight.
+// It panics on non-positive weights, matching the paper's stream model
+// (b_i ∈ R+).
+func (c *Counter) UpdateWeighted(x uint64, w float64) {
+	if w <= 0 {
+		panic("exact: non-positive weight")
+	}
+	c.counts[x] += w
+	c.mass += w
+}
+
+// Freq returns the exact frequency of x (zero if unseen).
+func (c *Counter) Freq(x uint64) float64 { return c.counts[x] }
+
+// F1 returns the total stream mass processed.
+func (c *Counter) F1() float64 { return c.mass }
+
+// Distinct returns the number of distinct items seen.
+func (c *Counter) Distinct() int { return len(c.counts) }
+
+// Sparse returns the frequency vector as a sparse map copy.
+func (c *Counter) Sparse() vector.Sparse {
+	s := make(vector.Sparse, len(c.counts))
+	for k, v := range c.counts {
+		s[k] = v
+	}
+	return s
+}
+
+// Dense returns the frequency vector expanded over the universe [0, n).
+// It panics if any seen item lies outside the universe.
+func (c *Counter) Dense(n int) vector.Dense { return c.Sparse().Dense(n) }
+
+// TopK returns the identifiers of the k most frequent items, ties broken by
+// smaller identifier (the paper's indexing convention). Fewer than k are
+// returned if fewer distinct items were seen.
+func (c *Counter) TopK(k int) []uint64 {
+	ids := make([]uint64, 0, len(c.counts))
+	for id := range c.counts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ia, ib := ids[a], ids[b]
+		if c.counts[ia] != c.counts[ib] {
+			return c.counts[ia] > c.counts[ib]
+		}
+		return ia < ib
+	})
+	if k < len(ids) {
+		ids = ids[:k]
+	}
+	return ids
+}
+
+// Res1 returns F_1^res(k), the stream mass excluding the k most frequent
+// items.
+func (c *Counter) Res1(k int) float64 {
+	vals := make([]float64, 0, len(c.counts))
+	for _, v := range c.counts {
+		vals = append(vals, v)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	return vector.ResP(vals, k, 1)
+}
+
+// ResP returns F_p^res(k) over the exact frequencies.
+func (c *Counter) ResP(k int, p float64) float64 {
+	vals := make([]float64, 0, len(c.counts))
+	for _, v := range c.counts {
+		vals = append(vals, v)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	return vector.ResP(vals, k, p)
+}
+
+// FromStream counts a unit-weight stream in one call.
+func FromStream(stream []uint64) *Counter {
+	c := New()
+	for _, x := range stream {
+		c.Update(x)
+	}
+	return c
+}

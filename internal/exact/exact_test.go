@@ -1,0 +1,140 @@
+package exact
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicCounting(t *testing.T) {
+	c := New()
+	for _, x := range []uint64{1, 2, 1, 3, 1, 2} {
+		c.Update(x)
+	}
+	if got := c.Freq(1); got != 3 {
+		t.Errorf("Freq(1) = %v, want 3", got)
+	}
+	if got := c.Freq(2); got != 2 {
+		t.Errorf("Freq(2) = %v, want 2", got)
+	}
+	if got := c.Freq(99); got != 0 {
+		t.Errorf("Freq(99) = %v, want 0", got)
+	}
+	if got := c.F1(); got != 6 {
+		t.Errorf("F1 = %v, want 6", got)
+	}
+	if got := c.Distinct(); got != 3 {
+		t.Errorf("Distinct = %v, want 3", got)
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	c := New()
+	c.UpdateWeighted(5, 2.5)
+	c.UpdateWeighted(5, 0.5)
+	c.UpdateWeighted(7, 1.25)
+	if got := c.Freq(5); got != 3 {
+		t.Errorf("Freq(5) = %v, want 3", got)
+	}
+	if got := c.F1(); got != 4.25 {
+		t.Errorf("F1 = %v, want 4.25", got)
+	}
+}
+
+func TestNonPositiveWeightPanics(t *testing.T) {
+	for _, w := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("weight %v did not panic", w)
+				}
+			}()
+			New().UpdateWeighted(1, w)
+		}()
+	}
+}
+
+func TestTopKTieBreak(t *testing.T) {
+	c := New()
+	for _, x := range []uint64{5, 5, 3, 3, 9} {
+		c.Update(x)
+	}
+	got := c.TopK(2)
+	// Items 3 and 5 tie at frequency 2; smaller id (3) first.
+	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Errorf("TopK(2) = %v, want [3 5]", got)
+	}
+	if all := c.TopK(10); len(all) != 3 {
+		t.Errorf("TopK(10) = %v, want 3 items", all)
+	}
+}
+
+func TestRes1(t *testing.T) {
+	c := New()
+	// Frequencies: 4, 3, 2, 1.
+	for item, f := range map[uint64]int{10: 4, 11: 3, 12: 2, 13: 1} {
+		for i := 0; i < f; i++ {
+			c.Update(item)
+		}
+	}
+	cases := []struct {
+		k    int
+		want float64
+	}{{0, 10}, {1, 6}, {2, 3}, {3, 1}, {4, 0}, {10, 0}}
+	for _, tc := range cases {
+		if got := c.Res1(tc.k); got != tc.want {
+			t.Errorf("Res1(%d) = %v, want %v", tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestResP(t *testing.T) {
+	c := New()
+	for item, f := range map[uint64]int{1: 3, 2: 2} {
+		for i := 0; i < f; i++ {
+			c.Update(item)
+		}
+	}
+	if got := c.ResP(1, 2); got != 4 {
+		t.Errorf("ResP(1, 2) = %v, want 4", got)
+	}
+}
+
+func TestDenseSparseRoundTrip(t *testing.T) {
+	c := FromStream([]uint64{0, 1, 1, 4})
+	d := c.Dense(5)
+	want := []float64{1, 2, 0, 0, 1}
+	for i, w := range want {
+		if d[i] != w {
+			t.Fatalf("Dense = %v, want %v", d, want)
+		}
+	}
+	s := c.Sparse()
+	if len(s) != 3 || s[1] != 2 {
+		t.Errorf("Sparse = %v", s)
+	}
+	// Mutating the sparse copy must not affect the counter.
+	s[1] = 99
+	if c.Freq(1) != 2 {
+		t.Error("Sparse returned a live reference to internal state")
+	}
+}
+
+func TestF1MatchesStreamLengthProperty(t *testing.T) {
+	err := quick.Check(func(items []uint64) bool {
+		c := FromStream(items)
+		return c.F1() == float64(len(items))
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumOfFrequenciesEqualsF1Property(t *testing.T) {
+	err := quick.Check(func(items []uint64) bool {
+		c := FromStream(items)
+		return c.Sparse().F1() == c.F1()
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

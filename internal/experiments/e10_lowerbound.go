@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/harness"
+	"repro/internal/stream"
+)
+
+// E10LowerBound plays out the Theorem 13 adversary against the concrete
+// algorithms: both streams share a prefix of m+k items occurring X times
+// each; the adversary then inspects the summary, finds k items with no
+// counter, and continues stream A with those items and stream B with k
+// fresh items. The worst estimation error over the two continuations must
+// be at least F1^res(k)/(2m + 2k/X) — and, since FREQUENT and SPACESAVING
+// meet the upper bound F1^res(k)/(m−k), the measured value is sandwiched
+// within a factor ≈ 2 of optimal.
+func E10LowerBound(cfg Config) *harness.Table {
+	const m, k = 50, 10
+	t := harness.NewTable(
+		"E10 / Theorem 13: adversarial lower bound (error sandwiched by bounds)",
+		"algorithm", "X", "adv err", "lower bound", "upper bound", "err>=lower", "err<=upper",
+	)
+	for _, x := range []int{10, 100, 1000} {
+		prefix := stream.LowerBoundPrefix(m, k, x)
+		for _, name := range htcNames() {
+			advErr, res := adversaryError(name, m, k, x, prefix)
+			lower := res / (2*float64(m) + 2*float64(k)/float64(x))
+			upper := res / float64(m-k)
+			okLo, okHi := "yes", "yes"
+			if advErr < lower {
+				okLo = "NO"
+			}
+			if advErr > upper+0.5 { // +1/2 absorbs the ±1 of the discrete argument
+				okHi = "NO"
+			}
+			t.Addf(name, x, advErr, lower, upper, okLo, okHi)
+		}
+	}
+	t.Note("m=%d, k=%d; F1res(k) measured on stream A (= Xm per the proof)", m, k)
+	t.Note("paper claim: any counter algorithm errs by >= F1res(k)/2m, so m counters are optimal up to ~2x")
+	return t
+}
+
+// adversaryError runs the Theorem 13 game and returns the worst error the
+// adversary forces on either continuation, together with F1^res(k) of
+// stream A.
+func adversaryError(name string, m, k, x int, prefix []uint64) (advErr, res float64) {
+	// Inspect the summary after the prefix to find k zero-counter items.
+	probe := counterAlg(name, m)
+	for _, it := range prefix {
+		probe.Update(it)
+	}
+	var zeros []uint64
+	for i := 0; i < m+k && len(zeros) < k; i++ {
+		if probe.Estimate(uint64(i)) == 0 {
+			zeros = append(zeros, uint64(i))
+		}
+	}
+	// FREQUENT can have fewer than m stored counters; the adversary only
+	// needs k unstored prefix items, which always exist since the summary
+	// holds at most m of the m+k.
+	contA, contB := stream.LowerBoundContinuations(m, k, zeros)
+
+	worst := 0.0
+	// Stream A: zero items occur once more; their true frequency is X+1.
+	algA := counterAlg(name, m)
+	for _, it := range prefix {
+		algA.Update(it)
+	}
+	for _, it := range contA {
+		algA.Update(it)
+	}
+	for _, it := range contA {
+		d := math.Abs(float64(x+1) - float64(algA.Estimate(it)))
+		if d > worst {
+			worst = d
+		}
+	}
+	// Stream B: fresh items with true frequency 1.
+	algB := counterAlg(name, m)
+	for _, it := range prefix {
+		algB.Update(it)
+	}
+	for _, it := range contB {
+		algB.Update(it)
+	}
+	for _, it := range contB {
+		d := math.Abs(1 - float64(algB.Estimate(it)))
+		if d > worst {
+			worst = d
+		}
+	}
+	// F1^res(k) of stream A: total mass X(m+k)+k minus the top-k
+	// frequencies (k items at X+1): X·m per the proof.
+	return worst, float64(x * m)
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/recovery"
+	"repro/internal/spacesaving"
+	"repro/internal/stream"
+)
+
+// E4ResidualEstimation verifies Theorem 6: with m = k(1/ε + 1) counters,
+// the statistic F1 − ‖f′‖1 (stream length minus the top-k counter mass)
+// estimates F1^res(k) within a (1 ± ε) factor. The table reports the
+// relative error of the estimator against the prescribed ε.
+func E4ResidualEstimation(cfg Config) *harness.Table {
+	const k = 10
+	g := core.TailGuarantee{A: 1, B: 1}
+	s := stream.Zipf(cfg.Universe, cfg.Alpha, cfg.N, stream.OrderRandom, cfg.Seed)
+	truth, _ := groundTruth(s, cfg.Universe)
+	res := truth.Res1(k)
+
+	t := harness.NewTable(
+		"E4 / Theorem 6: estimating F1^res(k) from the summary",
+		"eps", "m", "true res", "estimate", "rel err", "within (1±eps)",
+	)
+	for _, eps := range []float64{0.5, 0.2, 0.1, 0.05} {
+		m := recovery.CountersForTheorem6(k, eps, g)
+		alg := spacesaving.New[uint64](m)
+		for _, x := range s {
+			alg.Update(x)
+		}
+		got := recovery.ResidualEstimate(alg.Entries(), k, truth.F1())
+		rel := math.Abs(got-res) / res
+		ok := "yes"
+		if rel > eps {
+			ok = "NO"
+		}
+		t.Addf(eps, m, res, got, rel, ok)
+	}
+	t.Note("k=%d; estimator is F1 − ||f'||_1 with f' the top-k counters", k)
+	return t
+}

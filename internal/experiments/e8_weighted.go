@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/frequent"
+	"repro/internal/harness"
+	"repro/internal/spacesaving"
+	"repro/internal/stream"
+)
+
+// E8Weighted verifies Theorem 10: FREQUENTR and SPACESAVINGR keep the
+// k-tail guarantee with A = B = 1 on real-valued non-negative update
+// streams. The workload gives each item a Zipfian total weight delivered
+// in randomly sized bursts; the table reports worst error against the
+// bound for several k.
+func E8Weighted(cfg Config) *harness.Table {
+	const m = 100
+	t := harness.NewTable(
+		"E8 / Theorem 10: weighted streams (FREQUENTR, SPACESAVINGR)",
+		"algorithm", "k", "max err", "bound", "ratio", "violations",
+	)
+	ups := stream.WeightedZipf(cfg.Universe, cfg.Alpha, float64(cfg.N), 4, cfg.Seed)
+	truth := exact.New()
+	algs := map[string]core.WeightedAlgorithm[uint64]{
+		"frequentR":    frequent.NewR[uint64](m),
+		"spacesavingR": spacesaving.NewR[uint64](m),
+	}
+	for _, u := range ups {
+		truth.UpdateWeighted(u.Item, u.Weight)
+		for _, alg := range algs {
+			alg.UpdateWeighted(u.Item, u.Weight)
+		}
+	}
+	freq := truth.Dense(cfg.Universe)
+	for _, name := range []string{"frequentR", "spacesavingR"} {
+		alg := algs[name]
+		est := func(i uint64) float64 { return alg.EstimateWeighted(i) }
+		met := harness.Evaluate(est, freq)
+		for _, k := range []int{1, 10, 50} {
+			bound := core.TailGuarantee{A: 1, B: 1}.Bound(m, k, truth.Res1(k))
+			viol := 0
+			for i, f := range freq {
+				// Tolerate float accumulation noise relative to the mass.
+				if math.Abs(f-est(uint64(i))) > bound+1e-9*truth.F1() {
+					viol++
+				}
+			}
+			t.Addf(name, k, met.MaxErr, bound, met.MaxErr/bound, viol)
+		}
+	}
+	t.Note("m=%d counters; weighted Zipf alpha=%.2f, total weight %.0f", m, cfg.Alpha, float64(cfg.N))
+	return t
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestTopKItems(t *testing.T) {
+	entries := []core.Entry[uint64]{{Item: 9, Count: 5}, {Item: 3, Count: 2}}
+	got := topKItems(entries, 1)
+	if len(got) != 1 || got[0] != 9 {
+		t.Errorf("topKItems = %v", got)
+	}
+	if all := topKItems(entries, 10); len(all) != 2 {
+		t.Errorf("topKItems(k>len) = %v", all)
+	}
+}
+
+func TestRecallOf(t *testing.T) {
+	want := map[uint64]bool{1: true, 2: true}
+	if got := recallOf([]uint64{1, 3}, want); got != 0.5 {
+		t.Errorf("recallOf = %v, want 0.5", got)
+	}
+	if got := recallOf(nil, want); got != 0 {
+		t.Errorf("recallOf(empty answer) = %v, want 0", got)
+	}
+	if got := recallOf([]uint64{1}, map[uint64]bool{}); got != 1 {
+		t.Errorf("recallOf(empty want) = %v, want 1", got)
+	}
+}
+
+func TestOrderedPrefix(t *testing.T) {
+	cases := []struct {
+		got, want []uint64
+		n         int
+	}{
+		{[]uint64{1, 2, 3}, []uint64{1, 2, 3}, 3},
+		{[]uint64{1, 2, 9}, []uint64{1, 2, 3}, 2},
+		{[]uint64{9}, []uint64{1, 2}, 0},
+		{nil, []uint64{1}, 0},
+		{[]uint64{1, 2}, []uint64{1}, 1},
+	}
+	for _, c := range cases {
+		if got := orderedPrefix(c.got, c.want); got != c.n {
+			t.Errorf("orderedPrefix(%v, %v) = %d, want %d", c.got, c.want, got, c.n)
+		}
+	}
+}
+
+func TestCounterBudgetToM(t *testing.T) {
+	if got := counterBudgetToM(300); got != 100 {
+		t.Errorf("counterBudgetToM(300) = %d, want 100", got)
+	}
+	if got := counterBudgetToM(1); got != 1 {
+		t.Errorf("counterBudgetToM(1) = %d, want 1 (floor)", got)
+	}
+}
+
+func TestSortedCopyDescDoesNotMutate(t *testing.T) {
+	in := []float64{1, 3, 2}
+	out := sortedCopyDesc(in)
+	if out[0] != 3 || out[2] != 1 {
+		t.Errorf("sortedCopyDesc = %v", out)
+	}
+	if in[0] != 1 {
+		t.Error("input mutated")
+	}
+}

@@ -1,0 +1,224 @@
+// Package frequent implements the FREQUENT algorithm of Misra and Gries
+// (Algorithm 1 in the paper): maintain at most m counters; an arrival of a
+// stored item increments its counter, an arrival of a new item either
+// claims a free counter or decrements every stored counter, discarding
+// zeros.
+//
+// FREQUENT underestimates: c_i ≤ f_i, and Appendix B proves the k-tail
+// guarantee with constants A = B = 1: f_i − c_i ≤ F1^res(k) / (m + 1 − k).
+//
+// Two implementations are provided. Frequent uses a value-grouped bucket
+// list with a global decrement offset, making every update O(1) amortised
+// (the decrement-all touches only the group that reaches zero). Naive is
+// the literal O(m)-per-decrement transcription of the pseudocode, kept as
+// a differential-testing oracle.
+package frequent
+
+import (
+	"repro/internal/core"
+)
+
+// group collects all stored items sharing one stored value sv. True count
+// of a member is sv − base. Groups form a doubly linked list in strictly
+// increasing sv order.
+type group[K comparable] struct {
+	sv         uint64
+	prev, next *group[K]
+	head, tail *node[K]
+	size       int
+}
+
+type node[K comparable] struct {
+	item       K
+	grp        *group[K]
+	prev, next *node[K]
+}
+
+// Frequent is the O(1)-amortised FREQUENT implementation. The zero value
+// is not usable; construct with New.
+type Frequent[K comparable] struct {
+	m     int
+	base  uint64 // number of decrement-all operations so far
+	items map[K]*node[K]
+	// head/tail of the group list, ascending by sv.
+	head, tail *group[K]
+	n          uint64
+	decrements uint64 // d in the Appendix B analysis
+}
+
+// New returns a FREQUENT instance with m counters. It panics if m < 1.
+func New[K comparable](m int) *Frequent[K] {
+	if m < 1 {
+		panic("frequent: m must be >= 1")
+	}
+	return &Frequent[K]{m: m, items: make(map[K]*node[K], m)}
+}
+
+// Update processes one occurrence of item.
+func (f *Frequent[K]) Update(item K) {
+	f.n++
+	if nd, ok := f.items[item]; ok {
+		f.increment(nd)
+		return
+	}
+	if len(f.items) < f.m {
+		f.insert(item)
+		return
+	}
+	f.decrementAll()
+}
+
+// increment moves nd from its group to the group with sv+1.
+func (f *Frequent[K]) increment(nd *node[K]) {
+	g := nd.grp
+	target := g.next
+	if target == nil || target.sv != g.sv+1 {
+		target = f.insertGroupAfter(g, g.sv+1)
+	}
+	f.unlinkNode(nd)
+	f.appendNode(target, nd)
+}
+
+// insert stores a brand-new item with count 1 (stored value base+1).
+func (f *Frequent[K]) insert(item K) {
+	nd := &node[K]{item: item}
+	f.items[item] = nd
+	target := f.head
+	if target == nil || target.sv != f.base+1 {
+		target = f.insertGroupBefore(f.head, f.base+1)
+	}
+	f.appendNode(target, nd)
+}
+
+// decrementAll implements "forall j ∈ T: c_j ← c_j − 1" in O(1) amortised
+// time: the global base advances, and only the group whose count reaches
+// zero is dismantled.
+func (f *Frequent[K]) decrementAll() {
+	f.base++
+	f.decrements++
+	if f.head != nil && f.head.sv == f.base {
+		g := f.head
+		for nd := g.head; nd != nil; nd = nd.next {
+			delete(f.items, nd.item)
+		}
+		f.removeGroup(g)
+	}
+}
+
+// Estimate returns the stored count of item, zero if absent. FREQUENT's
+// estimates never exceed the true frequency.
+func (f *Frequent[K]) Estimate(item K) uint64 {
+	nd, ok := f.items[item]
+	if !ok {
+		return 0
+	}
+	return nd.grp.sv - f.base
+}
+
+// Entries returns the stored counters sorted by decreasing count.
+func (f *Frequent[K]) Entries() []core.Entry[K] {
+	out := make([]core.Entry[K], 0, len(f.items))
+	for g := f.tail; g != nil; g = g.prev {
+		for nd := g.head; nd != nil; nd = nd.next {
+			out = append(out, core.Entry[K]{Item: nd.item, Count: g.sv - f.base})
+		}
+	}
+	return out
+}
+
+// Capacity returns m.
+func (f *Frequent[K]) Capacity() int { return f.m }
+
+// Len returns the number of stored counters.
+func (f *Frequent[K]) Len() int { return len(f.items) }
+
+// N returns the number of processed stream elements.
+func (f *Frequent[K]) N() uint64 { return f.n }
+
+// Decrements returns d, the number of decrement-all operations performed —
+// the quantity bounded by F1^res(k)/(m+1−k) in Appendix B.
+func (f *Frequent[K]) Decrements() uint64 { return f.decrements }
+
+// Reset restores the empty state.
+func (f *Frequent[K]) Reset() {
+	f.base, f.n, f.decrements = 0, 0, 0
+	f.items = make(map[K]*node[K], f.m)
+	f.head, f.tail = nil, nil
+}
+
+// Guarantee returns the Appendix B tail constants A = B = 1.
+func (f *Frequent[K]) Guarantee() core.TailGuarantee { return core.TailGuarantee{A: 1, B: 1} }
+
+// --- group-list plumbing ---
+
+func (f *Frequent[K]) insertGroupAfter(g *group[K], sv uint64) *group[K] {
+	ng := &group[K]{sv: sv, prev: g, next: g.next}
+	if g.next != nil {
+		g.next.prev = ng
+	} else {
+		f.tail = ng
+	}
+	g.next = ng
+	return ng
+}
+
+func (f *Frequent[K]) insertGroupBefore(g *group[K], sv uint64) *group[K] {
+	ng := &group[K]{sv: sv, next: g}
+	if g != nil {
+		ng.prev = g.prev
+		if g.prev != nil {
+			g.prev.next = ng
+		} else {
+			f.head = ng
+		}
+		g.prev = ng
+	} else {
+		// Empty list.
+		f.head, f.tail = ng, ng
+	}
+	return ng
+}
+
+func (f *Frequent[K]) removeGroup(g *group[K]) {
+	if g.prev != nil {
+		g.prev.next = g.next
+	} else {
+		f.head = g.next
+	}
+	if g.next != nil {
+		g.next.prev = g.prev
+	} else {
+		f.tail = g.prev
+	}
+}
+
+func (f *Frequent[K]) appendNode(g *group[K], nd *node[K]) {
+	nd.grp = g
+	nd.prev, nd.next = g.tail, nil
+	if g.tail != nil {
+		g.tail.next = nd
+	} else {
+		g.head = nd
+	}
+	g.tail = nd
+	g.size++
+}
+
+func (f *Frequent[K]) unlinkNode(nd *node[K]) {
+	g := nd.grp
+	if nd.prev != nil {
+		nd.prev.next = nd.next
+	} else {
+		g.head = nd.next
+	}
+	if nd.next != nil {
+		nd.next.prev = nd.prev
+	} else {
+		g.tail = nd.prev
+	}
+	g.size--
+	if g.size == 0 {
+		f.removeGroup(g)
+	}
+	nd.prev, nd.next, nd.grp = nil, nil, nil
+}

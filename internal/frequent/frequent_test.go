@@ -1,0 +1,286 @@
+package frequent
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/stream"
+	"repro/internal/vector"
+)
+
+func TestExactUnderCapacity(t *testing.T) {
+	f := New[uint64](10)
+	in := []uint64{1, 2, 1, 3, 1, 2}
+	core.Feed[uint64](f, in)
+	if got := f.Estimate(1); got != 3 {
+		t.Errorf("Estimate(1) = %d, want 3", got)
+	}
+	if got := f.Estimate(2); got != 2 {
+		t.Errorf("Estimate(2) = %d, want 2", got)
+	}
+	if got := f.Estimate(9); got != 0 {
+		t.Errorf("Estimate(9) = %d, want 0", got)
+	}
+	if f.Len() != 3 || f.N() != 6 || f.Capacity() != 10 {
+		t.Errorf("Len/N/Capacity = %d/%d/%d", f.Len(), f.N(), f.Capacity())
+	}
+}
+
+func TestDecrementDiscardsAndSkipsNewItem(t *testing.T) {
+	// m = 2: after 1,1,2 the table is {1:2, 2:1}. Arrival of 3 decrements
+	// both; 2 reaches zero and is discarded; 3 is NOT stored (Algorithm 1).
+	f := New[uint64](2)
+	core.Feed[uint64](f, []uint64{1, 1, 2, 3})
+	if got := f.Estimate(1); got != 1 {
+		t.Errorf("Estimate(1) = %d, want 1", got)
+	}
+	if got := f.Estimate(2); got != 0 {
+		t.Errorf("Estimate(2) = %d, want 0", got)
+	}
+	if got := f.Estimate(3); got != 0 {
+		t.Errorf("Estimate(3) = %d, want 0", got)
+	}
+	if f.Len() != 1 {
+		t.Errorf("Len = %d, want 1", f.Len())
+	}
+	if f.Decrements() != 1 {
+		t.Errorf("Decrements = %d, want 1", f.Decrements())
+	}
+}
+
+func TestPanicsOnBadM(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"New(0)":      func() { New[int](0) },
+		"NewNaive(0)": func() { NewNaive[int](0) },
+		"NewR(0)":     func() { NewR[int](0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New[uint64](3)
+	core.Feed[uint64](f, []uint64{1, 2, 3, 4, 5})
+	f.Reset()
+	if f.Len() != 0 || f.N() != 0 || f.Decrements() != 0 {
+		t.Error("Reset did not clear state")
+	}
+	f.Update(9)
+	if f.Estimate(9) != 1 {
+		t.Error("algorithm unusable after Reset")
+	}
+}
+
+func TestEntriesSortedDesc(t *testing.T) {
+	f := New[uint64](10)
+	core.Feed[uint64](f, []uint64{5, 5, 5, 6, 6, 7})
+	es := f.Entries()
+	if len(es) != 3 {
+		t.Fatalf("Entries len = %d, want 3", len(es))
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i].Count > es[i-1].Count {
+			t.Fatalf("entries not sorted: %v", es)
+		}
+	}
+	if es[0].Item != 5 || es[0].Count != 3 {
+		t.Errorf("top entry = %+v, want item 5 count 3", es[0])
+	}
+}
+
+// equalStates compares the visible counter maps of two implementations.
+func equalStates(t *testing.T, a, b core.Algorithm[uint64]) bool {
+	t.Helper()
+	sa, sb := core.StateOf(a), core.StateOf(b)
+	if len(sa) != len(sb) {
+		return false
+	}
+	for k, v := range sa {
+		if sb[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDifferentialAgainstNaive(t *testing.T) {
+	// The bucket-list implementation must be state-identical to the
+	// literal pseudocode on every stream (FREQUENT is deterministic).
+	err := quick.Check(func(raw []uint8, mRaw uint8) bool {
+		m := int(mRaw)%8 + 1
+		fast := New[uint64](m)
+		naive := NewNaive[uint64](m)
+		for _, x := range raw {
+			item := uint64(x) % 16
+			fast.Update(item)
+			naive.Update(item)
+		}
+		return equalStates(t, fast, naive) && fast.Decrements() == naive.Decrements()
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDifferentialOnZipfStream(t *testing.T) {
+	s := stream.Zipf(200, 1.1, 20000, stream.OrderRandom, 42)
+	for _, m := range []int{1, 2, 7, 31, 64} {
+		fast := New[uint64](m)
+		naive := NewNaive[uint64](m)
+		for _, x := range s {
+			fast.Update(x)
+			naive.Update(x)
+		}
+		if !equalStates(t, fast, naive) {
+			t.Errorf("m=%d: states diverged from naive implementation", m)
+		}
+	}
+}
+
+func TestUnderestimateProperty(t *testing.T) {
+	// FREQUENT never overestimates: c_i ≤ f_i for every item.
+	err := quick.Check(func(raw []uint8, mRaw uint8) bool {
+		m := int(mRaw)%10 + 1
+		f := New[uint64](m)
+		truth := exact.New()
+		for _, x := range raw {
+			item := uint64(x) % 32
+			f.Update(item)
+			truth.Update(item)
+		}
+		for i := uint64(0); i < 32; i++ {
+			if float64(f.Estimate(i)) > truth.Freq(i) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterSumInvariant(t *testing.T) {
+	// Appendix B: ‖c‖1 = ‖f‖1 − d(m+1) holds at all times.
+	err := quick.Check(func(raw []uint8, mRaw uint8) bool {
+		m := int(mRaw)%6 + 1
+		f := New[uint64](m)
+		for _, x := range raw {
+			f.Update(uint64(x) % 16)
+		}
+		var sum uint64
+		for _, e := range f.Entries() {
+			sum += e.Count
+		}
+		return sum == f.N()-f.Decrements()*uint64(m+1)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecrementBoundAppendixB(t *testing.T) {
+	// d ≤ F1^res(k) / (m + 1 − k) for every k < m.
+	s := stream.Zipf(500, 1.1, 50000, stream.OrderRandom, 7)
+	truth := exact.FromStream(s)
+	for _, m := range []int{10, 50, 100} {
+		f := New[uint64](m)
+		for _, x := range s {
+			f.Update(x)
+		}
+		for _, k := range []int{0, 1, m / 2, m - 1} {
+			bound := truth.Res1(k) / float64(m+1-k)
+			if float64(f.Decrements()) > bound {
+				t.Errorf("m=%d k=%d: d=%d exceeds bound %v", m, k, f.Decrements(), bound)
+			}
+		}
+	}
+}
+
+func TestTailGuaranteeAllOrders(t *testing.T) {
+	// The Appendix B k-tail guarantee with A=B=1 must hold in every
+	// arrival order: max_i |f_i − c_i| ≤ F1^res(k)/(m−k).
+	const n, total, m = 300, 30000, 40
+	for _, order := range stream.Orders() {
+		s := stream.Zipf(n, 1.2, total, order, 3)
+		truth := exact.FromStream(s)
+		f := New[uint64](m)
+		for _, x := range s {
+			f.Update(x)
+		}
+		freq := truth.Dense(n)
+		maxErr := core.MaxError(f, freq)
+		for _, k := range []int{1, 5, 10, 20, m - 1} {
+			bound := f.Guarantee().Bound(m, k, truth.Res1(k))
+			if maxErr > bound {
+				t.Errorf("order=%v k=%d: error %v exceeds bound %v", order, k, maxErr, bound)
+			}
+		}
+	}
+}
+
+func TestSingleCounter(t *testing.T) {
+	// m=1 is the majority algorithm (Boyer-Moore flavour).
+	f := New[uint64](1)
+	core.Feed[uint64](f, []uint64{7, 7, 7, 8, 9, 7})
+	// 7,7,7 -> {7:3}; 8 decrements -> {7:2}; 9 decrements -> {7:1}; 7 -> {7:2}.
+	if got := f.Estimate(7); got != 2 {
+		t.Errorf("Estimate(7) = %d, want 2", got)
+	}
+}
+
+func TestAllDistinctStream(t *testing.T) {
+	f := New[uint64](4)
+	for i := uint64(0); i < 100; i++ {
+		f.Update(i)
+	}
+	if f.Len() > 4 {
+		t.Errorf("Len = %d exceeds capacity", f.Len())
+	}
+	var sum uint64
+	for _, e := range f.Entries() {
+		sum += e.Count
+	}
+	if sum > 100 {
+		t.Errorf("counter sum %d exceeds stream length", sum)
+	}
+}
+
+func TestGuaranteeConstants(t *testing.T) {
+	g := New[uint64](5).Guarantee()
+	if g.A != 1 || g.B != 1 {
+		t.Errorf("Guarantee = %+v, want A=B=1", g)
+	}
+}
+
+func TestKSparseRecoveryErrorShrinksWithM(t *testing.T) {
+	// Sanity: more counters means (weakly) less error on the same stream.
+	s := stream.Zipf(400, 1.1, 40000, stream.OrderRandom, 11)
+	truth := exact.FromStream(s)
+	freq := truth.Dense(400)
+	prev := -1.0
+	for _, m := range []int{5, 20, 80, 320} {
+		f := New[uint64](m)
+		for _, x := range s {
+			f.Update(x)
+		}
+		est := make(vector.Dense, 400)
+		for i := range est {
+			est[i] = float64(f.Estimate(uint64(i)))
+		}
+		errNow := freq.LpErr(est, 1)
+		if prev >= 0 && errNow > prev*1.05 {
+			t.Errorf("m=%d: L1 error %v worse than smaller budget's %v", m, errNow, prev)
+		}
+		prev = errNow
+	}
+}

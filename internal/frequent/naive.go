@@ -1,0 +1,75 @@
+package frequent
+
+import "repro/internal/core"
+
+// Naive is the literal transcription of Algorithm 1: the decrement-all
+// step walks every stored counter. It exists as a differential-testing
+// oracle for Frequent and for readers comparing against the paper's
+// pseudocode; production use should prefer Frequent.
+type Naive[K comparable] struct {
+	m          int
+	counts     map[K]uint64
+	n          uint64
+	decrements uint64
+}
+
+// NewNaive returns a naive FREQUENT instance with m counters. It panics
+// if m < 1.
+func NewNaive[K comparable](m int) *Naive[K] {
+	if m < 1 {
+		panic("frequent: m must be >= 1")
+	}
+	return &Naive[K]{m: m, counts: make(map[K]uint64, m)}
+}
+
+// Update processes one occurrence of item.
+func (f *Naive[K]) Update(item K) {
+	f.n++
+	if _, ok := f.counts[item]; ok {
+		f.counts[item]++
+		return
+	}
+	if len(f.counts) < f.m {
+		f.counts[item] = 1
+		return
+	}
+	f.decrements++
+	for k, v := range f.counts {
+		if v == 1 {
+			delete(f.counts, k)
+		} else {
+			f.counts[k] = v - 1
+		}
+	}
+}
+
+// Estimate returns the stored count of item, zero if absent.
+func (f *Naive[K]) Estimate(item K) uint64 { return f.counts[item] }
+
+// Entries returns the stored counters sorted by decreasing count.
+func (f *Naive[K]) Entries() []core.Entry[K] {
+	out := make([]core.Entry[K], 0, len(f.counts))
+	for k, v := range f.counts {
+		out = append(out, core.Entry[K]{Item: k, Count: v})
+	}
+	core.SortEntries(out)
+	return out
+}
+
+// Capacity returns m.
+func (f *Naive[K]) Capacity() int { return f.m }
+
+// Len returns the number of stored counters.
+func (f *Naive[K]) Len() int { return len(f.counts) }
+
+// N returns the number of processed stream elements.
+func (f *Naive[K]) N() uint64 { return f.n }
+
+// Decrements returns the number of decrement-all operations performed.
+func (f *Naive[K]) Decrements() uint64 { return f.decrements }
+
+// Reset restores the empty state.
+func (f *Naive[K]) Reset() {
+	f.counts = make(map[K]uint64, f.m)
+	f.n, f.decrements = 0, 0
+}

@@ -1,0 +1,219 @@
+package frequent
+
+import "repro/internal/core"
+
+// FrequentR is the real-valued update extension of Section 6.1. Each
+// arrival (a_i, b_i) carries a positive real weight b_i:
+//
+//   - if a_i is stored, its counter grows by b_i;
+//   - else if a counter is free, a_i claims it with value b_i;
+//   - else, with c_min the smallest stored counter: if b_i < c_min every
+//     counter shrinks by b_i; otherwise every counter shrinks by c_min,
+//     zeros are discarded, and a_i is stored with b_i − c_min.
+//
+// Theorem 10 gives FREQUENTR the k-tail guarantee with A = B = 1.
+//
+// The uniform subtraction is implemented with a global offset (stored
+// value = counter + offset), and the minimum is tracked with a lazy
+// min-heap, so updates cost O(log m) amortised instead of O(m).
+//
+// Counters are float64; after an "all shrink by c_min" step, items whose
+// counters are mathematically equal to c_min but were accumulated through
+// different additions may retain a sub-ULP positive residue rather than
+// being discarded. This affects estimates by at most a few ULPs.
+type FrequentR[K comparable] struct {
+	m     int
+	off   float64 // cumulative uniform subtraction
+	vals  map[K]float64
+	heap  []heapEntry[K]
+	total float64
+}
+
+type heapEntry[K comparable] struct {
+	val  float64
+	item K
+}
+
+// NewR returns a FREQUENTR instance with m counters. It panics if m < 1.
+func NewR[K comparable](m int) *FrequentR[K] {
+	if m < 1 {
+		panic("frequent: m must be >= 1")
+	}
+	return &FrequentR[K]{m: m, vals: make(map[K]float64, m)}
+}
+
+// UpdateWeighted processes b occurrences' worth of item. It panics on
+// non-positive b, matching the paper's stream model.
+func (f *FrequentR[K]) UpdateWeighted(item K, b float64) {
+	if b <= 0 {
+		panic("frequent: non-positive weight")
+	}
+	f.total += b
+	if v, ok := f.vals[item]; ok {
+		f.vals[item] = v + b
+		f.push(heapEntry[K]{val: v + b, item: item})
+		return
+	}
+	if len(f.vals) < f.m {
+		f.vals[item] = f.off + b
+		f.push(heapEntry[K]{val: f.off + b, item: item})
+		return
+	}
+	minVal := f.cleanTop()
+	cmin := minVal - f.off
+	if b < cmin {
+		f.off += b
+		return
+	}
+	// Subtract cmin from everyone (offset jumps exactly to minVal, so the
+	// minimum item's value compares equal and is discarded), then store
+	// the remainder if any.
+	f.off = minVal
+	f.removeZeros()
+	if rem := b - cmin; rem > 0 {
+		f.vals[item] = f.off + rem
+		f.push(heapEntry[K]{val: f.off + rem, item: item})
+	}
+}
+
+// Update processes a unit-weight occurrence.
+func (f *FrequentR[K]) Update(item K) { f.UpdateWeighted(item, 1) }
+
+// EstimateWeighted returns the stored counter for item, zero if absent.
+// FREQUENTR underestimates true total weights.
+func (f *FrequentR[K]) EstimateWeighted(item K) float64 {
+	v, ok := f.vals[item]
+	if !ok {
+		return 0
+	}
+	if c := v - f.off; c > 0 {
+		return c
+	}
+	return 0
+}
+
+// WeightedEntries returns the stored counters sorted by decreasing count.
+func (f *FrequentR[K]) WeightedEntries() []core.WeightedEntry[K] {
+	out := make([]core.WeightedEntry[K], 0, len(f.vals))
+	for k, v := range f.vals {
+		c := v - f.off
+		if c <= 0 {
+			continue
+		}
+		out = append(out, core.WeightedEntry[K]{Item: k, Count: c})
+	}
+	core.SortWeightedEntries(out)
+	return out
+}
+
+// Capacity returns m.
+func (f *FrequentR[K]) Capacity() int { return f.m }
+
+// Len returns the number of stored counters.
+func (f *FrequentR[K]) Len() int { return len(f.vals) }
+
+// TotalWeight returns Σ b_i processed so far.
+func (f *FrequentR[K]) TotalWeight() float64 { return f.total }
+
+// Reset restores the empty state.
+func (f *FrequentR[K]) Reset() {
+	f.off, f.total = 0, 0
+	f.vals = make(map[K]float64, f.m)
+	f.heap = f.heap[:0]
+}
+
+// Guarantee returns the Theorem 10 tail constants A = B = 1.
+func (f *FrequentR[K]) Guarantee() core.TailGuarantee { return core.TailGuarantee{A: 1, B: 1} }
+
+// --- lazy min-heap plumbing ---
+
+// push adds an entry, compacting first if stale entries dominate.
+func (f *FrequentR[K]) push(e heapEntry[K]) {
+	if len(f.heap) > 4*f.m+16 {
+		f.compact()
+	}
+	f.heap = append(f.heap, e)
+	f.siftUp(len(f.heap) - 1)
+}
+
+// cleanTop pops stale and zero entries until the top reflects a live
+// counter, and returns its stored value. The caller guarantees the map is
+// non-empty.
+func (f *FrequentR[K]) cleanTop() float64 {
+	for {
+		top := f.heap[0]
+		cur, ok := f.vals[top.item]
+		if ok && cur == top.val {
+			return top.val
+		}
+		f.pop()
+	}
+}
+
+// removeZeros discards items whose stored value no longer exceeds the
+// offset (counter ≤ 0).
+func (f *FrequentR[K]) removeZeros() {
+	for len(f.heap) > 0 {
+		top := f.heap[0]
+		cur, ok := f.vals[top.item]
+		if !ok || cur != top.val {
+			f.pop() // stale
+			continue
+		}
+		if top.val <= f.off {
+			delete(f.vals, top.item)
+			f.pop()
+			continue
+		}
+		return
+	}
+}
+
+func (f *FrequentR[K]) compact() {
+	f.heap = f.heap[:0]
+	for k, v := range f.vals {
+		f.heap = append(f.heap, heapEntry[K]{val: v, item: k})
+	}
+	for i := len(f.heap)/2 - 1; i >= 0; i-- {
+		f.siftDown(i)
+	}
+}
+
+func (f *FrequentR[K]) pop() {
+	last := len(f.heap) - 1
+	f.heap[0] = f.heap[last]
+	f.heap = f.heap[:last]
+	if last > 0 {
+		f.siftDown(0)
+	}
+}
+
+func (f *FrequentR[K]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if f.heap[parent].val <= f.heap[i].val {
+			return
+		}
+		f.heap[parent], f.heap[i] = f.heap[i], f.heap[parent]
+		i = parent
+	}
+}
+
+func (f *FrequentR[K]) siftDown(i int) {
+	n := len(f.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && f.heap[l].val < f.heap[small].val {
+			small = l
+		}
+		if r < n && f.heap[r].val < f.heap[small].val {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		f.heap[i], f.heap[small] = f.heap[small], f.heap[i]
+		i = small
+	}
+}

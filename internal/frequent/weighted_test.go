@@ -1,0 +1,207 @@
+package frequent
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+func TestRExactUnderCapacity(t *testing.T) {
+	f := NewR[uint64](4)
+	f.UpdateWeighted(1, 2.5)
+	f.UpdateWeighted(2, 1.0)
+	f.UpdateWeighted(1, 0.5)
+	if got := f.EstimateWeighted(1); got != 3 {
+		t.Errorf("EstimateWeighted(1) = %v, want 3", got)
+	}
+	if got := f.EstimateWeighted(2); got != 1 {
+		t.Errorf("EstimateWeighted(2) = %v, want 1", got)
+	}
+	if got := f.TotalWeight(); got != 4 {
+		t.Errorf("TotalWeight = %v, want 4", got)
+	}
+}
+
+func TestRNonPositiveWeightPanics(t *testing.T) {
+	for _, w := range []float64{0, -2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("weight %v did not panic", w)
+				}
+			}()
+			NewR[uint64](2).UpdateWeighted(1, w)
+		}()
+	}
+}
+
+func TestRSmallWeightDecrement(t *testing.T) {
+	// m=2, counters {1:3, 2:1}. Arrival (3, 0.5): b < cmin → both shrink
+	// by 0.5, 3 not stored.
+	f := NewR[uint64](2)
+	f.UpdateWeighted(1, 3)
+	f.UpdateWeighted(2, 1)
+	f.UpdateWeighted(3, 0.5)
+	if got := f.EstimateWeighted(1); got != 2.5 {
+		t.Errorf("EstimateWeighted(1) = %v, want 2.5", got)
+	}
+	if got := f.EstimateWeighted(2); got != 0.5 {
+		t.Errorf("EstimateWeighted(2) = %v, want 0.5", got)
+	}
+	if got := f.EstimateWeighted(3); got != 0 {
+		t.Errorf("EstimateWeighted(3) = %v, want 0", got)
+	}
+}
+
+func TestRLargeWeightEvicts(t *testing.T) {
+	// m=2, counters {1:3, 2:1}. Arrival (3, 2.0): b > cmin=1 → all shrink
+	// by 1, item 2 discarded, 3 stored with 2-1 = 1.
+	f := NewR[uint64](2)
+	f.UpdateWeighted(1, 3)
+	f.UpdateWeighted(2, 1)
+	f.UpdateWeighted(3, 2)
+	if got := f.EstimateWeighted(1); got != 2 {
+		t.Errorf("EstimateWeighted(1) = %v, want 2", got)
+	}
+	if got := f.EstimateWeighted(2); got != 0 {
+		t.Errorf("EstimateWeighted(2) = %v, want 0", got)
+	}
+	if got := f.EstimateWeighted(3); got != 1 {
+		t.Errorf("EstimateWeighted(3) = %v, want 1", got)
+	}
+	if f.Len() != 2 {
+		t.Errorf("Len = %d, want 2", f.Len())
+	}
+}
+
+func TestRWeightEqualToMin(t *testing.T) {
+	// b == cmin: everyone shrinks by cmin; the newcomer's remainder is
+	// zero, so it is not stored.
+	f := NewR[uint64](2)
+	f.UpdateWeighted(1, 3)
+	f.UpdateWeighted(2, 1)
+	f.UpdateWeighted(3, 1)
+	if got := f.EstimateWeighted(3); got != 0 {
+		t.Errorf("EstimateWeighted(3) = %v, want 0", got)
+	}
+	if got := f.EstimateWeighted(1); got != 2 {
+		t.Errorf("EstimateWeighted(1) = %v, want 2", got)
+	}
+	if f.EstimateWeighted(2) != 0 {
+		t.Errorf("item 2 should have been discarded at zero")
+	}
+}
+
+func TestRMatchesUnitFrequentOnUnitStreams(t *testing.T) {
+	// With all weights 1 FREQUENTR must agree with FREQUENT exactly
+	// (float arithmetic on small integers is exact).
+	err := quick.Check(func(raw []uint8, mRaw uint8) bool {
+		m := int(mRaw)%6 + 1
+		r := NewR[uint64](m)
+		f := New[uint64](m)
+		for _, x := range raw {
+			item := uint64(x) % 16
+			r.Update(item)
+			f.Update(item)
+		}
+		for i := uint64(0); i < 16; i++ {
+			if r.EstimateWeighted(i) != float64(f.Estimate(i)) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRUnderestimateProperty(t *testing.T) {
+	ups := stream.WeightedZipf(100, 1.1, 10000, 3, 5)
+	truth := exact.New()
+	f := NewR[uint64](20)
+	for _, u := range ups {
+		truth.UpdateWeighted(u.Item, u.Weight)
+		f.UpdateWeighted(u.Item, u.Weight)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if f.EstimateWeighted(i) > truth.Freq(i)+1e-6 {
+			t.Errorf("item %d: estimate %v exceeds true %v", i, f.EstimateWeighted(i), truth.Freq(i))
+		}
+	}
+}
+
+func TestRHeavyHitterGuarantee(t *testing.T) {
+	// Section 6.1: error of any item ≤ F1/m.
+	ups := stream.WeightedZipf(200, 1.0, 50000, 4, 9)
+	const m = 25
+	truth := exact.New()
+	f := NewR[uint64](m)
+	for _, u := range ups {
+		truth.UpdateWeighted(u.Item, u.Weight)
+		f.UpdateWeighted(u.Item, u.Weight)
+	}
+	bound := truth.F1() / m
+	for i := uint64(0); i < 200; i++ {
+		if d := math.Abs(truth.Freq(i) - f.EstimateWeighted(i)); d > bound+1e-6 {
+			t.Errorf("item %d: error %v exceeds F1/m = %v", i, d, bound)
+		}
+	}
+}
+
+func TestRTailGuaranteeTheorem10(t *testing.T) {
+	// Theorem 10: k-tail guarantee with A = B = 1 on weighted streams.
+	ups := stream.WeightedZipf(200, 1.3, 50000, 4, 13)
+	const m = 30
+	truth := exact.New()
+	f := NewR[uint64](m)
+	for _, u := range ups {
+		truth.UpdateWeighted(u.Item, u.Weight)
+		f.UpdateWeighted(u.Item, u.Weight)
+	}
+	for _, k := range []int{1, 5, 10, 20} {
+		bound := f.Guarantee().Bound(m, k, truth.Res1(k))
+		for i := uint64(0); i < 200; i++ {
+			if d := math.Abs(truth.Freq(i) - f.EstimateWeighted(i)); d > bound+1e-6 {
+				t.Errorf("k=%d item %d: error %v exceeds bound %v", k, i, d, bound)
+			}
+		}
+	}
+}
+
+func TestRResetAndEntries(t *testing.T) {
+	f := NewR[uint64](3)
+	f.UpdateWeighted(1, 5)
+	f.UpdateWeighted(2, 2)
+	es := f.WeightedEntries()
+	if len(es) != 2 || es[0].Item != 1 || es[0].Count != 5 {
+		t.Errorf("WeightedEntries = %v", es)
+	}
+	f.Reset()
+	if f.Len() != 0 || f.TotalWeight() != 0 {
+		t.Error("Reset did not clear state")
+	}
+	f.UpdateWeighted(9, 1)
+	if f.EstimateWeighted(9) != 1 {
+		t.Error("unusable after Reset")
+	}
+}
+
+func TestRHeapCompaction(t *testing.T) {
+	// Force many increments of stored items so the lazy heap exercises
+	// its compaction path; correctness is checked via estimates.
+	f := NewR[uint64](4)
+	for round := 0; round < 1000; round++ {
+		for i := uint64(0); i < 4; i++ {
+			f.UpdateWeighted(i, 1)
+		}
+	}
+	for i := uint64(0); i < 4; i++ {
+		if got := f.EstimateWeighted(i); got != 1000 {
+			t.Errorf("item %d estimate %v, want 1000", i, got)
+		}
+	}
+}

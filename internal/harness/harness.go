@@ -1,0 +1,174 @@
+// Package harness provides the shared machinery of the experiment suite:
+// error metrics of an estimator against ground truth, and plain-text table
+// rendering in the style of the paper's Table 1.
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+)
+
+// Metrics summarises the estimation quality of an algorithm over a
+// universe, against exact frequencies.
+type Metrics struct {
+	// MaxErr is max_i |f_i − f̂_i| (the paper's δ bound subject).
+	MaxErr float64
+	// MeanErr is the mean absolute per-item error over the universe.
+	MeanErr float64
+	// L1 and L2 are ‖f − f̂‖_1 and ‖f − f̂‖_2.
+	L1, L2 float64
+}
+
+// Evaluate computes Metrics for an estimator over the universe [0, n)
+// with exact frequencies freq (indexed by item identifier).
+func Evaluate(estimate func(uint64) float64, freq []float64) Metrics {
+	var m Metrics
+	var sumSq float64
+	for i, f := range freq {
+		d := math.Abs(f - estimate(uint64(i)))
+		if d > m.MaxErr {
+			m.MaxErr = d
+		}
+		m.L1 += d
+		sumSq += d * d
+	}
+	if len(freq) > 0 {
+		m.MeanErr = m.L1 / float64(len(freq))
+	}
+	m.L2 = math.Sqrt(sumSq)
+	return m
+}
+
+// Violations counts universe items whose absolute error exceeds bound.
+func Violations(estimate func(uint64) float64, freq []float64, bound float64) int {
+	v := 0
+	for i, f := range freq {
+		if math.Abs(f-estimate(uint64(i))) > bound {
+			v++
+		}
+	}
+	return v
+}
+
+// Table is a plain-text experiment table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// NewTable returns an empty table with the given title and column header.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends one row; the cell count should match the header.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Addf appends one row of formatted values: each argument is rendered
+// with %v for strings/ints and compact scientific notation for floats.
+func (t *Table) Addf(values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = F(x)
+		case string:
+			cells[i] = x
+		default:
+			cells[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Add(cells...)
+}
+
+// Note appends a free-text footnote rendered under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table to w using aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title))); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(t.Header) > 0 {
+		fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+		seps := make([]string, len(t.Header))
+		for i, h := range t.Header {
+			seps[i] = strings.Repeat("-", len(h))
+		}
+		fmt.Fprintln(tw, strings.Join(seps, "\t"))
+	}
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderCSV writes the table as RFC-4180-style CSV (header row first,
+// notes omitted), for feeding plotting scripts.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if len(t.Header) > 0 {
+		if err := cw.Write(t.Header); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if err := t.Render(&sb); err != nil {
+		// strings.Builder never errors; keep the signature honest anyway.
+		return err.Error()
+	}
+	return sb.String()
+}
+
+// F formats a float compactly: integers without decimals, small values
+// with 4 significant digits, large/small magnitudes in scientific
+// notation.
+func F(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case math.IsNaN(v):
+		return "nan"
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1e6 || (v != 0 && math.Abs(v) < 1e-3):
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEvaluate(t *testing.T) {
+	freq := []float64{10, 5, 0}
+	est := func(i uint64) float64 { return []float64{8, 5, 1}[i] }
+	m := Evaluate(est, freq)
+	if m.MaxErr != 2 {
+		t.Errorf("MaxErr = %v, want 2", m.MaxErr)
+	}
+	if m.L1 != 3 {
+		t.Errorf("L1 = %v, want 3", m.L1)
+	}
+	if want := math.Sqrt(5); math.Abs(m.L2-want) > 1e-12 {
+		t.Errorf("L2 = %v, want %v", m.L2, want)
+	}
+	if math.Abs(m.MeanErr-1) > 1e-12 {
+		t.Errorf("MeanErr = %v, want 1", m.MeanErr)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	m := Evaluate(func(uint64) float64 { return 0 }, nil)
+	if m.MaxErr != 0 || m.MeanErr != 0 || m.L1 != 0 || m.L2 != 0 {
+		t.Errorf("empty metrics = %+v", m)
+	}
+}
+
+func TestViolations(t *testing.T) {
+	freq := []float64{10, 5, 0}
+	est := func(i uint64) float64 { return []float64{8, 5, 1}[i] }
+	if got := Violations(est, freq, 1.5); got != 1 {
+		t.Errorf("Violations = %d, want 1", got)
+	}
+	if got := Violations(est, freq, 0.5); got != 2 {
+		t.Errorf("Violations = %d, want 2", got)
+	}
+	if got := Violations(est, freq, 10); got != 0 {
+		t.Errorf("Violations = %d, want 0", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("My Table", "col1", "col2")
+	tb.Add("a", "b")
+	tb.Addf("x", 1.5)
+	tb.Note("footnote %d", 7)
+	out := tb.String()
+	for _, want := range []string{"My Table", "col1", "----", "a", "1.5", "note: footnote 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAddfTypes(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.Addf(42, 3.14159, "s")
+	row := tb.Rows[0]
+	if row[0] != "42" || row[2] != "s" {
+		t.Errorf("row = %v", row)
+	}
+	if !strings.HasPrefix(row[1], "3.14") {
+		t.Errorf("float cell = %q", row[1])
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := NewTable("ignored", "a", "b")
+	tb.Add("1", "x,y") // comma forces quoting
+	tb.Add("2", "z")
+	tb.Note("notes are omitted from CSV")
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "a,b\n1,\"x,y\"\n2,z\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+	if strings.Contains(got, "note") {
+		t.Error("CSV output must omit notes")
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{42, "42"},
+		{-3, "-3"},
+		{math.Inf(1), "inf"},
+		{math.Inf(-1), "-inf"},
+		{math.NaN(), "nan"},
+		{1234567.5, "1.235e+06"},
+		{0.0001, "1.000e-04"},
+		{3.14159, "3.142"},
+	}
+	for _, c := range cases {
+		if got := F(c.in); got != c.want {
+			t.Errorf("F(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

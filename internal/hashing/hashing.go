@@ -1,0 +1,94 @@
+// Package hashing implements the hash families required by the sketch
+// baselines in Table 1 of the paper: pairwise-independent hashing for
+// Count-Min and 4-wise-independent hashing for the Count-Sketch sign and
+// bucket functions.
+//
+// The family is polynomial hashing over the Mersenne prime p = 2^61 − 1:
+// a degree-(d−1) polynomial with uniform coefficients is d-wise
+// independent. Modular reduction exploits the Mersenne structure so no
+// divisions are required.
+package hashing
+
+import (
+	"math/bits"
+
+	"repro/internal/rng"
+)
+
+// MersennePrime61 is 2^61 − 1, the field modulus of the polynomial family.
+const MersennePrime61 = (uint64(1) << 61) - 1
+
+// mod61 reduces a 64-bit value modulo 2^61 − 1.
+func mod61(x uint64) uint64 {
+	x = (x & MersennePrime61) + (x >> 61)
+	if x >= MersennePrime61 {
+		x -= MersennePrime61
+	}
+	return x
+}
+
+// mulMod61 returns a*b mod 2^61−1 for a, b < 2^61.
+func mulMod61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a*b = hi*2^64 + lo. With 2^61 ≡ 1, we have 2^64 ≡ 8, so
+	// a*b ≡ 8*hi + lo. Split lo at bit 61 as well.
+	res := (lo & MersennePrime61) + (lo >> 61) + hi<<3
+	return mod61(res)
+}
+
+// Poly is a d-wise independent hash function: a random polynomial of
+// degree d−1 over GF(2^61 − 1), evaluated by Horner's rule. The zero value
+// is not usable; construct with NewPoly.
+type Poly struct {
+	coeff []uint64 // coeff[0] is the highest-degree coefficient
+}
+
+// NewPoly draws a fresh function from the d-wise independent family using
+// randomness from src. It panics if independence < 1.
+func NewPoly(src *rng.Source, independence int) Poly {
+	if independence < 1 {
+		panic("hashing: independence must be >= 1")
+	}
+	coeff := make([]uint64, independence)
+	for i := range coeff {
+		coeff[i] = src.Uint64n(MersennePrime61)
+	}
+	// The leading coefficient must be non-zero for full independence.
+	for coeff[0] == 0 {
+		coeff[0] = src.Uint64n(MersennePrime61)
+	}
+	return Poly{coeff: coeff}
+}
+
+// Hash evaluates the polynomial at x, returning a value in
+// [0, 2^61 − 1).
+func (p Poly) Hash(x uint64) uint64 {
+	x = mod61(x)
+	acc := uint64(0)
+	for _, c := range p.coeff {
+		acc = mod61(mulMod61(acc, x) + c)
+	}
+	return acc
+}
+
+// Bucket maps x into [0, buckets) by reducing the hash value. It panics if
+// buckets == 0.
+func (p Poly) Bucket(x, buckets uint64) uint64 {
+	if buckets == 0 {
+		panic("hashing: Bucket with zero buckets")
+	}
+	return p.Hash(x) % buckets
+}
+
+// Sign maps x to ±1 using the lowest bit of the hash value; with a 4-wise
+// independent polynomial this is the Count-Sketch sign function.
+func (p Poly) Sign(x uint64) int64 {
+	if p.Hash(x)&1 == 1 {
+		return 1
+	}
+	return -1
+}
+
+// Independence reports d, the number of coefficients (the independence of
+// the family the function was drawn from).
+func (p Poly) Independence() int { return len(p.coeff) }

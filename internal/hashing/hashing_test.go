@@ -1,0 +1,148 @@
+package hashing
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestMod61(t *testing.T) {
+	cases := []struct{ in, want uint64 }{
+		{0, 0},
+		{1, 1},
+		{MersennePrime61 - 1, MersennePrime61 - 1},
+		{MersennePrime61, 0},
+		{MersennePrime61 + 1, 1},
+		{2 * MersennePrime61, 0},
+		{math.MaxUint64, math.MaxUint64 % MersennePrime61},
+	}
+	for _, c := range cases {
+		if got := mod61(c.in); got != c.want {
+			t.Errorf("mod61(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMulMod61MatchesBigIntArithmetic(t *testing.T) {
+	p := new(big.Int).SetUint64(MersennePrime61)
+	err := quick.Check(func(a, b uint64) bool {
+		a %= MersennePrime61
+		b %= MersennePrime61
+		want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		want.Mod(want, p)
+		return mulMod61(a, b) == want.Uint64()
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashInRange(t *testing.T) {
+	src := rng.New(1)
+	p := NewPoly(src, 4)
+	for i := uint64(0); i < 10000; i++ {
+		if h := p.Hash(i); h >= MersennePrime61 {
+			t.Fatalf("Hash(%d) = %d out of range", i, h)
+		}
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	p1 := NewPoly(rng.New(5), 2)
+	p2 := NewPoly(rng.New(5), 2)
+	for i := uint64(0); i < 100; i++ {
+		if p1.Hash(i) != p2.Hash(i) {
+			t.Fatalf("same seed produced different hash functions at x=%d", i)
+		}
+	}
+}
+
+func TestBucketUniformity(t *testing.T) {
+	src := rng.New(17)
+	p := NewPoly(src, 2)
+	const buckets, draws = 16, 160000
+	counts := make([]int, buckets)
+	for i := uint64(0); i < draws; i++ {
+		counts[p.Bucket(i, buckets)]++
+	}
+	want := float64(draws) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("bucket %d has %d entries, want ~%.0f", b, c, want)
+		}
+	}
+}
+
+func TestSignBalance(t *testing.T) {
+	src := rng.New(23)
+	p := NewPoly(src, 4)
+	pos := 0
+	const draws = 100000
+	for i := uint64(0); i < draws; i++ {
+		s := p.Sign(i)
+		if s != 1 && s != -1 {
+			t.Fatalf("Sign(%d) = %d", i, s)
+		}
+		if s == 1 {
+			pos++
+		}
+	}
+	if math.Abs(float64(pos)-draws/2) > 4*math.Sqrt(draws/2) {
+		t.Errorf("sign imbalance: %d/%d positive", pos, draws)
+	}
+}
+
+func TestPairwiseIndependenceCollisions(t *testing.T) {
+	// For a pairwise family into m buckets, Pr[h(x)=h(y)] ≈ 1/m. Estimate
+	// the collision rate over many independently drawn functions.
+	src := rng.New(31)
+	const m = 64
+	const trials = 20000
+	collisions := 0
+	for i := 0; i < trials; i++ {
+		p := NewPoly(src, 2)
+		if p.Bucket(1, m) == p.Bucket(2, m) {
+			collisions++
+		}
+	}
+	rate := float64(collisions) / trials
+	if rate > 2.0/m || rate < 0.25/m {
+		t.Errorf("collision rate %v, want ~%v", rate, 1.0/m)
+	}
+}
+
+func TestNewPolyPanicsOnZeroIndependence(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPoly(0) did not panic")
+		}
+	}()
+	NewPoly(rng.New(1), 0)
+}
+
+func TestBucketPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bucket(0 buckets) did not panic")
+		}
+	}()
+	NewPoly(rng.New(1), 2).Bucket(1, 0)
+}
+
+func TestIndependence(t *testing.T) {
+	if got := NewPoly(rng.New(1), 4).Independence(); got != 4 {
+		t.Errorf("Independence() = %d, want 4", got)
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	p := NewPoly(rng.New(1), 4)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += p.Hash(uint64(i))
+	}
+	_ = sink
+}

@@ -1,0 +1,110 @@
+// Package lossycounting implements the LOSSYCOUNTING algorithm of Manku
+// and Motwani (Table 1, row 3): the stream is split into windows of width
+// w = ⌈1/ε⌉; stored entries carry the maximum undercount Δ of their
+// insertion window, and at every window boundary entries whose count plus
+// Δ no longer exceed the window index are pruned.
+//
+// LOSSYCOUNTING guarantees f_i − ε·N ≤ c_i ≤ f_i (an F1-type bound). The
+// paper (Section 1.1) notes its space is O(1/ε · log εN) on adversarial
+// orderings — unlike FREQUENT/SPACESAVING its footprint is not fixed at
+// m — and it does not enjoy the residual tail guarantee. It is included
+// as the baseline that separates "counter algorithm" from "heavy-tolerant
+// counter algorithm" in experiments.
+package lossycounting
+
+import "repro/internal/core"
+
+type entry struct {
+	count uint64
+	delta uint64
+}
+
+// LossyCounting estimates frequencies with error at most N/w. The zero
+// value is not usable; construct with New.
+type LossyCounting[K comparable] struct {
+	w       uint64 // window width = ⌈1/ε⌉
+	entries map[K]entry
+	n       uint64
+	bucket  uint64 // current window index b = ⌈N/w⌉
+	maxLen  int    // high-water mark of stored entries
+}
+
+// New returns a LOSSYCOUNTING instance with window width w (error
+// parameter ε = 1/w). It panics if w < 1.
+func New[K comparable](w int) *LossyCounting[K] {
+	if w < 1 {
+		panic("lossycounting: window width must be >= 1")
+	}
+	return &LossyCounting[K]{w: uint64(w), entries: make(map[K]entry), bucket: 1}
+}
+
+// Update processes one occurrence of item.
+func (l *LossyCounting[K]) Update(item K) {
+	l.n++
+	if e, ok := l.entries[item]; ok {
+		e.count++
+		l.entries[item] = e
+	} else {
+		l.entries[item] = entry{count: 1, delta: l.bucket - 1}
+		if len(l.entries) > l.maxLen {
+			l.maxLen = len(l.entries)
+		}
+	}
+	if l.n%l.w == 0 {
+		l.prune()
+		l.bucket++
+	}
+}
+
+// prune removes entries that can no longer be frequent: count + Δ ≤ b.
+func (l *LossyCounting[K]) prune() {
+	for k, e := range l.entries {
+		if e.count+e.delta <= l.bucket {
+			delete(l.entries, k)
+		}
+	}
+}
+
+// Estimate returns the stored count of item, zero if absent.
+// LOSSYCOUNTING underestimates: c_i ≤ f_i ≤ c_i + Δ_i ≤ c_i + εN.
+func (l *LossyCounting[K]) Estimate(item K) uint64 {
+	return l.entries[item].count
+}
+
+// DeltaOf returns the Δ recorded at item's insertion (its maximum
+// undercount), zero if absent.
+func (l *LossyCounting[K]) DeltaOf(item K) uint64 {
+	return l.entries[item].delta
+}
+
+// Entries returns the stored counters sorted by decreasing count; Err
+// carries each entry's Δ.
+func (l *LossyCounting[K]) Entries() []core.Entry[K] {
+	out := make([]core.Entry[K], 0, len(l.entries))
+	for k, e := range l.entries {
+		out = append(out, core.Entry[K]{Item: k, Count: e.count, Err: e.delta})
+	}
+	core.SortEntries(out)
+	return out
+}
+
+// Capacity returns the window width w — the nominal space parameter.
+// Unlike the HTC algorithms, the actual number of stored entries may
+// exceed w; see MaxStored.
+func (l *LossyCounting[K]) Capacity() int { return int(l.w) }
+
+// Len returns the number of currently stored entries.
+func (l *LossyCounting[K]) Len() int { return len(l.entries) }
+
+// MaxStored returns the high-water mark of stored entries — the actual
+// space the algorithm needed, measured for Table 1's space column.
+func (l *LossyCounting[K]) MaxStored() int { return l.maxLen }
+
+// N returns the number of processed stream elements.
+func (l *LossyCounting[K]) N() uint64 { return l.n }
+
+// Reset restores the empty state.
+func (l *LossyCounting[K]) Reset() {
+	l.entries = make(map[K]entry)
+	l.n, l.bucket, l.maxLen = 0, 1, 0
+}

@@ -1,0 +1,165 @@
+package lossycounting
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+func TestExactWithinWindow(t *testing.T) {
+	l := New[uint64](100)
+	for _, x := range []uint64{1, 2, 1, 3, 1} {
+		l.Update(x)
+	}
+	if got := l.Estimate(1); got != 3 {
+		t.Errorf("Estimate(1) = %d, want 3", got)
+	}
+	if got := l.Estimate(9); got != 0 {
+		t.Errorf("Estimate(9) = %d, want 0", got)
+	}
+}
+
+func TestPruneAtWindowBoundary(t *testing.T) {
+	// w=4: items 1,2,3,4 each once fill the first window; at the boundary
+	// every entry has count 1, delta 0, so count+delta ≤ b=1 prunes all.
+	l := New[uint64](4)
+	for _, x := range []uint64{1, 2, 3, 4} {
+		l.Update(x)
+	}
+	if l.Len() != 0 {
+		t.Errorf("Len after boundary = %d, want 0", l.Len())
+	}
+}
+
+func TestSurvivorsKeepCounts(t *testing.T) {
+	// w=4: 1,1,1,2 → at the boundary item 1 (count 3) survives, item 2
+	// (count 1, delta 0) is pruned.
+	l := New[uint64](4)
+	for _, x := range []uint64{1, 1, 1, 2} {
+		l.Update(x)
+	}
+	if got := l.Estimate(1); got != 3 {
+		t.Errorf("Estimate(1) = %d, want 3", got)
+	}
+	if got := l.Estimate(2); got != 0 {
+		t.Errorf("Estimate(2) = %d, want 0", got)
+	}
+}
+
+func TestUnderestimateProperty(t *testing.T) {
+	err := quick.Check(func(raw []uint8, wRaw uint8) bool {
+		w := int(wRaw)%16 + 1
+		l := New[uint64](w)
+		truth := exact.New()
+		for _, x := range raw {
+			item := uint64(x) % 16
+			l.Update(item)
+			truth.Update(item)
+		}
+		for i := uint64(0); i < 16; i++ {
+			if float64(l.Estimate(i)) > truth.Freq(i) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestF1ErrorBound(t *testing.T) {
+	// f_i − c_i ≤ N/w for every item.
+	err := quick.Check(func(raw []uint8, wRaw uint8) bool {
+		w := int(wRaw)%16 + 1
+		l := New[uint64](w)
+		truth := exact.New()
+		for _, x := range raw {
+			item := uint64(x) % 16
+			l.Update(item)
+			truth.Update(item)
+		}
+		bound := float64(l.N()) / float64(w)
+		for i := uint64(0); i < 16; i++ {
+			if truth.Freq(i)-float64(l.Estimate(i)) > bound {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaPlusCountBoundsTrueFrequency(t *testing.T) {
+	s := stream.Zipf(100, 1.1, 10000, stream.OrderRandom, 3)
+	truth := exact.FromStream(s)
+	l := New[uint64](50)
+	for _, x := range s {
+		l.Update(x)
+	}
+	for _, e := range l.Entries() {
+		f := truth.Freq(e.Item)
+		if float64(e.Count) > f {
+			t.Errorf("item %d overestimated: %d > %v", e.Item, e.Count, f)
+		}
+		if f > float64(e.Count+e.Err) {
+			t.Errorf("item %d: true %v exceeds count+Δ = %d", e.Item, f, e.Count+e.Err)
+		}
+	}
+}
+
+func TestSpaceHighWaterMark(t *testing.T) {
+	// Unlike the HTC algorithms, LOSSYCOUNTING has no hard m-counter cap:
+	// its footprint is only pruned at window boundaries. The high-water
+	// mark must reach the window width on a distinct-heavy stream, and
+	// stay within the O(w·log(N/w)) analysis bound.
+	const n, w = 400, 40
+	s := stream.Zipf(n, 0.6, 40000, stream.OrderRoundRobin, 3)
+	l := New[uint64](w)
+	for _, x := range s {
+		l.Update(x)
+	}
+	if l.MaxStored() < w {
+		t.Errorf("MaxStored = %d, expected >= w = %d", l.MaxStored(), w)
+	}
+	if l.MaxStored() > 4*w {
+		t.Errorf("MaxStored = %d, implausibly above the analysis bound", l.MaxStored())
+	}
+	if l.MaxStored() < l.Len() {
+		t.Errorf("high-water mark %d below final length %d", l.MaxStored(), l.Len())
+	}
+}
+
+func TestPanicsOnBadW(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New[int](0)
+}
+
+func TestReset(t *testing.T) {
+	l := New[uint64](4)
+	for _, x := range []uint64{1, 1, 2, 3, 4, 5} {
+		l.Update(x)
+	}
+	l.Reset()
+	if l.Len() != 0 || l.N() != 0 || l.MaxStored() != 0 {
+		t.Error("Reset did not clear state")
+	}
+	l.Update(7)
+	if l.Estimate(7) != 1 {
+		t.Error("unusable after Reset")
+	}
+}
+
+func TestCapacityReportsW(t *testing.T) {
+	if got := New[int](17).Capacity(); got != 17 {
+		t.Errorf("Capacity = %d, want 17", got)
+	}
+}

@@ -1,0 +1,228 @@
+package merge
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/spacesaving"
+	"repro/internal/stream"
+)
+
+func TestMergedGuarantee(t *testing.T) {
+	g := MergedGuarantee(core.TailGuarantee{A: 1, B: 1})
+	if g.A != 3 || g.B != 2 {
+		t.Errorf("MergedGuarantee(1,1) = %+v, want (3,2)", g)
+	}
+}
+
+// shards splits a stream into l contiguous shards.
+func shards(s []uint64, l int) [][]uint64 {
+	out := make([][]uint64, l)
+	per := len(s) / l
+	for i := 0; i < l; i++ {
+		lo, hi := i*per, (i+1)*per
+		if i == l-1 {
+			hi = len(s)
+		}
+		out[i] = s[lo:hi]
+	}
+	return out
+}
+
+func TestKSparseMergeTailGuarantee(t *testing.T) {
+	// Theorem 11 end-to-end: summarize ℓ shards with SPACESAVING (tail
+	// constants (1,1)), merge via k-sparse refeeding, and check the
+	// merged summary's error against the (3,2) bound on the union stream.
+	const n, total, m, k = 400, 80000, 60, 10
+	s := stream.Zipf(n, 1.1, total, stream.OrderRandom, 3)
+	truth := exact.FromStream(s)
+	for _, l := range []int{2, 4, 8} {
+		summaries := make([][]core.Entry[uint64], l)
+		for i, shard := range shards(s, l) {
+			alg := spacesaving.New[uint64](m)
+			for _, x := range shard {
+				alg.Update(x)
+			}
+			summaries[i] = alg.Entries()
+		}
+		merged := KSparse(m, k, summaries...)
+		bound := MergedGuarantee(core.TailGuarantee{A: 1, B: 1}).Bound(m, k, truth.Res1(k))
+		worst := 0.0
+		for i := uint64(0); i < n; i++ {
+			if d := math.Abs(truth.Freq(i) - merged.EstimateWeighted(i)); d > worst {
+				worst = d
+			}
+		}
+		if worst > bound {
+			t.Errorf("l=%d: merged error %v exceeds (3,2) bound %v", l, worst, bound)
+		}
+	}
+}
+
+func TestKSparseMergePreservesHeavyHitters(t *testing.T) {
+	// The true top items of a strongly skewed union must surface in the
+	// merged summary's top entries.
+	const n, total, m, k = 200, 40000, 40, 5
+	s := stream.Zipf(n, 1.5, total, stream.OrderRandom, 9)
+	summaries := make([][]core.Entry[uint64], 4)
+	for i, shard := range shards(s, 4) {
+		alg := spacesaving.New[uint64](m)
+		for _, x := range shard {
+			alg.Update(x)
+		}
+		summaries[i] = alg.Entries()
+	}
+	merged := KSparse(m, k, summaries...)
+	es := merged.WeightedEntries()
+	if len(es) == 0 {
+		t.Fatal("merged summary is empty")
+	}
+	top := map[uint64]bool{}
+	for _, e := range es[:min(3, len(es))] {
+		top[e.Item] = true
+	}
+	// Items 0, 1, 2 are the true heavy hitters of the Zipf stream.
+	for i := uint64(0); i < 3; i++ {
+		if !top[i] {
+			t.Errorf("true heavy hitter %d missing from merged top-3: %v", i, es[:min(3, len(es))])
+		}
+	}
+}
+
+func TestKSparseWeightedMerge(t *testing.T) {
+	const m, k = 30, 5
+	ups := stream.WeightedZipf(100, 1.2, 20000, 3, 7)
+	truth := exact.New()
+	half := len(ups) / 2
+	sum1 := spacesaving.NewR[uint64](m)
+	sum2 := spacesaving.NewR[uint64](m)
+	for i, u := range ups {
+		truth.UpdateWeighted(u.Item, u.Weight)
+		if i < half {
+			sum1.UpdateWeighted(u.Item, u.Weight)
+		} else {
+			sum2.UpdateWeighted(u.Item, u.Weight)
+		}
+	}
+	merged := KSparseWeighted(m, k, sum1.WeightedEntries(), sum2.WeightedEntries())
+	bound := MergedGuarantee(core.TailGuarantee{A: 1, B: 1}).Bound(m, k, truth.Res1(k))
+	for i := uint64(0); i < 100; i++ {
+		if d := math.Abs(truth.Freq(i) - merged.EstimateWeighted(i)); d > bound {
+			t.Errorf("item %d: error %v exceeds bound %v", i, d, bound)
+		}
+	}
+}
+
+func TestMSparseMergeTailGuarantee(t *testing.T) {
+	// The robust all-counters merge must satisfy the (3,2) bound even in
+	// the large-m regime where the literal k-sparse construction loses
+	// f_{k+1} (see the MSparse doc comment).
+	const n, total, m, k = 400, 80000, 200, 10
+	s := stream.Zipf(n, 1.1, total, stream.OrderRandom, 3)
+	truth := exact.FromStream(s)
+	for _, l := range []int{2, 8} {
+		summaries := make([][]core.Entry[uint64], l)
+		for i, shard := range shards(s, l) {
+			alg := spacesaving.New[uint64](m)
+			for _, x := range shard {
+				alg.Update(x)
+			}
+			summaries[i] = alg.Entries()
+		}
+		merged := MSparse(m, summaries...)
+		bound := MergedGuarantee(core.TailGuarantee{A: 1, B: 1}).Bound(m, k, truth.Res1(k))
+		for i := uint64(0); i < n; i++ {
+			if d := math.Abs(truth.Freq(i) - merged.EstimateWeighted(i)); d > bound {
+				t.Errorf("l=%d item %d: error %v exceeds bound %v", l, i, d, bound)
+			}
+		}
+	}
+}
+
+func TestMSparseWeightedMerge(t *testing.T) {
+	a := spacesaving.NewR[uint64](8)
+	b := spacesaving.NewR[uint64](8)
+	a.UpdateWeighted(1, 5)
+	b.UpdateWeighted(1, 2.5)
+	b.UpdateWeighted(2, 1)
+	merged := MSparseWeighted(8, a.WeightedEntries(), b.WeightedEntries())
+	if got := merged.EstimateWeighted(1); got != 7.5 {
+		t.Errorf("merged item 1 = %v, want 7.5", got)
+	}
+	if got := merged.EstimateWeighted(2); got != 1 {
+		t.Errorf("merged item 2 = %v, want 1", got)
+	}
+}
+
+func TestDirectMergeSidedness(t *testing.T) {
+	// Direct merge must preserve SPACESAVING's sidedness on the union:
+	// count ≥ true, count − err ≤ true.
+	const n, total, m = 200, 40000, 50
+	s := stream.Zipf(n, 1.2, total, stream.OrderRandom, 5)
+	truth := exact.FromStream(s)
+	a := spacesaving.New[uint64](m)
+	b := spacesaving.New[uint64](m)
+	for i, x := range s {
+		if i%2 == 0 {
+			a.Update(x)
+		} else {
+			b.Update(x)
+		}
+	}
+	merged := Direct(m, a.Entries(), b.Entries(), a.MinCount(), b.MinCount())
+	if len(merged) > m {
+		t.Fatalf("merged has %d entries, capacity %d", len(merged), m)
+	}
+	for _, e := range merged {
+		f := truth.Freq(e.Item)
+		if float64(e.Count) < f {
+			t.Errorf("item %d: merged count %d under true %v", e.Item, e.Count, f)
+		}
+		if float64(e.Count)-float64(e.Err) > f {
+			t.Errorf("item %d: count−err %d exceeds true %v", e.Item, e.Count-e.Err, f)
+		}
+	}
+}
+
+func TestDirectMergeDisjointSummaries(t *testing.T) {
+	a := []core.Entry[uint64]{{Item: 1, Count: 10}}
+	b := []core.Entry[uint64]{{Item: 2, Count: 7}}
+	merged := Direct(5, a, b, 2, 3)
+	got := map[uint64]core.Entry[uint64]{}
+	for _, e := range merged {
+		got[e.Item] = e
+	}
+	// Item 1 absent from b (min 3): count 13, err 3. Item 2 absent from a
+	// (min 2): count 9, err 2.
+	if e := got[1]; e.Count != 13 || e.Err != 3 {
+		t.Errorf("item 1 = %+v, want count 13 err 3", e)
+	}
+	if e := got[2]; e.Count != 9 || e.Err != 2 {
+		t.Errorf("item 2 = %+v, want count 9 err 2", e)
+	}
+}
+
+func TestDirectMergeTruncatesToM(t *testing.T) {
+	var a, b []core.Entry[uint64]
+	for i := uint64(0); i < 10; i++ {
+		a = append(a, core.Entry[uint64]{Item: i, Count: 100 - i})
+		b = append(b, core.Entry[uint64]{Item: i + 10, Count: 50 - i})
+	}
+	merged := Direct(8, a, b, 0, 0)
+	if len(merged) != 8 {
+		t.Fatalf("len = %d, want 8", len(merged))
+	}
+	// Top entries come from a (larger counts).
+	if merged[0].Item != 0 || merged[0].Count != 100 {
+		t.Errorf("top entry = %+v", merged[0])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,179 @@
+// Package recovery implements Section 4 of the paper: k-sparse recovery
+// from the top-k counters (Theorem 5), estimation of the residual
+// F1^res(k) (Theorem 6), and m-sparse recovery from underestimating
+// counter algorithms (Theorem 7), together with the closed-form error
+// bounds those theorems prove.
+package recovery
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// KSparse builds the k-sparse recovery f′ of Theorem 5: the k largest
+// counters of a summary, everything else zero. Entries must be sorted by
+// decreasing count (as returned by Algorithm.Entries).
+func KSparse[K comparable](entries []core.Entry[K], k int) map[K]float64 {
+	if k < 0 {
+		panic("recovery: negative k")
+	}
+	if k > len(entries) {
+		k = len(entries)
+	}
+	out := make(map[K]float64, k)
+	for _, e := range entries[:k] {
+		out[e.Item] = float64(e.Count)
+	}
+	return out
+}
+
+// KSparseWeighted is KSparse for real-valued summaries.
+func KSparseWeighted[K comparable](entries []core.WeightedEntry[K], k int) map[K]float64 {
+	if k < 0 {
+		panic("recovery: negative k")
+	}
+	if k > len(entries) {
+		k = len(entries)
+	}
+	out := make(map[K]float64, k)
+	for _, e := range entries[:k] {
+		out[e.Item] = e.Count
+	}
+	return out
+}
+
+// CountersForTheorem5 returns the counter budget m = k(3A/ε + B) that
+// Theorem 5 prescribes for the Lp recovery bound, or k(2A/ε + B) when the
+// algorithm has one-sided error (as FREQUENT and SPACESAVING do).
+func CountersForTheorem5(k int, eps float64, g core.TailGuarantee, oneSided bool) int {
+	if k < 1 || eps <= 0 {
+		panic("recovery: need k >= 1 and eps > 0")
+	}
+	c := 3.0
+	if oneSided {
+		c = 2.0
+	}
+	return int(math.Ceil(float64(k) * (c*g.A/eps + g.B)))
+}
+
+// EpsilonForTheorem5 inverts CountersForTheorem5: the ε achieved by budget
+// m at sparsity k, i.e. ε = cAk/(m − Bk) with c = 3 (or 2 one-sided). It
+// returns +Inf when m ≤ Bk.
+func EpsilonForTheorem5(m, k int, g core.TailGuarantee, oneSided bool) float64 {
+	den := float64(m) - g.B*float64(k)
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	c := 3.0
+	if oneSided {
+		c = 2.0
+	}
+	return c * g.A * float64(k) / den
+}
+
+// Theorem5Bound evaluates the Lp recovery bound
+// ε·F1^res(k)/k^{1−1/p} + (F_p^res(k))^{1/p}.
+func Theorem5Bound(eps float64, k int, res1, resP, p float64) float64 {
+	if p < 1 {
+		panic("recovery: p must be >= 1")
+	}
+	return eps*res1/math.Pow(float64(k), 1-1/p) + math.Pow(resP, 1/p)
+}
+
+// ResidualEstimate implements Theorem 6's estimator of F1^res(k):
+// F1 − ‖f′‖1, where f′ is the k-sparse recovery. With m = k(A/ε + B)
+// counters the result is within (1 ± ε)·F1^res(k).
+func ResidualEstimate[K comparable](entries []core.Entry[K], k int, f1 float64) float64 {
+	sum := 0.0
+	for _, v := range KSparse(entries, k) {
+		sum += v
+	}
+	return f1 - sum
+}
+
+// CountersForTheorem6 returns the Theorem 6 budget m = Bk + Ak/ε.
+func CountersForTheorem6(k int, eps float64, g core.TailGuarantee) int {
+	if k < 1 || eps <= 0 {
+		panic("recovery: need k >= 1 and eps > 0")
+	}
+	return int(math.Ceil(g.B*float64(k) + g.A*float64(k)/eps))
+}
+
+// UnderestimatePerItem transforms SPACESAVING entries into underestimates
+// using the per-item error ε_i recorded at insertion: c′_i = c_i − ε_i.
+// The paper notes (Section 4.2) this gives slightly better per-item
+// guarantees than the global transform.
+func UnderestimatePerItem[K comparable](entries []core.Entry[K]) []core.Entry[K] {
+	out := make([]core.Entry[K], len(entries))
+	for i, e := range entries {
+		out[i] = core.Entry[K]{Item: e.Item, Count: e.Count - e.Err}
+	}
+	core.SortEntries(out)
+	return out
+}
+
+// UnderestimateGlobal transforms SPACESAVING entries into underestimates
+// using the global minimum counter Δ: c′_i = max(0, c_i − Δ). Per Section
+// 4.2 the transformed counters satisfy the same (1,1) tail bounds, which
+// is what Theorem 7 requires.
+func UnderestimateGlobal[K comparable](entries []core.Entry[K], minCount uint64) []core.Entry[K] {
+	out := make([]core.Entry[K], 0, len(entries))
+	for _, e := range entries {
+		c := uint64(0)
+		if e.Count > minCount {
+			c = e.Count - minCount
+		}
+		out = append(out, core.Entry[K]{Item: e.Item, Count: c})
+	}
+	core.SortEntries(out)
+	return out
+}
+
+// MSparse builds the m-sparse recovery of Theorem 7 from (already
+// underestimating) entries: every stored counter is kept.
+func MSparse[K comparable](entries []core.Entry[K]) map[K]float64 {
+	out := make(map[K]float64, len(entries))
+	for _, e := range entries {
+		if e.Count > 0 {
+			out[e.Item] = float64(e.Count)
+		}
+	}
+	return out
+}
+
+// Theorem7Bound evaluates the m-sparse Lp recovery bound
+// (1+ε)·(ε/k)^{1−1/p}·F1^res(k).
+func Theorem7Bound(eps float64, k int, res1, p float64) float64 {
+	if p < 1 {
+		panic("recovery: p must be >= 1")
+	}
+	return (1 + eps) * math.Pow(eps/float64(k), 1-1/p) * res1
+}
+
+// CountersForTheorem7 returns the Theorem 7 budget m = Bk + Ak/ε (the
+// same form as Theorem 6).
+func CountersForTheorem7(k int, eps float64, g core.TailGuarantee) int {
+	return CountersForTheorem6(k, eps, g)
+}
+
+// LpError computes ‖f − f′‖p between an exact sparse frequency vector and
+// a recovery, both keyed by item; items present in either side contribute.
+func LpError[K comparable](f map[K]float64, fPrime map[K]float64, p float64) float64 {
+	if p < 1 {
+		panic("recovery: p must be >= 1")
+	}
+	s := 0.0
+	for k, v := range f {
+		d := math.Abs(v - fPrime[k])
+		if d != 0 {
+			s += math.Pow(d, p)
+		}
+	}
+	for k, v := range fPrime {
+		if _, ok := f[k]; !ok && v != 0 {
+			s += math.Pow(v, p)
+		}
+	}
+	return math.Pow(s, 1/p)
+}

@@ -1,0 +1,235 @@
+package recovery
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/frequent"
+	"repro/internal/spacesaving"
+	"repro/internal/stream"
+)
+
+func TestKSparseBasics(t *testing.T) {
+	entries := []core.Entry[uint64]{{Item: 1, Count: 10}, {Item: 2, Count: 5}, {Item: 3, Count: 2}}
+	f := KSparse(entries, 2)
+	if len(f) != 2 || f[1] != 10 || f[2] != 5 {
+		t.Errorf("KSparse = %v", f)
+	}
+	if got := KSparse(entries, 99); len(got) != 3 {
+		t.Errorf("KSparse(k>len) kept %d entries", len(got))
+	}
+	if got := KSparse(entries, 0); len(got) != 0 {
+		t.Errorf("KSparse(0) = %v", got)
+	}
+}
+
+func TestKSparseWeighted(t *testing.T) {
+	entries := []core.WeightedEntry[uint64]{{Item: 4, Count: 2.5}, {Item: 5, Count: 1.5}}
+	f := KSparseWeighted(entries, 1)
+	if len(f) != 1 || f[4] != 2.5 {
+		t.Errorf("KSparseWeighted = %v", f)
+	}
+}
+
+func TestKSparsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KSparse(-1) did not panic")
+		}
+	}()
+	KSparse[uint64](nil, -1)
+}
+
+func TestCountersForTheorem5(t *testing.T) {
+	g := core.TailGuarantee{A: 1, B: 1}
+	// two-sided: k(3/ε + 1) = 10(30 + 1) = 310 at ε=0.1, k=10.
+	if got := CountersForTheorem5(10, 0.1, g, false); got != 310 {
+		t.Errorf("two-sided budget = %d, want 310", got)
+	}
+	// one-sided: k(2/ε + 1) = 210.
+	if got := CountersForTheorem5(10, 0.1, g, true); got != 210 {
+		t.Errorf("one-sided budget = %d, want 210", got)
+	}
+}
+
+func TestEpsilonForTheorem5RoundTrip(t *testing.T) {
+	g := core.TailGuarantee{A: 1, B: 1}
+	for _, k := range []int{1, 5, 20} {
+		for _, eps := range []float64{0.5, 0.1, 0.02} {
+			m := CountersForTheorem5(k, eps, g, true)
+			got := EpsilonForTheorem5(m, k, g, true)
+			if got > eps*1.001 {
+				t.Errorf("k=%d eps=%v: round-trip epsilon %v exceeds target", k, eps, got)
+			}
+		}
+	}
+	if !math.IsInf(EpsilonForTheorem5(5, 5, g, false), 1) {
+		t.Error("vacuous epsilon should be +Inf")
+	}
+}
+
+func TestTheorem5KSparseRecoveryBound(t *testing.T) {
+	// End-to-end Theorem 5: for SPACESAVING with m = k(2/ε+1) counters
+	// (one-sided), the k-sparse recovery Lp error must respect the bound
+	// for p = 1 and p = 2.
+	const n, total, k = 500, 100000, 10
+	s := stream.Zipf(n, 1.1, total, stream.OrderRandom, 3)
+	truth := exact.FromStream(s)
+	g := core.TailGuarantee{A: 1, B: 1}
+	for _, eps := range []float64{0.5, 0.2, 0.1} {
+		m := CountersForTheorem5(k, eps, g, true)
+		alg := spacesaving.New[uint64](m)
+		for _, x := range s {
+			alg.Update(x)
+		}
+		fPrime := KSparse(alg.Entries(), k)
+		fExact := map[uint64]float64(truth.Sparse())
+		for _, p := range []float64{1, 2} {
+			got := LpError(fExact, fPrime, p)
+			bound := Theorem5Bound(eps, k, truth.Res1(k), truth.ResP(k, p), p)
+			if got > bound {
+				t.Errorf("eps=%v p=%v: recovery error %v exceeds bound %v", eps, p, got, bound)
+			}
+		}
+	}
+}
+
+func TestTheorem6ResidualEstimate(t *testing.T) {
+	const n, total, k = 500, 100000, 10
+	s := stream.Zipf(n, 1.1, total, stream.OrderRandom, 5)
+	truth := exact.FromStream(s)
+	g := core.TailGuarantee{A: 1, B: 1}
+	for _, eps := range []float64{0.5, 0.2, 0.1} {
+		m := CountersForTheorem6(k, eps, g)
+		alg := spacesaving.New[uint64](m)
+		for _, x := range s {
+			alg.Update(x)
+		}
+		got := ResidualEstimate(alg.Entries(), k, truth.F1())
+		res := truth.Res1(k)
+		if got < res*(1-eps) || got > res*(1+eps) {
+			t.Errorf("eps=%v: estimate %v outside (1±ε)·%v", eps, got, res)
+		}
+	}
+}
+
+func TestUnderestimateTransforms(t *testing.T) {
+	const n, total, m = 300, 30000, 50
+	s := stream.Zipf(n, 1.2, total, stream.OrderRandom, 7)
+	truth := exact.FromStream(s)
+	alg := spacesaving.New[uint64](m)
+	for _, x := range s {
+		alg.Update(x)
+	}
+	perItem := UnderestimatePerItem(alg.Entries())
+	global := UnderestimateGlobal(alg.Entries(), alg.MinCount())
+	for _, e := range perItem {
+		if float64(e.Count) > truth.Freq(e.Item) {
+			t.Errorf("per-item transform overestimates item %d: %d > %v", e.Item, e.Count, truth.Freq(e.Item))
+		}
+	}
+	for _, e := range global {
+		if float64(e.Count) > truth.Freq(e.Item) {
+			t.Errorf("global transform overestimates item %d: %d > %v", e.Item, e.Count, truth.Freq(e.Item))
+		}
+	}
+	// The global transform still satisfies (1,1) tail bounds on errors:
+	// f_i − c'_i ≤ 2·F1res(k)/(m−k)... per §4.2 it keeps A=B=1; verify
+	// against the k-tail bound for several k.
+	est := make(map[uint64]float64, len(global))
+	for _, e := range global {
+		est[e.Item] = float64(e.Count)
+	}
+	for _, k := range []int{1, 5, 10} {
+		bound := core.TailGuarantee{A: 1, B: 1}.Bound(m, k, truth.Res1(k))
+		for i := uint64(0); i < n; i++ {
+			if d := truth.Freq(i) - est[i]; d > 2*bound {
+				t.Errorf("k=%d item %d: undercount %v far exceeds bound %v", k, i, d, bound)
+			}
+		}
+	}
+}
+
+func TestTheorem7MSparseBound(t *testing.T) {
+	// Theorem 7 with FREQUENT (naturally underestimating): m-sparse
+	// recovery with m = k(1/ε + 1) counters has Lp error at most
+	// (1+ε)(ε/k)^{1−1/p}·F1^res(k).
+	const n, total, k = 500, 100000, 10
+	s := stream.Zipf(n, 1.1, total, stream.OrderRandom, 11)
+	truth := exact.FromStream(s)
+	g := core.TailGuarantee{A: 1, B: 1}
+	fExact := map[uint64]float64(truth.Sparse())
+	for _, eps := range []float64{0.5, 0.2, 0.1} {
+		m := CountersForTheorem7(k, eps, g)
+		alg := frequent.New[uint64](m)
+		for _, x := range s {
+			alg.Update(x)
+		}
+		fPrime := MSparse(alg.Entries())
+		for _, p := range []float64{1, 2} {
+			got := LpError(fExact, fPrime, p)
+			bound := Theorem7Bound(eps, k, truth.Res1(k), p)
+			if got > bound {
+				t.Errorf("eps=%v p=%v: m-sparse error %v exceeds bound %v", eps, p, got, bound)
+			}
+		}
+	}
+}
+
+func TestTheorem7WithUnderestimatedSpaceSaving(t *testing.T) {
+	// Same bound via the SPACESAVING global underestimate transform.
+	const n, total, k = 500, 100000, 10
+	s := stream.Zipf(n, 1.1, total, stream.OrderRandom, 13)
+	truth := exact.FromStream(s)
+	fExact := map[uint64]float64(truth.Sparse())
+	g := core.TailGuarantee{A: 1, B: 1}
+	const eps = 0.2
+	m := CountersForTheorem7(k, eps, g)
+	alg := spacesaving.New[uint64](m)
+	for _, x := range s {
+		alg.Update(x)
+	}
+	fPrime := MSparse(UnderestimateGlobal(alg.Entries(), alg.MinCount()))
+	for _, p := range []float64{1, 2} {
+		got := LpError(fExact, fPrime, p)
+		bound := Theorem7Bound(eps, k, truth.Res1(k), p)
+		if got > bound {
+			t.Errorf("p=%v: error %v exceeds bound %v", p, got, bound)
+		}
+	}
+}
+
+func TestLpErrorBothDirections(t *testing.T) {
+	f := map[uint64]float64{1: 5, 2: 3}
+	fp := map[uint64]float64{1: 4, 3: 2}
+	// diffs: |5-4| + |3-0| + |0-2| = 6.
+	if got := LpError(f, fp, 1); got != 6 {
+		t.Errorf("L1 = %v, want 6", got)
+	}
+	want := math.Sqrt(1 + 9 + 4)
+	if got := LpError(f, fp, 2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("L2 = %v, want %v", got, want)
+	}
+}
+
+func TestBoundFormulaPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Theorem5Bound p<1":  func() { Theorem5Bound(0.1, 1, 1, 1, 0.5) },
+		"Theorem7Bound p<1":  func() { Theorem7Bound(0.1, 1, 1, 0.5) },
+		"LpError p<1":        func() { LpError(map[int]float64{}, map[int]float64{}, 0.9) },
+		"CountersT5 k=0":     func() { CountersForTheorem5(0, 0.1, core.TailGuarantee{A: 1, B: 1}, false) },
+		"CountersT6 eps=0":   func() { CountersForTheorem6(1, 0, core.TailGuarantee{A: 1, B: 1}) },
+		"KSparseWeighted -1": func() { KSparseWeighted[uint64](nil, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,118 @@
+// Package rng provides a small, fully deterministic pseudo-random number
+// generator used by stream generators and hashing seed derivation.
+//
+// The generator is xoshiro256** seeded via splitmix64, implemented from
+// scratch so that experiment outputs are reproducible across Go releases
+// (the stdlib math/rand stream is not guaranteed stable between versions).
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// SplitMix64 advances *state by the splitmix64 increment and returns the
+// next output. It is used to expand a single seed word into arbitrarily
+// many well-distributed words (e.g. to seed xoshiro or hash families).
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Source is a deterministic xoshiro256** generator. The zero value is not
+// usable; construct with New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from a single word. Distinct seeds yield
+// independent-looking streams; the same seed always yields the same stream.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		src.s[i] = SplitMix64(&sm)
+	}
+	// Guard against the (astronomically unlikely via splitmix64, but cheap
+	// to exclude) all-zero state, which is a fixed point of xoshiro.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (src *Source) Uint64() uint64 {
+	s := &src.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0.
+func (src *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	hi, lo := bits.Mul64(src.Uint64(), n)
+	if lo < n {
+		// Rejection zone: recompute threshold only on the slow path.
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(src.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (src *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(src.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (src *Source) Float64() float64 {
+	return float64(src.Uint64()>>11) / (1 << 53)
+}
+
+// Shuffle performs a Fisher-Yates shuffle over n elements, calling swap for
+// each transposition.
+func (src *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := src.Intn(i + 1)
+		if i != j {
+			swap(i, j)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (src *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	src.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1,
+// via inversion. Used by weighted stream generators.
+func (src *Source) ExpFloat64() float64 {
+	// 1 - Float64() is in (0, 1], avoiding log(0).
+	u := 1 - src.Float64()
+	return -math.Log(u)
+}

@@ -1,0 +1,116 @@
+// Package sketch implements the randomized baselines of Table 1: the
+// Count-Min sketch (absolute error ε/k·F1^res(k) with O(k/ε·log n)
+// counters) and the Count-Sketch (squared error ε/k·F2^res(k)). Both are
+// linear projections of the frequency vector; unlike the counter
+// algorithms they support deletions, but per the paper's headline result
+// they need asymptotically more space for the same residual guarantee.
+//
+// Items are uint64 identifiers; hashing uses the pairwise / 4-wise
+// independent polynomial families of internal/hashing.
+package sketch
+
+import (
+	"math"
+
+	"repro/internal/hashing"
+	"repro/internal/rng"
+)
+
+// CountMin is a d×w Count-Min sketch. Estimates are upper bounds:
+// f_i ≤ Estimate(i), and with w = ⌈e/ε⌉, d = ⌈ln(1/δ)⌉ the overestimate
+// is at most εF1 with probability 1−δ. The zero value is not usable;
+// construct with NewCountMin.
+type CountMin struct {
+	depth, width int
+	rows         []hashing.Poly
+	cells        [][]uint64
+	n            uint64
+	conservative bool
+}
+
+// NewCountMin returns a Count-Min sketch with the given depth (number of
+// rows) and width (counters per row), seeded deterministically. It panics
+// if either dimension is < 1.
+func NewCountMin(depth, width int, seed uint64) *CountMin {
+	return newCountMin(depth, width, seed, false)
+}
+
+// NewCountMinConservative returns a Count-Min sketch using conservative
+// update (increment only the minimal cells), an ablation that tightens
+// overestimates at the cost of losing linearity.
+func NewCountMinConservative(depth, width int, seed uint64) *CountMin {
+	return newCountMin(depth, width, seed, true)
+}
+
+func newCountMin(depth, width int, seed uint64, conservative bool) *CountMin {
+	if depth < 1 || width < 1 {
+		panic("sketch: CountMin dimensions must be >= 1")
+	}
+	src := rng.New(seed)
+	cm := &CountMin{depth: depth, width: width, conservative: conservative}
+	cm.rows = make([]hashing.Poly, depth)
+	cm.cells = make([][]uint64, depth)
+	for r := range cm.rows {
+		cm.rows[r] = hashing.NewPoly(src, 2)
+		cm.cells[r] = make([]uint64, width)
+	}
+	return cm
+}
+
+// Update adds one occurrence of item.
+func (cm *CountMin) Update(item uint64) { cm.Add(item, 1) }
+
+// Add adds c occurrences of item.
+func (cm *CountMin) Add(item uint64, c uint64) {
+	cm.n += c
+	if !cm.conservative {
+		for r, p := range cm.rows {
+			cm.cells[r][p.Bucket(item, uint64(cm.width))] += c
+		}
+		return
+	}
+	// Conservative update: raise each cell only as far as the new lower
+	// bound max(cell, estimate+c) requires.
+	est := cm.Estimate(item) + c
+	for r, p := range cm.rows {
+		cell := &cm.cells[r][p.Bucket(item, uint64(cm.width))]
+		if *cell < est {
+			*cell = est
+		}
+	}
+}
+
+// Estimate returns the minimum cell across rows — an upper bound on
+// item's frequency.
+func (cm *CountMin) Estimate(item uint64) uint64 {
+	est := uint64(math.MaxUint64)
+	for r, p := range cm.rows {
+		if c := cm.cells[r][p.Bucket(item, uint64(cm.width))]; c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// N returns the total weight added.
+func (cm *CountMin) N() uint64 { return cm.n }
+
+// Words returns the memory footprint in machine words: cells plus two
+// hash coefficients per row. Used for Table 1's equal-space comparisons.
+func (cm *CountMin) Words() int { return cm.depth*cm.width + 2*cm.depth }
+
+// Depth and Width report the sketch dimensions.
+func (cm *CountMin) Depth() int { return cm.depth }
+
+// Width reports the number of counters per row.
+func (cm *CountMin) Width() int { return cm.width }
+
+// Reset zeroes all cells, keeping the hash functions.
+func (cm *CountMin) Reset() {
+	for r := range cm.cells {
+		for i := range cm.cells[r] {
+			cm.cells[r][i] = 0
+		}
+	}
+	cm.n = 0
+}

@@ -1,0 +1,103 @@
+package sketch
+
+import (
+	"sort"
+
+	"repro/internal/hashing"
+	"repro/internal/rng"
+)
+
+// CountSketch is a d×w Count-Sketch (Charikar, Chen, Farach-Colton):
+// each row adds ±1 (times the update weight) to one cell, and the
+// estimate is the median across rows of the sign-corrected cells. Errors
+// are two-sided with variance F2/w per row; Table 1 states the residual
+// form (f_i − f̂_i)² ≤ ε/k · F2^res(k). The zero value is not usable;
+// construct with NewCountSketch.
+type CountSketch struct {
+	depth, width int
+	buckets      []hashing.Poly
+	signs        []hashing.Poly
+	cells        [][]int64
+	n            uint64
+	scratch      []int64
+}
+
+// NewCountSketch returns a Count-Sketch with the given dimensions, seeded
+// deterministically. It panics if either dimension is < 1.
+func NewCountSketch(depth, width int, seed uint64) *CountSketch {
+	if depth < 1 || width < 1 {
+		panic("sketch: CountSketch dimensions must be >= 1")
+	}
+	src := rng.New(seed)
+	cs := &CountSketch{depth: depth, width: width}
+	cs.buckets = make([]hashing.Poly, depth)
+	cs.signs = make([]hashing.Poly, depth)
+	cs.cells = make([][]int64, depth)
+	for r := 0; r < depth; r++ {
+		cs.buckets[r] = hashing.NewPoly(src, 2)
+		cs.signs[r] = hashing.NewPoly(src, 4)
+		cs.cells[r] = make([]int64, width)
+	}
+	cs.scratch = make([]int64, depth)
+	return cs
+}
+
+// Update adds one occurrence of item.
+func (cs *CountSketch) Update(item uint64) { cs.Add(item, 1) }
+
+// Add adds c occurrences of item (c may model deletions when negative).
+func (cs *CountSketch) Add(item uint64, c int64) {
+	if c > 0 {
+		cs.n += uint64(c)
+	}
+	for r := 0; r < cs.depth; r++ {
+		cs.cells[r][cs.buckets[r].Bucket(item, uint64(cs.width))] += cs.signs[r].Sign(item) * c
+	}
+}
+
+// Estimate returns the median across rows of the sign-corrected cell
+// values. Estimates are two-sided and may be negative; callers needing a
+// frequency should clamp at zero.
+func (cs *CountSketch) Estimate(item uint64) int64 {
+	for r := 0; r < cs.depth; r++ {
+		cs.scratch[r] = cs.signs[r].Sign(item) * cs.cells[r][cs.buckets[r].Bucket(item, uint64(cs.width))]
+	}
+	sort.Slice(cs.scratch, func(i, j int) bool { return cs.scratch[i] < cs.scratch[j] })
+	mid := cs.depth / 2
+	if cs.depth%2 == 1 {
+		return cs.scratch[mid]
+	}
+	return (cs.scratch[mid-1] + cs.scratch[mid]) / 2
+}
+
+// EstimateNonNegative clamps Estimate at zero.
+func (cs *CountSketch) EstimateNonNegative(item uint64) uint64 {
+	e := cs.Estimate(item)
+	if e < 0 {
+		return 0
+	}
+	return uint64(e)
+}
+
+// N returns the total positive weight added.
+func (cs *CountSketch) N() uint64 { return cs.n }
+
+// Words returns the memory footprint in machine words: cells plus the
+// 2+4 hash coefficients per row.
+func (cs *CountSketch) Words() int { return cs.depth*cs.width + 6*cs.depth }
+
+// Depth reports the number of rows.
+func (cs *CountSketch) Depth() int { return cs.depth }
+
+// Width reports the number of counters per row.
+func (cs *CountSketch) Width() int { return cs.width }
+
+// Reset zeroes all cells, keeping the hash functions.
+func (cs *CountSketch) Reset() {
+	for r := range cs.cells {
+		for i := range cs.cells[r] {
+			cs.cells[r][i] = 0
+		}
+	}
+	cs.n = 0
+}

@@ -1,0 +1,201 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+func TestCountMinOverestimates(t *testing.T) {
+	s := stream.Zipf(500, 1.1, 50000, stream.OrderRandom, 3)
+	truth := exact.FromStream(s)
+	cm := NewCountMin(4, 256, 7)
+	for _, x := range s {
+		cm.Update(x)
+	}
+	for i := uint64(0); i < 500; i++ {
+		if float64(cm.Estimate(i)) < truth.Freq(i) {
+			t.Errorf("item %d: estimate %d under true %v", i, cm.Estimate(i), truth.Freq(i))
+		}
+	}
+}
+
+func TestCountMinErrorBound(t *testing.T) {
+	// With width w the expected overestimate per row is N/w; the min over
+	// 4 rows should stay well under 3·e·N/w for every item.
+	const n, total, width = 500, 50000, 256
+	s := stream.Zipf(n, 1.1, total, stream.OrderRandom, 3)
+	truth := exact.FromStream(s)
+	cm := NewCountMin(4, width, 7)
+	for _, x := range s {
+		cm.Update(x)
+	}
+	bound := 3 * math.E * float64(total) / width
+	for i := uint64(0); i < n; i++ {
+		over := float64(cm.Estimate(i)) - truth.Freq(i)
+		if over > bound {
+			t.Errorf("item %d: overestimate %v exceeds %v", i, over, bound)
+		}
+	}
+}
+
+func TestCountMinConservativeDominated(t *testing.T) {
+	// Conservative update never yields larger estimates than plain
+	// Count-Min with the same hash functions and stream.
+	s := stream.Zipf(300, 1.0, 30000, stream.OrderRandom, 5)
+	plain := NewCountMin(4, 128, 11)
+	cons := NewCountMinConservative(4, 128, 11)
+	for _, x := range s {
+		plain.Update(x)
+		cons.Update(x)
+	}
+	truth := exact.FromStream(s)
+	for i := uint64(0); i < 300; i++ {
+		if cons.Estimate(i) > plain.Estimate(i) {
+			t.Errorf("item %d: conservative %d > plain %d", i, cons.Estimate(i), plain.Estimate(i))
+		}
+		if float64(cons.Estimate(i)) < truth.Freq(i) {
+			t.Errorf("item %d: conservative underestimates", i)
+		}
+	}
+}
+
+func TestCountMinAddWeighted(t *testing.T) {
+	cm := NewCountMin(3, 64, 1)
+	cm.Add(5, 10)
+	cm.Add(5, 7)
+	if got := cm.Estimate(5); got < 17 {
+		t.Errorf("Estimate(5) = %d, want >= 17", got)
+	}
+	if cm.N() != 17 {
+		t.Errorf("N = %d, want 17", cm.N())
+	}
+}
+
+func TestCountMinDeterministicSeed(t *testing.T) {
+	a := NewCountMin(3, 64, 42)
+	b := NewCountMin(3, 64, 42)
+	for i := uint64(0); i < 100; i++ {
+		a.Update(i % 10)
+		b.Update(i % 10)
+	}
+	for i := uint64(0); i < 10; i++ {
+		if a.Estimate(i) != b.Estimate(i) {
+			t.Fatal("same seed produced different sketches")
+		}
+	}
+}
+
+func TestCountMinWordsAndDims(t *testing.T) {
+	cm := NewCountMin(4, 100, 1)
+	if cm.Words() != 408 {
+		t.Errorf("Words = %d, want 408", cm.Words())
+	}
+	if cm.Depth() != 4 || cm.Width() != 100 {
+		t.Errorf("dims = %d×%d", cm.Depth(), cm.Width())
+	}
+}
+
+func TestCountMinReset(t *testing.T) {
+	cm := NewCountMin(2, 32, 3)
+	cm.Update(1)
+	cm.Reset()
+	if cm.Estimate(1) != 0 || cm.N() != 0 {
+		t.Error("Reset did not clear cells")
+	}
+}
+
+func TestCountMinPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"depth 0": func() { NewCountMin(0, 10, 1) },
+		"width 0": func() { NewCountMin(3, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCountSketchAccuracy(t *testing.T) {
+	const n, total = 500, 50000
+	s := stream.Zipf(n, 1.2, total, stream.OrderRandom, 3)
+	truth := exact.FromStream(s)
+	cs := NewCountSketch(5, 256, 9)
+	for _, x := range s {
+		cs.Update(x)
+	}
+	// Count-Sketch error per estimate is O(sqrt(F2/w)); allow a generous
+	// constant. F2 ≤ N·f_max.
+	f2 := truth.ResP(0, 2)
+	bound := 6 * math.Sqrt(f2/256)
+	bad := 0
+	for i := uint64(0); i < n; i++ {
+		if math.Abs(float64(cs.Estimate(i))-truth.Freq(i)) > bound {
+			bad++
+		}
+	}
+	// The guarantee is probabilistic per item; with the median over 5
+	// rows, failures should be rare.
+	if bad > n/50 {
+		t.Errorf("%d/%d items exceed error bound %v", bad, n, bound)
+	}
+}
+
+func TestCountSketchDeletions(t *testing.T) {
+	cs := NewCountSketch(5, 64, 3)
+	cs.Add(7, 10)
+	cs.Add(7, -10)
+	if got := cs.Estimate(7); got != 0 {
+		t.Errorf("Estimate after add/remove = %d, want 0", got)
+	}
+}
+
+func TestCountSketchNonNegativeClamp(t *testing.T) {
+	cs := NewCountSketch(3, 16, 3)
+	cs.Add(1, -5)
+	if got := cs.EstimateNonNegative(1); got != 0 {
+		t.Errorf("EstimateNonNegative = %d, want 0", got)
+	}
+}
+
+func TestCountSketchEvenDepthMedian(t *testing.T) {
+	cs := NewCountSketch(4, 64, 5)
+	cs.Add(3, 100)
+	est := cs.Estimate(3)
+	if est < 90 || est > 110 {
+		t.Errorf("Estimate = %d, want ~100", est)
+	}
+}
+
+func TestCountSketchWordsResetPanics(t *testing.T) {
+	cs := NewCountSketch(3, 32, 1)
+	if cs.Words() != 3*32+18 {
+		t.Errorf("Words = %d, want %d", cs.Words(), 3*32+18)
+	}
+	cs.Update(1)
+	if cs.N() != 1 {
+		t.Errorf("N = %d, want 1", cs.N())
+	}
+	cs.Reset()
+	if cs.Estimate(1) != 0 || cs.N() != 0 {
+		t.Error("Reset did not clear cells")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewCountSketch(0, 1) did not panic")
+			}
+		}()
+		NewCountSketch(0, 1, 1)
+	}()
+	if cs.Depth() != 3 || cs.Width() != 32 {
+		t.Errorf("dims = %d×%d", cs.Depth(), cs.Width())
+	}
+}

@@ -1,0 +1,122 @@
+package sketch
+
+import (
+	"sort"
+)
+
+// TopKTracker pairs a sketch with a candidate set so the sketch can
+// *retrieve* heavy hitters, not only answer point queries — the standard
+// construction for sketch-based heavy hitters (and what a deployment of
+// the Table 1 sketch baselines actually requires). After each update the
+// item's current estimate is compared against the k-th tracked candidate;
+// the candidate set is capped at k items.
+//
+// This is exactly where counter algorithms hold a structural advantage
+// the paper emphasises: their summary *is* the candidate set, while a
+// sketch must bolt one on and can miss items whose estimates rise only
+// while they are outside the tracked set.
+type TopKTracker struct {
+	k        int
+	estimate func(uint64) uint64
+	members  map[uint64]uint64 // item -> last observed estimate
+}
+
+// NewTopKTracker returns a tracker retaining the k items with the largest
+// observed estimates. estimate is consulted on every Observe. It panics
+// if k < 1 or estimate is nil.
+func NewTopKTracker(k int, estimate func(uint64) uint64) *TopKTracker {
+	if k < 1 {
+		panic("sketch: tracker k must be >= 1")
+	}
+	if estimate == nil {
+		panic("sketch: tracker needs an estimate function")
+	}
+	return &TopKTracker{k: k, estimate: estimate, members: make(map[uint64]uint64, k+1)}
+}
+
+// Observe refreshes item's estimate in the candidate set, inserting it
+// and evicting the smallest candidate when the set overflows k. Call it
+// after updating the underlying sketch with the same item.
+func (t *TopKTracker) Observe(item uint64) {
+	est := t.estimate(item)
+	if _, ok := t.members[item]; ok {
+		t.members[item] = est
+		return
+	}
+	t.members[item] = est
+	if len(t.members) <= t.k {
+		return
+	}
+	// Evict the current minimum (ties: larger identifier goes, keeping
+	// behaviour deterministic).
+	var evict uint64
+	first := true
+	for it, e := range t.members {
+		if first {
+			evict, first = it, false
+			continue
+		}
+		ee := t.members[evict]
+		if e < ee || (e == ee && it > evict) {
+			evict = it
+		}
+	}
+	delete(t.members, evict)
+}
+
+// Top returns the tracked candidates sorted by decreasing estimate (ties
+// by smaller identifier), re-reading current sketch estimates.
+func (t *TopKTracker) Top() []TrackedItem {
+	out := make([]TrackedItem, 0, len(t.members))
+	for it := range t.members {
+		out = append(out, TrackedItem{Item: it, Estimate: t.estimate(it)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Estimate != out[j].Estimate {
+			return out[i].Estimate > out[j].Estimate
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+// Len returns the current candidate count (at most k).
+func (t *TopKTracker) Len() int { return len(t.members) }
+
+// K returns the tracker's capacity.
+func (t *TopKTracker) K() int { return t.k }
+
+// Reset clears the candidate set.
+func (t *TopKTracker) Reset() { t.members = make(map[uint64]uint64, t.k+1) }
+
+// TrackedItem is one heavy-hitter candidate with its current estimate.
+type TrackedItem struct {
+	Item     uint64
+	Estimate uint64
+}
+
+// CountMinTopK bundles a Count-Min sketch with a TopKTracker into a
+// complete heavy-hitters system: Update feeds both.
+type CountMinTopK struct {
+	Sketch  *CountMin
+	Tracker *TopKTracker
+}
+
+// NewCountMinTopK returns a Count-Min-based top-k system.
+func NewCountMinTopK(depth, width, k int, seed uint64) *CountMinTopK {
+	cm := NewCountMin(depth, width, seed)
+	return &CountMinTopK{Sketch: cm, Tracker: NewTopKTracker(k, cm.Estimate)}
+}
+
+// Update adds one occurrence and refreshes the candidate set.
+func (c *CountMinTopK) Update(item uint64) {
+	c.Sketch.Update(item)
+	c.Tracker.Observe(item)
+}
+
+// Top returns the current top-k candidates.
+func (c *CountMinTopK) Top() []TrackedItem { return c.Tracker.Top() }
+
+// Words returns the memory footprint: sketch words plus two words per
+// tracked candidate.
+func (c *CountMinTopK) Words() int { return c.Sketch.Words() + 2*c.Tracker.K() }

@@ -1,0 +1,113 @@
+package sketch
+
+import (
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+func TestTrackerBasics(t *testing.T) {
+	counts := map[uint64]uint64{}
+	tr := NewTopKTracker(2, func(i uint64) uint64 { return counts[i] })
+	counts[1] = 10
+	tr.Observe(1)
+	counts[2] = 5
+	tr.Observe(2)
+	counts[3] = 7
+	tr.Observe(3) // evicts 2
+	top := tr.Top()
+	if len(top) != 2 || top[0].Item != 1 || top[1].Item != 3 {
+		t.Errorf("Top = %v", top)
+	}
+	if tr.Len() != 2 || tr.K() != 2 {
+		t.Errorf("Len/K = %d/%d", tr.Len(), tr.K())
+	}
+}
+
+func TestTrackerReobservationRefreshes(t *testing.T) {
+	counts := map[uint64]uint64{}
+	tr := NewTopKTracker(2, func(i uint64) uint64 { return counts[i] })
+	counts[1] = 1
+	tr.Observe(1)
+	counts[2] = 2
+	tr.Observe(2)
+	counts[1] = 10
+	tr.Observe(1)
+	counts[3] = 3
+	tr.Observe(3) // must evict 2, not the refreshed 1
+	top := tr.Top()
+	if top[0].Item != 1 || top[1].Item != 3 {
+		t.Errorf("Top = %v", top)
+	}
+}
+
+func TestTrackerEvictionTieBreak(t *testing.T) {
+	counts := map[uint64]uint64{1: 5, 2: 5, 3: 5}
+	tr := NewTopKTracker(2, func(i uint64) uint64 { return counts[i] })
+	tr.Observe(1)
+	tr.Observe(2)
+	tr.Observe(3) // all tied at 5: larger id (3) evicted
+	top := tr.Top()
+	if len(top) != 2 || top[0].Item != 1 || top[1].Item != 2 {
+		t.Errorf("Top = %v", top)
+	}
+}
+
+func TestTrackerPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"k=0":      func() { NewTopKTracker(0, func(uint64) uint64 { return 0 }) },
+		"nil est":  func() { NewTopKTracker(1, nil) },
+		"cmtk k=0": func() { NewCountMinTopK(2, 8, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTrackerReset(t *testing.T) {
+	tr := NewTopKTracker(2, func(uint64) uint64 { return 1 })
+	tr.Observe(1)
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Error("Reset did not clear candidates")
+	}
+}
+
+func TestCountMinTopKRecall(t *testing.T) {
+	// On a skewed stream the sketch+tracker should recover most true
+	// heavy hitters.
+	const n, total, k = 1000, 100000, 10
+	s := stream.Zipf(n, 1.3, total, stream.OrderRandom, 9)
+	truth := exact.FromStream(s)
+	sys := NewCountMinTopK(4, 512, k, 7)
+	for _, x := range s {
+		sys.Update(x)
+	}
+	want := map[uint64]bool{}
+	for _, id := range truth.TopK(k) {
+		want[id] = true
+	}
+	got := sys.Top()
+	if len(got) != k {
+		t.Fatalf("Top returned %d items, want %d", len(got), k)
+	}
+	hits := 0
+	for _, ti := range got {
+		if want[ti.Item] {
+			hits++
+		}
+	}
+	if hits < k-2 {
+		t.Errorf("recall %d/%d, want >= %d", hits, k, k-2)
+	}
+	if sys.Words() != sys.Sketch.Words()+2*k {
+		t.Errorf("Words = %d", sys.Words())
+	}
+}

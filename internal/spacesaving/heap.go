@@ -1,0 +1,158 @@
+package spacesaving
+
+import (
+	"cmp"
+
+	"repro/internal/core"
+)
+
+// Heap is a SPACESAVING implementation backed by a binary min-heap ordered
+// by (count, identifier). Updates cost O(log m), but the eviction
+// tie-break — the smallest identifier among minimum-count items — is
+// exactly the deterministic rule the proof of Theorem 1 fixes for
+// SPACESAVING, making this variant the reference for heavy-tolerance
+// experiments. The zero value is not usable; construct with NewHeap.
+type Heap[K cmp.Ordered] struct {
+	m     int
+	pos   map[K]int // item -> index in entries
+	elems []heapElem[K]
+	n     uint64
+}
+
+type heapElem[K cmp.Ordered] struct {
+	item  K
+	count uint64
+	err   uint64
+}
+
+// NewHeap returns a heap-backed SPACESAVING instance with m counters. It
+// panics if m < 1.
+func NewHeap[K cmp.Ordered](m int) *Heap[K] {
+	if m < 1 {
+		panic("spacesaving: m must be >= 1")
+	}
+	return &Heap[K]{m: m, pos: make(map[K]int, m), elems: make([]heapElem[K], 0, m)}
+}
+
+// less orders by count, then identifier: the root is the smallest
+// identifier among minimum counts.
+func (h *Heap[K]) less(a, b heapElem[K]) bool {
+	if a.count != b.count {
+		return a.count < b.count
+	}
+	return a.item < b.item
+}
+
+// Update processes one occurrence of item.
+func (h *Heap[K]) Update(item K) {
+	h.n++
+	if i, ok := h.pos[item]; ok {
+		h.elems[i].count++
+		h.siftDown(i)
+		return
+	}
+	if len(h.elems) < h.m {
+		h.elems = append(h.elems, heapElem[K]{item: item, count: 1})
+		h.pos[item] = len(h.elems) - 1
+		h.siftUp(len(h.elems) - 1)
+		return
+	}
+	// Replace the root (minimum count, smallest identifier).
+	victim := h.elems[0]
+	delete(h.pos, victim.item)
+	h.elems[0] = heapElem[K]{item: item, count: victim.count + 1, err: victim.count}
+	h.pos[item] = 0
+	h.siftDown(0)
+}
+
+// Estimate returns the stored count of item, zero if absent.
+func (h *Heap[K]) Estimate(item K) uint64 {
+	i, ok := h.pos[item]
+	if !ok {
+		return 0
+	}
+	return h.elems[i].count
+}
+
+// ErrorOf returns ε_item (zero if absent or never evicted anyone).
+func (h *Heap[K]) ErrorOf(item K) uint64 {
+	i, ok := h.pos[item]
+	if !ok {
+		return 0
+	}
+	return h.elems[i].err
+}
+
+// MinCount returns the smallest stored counter Δ (zero when the structure
+// is not yet full).
+func (h *Heap[K]) MinCount() uint64 {
+	if len(h.elems) < h.m || len(h.elems) == 0 {
+		return 0
+	}
+	return h.elems[0].count
+}
+
+// Entries returns the stored counters sorted by decreasing count.
+func (h *Heap[K]) Entries() []core.Entry[K] {
+	out := make([]core.Entry[K], 0, len(h.elems))
+	for _, e := range h.elems {
+		out = append(out, core.Entry[K]{Item: e.item, Count: e.count, Err: e.err})
+	}
+	core.SortEntries(out)
+	return out
+}
+
+// Capacity returns m.
+func (h *Heap[K]) Capacity() int { return h.m }
+
+// Len returns the number of stored counters.
+func (h *Heap[K]) Len() int { return len(h.elems) }
+
+// N returns the number of processed stream elements.
+func (h *Heap[K]) N() uint64 { return h.n }
+
+// Reset restores the empty state.
+func (h *Heap[K]) Reset() {
+	h.pos = make(map[K]int, h.m)
+	h.elems = h.elems[:0]
+	h.n = 0
+}
+
+// Guarantee returns the Appendix C tail constants A = B = 1.
+func (h *Heap[K]) Guarantee() core.TailGuarantee { return core.TailGuarantee{A: 1, B: 1} }
+
+func (h *Heap[K]) swap(i, j int) {
+	h.elems[i], h.elems[j] = h.elems[j], h.elems[i]
+	h.pos[h.elems[i].item] = i
+	h.pos[h.elems[j].item] = j
+}
+
+func (h *Heap[K]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.elems[i], h.elems[parent]) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap[K]) siftDown(i int) {
+	n := len(h.elems)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(h.elems[l], h.elems[small]) {
+			small = l
+		}
+		if r < n && h.less(h.elems[r], h.elems[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}

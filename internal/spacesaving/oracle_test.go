@@ -1,0 +1,130 @@
+package spacesaving
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stream"
+)
+
+// naiveSS is a literal transcription of Algorithm 2 with the smallest-
+// identifier tie-break the Theorem 1 proof specifies: on eviction, scan
+// all counters for the minimum value, preferring the smallest item id.
+// It is a test-only oracle for the heap implementation, which uses the
+// same deterministic rule.
+type naiveSS struct {
+	m      int
+	counts map[uint64]uint64
+	errs   map[uint64]uint64
+}
+
+func newNaiveSS(m int) *naiveSS {
+	return &naiveSS{m: m, counts: make(map[uint64]uint64), errs: make(map[uint64]uint64)}
+}
+
+func (n *naiveSS) update(x uint64) {
+	if _, ok := n.counts[x]; ok {
+		n.counts[x]++
+		return
+	}
+	if len(n.counts) < n.m {
+		n.counts[x] = 1
+		return
+	}
+	var victim uint64
+	first := true
+	for it, c := range n.counts {
+		if first {
+			victim, first = it, false
+			continue
+		}
+		vc := n.counts[victim]
+		if c < vc || (c == vc && it < victim) {
+			victim = it
+		}
+	}
+	vc := n.counts[victim]
+	delete(n.counts, victim)
+	delete(n.errs, victim)
+	n.counts[x] = vc + 1
+	n.errs[x] = vc
+}
+
+func TestHeapMatchesNaiveOracle(t *testing.T) {
+	err := quick.Check(func(raw []uint8, mRaw uint8) bool {
+		m := int(mRaw)%8 + 1
+		h := NewHeap[uint64](m)
+		n := newNaiveSS(m)
+		for _, b := range raw {
+			x := uint64(b) % 16
+			h.Update(x)
+			n.update(x)
+		}
+		if h.Len() != len(n.counts) {
+			return false
+		}
+		for it, c := range n.counts {
+			if h.Estimate(it) != c {
+				return false
+			}
+			if h.ErrorOf(it) != n.errs[it] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapMatchesNaiveOracleOnZipf(t *testing.T) {
+	s := stream.Zipf(100, 1.1, 20000, stream.OrderRandom, 13)
+	for _, m := range []int{1, 3, 17, 64} {
+		h := NewHeap[uint64](m)
+		n := newNaiveSS(m)
+		for _, x := range s {
+			h.Update(x)
+			n.update(x)
+		}
+		for it, c := range n.counts {
+			if h.Estimate(it) != c {
+				t.Fatalf("m=%d: item %d heap=%d oracle=%d", m, it, h.Estimate(it), c)
+			}
+		}
+		if h.Len() != len(n.counts) {
+			t.Fatalf("m=%d: stored sets differ in size", m)
+		}
+	}
+}
+
+func TestStreamSummarySameCounterValueMultiset(t *testing.T) {
+	// The bucket-list variant may evict different items than the heap,
+	// but the multiset of counter *values* evolves identically (both
+	// evict some minimum-count item and insert at min+1).
+	err := quick.Check(func(raw []uint8, mRaw uint8) bool {
+		m := int(mRaw)%8 + 1
+		ss := New[uint64](m)
+		h := NewHeap[uint64](m)
+		for _, b := range raw {
+			x := uint64(b) % 16
+			ss.Update(x)
+			h.Update(x)
+		}
+		// Compare sorted count multisets.
+		a := ss.Entries()
+		bb := h.Entries()
+		if len(a) != len(bb) {
+			return false
+		}
+		for i := range a {
+			if a[i].Count != bb[i].Count {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

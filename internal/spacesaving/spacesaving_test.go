@@ -1,0 +1,297 @@
+package spacesaving
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+// both constructs the two unit-weight variants for shared tests.
+func both(m int) map[string]core.Algorithm[uint64] {
+	return map[string]core.Algorithm[uint64]{
+		"stream-summary": New[uint64](m),
+		"heap":           NewHeap[uint64](m),
+	}
+}
+
+func TestExactUnderCapacity(t *testing.T) {
+	for name, alg := range both(10) {
+		core.Feed(alg, []uint64{1, 2, 1, 3, 1, 2})
+		if got := alg.Estimate(1); got != 3 {
+			t.Errorf("%s: Estimate(1) = %d, want 3", name, got)
+		}
+		if got := alg.Estimate(3); got != 1 {
+			t.Errorf("%s: Estimate(3) = %d, want 1", name, got)
+		}
+		if got := alg.Estimate(9); got != 0 {
+			t.Errorf("%s: Estimate(9) = %d, want 0", name, got)
+		}
+	}
+}
+
+func TestEvictionTakesOverMinCounter(t *testing.T) {
+	// m=2: 1,1,2 gives {1:2, 2:1}. Arrival of 3 replaces 2 (the min) and
+	// starts at 1+1 = 2 with ε = 1.
+	for name, alg := range both(2) {
+		core.Feed(alg, []uint64{1, 1, 2, 3})
+		if got := alg.Estimate(3); got != 2 {
+			t.Errorf("%s: Estimate(3) = %d, want 2", name, got)
+		}
+		if got := alg.Estimate(2); got != 0 {
+			t.Errorf("%s: Estimate(2) = %d, want 0 (evicted)", name, got)
+		}
+		if alg.Len() != 2 {
+			t.Errorf("%s: Len = %d, want 2", name, alg.Len())
+		}
+	}
+}
+
+func TestErrorOf(t *testing.T) {
+	ss := New[uint64](2)
+	core.Feed[uint64](ss, []uint64{1, 1, 2, 3})
+	if got := ss.ErrorOf(3); got != 1 {
+		t.Errorf("ErrorOf(3) = %d, want 1", got)
+	}
+	if got := ss.ErrorOf(1); got != 0 {
+		t.Errorf("ErrorOf(1) = %d, want 0", got)
+	}
+	h := NewHeap[uint64](2)
+	core.Feed[uint64](h, []uint64{1, 1, 2, 3})
+	if got := h.ErrorOf(3); got != 1 {
+		t.Errorf("heap ErrorOf(3) = %d, want 1", got)
+	}
+}
+
+func TestHeapEvictsSmallestIdentifier(t *testing.T) {
+	// Items 1,2,3 all at count 1 with m=3; newcomer must replace the
+	// smallest identifier among the minimum counters (item 1), per the
+	// Theorem 1 proof convention.
+	h := NewHeap[uint64](3)
+	core.Feed[uint64](h, []uint64{3, 1, 2, 9})
+	if got := h.Estimate(1); got != 0 {
+		t.Errorf("Estimate(1) = %d, want 0 (should have been evicted)", got)
+	}
+	if got := h.Estimate(9); got != 2 {
+		t.Errorf("Estimate(9) = %d, want 2", got)
+	}
+	if h.Estimate(2) != 1 || h.Estimate(3) != 1 {
+		t.Error("non-minimum identifiers must survive")
+	}
+}
+
+func TestStreamSummaryEvictsOldest(t *testing.T) {
+	// FIFO tie-break: with items arriving 3,1,2 all at count 1, the
+	// oldest bucket member (3) is evicted first.
+	ss := New[uint64](3)
+	core.Feed[uint64](ss, []uint64{3, 1, 2, 9})
+	if got := ss.Estimate(3); got != 0 {
+		t.Errorf("Estimate(3) = %d, want 0 (oldest should be evicted)", got)
+	}
+	if got := ss.Estimate(9); got != 2 {
+		t.Errorf("Estimate(9) = %d, want 2", got)
+	}
+}
+
+func TestCounterSumEqualsN(t *testing.T) {
+	// Appendix C: the counters always sum to the stream length.
+	err := quick.Check(func(raw []uint8, mRaw uint8) bool {
+		m := int(mRaw)%8 + 1
+		for _, alg := range both(m) {
+			for _, x := range raw {
+				alg.Update(uint64(x) % 16)
+			}
+			var sum uint64
+			for _, e := range alg.Entries() {
+				sum += e.Count
+			}
+			if sum != alg.N() {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverestimateSidedness(t *testing.T) {
+	// For stored items: f_i ≤ c_i ≤ f_i + ε_i.
+	err := quick.Check(func(raw []uint8, mRaw uint8) bool {
+		m := int(mRaw)%8 + 1
+		ss := New[uint64](m)
+		truth := exact.New()
+		for _, x := range raw {
+			item := uint64(x) % 16
+			ss.Update(item)
+			truth.Update(item)
+		}
+		for _, e := range ss.Entries() {
+			f := truth.Freq(e.Item)
+			if float64(e.Count) < f {
+				return false
+			}
+			if float64(e.Count)-float64(e.Err) > f {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinCountBoundsAllErrors(t *testing.T) {
+	// Lemma 3 of [25]: every estimation error (including unstored items)
+	// is at most the minimum counter Δ.
+	s := stream.Zipf(200, 1.1, 20000, stream.OrderRandom, 5)
+	truth := exact.FromStream(s)
+	ss := New[uint64](30)
+	for _, x := range s {
+		ss.Update(x)
+	}
+	delta := float64(ss.MinCount())
+	for i := uint64(0); i < 200; i++ {
+		est := float64(ss.Estimate(i))
+		diff := est - truth.Freq(i)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > delta {
+			t.Errorf("item %d: error %v exceeds Δ=%v", i, diff, delta)
+		}
+	}
+}
+
+func TestIthCounterDominatesIthFrequency(t *testing.T) {
+	// Theorem 2 of [25]: the i-th largest counter is at least the i-th
+	// largest frequency.
+	s := stream.Zipf(300, 1.2, 30000, stream.OrderRandom, 9)
+	truth := exact.FromStream(s)
+	sortedFreq := truth.Dense(300).SortedDesc()
+	for name, alg := range both(25) {
+		for _, x := range s {
+			alg.Update(x)
+		}
+		es := alg.Entries()
+		for i, e := range es {
+			if float64(e.Count) < sortedFreq[i] {
+				t.Errorf("%s: counter %d = %d below f_%d = %v", name, i, e.Count, i+1, sortedFreq[i])
+			}
+		}
+	}
+}
+
+func TestTailGuaranteeAllOrders(t *testing.T) {
+	// Appendix C: δ_i ≤ F1^res(k)/(m−k) in every arrival order, for both
+	// backing structures.
+	const n, total, m = 300, 30000, 40
+	for _, order := range stream.Orders() {
+		s := stream.Zipf(n, 1.2, total, order, 3)
+		truth := exact.FromStream(s)
+		freq := truth.Dense(n)
+		for name, alg := range both(m) {
+			for _, x := range s {
+				alg.Update(x)
+			}
+			maxErr := core.MaxError(alg, freq)
+			for _, k := range []int{1, 5, 10, 20, m - 1} {
+				bound := core.TailGuarantee{A: 1, B: 1}.Bound(m, k, truth.Res1(k))
+				if maxErr > bound {
+					t.Errorf("%s order=%v k=%d: error %v exceeds bound %v", name, order, k, maxErr, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestMinCountNotFull(t *testing.T) {
+	ss := New[uint64](5)
+	ss.Update(1)
+	if got := ss.MinCount(); got != 0 {
+		t.Errorf("MinCount (not full) = %d, want 0", got)
+	}
+	h := NewHeap[uint64](5)
+	h.Update(1)
+	if got := h.MinCount(); got != 0 {
+		t.Errorf("heap MinCount (not full) = %d, want 0", got)
+	}
+}
+
+func TestPanicsOnBadM(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"New(0)":     func() { New[int](0) },
+		"NewHeap(0)": func() { NewHeap[int](0) },
+		"NewR(0)":    func() { NewR[int](0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestReset(t *testing.T) {
+	for name, alg := range both(3) {
+		core.Feed(alg, []uint64{1, 2, 3, 4, 5})
+		alg.Reset()
+		if alg.Len() != 0 || alg.N() != 0 {
+			t.Errorf("%s: Reset did not clear state", name)
+		}
+		alg.Update(9)
+		if alg.Estimate(9) != 1 {
+			t.Errorf("%s: unusable after Reset", name)
+		}
+	}
+}
+
+func TestEntriesSortedDescWithErrs(t *testing.T) {
+	ss := New[uint64](3)
+	core.Feed[uint64](ss, []uint64{1, 1, 1, 2, 2, 3, 4})
+	es := ss.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i].Count > es[i-1].Count {
+			t.Fatalf("entries not sorted: %v", es)
+		}
+	}
+	if len(es) != 3 {
+		t.Errorf("len = %d, want 3", len(es))
+	}
+}
+
+func TestSingleCounter(t *testing.T) {
+	for name, alg := range both(1) {
+		core.Feed(alg, []uint64{1, 2, 3})
+		// Counter follows the last item with count = N.
+		if got := alg.Estimate(3); got != 3 {
+			t.Errorf("%s: Estimate(3) = %d, want 3", name, got)
+		}
+		if alg.Len() != 1 {
+			t.Errorf("%s: Len = %d, want 1", name, alg.Len())
+		}
+	}
+}
+
+func TestLongAlternatingStream(t *testing.T) {
+	// Stress the bucket-list structure with items ping-ponging between
+	// adjacent counts.
+	ss := New[uint64](4)
+	for i := 0; i < 10000; i++ {
+		ss.Update(uint64(i % 8))
+	}
+	var sum uint64
+	for _, e := range ss.Entries() {
+		sum += e.Count
+	}
+	if sum != ss.N() {
+		t.Errorf("counter sum %d != N %d", sum, ss.N())
+	}
+}

@@ -1,0 +1,265 @@
+// Package spacesaving implements the SPACESAVING algorithm of Metwally,
+// Agrawal and El Abbadi (Algorithm 2 in the paper): maintain at most m
+// counters; when a new item arrives with all counters taken, it replaces
+// the item with the smallest counter c_min and starts at c_min + 1,
+// recording ε_i = c_min as its possible overestimation.
+//
+// SPACESAVING overestimates: f_i ≤ c_i ≤ f_i + ε_i, the counters always
+// sum to the stream length, and Appendix C proves the k-tail guarantee
+// with constants A = B = 1: c_i − f_i ≤ F1^res(k) / (m − k).
+//
+// Two backing structures are provided:
+//
+//   - StreamSummary: the original bucket-list structure, O(1) per update;
+//     among minimum-count items it evicts the least recently bucketed one
+//     (deterministic FIFO).
+//   - Heap (heap.go): a binary min-heap ordered by (count, identifier),
+//     O(log m) per update; it evicts the smallest identifier among
+//     minimum counts, the exact tie-break the Theorem 1 proof specifies.
+//
+// Both satisfy identical guarantees; E11 measures the constant-factor
+// trade.
+package spacesaving
+
+import "repro/internal/core"
+
+type ssGroup[K comparable] struct {
+	count      uint64
+	prev, next *ssGroup[K]
+	head, tail *ssNode[K]
+	size       int
+}
+
+type ssNode[K comparable] struct {
+	item       K
+	err        uint64
+	grp        *ssGroup[K]
+	prev, next *ssNode[K]
+}
+
+// StreamSummary is the O(1) bucket-list SPACESAVING implementation. The
+// zero value is not usable; construct with New.
+type StreamSummary[K comparable] struct {
+	m     int
+	items map[K]*ssNode[K]
+	// head/tail of the group list, ascending by count.
+	head, tail *ssGroup[K]
+	n          uint64
+}
+
+// New returns a SPACESAVING instance with m counters backed by a
+// Stream-Summary. It panics if m < 1.
+func New[K comparable](m int) *StreamSummary[K] {
+	if m < 1 {
+		panic("spacesaving: m must be >= 1")
+	}
+	return &StreamSummary[K]{m: m, items: make(map[K]*ssNode[K], m)}
+}
+
+// Update processes one occurrence of item.
+func (s *StreamSummary[K]) Update(item K) {
+	s.n++
+	if nd, ok := s.items[item]; ok {
+		s.bump(nd, nd.grp.count+1)
+		return
+	}
+	if len(s.items) < s.m {
+		nd := &ssNode[K]{item: item}
+		s.items[item] = nd
+		target := s.head
+		if target == nil || target.count != 1 {
+			target = s.insertGroupBefore(s.head, 1)
+		}
+		s.appendNode(target, nd)
+		return
+	}
+	// Evict the oldest member of the minimum bucket; the newcomer
+	// inherits its count plus one and records the eviction error.
+	minG := s.head
+	victim := minG.head
+	delete(s.items, victim.item)
+	s.unlinkNode(victim)
+	nd := &ssNode[K]{item: item, err: minG.count}
+	s.items[item] = nd
+	// minG may have been removed if the victim was its only member; the
+	// newcomer belongs to the bucket with count minG.count+1 which, if it
+	// must be created, sits exactly where minG was (or after it).
+	s.placeWithCount(nd, minG.count+1)
+}
+
+// bump moves nd to the bucket holding newCount, creating it if needed.
+func (s *StreamSummary[K]) bump(nd *ssNode[K], newCount uint64) {
+	g := nd.grp
+	target := g.next
+	s.unlinkNode(nd) // may remove g
+	if target != nil && target.count == newCount {
+		s.appendNode(target, nd)
+		return
+	}
+	// Either g survived (target group missing: insert right after g) or g
+	// was removed (insert before target, i.e. at target's old position).
+	if g.size > 0 {
+		s.appendNode(s.insertGroupAfter(g, newCount), nd)
+	} else {
+		s.appendNode(s.insertGroupBefore(target, newCount), nd)
+	}
+}
+
+// placeWithCount inserts a fresh node into the bucket with the given
+// count, scanning from the head (the count is within one of the minimum,
+// so this is O(1)).
+func (s *StreamSummary[K]) placeWithCount(nd *ssNode[K], count uint64) {
+	g := s.head
+	for g != nil && g.count < count {
+		g = g.next
+	}
+	if g != nil && g.count == count {
+		s.appendNode(g, nd)
+		return
+	}
+	s.appendNode(s.insertGroupBefore(g, count), nd)
+}
+
+// Estimate returns the stored count of item, zero if absent. Stored
+// estimates never undercount: f_i ≤ c_i.
+func (s *StreamSummary[K]) Estimate(item K) uint64 {
+	nd, ok := s.items[item]
+	if !ok {
+		return 0
+	}
+	return nd.grp.count
+}
+
+// ErrorOf returns ε_item, the overestimation recorded when item last
+// entered the frequent set (zero if item is absent or entered on a free
+// counter). The guarantee c_i − ε_i ≤ f_i ≤ c_i holds per Lemma 3 of the
+// SpaceSaving paper.
+func (s *StreamSummary[K]) ErrorOf(item K) uint64 {
+	nd, ok := s.items[item]
+	if !ok {
+		return 0
+	}
+	return nd.err
+}
+
+// MinCount returns the smallest stored counter value Δ (zero when fewer
+// than m counters are in use). Section 4.2 uses Δ for the global
+// underestimate transform.
+func (s *StreamSummary[K]) MinCount() uint64 {
+	if len(s.items) < s.m || s.head == nil {
+		return 0
+	}
+	return s.head.count
+}
+
+// Entries returns the stored counters sorted by decreasing count; each
+// entry carries its ε_i in Err.
+func (s *StreamSummary[K]) Entries() []core.Entry[K] {
+	out := make([]core.Entry[K], 0, len(s.items))
+	for g := s.tail; g != nil; g = g.prev {
+		for nd := g.head; nd != nil; nd = nd.next {
+			out = append(out, core.Entry[K]{Item: nd.item, Count: g.count, Err: nd.err})
+		}
+	}
+	return out
+}
+
+// Capacity returns m.
+func (s *StreamSummary[K]) Capacity() int { return s.m }
+
+// Len returns the number of stored counters.
+func (s *StreamSummary[K]) Len() int { return len(s.items) }
+
+// N returns the number of processed stream elements. For SPACESAVING the
+// stored counters always sum to exactly this value.
+func (s *StreamSummary[K]) N() uint64 { return s.n }
+
+// Reset restores the empty state.
+func (s *StreamSummary[K]) Reset() {
+	s.items = make(map[K]*ssNode[K], s.m)
+	s.head, s.tail = nil, nil
+	s.n = 0
+}
+
+// Guarantee returns the Appendix C tail constants A = B = 1.
+func (s *StreamSummary[K]) Guarantee() core.TailGuarantee { return core.TailGuarantee{A: 1, B: 1} }
+
+// --- group-list plumbing (ascending by count) ---
+
+func (s *StreamSummary[K]) insertGroupAfter(g *ssGroup[K], count uint64) *ssGroup[K] {
+	ng := &ssGroup[K]{count: count, prev: g, next: g.next}
+	if g.next != nil {
+		g.next.prev = ng
+	} else {
+		s.tail = ng
+	}
+	g.next = ng
+	return ng
+}
+
+// insertGroupBefore inserts a new group before g; a nil g appends at the
+// tail (covers the empty-list case too).
+func (s *StreamSummary[K]) insertGroupBefore(g *ssGroup[K], count uint64) *ssGroup[K] {
+	if g == nil {
+		ng := &ssGroup[K]{count: count, prev: s.tail}
+		if s.tail != nil {
+			s.tail.next = ng
+		} else {
+			s.head = ng
+		}
+		s.tail = ng
+		return ng
+	}
+	ng := &ssGroup[K]{count: count, prev: g.prev, next: g}
+	if g.prev != nil {
+		g.prev.next = ng
+	} else {
+		s.head = ng
+	}
+	g.prev = ng
+	return ng
+}
+
+func (s *StreamSummary[K]) removeGroup(g *ssGroup[K]) {
+	if g.prev != nil {
+		g.prev.next = g.next
+	} else {
+		s.head = g.next
+	}
+	if g.next != nil {
+		g.next.prev = g.prev
+	} else {
+		s.tail = g.prev
+	}
+}
+
+func (s *StreamSummary[K]) appendNode(g *ssGroup[K], nd *ssNode[K]) {
+	nd.grp = g
+	nd.prev, nd.next = g.tail, nil
+	if g.tail != nil {
+		g.tail.next = nd
+	} else {
+		g.head = nd
+	}
+	g.tail = nd
+	g.size++
+}
+
+func (s *StreamSummary[K]) unlinkNode(nd *ssNode[K]) {
+	g := nd.grp
+	if nd.prev != nil {
+		nd.prev.next = nd.next
+	} else {
+		g.head = nd.next
+	}
+	if nd.next != nil {
+		nd.next.prev = nd.prev
+	} else {
+		g.tail = nd.prev
+	}
+	g.size--
+	if g.size == 0 {
+		s.removeGroup(g)
+	}
+	nd.prev, nd.next, nd.grp = nil, nil, nil
+}

@@ -1,0 +1,156 @@
+package spacesaving
+
+import "repro/internal/core"
+
+// R is SPACESAVINGR, the real-valued update extension of Section 6.1: an
+// arrival (a_i, b_i) increments a_i's counter by b_i; when a_i is not
+// stored and all m counters are taken, a_i replaces the item with the
+// minimum counter c_min and starts at c_min + b_i, recording ε = c_min.
+// When every b_i is 1 it behaves identically to SPACESAVING, and
+// Theorem 10 gives it the k-tail guarantee with A = B = 1.
+//
+// It is backed by a binary min-heap on counts; ties are broken by heap
+// position (deterministic for a fixed update sequence). The zero value is
+// not usable; construct with NewR.
+type R[K comparable] struct {
+	m     int
+	pos   map[K]int
+	elems []rElem[K]
+	total float64
+}
+
+type rElem[K comparable] struct {
+	item  K
+	count float64
+	err   float64
+}
+
+// NewR returns a SPACESAVINGR instance with m counters. It panics if
+// m < 1.
+func NewR[K comparable](m int) *R[K] {
+	if m < 1 {
+		panic("spacesaving: m must be >= 1")
+	}
+	return &R[K]{m: m, pos: make(map[K]int, m), elems: make([]rElem[K], 0, m)}
+}
+
+// UpdateWeighted processes b occurrences' worth of item. It panics on
+// non-positive b.
+func (r *R[K]) UpdateWeighted(item K, b float64) {
+	if b <= 0 {
+		panic("spacesaving: non-positive weight")
+	}
+	r.total += b
+	if i, ok := r.pos[item]; ok {
+		r.elems[i].count += b
+		r.siftDown(i)
+		return
+	}
+	if len(r.elems) < r.m {
+		r.elems = append(r.elems, rElem[K]{item: item, count: b})
+		r.pos[item] = len(r.elems) - 1
+		r.siftUp(len(r.elems) - 1)
+		return
+	}
+	victim := r.elems[0]
+	delete(r.pos, victim.item)
+	r.elems[0] = rElem[K]{item: item, count: victim.count + b, err: victim.count}
+	r.pos[item] = 0
+	r.siftDown(0)
+}
+
+// Update processes a unit-weight occurrence.
+func (r *R[K]) Update(item K) { r.UpdateWeighted(item, 1) }
+
+// EstimateWeighted returns the stored counter for item, zero if absent.
+// Stored estimates never undercount.
+func (r *R[K]) EstimateWeighted(item K) float64 {
+	i, ok := r.pos[item]
+	if !ok {
+		return 0
+	}
+	return r.elems[i].count
+}
+
+// ErrorOf returns the recorded ε for item (zero if absent).
+func (r *R[K]) ErrorOf(item K) float64 {
+	i, ok := r.pos[item]
+	if !ok {
+		return 0
+	}
+	return r.elems[i].err
+}
+
+// MinCount returns the smallest stored counter Δ (zero when not full).
+func (r *R[K]) MinCount() float64 {
+	if len(r.elems) < r.m || len(r.elems) == 0 {
+		return 0
+	}
+	return r.elems[0].count
+}
+
+// WeightedEntries returns the stored counters sorted by decreasing count.
+func (r *R[K]) WeightedEntries() []core.WeightedEntry[K] {
+	out := make([]core.WeightedEntry[K], 0, len(r.elems))
+	for _, e := range r.elems {
+		out = append(out, core.WeightedEntry[K]{Item: e.item, Count: e.count, Err: e.err})
+	}
+	core.SortWeightedEntries(out)
+	return out
+}
+
+// Capacity returns m.
+func (r *R[K]) Capacity() int { return r.m }
+
+// Len returns the number of stored counters.
+func (r *R[K]) Len() int { return len(r.elems) }
+
+// TotalWeight returns Σ b_i processed so far; the stored counters always
+// sum to exactly this value once the structure is full or all items fit.
+func (r *R[K]) TotalWeight() float64 { return r.total }
+
+// Reset restores the empty state.
+func (r *R[K]) Reset() {
+	r.pos = make(map[K]int, r.m)
+	r.elems = r.elems[:0]
+	r.total = 0
+}
+
+// Guarantee returns the Theorem 10 tail constants A = B = 1.
+func (r *R[K]) Guarantee() core.TailGuarantee { return core.TailGuarantee{A: 1, B: 1} }
+
+func (r *R[K]) swap(i, j int) {
+	r.elems[i], r.elems[j] = r.elems[j], r.elems[i]
+	r.pos[r.elems[i].item] = i
+	r.pos[r.elems[j].item] = j
+}
+
+func (r *R[K]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if r.elems[parent].count <= r.elems[i].count {
+			return
+		}
+		r.swap(i, parent)
+		i = parent
+	}
+}
+
+func (r *R[K]) siftDown(i int) {
+	n := len(r.elems)
+	for {
+		l, rt := 2*i+1, 2*i+2
+		small := i
+		if l < n && r.elems[l].count < r.elems[small].count {
+			small = l
+		}
+		if rt < n && r.elems[rt].count < r.elems[small].count {
+			small = rt
+		}
+		if small == i {
+			return
+		}
+		r.swap(i, small)
+		i = small
+	}
+}

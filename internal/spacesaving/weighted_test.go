@@ -1,0 +1,133 @@
+package spacesaving
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+func TestRMatchesUnitSpaceSavingOnUnitStreams(t *testing.T) {
+	// Section 6.1: with all b_i = 1, SPACESAVINGR behaves identically to
+	// SPACESAVING. Counter-value multisets must match the heap variant's
+	// (both heaps break ties arbitrarily, so compare value multisets and
+	// the total).
+	err := quick.Check(func(raw []uint8, mRaw uint8) bool {
+		m := int(mRaw)%6 + 1
+		r := NewR[uint64](m)
+		for _, x := range raw {
+			r.Update(uint64(x) % 16)
+		}
+		var sum float64
+		for _, e := range r.WeightedEntries() {
+			sum += e.Count
+		}
+		return sum == r.TotalWeight() && r.TotalWeight() == float64(len(raw))
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRCounterSumEqualsTotalWeight(t *testing.T) {
+	ups := stream.WeightedZipf(100, 1.1, 10000, 3, 7)
+	r := NewR[uint64](16)
+	for _, u := range ups {
+		r.UpdateWeighted(u.Item, u.Weight)
+	}
+	var sum float64
+	for _, e := range r.WeightedEntries() {
+		sum += e.Count
+	}
+	if math.Abs(sum-r.TotalWeight()) > 1e-6*r.TotalWeight() {
+		t.Errorf("counter sum %v != total weight %v", sum, r.TotalWeight())
+	}
+}
+
+func TestROverestimateSidedness(t *testing.T) {
+	ups := stream.WeightedZipf(100, 1.2, 10000, 3, 11)
+	truth := exact.New()
+	r := NewR[uint64](20)
+	for _, u := range ups {
+		truth.UpdateWeighted(u.Item, u.Weight)
+		r.UpdateWeighted(u.Item, u.Weight)
+	}
+	for _, e := range r.WeightedEntries() {
+		f := truth.Freq(e.Item)
+		if e.Count < f-1e-6 {
+			t.Errorf("item %d: stored count %v under true %v", e.Item, e.Count, f)
+		}
+		if e.Count-e.Err > f+1e-6 {
+			t.Errorf("item %d: count−ε = %v exceeds true %v", e.Item, e.Count-e.Err, f)
+		}
+	}
+}
+
+func TestRTailGuaranteeTheorem10(t *testing.T) {
+	ups := stream.WeightedZipf(200, 1.3, 50000, 4, 13)
+	const m = 30
+	truth := exact.New()
+	r := NewR[uint64](m)
+	for _, u := range ups {
+		truth.UpdateWeighted(u.Item, u.Weight)
+		r.UpdateWeighted(u.Item, u.Weight)
+	}
+	for _, k := range []int{1, 5, 10, 20} {
+		bound := r.Guarantee().Bound(m, k, truth.Res1(k))
+		for i := uint64(0); i < 200; i++ {
+			if d := math.Abs(truth.Freq(i) - r.EstimateWeighted(i)); d > bound+1e-6 {
+				t.Errorf("k=%d item %d: error %v exceeds bound %v", k, i, d, bound)
+			}
+		}
+	}
+}
+
+func TestRNonPositiveWeightPanics(t *testing.T) {
+	for _, w := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("weight %v did not panic", w)
+				}
+			}()
+			NewR[uint64](2).UpdateWeighted(1, w)
+		}()
+	}
+}
+
+func TestRMinCountAndErrorOf(t *testing.T) {
+	r := NewR[uint64](2)
+	r.UpdateWeighted(1, 3)
+	if got := r.MinCount(); got != 0 {
+		t.Errorf("MinCount (not full) = %v, want 0", got)
+	}
+	r.UpdateWeighted(2, 1)
+	if got := r.MinCount(); got != 1 {
+		t.Errorf("MinCount = %v, want 1", got)
+	}
+	r.UpdateWeighted(3, 0.5) // evicts 2, starts at 1.5 with ε = 1
+	if got := r.EstimateWeighted(3); got != 1.5 {
+		t.Errorf("EstimateWeighted(3) = %v, want 1.5", got)
+	}
+	if got := r.ErrorOf(3); got != 1 {
+		t.Errorf("ErrorOf(3) = %v, want 1", got)
+	}
+	if got := r.ErrorOf(42); got != 0 {
+		t.Errorf("ErrorOf(absent) = %v, want 0", got)
+	}
+}
+
+func TestRReset(t *testing.T) {
+	r := NewR[uint64](3)
+	r.UpdateWeighted(1, 5)
+	r.Reset()
+	if r.Len() != 0 || r.TotalWeight() != 0 {
+		t.Error("Reset did not clear state")
+	}
+	r.UpdateWeighted(2, 1)
+	if r.EstimateWeighted(2) != 1 {
+		t.Error("unusable after Reset")
+	}
+}

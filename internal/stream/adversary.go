@@ -1,0 +1,41 @@
+package stream
+
+// This file implements the Appendix A lower-bound construction (Theorem
+// 13): two streams that share a prefix after which the algorithm's state
+// cannot distinguish them, forcing an estimation error of at least
+// F1^res(k) / (2m + 2k/X) on one of them.
+
+// LowerBoundPrefix returns the shared prefix of the Theorem 13 streams:
+// items 0 … m+k−1, each occurring X times, emitted in round-robin order
+// (the order is immaterial to the argument; round-robin keeps all counters
+// balanced, which is the adversary's best case).
+func LowerBoundPrefix(m, k, x int) []uint64 {
+	if m < 1 || k < 1 || k > m || x < 1 {
+		panic("stream: LowerBoundPrefix requires 1 <= k <= m and X >= 1")
+	}
+	freq := make([]uint64, m+k)
+	for i := range freq {
+		freq[i] = uint64(x)
+	}
+	return FromFrequencies(freq, OrderRoundRobin, nil)
+}
+
+// LowerBoundContinuations returns the two continuation suffixes of Theorem
+// 13 given the k prefix items the algorithm currently stores *no* counter
+// for (zeroItems; the adversary inspects the state after the prefix).
+// Stream A continues with those k forgotten prefix items once each; stream
+// B continues with k fresh items (identifiers m+k … m+2k−1) once each.
+// Both continuations look identical to the algorithm, so it must answer
+// identically, yet the true frequencies differ by X.
+func LowerBoundContinuations(m, k int, zeroItems []uint64) (contA, contB []uint64) {
+	if len(zeroItems) != k {
+		panic("stream: need exactly k zero-counter items")
+	}
+	contA = make([]uint64, k)
+	copy(contA, zeroItems)
+	contB = make([]uint64, k)
+	for i := 0; i < k; i++ {
+		contB[i] = uint64(m + k + i)
+	}
+	return contA, contB
+}

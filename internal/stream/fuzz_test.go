@@ -1,0 +1,82 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The readers must never panic on arbitrary input — they are the tools'
+// attack surface for malformed files.
+
+func FuzzReadUnit(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteUnit(&seed, []uint64{1, 2, 3, 1 << 40}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("HHSTRMU1"))
+	f.Add([]byte("garbage-garbage"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		items, err := ReadUnit(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// A successful parse must round-trip value-identically (byte
+		// identity is too strict: varints admit non-canonical encodings
+		// like 0x80 0x00 for zero, which re-encode canonically).
+		var out bytes.Buffer
+		if werr := WriteUnit(&out, items); werr != nil {
+			t.Fatalf("re-encode failed: %v", werr)
+		}
+		again, err := ReadUnit(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(items) {
+			t.Fatalf("round trip changed length: %d -> %d", len(items), len(again))
+		}
+		for i := range items {
+			if again[i] != items[i] {
+				t.Fatalf("round trip changed item %d: %d -> %d", i, items[i], again[i])
+			}
+		}
+	})
+}
+
+func FuzzReadWeighted(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteWeighted(&seed, []Update{{1, 2.5}, {9, 0.25}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("HHSTRMW1"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ups, err := ReadWeighted(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if werr := WriteWeighted(&out, ups); werr != nil {
+			t.Fatalf("re-encode failed: %v", werr)
+		}
+		again, err := ReadWeighted(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(ups) {
+			t.Fatalf("round trip changed length")
+		}
+		for i := range ups {
+			// NaN weights decode as NaN; compare bit patterns via !=
+			// only for comparable values.
+			if again[i].Item != ups[i].Item {
+				t.Fatalf("round trip changed item %d", i)
+			}
+			if again[i].Weight != ups[i].Weight && !(ups[i].Weight != ups[i].Weight) {
+				t.Fatalf("round trip changed weight %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file implements a compact binary stream-file format used by the
+// cmd/hhgen and cmd/hhcli tools, so generated workloads can be stored and
+// replayed.
+//
+// Layout: 8-byte magic, then one record per arrival. Unit streams store
+// each item as a uvarint. Weighted streams store a uvarint item followed
+// by the weight's IEEE-754 bits as a fixed 8-byte little-endian word.
+
+var (
+	unitMagic     = [8]byte{'H', 'H', 'S', 'T', 'R', 'M', 'U', '1'}
+	weightedMagic = [8]byte{'H', 'H', 'S', 'T', 'R', 'M', 'W', '1'}
+)
+
+// ErrBadMagic reports that a stream file does not start with a recognised
+// header.
+var ErrBadMagic = errors.New("stream: unrecognised stream file magic")
+
+// WriteUnit writes a unit-weight stream to w in the binary format.
+func WriteUnit(w io.Writer, items []uint64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(unitMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for _, x := range items {
+		n := binary.PutUvarint(buf[:], x)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadUnit reads a unit-weight stream written by WriteUnit.
+func ReadUnit(r io.Reader) ([]uint64, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("stream: reading header: %w", err)
+	}
+	if magic != unitMagic {
+		return nil, ErrBadMagic
+	}
+	var out []uint64
+	for {
+		x, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("stream: reading item %d: %w", len(out), err)
+		}
+		out = append(out, x)
+	}
+}
+
+// WriteWeighted writes a weighted update stream to w.
+func WriteWeighted(w io.Writer, updates []Update) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(weightedMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64 + 8]byte
+	for _, u := range updates {
+		n := binary.PutUvarint(buf[:], u.Item)
+		binary.LittleEndian.PutUint64(buf[n:], math.Float64bits(u.Weight))
+		if _, err := bw.Write(buf[:n+8]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWeighted reads a weighted update stream written by WriteWeighted.
+func ReadWeighted(r io.Reader) ([]Update, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("stream: reading header: %w", err)
+	}
+	if magic != weightedMagic {
+		return nil, ErrBadMagic
+	}
+	var out []Update
+	var wbuf [8]byte
+	for {
+		item, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("stream: reading update %d: %w", len(out), err)
+		}
+		if _, err := io.ReadFull(br, wbuf[:]); err != nil {
+			return nil, fmt.Errorf("stream: reading weight %d: %w", len(out), err)
+		}
+		out = append(out, Update{Item: item, Weight: math.Float64frombits(binary.LittleEndian.Uint64(wbuf[:]))})
+	}
+}

@@ -1,0 +1,105 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnitRoundTrip(t *testing.T) {
+	err := quick.Check(func(items []uint64) bool {
+		var buf bytes.Buffer
+		if err := WriteUnit(&buf, items); err != nil {
+			return false
+		}
+		got, err := ReadUnit(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(items) {
+			return false
+		}
+		for i := range items {
+			if got[i] != items[i] {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedRoundTrip(t *testing.T) {
+	in := []Update{{1, 0.5}, {2, 1e9}, {1, 0.0001}, {1 << 60, 42}}
+	var buf bytes.Buffer
+	if err := WriteWeighted(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWeighted(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("len = %d, want %d", len(got), len(in))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Errorf("update %d = %v, want %v", i, got[i], in[i])
+		}
+	}
+}
+
+func TestEmptyStreams(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteUnit(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadUnit(&buf)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty unit round trip: %v, %v", got, err)
+	}
+	buf.Reset()
+	if err := WriteWeighted(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := ReadWeighted(&buf)
+	if err != nil || len(ws) != 0 {
+		t.Errorf("empty weighted round trip: %v, %v", ws, err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := ReadUnit(bytes.NewReader([]byte("NOTMAGIC123"))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("ReadUnit bad magic err = %v, want ErrBadMagic", err)
+	}
+	if _, err := ReadWeighted(bytes.NewReader([]byte("NOTMAGIC123"))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("ReadWeighted bad magic err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestCrossFormatRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteUnit(&buf, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadWeighted(&buf); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("weighted reader accepted unit file: %v", err)
+	}
+}
+
+func TestTruncatedFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWeighted(&buf, []Update{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadWeighted(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Error("truncated weighted file read without error")
+	}
+	if _, err := ReadUnit(bytes.NewReader(raw[:4])); err == nil {
+		t.Error("truncated header read without error")
+	}
+}

@@ -1,0 +1,171 @@
+// Package stream generates the synthetic workloads the experiments run on:
+// exact-Zipfian streams in several adversarial arrival orders, sampled
+// Zipfian and uniform streams, weighted (real-valued) streams for the
+// Section 6.1 extensions, and the Appendix A lower-bound construction.
+//
+// Real search-query logs and packet traces (the paper's motivating inputs)
+// are proprietary; these generators produce the same statistical shape —
+// skewed frequency distributions under arbitrary arrival order — which is
+// exactly the regime the paper's guarantees quantify over.
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/zipfmath"
+)
+
+// Order selects the arrival order used when a frequency vector is expanded
+// into a concrete stream. The paper's guarantees are order-adversarial
+// (Section 1.1 notes LOSSYCOUNTING degrades on adversarial orders), so
+// experiments exercise several.
+type Order int
+
+const (
+	// OrderRandom shuffles all occurrences uniformly.
+	OrderRandom Order = iota
+	// OrderSortedAsc emits the rarest items' occurrences first; heavy
+	// hitters arrive only at the end, stressing eviction behaviour.
+	OrderSortedAsc
+	// OrderSortedDesc emits the most frequent items first.
+	OrderSortedDesc
+	// OrderRoundRobin interleaves items cyclically (1,2,3,…,1,2,3,…),
+	// the classic adversarial order for window-based algorithms.
+	OrderRoundRobin
+	// OrderBlocks emits each item's occurrences as one contiguous run,
+	// ordered by item identifier.
+	OrderBlocks
+)
+
+// String returns the experiment-table label for the order.
+func (o Order) String() string {
+	switch o {
+	case OrderRandom:
+		return "random"
+	case OrderSortedAsc:
+		return "sorted-asc"
+	case OrderSortedDesc:
+		return "sorted-desc"
+	case OrderRoundRobin:
+		return "round-robin"
+	case OrderBlocks:
+		return "blocks"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}
+
+// Orders lists every arrival order, for sweeps.
+func Orders() []Order {
+	return []Order{OrderRandom, OrderSortedAsc, OrderSortedDesc, OrderRoundRobin, OrderBlocks}
+}
+
+// FromFrequencies expands a frequency vector (freq[i] occurrences of item
+// i) into a concrete stream in the given order. src is required only for
+// OrderRandom and may be nil otherwise.
+func FromFrequencies(freq []uint64, order Order, src *rng.Source) []uint64 {
+	var total uint64
+	for _, f := range freq {
+		total += f
+	}
+	out := make([]uint64, 0, total)
+	switch order {
+	case OrderBlocks, OrderRandom:
+		for i, f := range freq {
+			for j := uint64(0); j < f; j++ {
+				out = append(out, uint64(i))
+			}
+		}
+		if order == OrderRandom {
+			if src == nil {
+				panic("stream: OrderRandom requires a rng source")
+			}
+			src.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
+		}
+	case OrderSortedAsc:
+		for i := len(freq) - 1; i >= 0; i-- {
+			for j := uint64(0); j < freq[i]; j++ {
+				out = append(out, uint64(i))
+			}
+		}
+	case OrderSortedDesc:
+		for i, f := range freq {
+			for j := uint64(0); j < f; j++ {
+				out = append(out, uint64(i))
+			}
+		}
+	case OrderRoundRobin:
+		remaining := make([]uint64, len(freq))
+		copy(remaining, freq)
+		left := total
+		for left > 0 {
+			for i := range remaining {
+				if remaining[i] > 0 {
+					out = append(out, uint64(i))
+					remaining[i]--
+					left--
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("stream: unknown order %d", int(order)))
+	}
+	return out
+}
+
+// Zipf returns a stream whose frequency vector is exactly Zipfian with
+// parameter alpha over n items and total length total, in the given
+// arrival order. Item 0 is the most frequent.
+func Zipf(n int, alpha float64, total uint64, order Order, seed uint64) []uint64 {
+	freq := zipfmath.Frequencies(n, alpha, float64(total))
+	return FromFrequencies(freq, order, rng.New(seed))
+}
+
+// ZipfSampled returns a stream of total i.i.d. draws from the Zipfian
+// distribution over n items (inversion sampling against the exact CDF).
+// Unlike Zipf, the realised frequency vector fluctuates around the
+// expectation, which exercises estimation under sampling noise.
+func ZipfSampled(n int, alpha float64, total uint64, seed uint64) []uint64 {
+	if n < 1 {
+		panic("stream: ZipfSampled requires n >= 1")
+	}
+	// Cumulative weights of the (unnormalised) Zipf pmf.
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), alpha)
+		cdf[i] = sum
+	}
+	src := rng.New(seed)
+	out := make([]uint64, total)
+	for t := range out {
+		u := src.Float64() * sum
+		// Binary search for the first index with cdf >= u.
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[t] = uint64(lo)
+	}
+	return out
+}
+
+// Uniform returns a stream of total i.i.d. uniform draws over [0, n).
+func Uniform(n int, total uint64, seed uint64) []uint64 {
+	if n < 1 {
+		panic("stream: Uniform requires n >= 1")
+	}
+	src := rng.New(seed)
+	out := make([]uint64, total)
+	for t := range out {
+		out[t] = src.Uint64n(uint64(n))
+	}
+	return out
+}

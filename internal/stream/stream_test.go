@@ -1,0 +1,140 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/rng"
+)
+
+func TestFromFrequenciesPreservesCounts(t *testing.T) {
+	freq := []uint64{5, 3, 0, 2}
+	for _, order := range Orders() {
+		s := FromFrequencies(freq, order, rng.New(1))
+		c := exact.FromStream(s)
+		if c.F1() != 10 {
+			t.Errorf("%v: stream length %v, want 10", order, c.F1())
+		}
+		for i, f := range freq {
+			if got := c.Freq(uint64(i)); got != float64(f) {
+				t.Errorf("%v: item %d count %v, want %d", order, i, got, f)
+			}
+		}
+	}
+}
+
+func TestOrderShapes(t *testing.T) {
+	freq := []uint64{3, 2, 1}
+	asc := FromFrequencies(freq, OrderSortedAsc, nil)
+	wantAsc := []uint64{2, 1, 1, 0, 0, 0}
+	for i := range wantAsc {
+		if asc[i] != wantAsc[i] {
+			t.Fatalf("asc = %v, want %v", asc, wantAsc)
+		}
+	}
+	desc := FromFrequencies(freq, OrderSortedDesc, nil)
+	wantDesc := []uint64{0, 0, 0, 1, 1, 2}
+	for i := range wantDesc {
+		if desc[i] != wantDesc[i] {
+			t.Fatalf("desc = %v, want %v", desc, wantDesc)
+		}
+	}
+	rr := FromFrequencies(freq, OrderRoundRobin, nil)
+	wantRR := []uint64{0, 1, 2, 0, 1, 0}
+	for i := range wantRR {
+		if rr[i] != wantRR[i] {
+			t.Fatalf("round-robin = %v, want %v", rr, wantRR)
+		}
+	}
+}
+
+func TestRandomOrderIsDeterministicPerSeed(t *testing.T) {
+	freq := []uint64{10, 5, 5}
+	a := FromFrequencies(freq, OrderRandom, rng.New(42))
+	b := FromFrequencies(freq, OrderRandom, rng.New(42))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different shuffles")
+		}
+	}
+}
+
+func TestRandomOrderRequiresSource(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OrderRandom with nil source did not panic")
+		}
+	}()
+	FromFrequencies([]uint64{1, 1}, OrderRandom, nil)
+}
+
+func TestOrderString(t *testing.T) {
+	for _, o := range Orders() {
+		if o.String() == "" {
+			t.Errorf("order %d has empty name", int(o))
+		}
+	}
+	if got := Order(99).String(); got != "Order(99)" {
+		t.Errorf("unknown order = %q", got)
+	}
+}
+
+func TestZipfStreamLengthAndSkew(t *testing.T) {
+	const n, total = 100, 10000
+	s := Zipf(n, 1.2, total, OrderRandom, 7)
+	if len(s) != total {
+		t.Fatalf("len = %d, want %d", len(s), total)
+	}
+	c := exact.FromStream(s)
+	if c.Freq(0) <= c.Freq(50) {
+		t.Errorf("Zipf not skewed: f(0)=%v <= f(50)=%v", c.Freq(0), c.Freq(50))
+	}
+}
+
+func TestZipfSampledDistribution(t *testing.T) {
+	const n, total = 50, 200000
+	s := ZipfSampled(n, 1.0, total, 3)
+	if len(s) != total {
+		t.Fatalf("len = %d, want %d", len(s), total)
+	}
+	c := exact.FromStream(s)
+	// f(0)/f(9) should be roughly 10 for alpha = 1.
+	ratio := c.Freq(0) / c.Freq(9)
+	if ratio < 6 || ratio > 16 {
+		t.Errorf("f(0)/f(9) = %v, want ~10", ratio)
+	}
+	for _, x := range s {
+		if x >= n {
+			t.Fatalf("sample %d outside universe", x)
+		}
+	}
+}
+
+func TestUniformStream(t *testing.T) {
+	const n, total = 10, 100000
+	s := Uniform(n, total, 11)
+	c := exact.FromStream(s)
+	for i := uint64(0); i < n; i++ {
+		f := c.Freq(i)
+		if f < total/n*0.9 || f > total/n*1.1 {
+			t.Errorf("item %d frequency %v, want ~%v", i, f, total/n)
+		}
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"ZipfSampled n=0": func() { ZipfSampled(0, 1, 10, 1) },
+		"Uniform n=0":     func() { Uniform(0, 10, 1) },
+		"unknown order":   func() { FromFrequencies([]uint64{1}, Order(99), nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

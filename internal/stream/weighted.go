@@ -1,0 +1,77 @@
+package stream
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/zipfmath"
+)
+
+// Update is one arrival in a real-valued update stream (Section 6.1): the
+// tuple (a_i, b_i) representing b_i occurrences of element a_i, with
+// b_i ∈ R+.
+type Update struct {
+	Item   uint64
+	Weight float64
+}
+
+// UnitUpdates lifts a unit-weight stream into the weighted representation.
+func UnitUpdates(items []uint64) []Update {
+	out := make([]Update, len(items))
+	for i, x := range items {
+		out[i] = Update{Item: x, Weight: 1}
+	}
+	return out
+}
+
+// TotalWeight returns Σ b_i over the stream.
+func TotalWeight(updates []Update) float64 {
+	s := 0.0
+	for _, u := range updates {
+		s += u.Weight
+	}
+	return s
+}
+
+// WeightedZipf generates a real-valued update stream in which item i's
+// *total weight* is Zipfian with parameter alpha, but that weight arrives
+// split across a random number of bursts with exponentially distributed
+// sizes — the shape of byte-counted packet streams. The arrival order is
+// a uniform shuffle.
+//
+// n is the number of distinct items, totalWeight the target Σ b_i (realised
+// approximately; exact apportionment is irrelevant for real weights), and
+// meanBursts the average number of arrivals carrying each item's weight.
+func WeightedZipf(n int, alpha, totalWeight float64, meanBursts int, seed uint64) []Update {
+	if n < 1 {
+		panic("stream: WeightedZipf requires n >= 1")
+	}
+	if meanBursts < 1 {
+		panic("stream: WeightedZipf requires meanBursts >= 1")
+	}
+	src := rng.New(seed)
+	zeta := zipfmath.Zeta(n, alpha)
+	var out []Update
+	for i := 0; i < n; i++ {
+		w := totalWeight / (math.Pow(float64(i+1), alpha) * zeta)
+		if w <= 0 {
+			continue
+		}
+		// Split w into 1..2*meanBursts-1 bursts with random proportions.
+		bursts := 1 + src.Intn(2*meanBursts-1)
+		props := make([]float64, bursts)
+		sum := 0.0
+		for j := range props {
+			props[j] = src.ExpFloat64()
+			sum += props[j]
+		}
+		for j := range props {
+			bw := w * props[j] / sum
+			if bw > 0 {
+				out = append(out, Update{Item: uint64(i), Weight: bw})
+			}
+		}
+	}
+	src.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
+	return out
+}

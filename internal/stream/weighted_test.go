@@ -1,0 +1,152 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUnitUpdates(t *testing.T) {
+	u := UnitUpdates([]uint64{3, 7})
+	if len(u) != 2 || u[0] != (Update{3, 1}) || u[1] != (Update{7, 1}) {
+		t.Errorf("UnitUpdates = %v", u)
+	}
+	if got := TotalWeight(u); got != 2 {
+		t.Errorf("TotalWeight = %v, want 2", got)
+	}
+}
+
+func TestWeightedZipfMassAndSkew(t *testing.T) {
+	const n = 100
+	const total = 1e6
+	ups := WeightedZipf(n, 1.1, total, 4, 5)
+	mass := TotalWeight(ups)
+	if math.Abs(mass-total) > total*0.01 {
+		t.Errorf("total weight %v, want ~%v", mass, total)
+	}
+	perItem := make(map[uint64]float64)
+	for _, u := range ups {
+		if u.Weight <= 0 {
+			t.Fatalf("non-positive weight %v", u.Weight)
+		}
+		perItem[u.Item] += u.Weight
+	}
+	if perItem[0] <= perItem[50] {
+		t.Errorf("weighted Zipf not skewed: w(0)=%v <= w(50)=%v", perItem[0], perItem[50])
+	}
+}
+
+func TestWeightedZipfDeterministic(t *testing.T) {
+	a := WeightedZipf(20, 1.5, 1000, 3, 9)
+	b := WeightedZipf(20, 1.5, 1000, 3, 9)
+	if len(a) != len(b) {
+		t.Fatal("different lengths for same seed")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different weighted streams")
+		}
+	}
+}
+
+func TestWeightedZipfPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"n=0":      func() { WeightedZipf(0, 1, 10, 2, 1) },
+		"bursts=0": func() { WeightedZipf(5, 1, 10, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLowerBoundPrefix(t *testing.T) {
+	const m, k, x = 10, 3, 5
+	prefix := LowerBoundPrefix(m, k, x)
+	if len(prefix) != x*(m+k) {
+		t.Fatalf("prefix length %d, want %d", len(prefix), x*(m+k))
+	}
+	counts := make(map[uint64]int)
+	for _, it := range prefix {
+		counts[it]++
+	}
+	if len(counts) != m+k {
+		t.Fatalf("prefix has %d distinct items, want %d", len(counts), m+k)
+	}
+	for it, c := range counts {
+		if c != x {
+			t.Errorf("item %d occurs %d times, want %d", it, c, x)
+		}
+	}
+}
+
+func TestLowerBoundContinuations(t *testing.T) {
+	const m, k = 10, 3
+	zero := []uint64{2, 5, 7}
+	a, b := LowerBoundContinuations(m, k, zero)
+	for i := range zero {
+		if a[i] != zero[i] {
+			t.Errorf("contA[%d] = %d, want %d", i, a[i], zero[i])
+		}
+		if b[i] != uint64(m+k+i) {
+			t.Errorf("contB[%d] = %d, want %d", i, b[i], m+k+i)
+		}
+	}
+}
+
+func TestLowerBoundPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"k>m":        func() { LowerBoundPrefix(3, 4, 1) },
+		"x=0":        func() { LowerBoundPrefix(3, 1, 0) },
+		"wrong zero": func() { LowerBoundContinuations(3, 2, []uint64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNetFlowTrace(t *testing.T) {
+	flows := NetFlow(50, 1.2, 1e6, 7)
+	if len(flows) == 0 {
+		t.Fatal("empty trace")
+	}
+	var total float64
+	keys := make(map[uint64]bool)
+	for _, f := range flows {
+		if f.Bytes < 1 || f.Bytes > 1500 {
+			t.Fatalf("packet size %d out of range", f.Bytes)
+		}
+		total += float64(f.Bytes)
+		keys[f.FlowKey()] = true
+	}
+	if total < 0.9e6 || total > 1.1e6 {
+		t.Errorf("total bytes %v, want ~1e6", total)
+	}
+	if len(keys) > 50 {
+		t.Errorf("%d distinct flows, want <= 50", len(keys))
+	}
+}
+
+func TestQueryLog(t *testing.T) {
+	qs := QueryLog(100, 1.0, 5000, 3)
+	if len(qs) != 5000 {
+		t.Fatalf("len = %d, want 5000", len(qs))
+	}
+	counts := make(map[string]int)
+	for _, q := range qs {
+		counts[q]++
+	}
+	if counts["query-0000"] <= counts["query-0050"] {
+		t.Error("query log not skewed toward query-0000")
+	}
+}

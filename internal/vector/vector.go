@@ -1,0 +1,202 @@
+// Package vector implements the frequency-vector arithmetic the paper's
+// bounds are stated in: stream norms F_p, residual tails F_p^res(k)
+// (Section 2), and the Lp recovery errors of Section 4.
+//
+// Two representations are provided: Dense for experiments over a bounded
+// universe [0, n), and Sparse (a map) for algorithm outputs that carry only
+// the stored counters.
+package vector
+
+import (
+	"math"
+	"sort"
+)
+
+// Dense is a frequency vector indexed by item identifier. Dense[i] is the
+// (exact or estimated) frequency of item i.
+type Dense []float64
+
+// F1 returns the L1 mass of the vector: the stream length for an exact
+// unit-weight frequency vector.
+func (d Dense) F1() float64 {
+	s := 0.0
+	for _, v := range d {
+		s += v
+	}
+	return s
+}
+
+// Fp returns F_p = Σ f_i^p.
+func (d Dense) Fp(p float64) float64 {
+	s := 0.0
+	for _, v := range d {
+		if v != 0 {
+			s += math.Pow(v, p)
+		}
+	}
+	return s
+}
+
+// SortedDesc returns a copy of the entries sorted in decreasing order,
+// matching the paper's convention f_1 ≥ f_2 ≥ … ≥ f_n.
+func (d Dense) SortedDesc() []float64 {
+	s := make([]float64, len(d))
+	copy(s, d)
+	sort.Sort(sort.Reverse(sort.Float64Slice(s)))
+	return s
+}
+
+// Res1 returns F_1^res(k): the total mass excluding the k largest entries.
+// If k ≥ len(d), the residual is zero. It panics on negative k.
+func (d Dense) Res1(k int) float64 {
+	return ResP(d.SortedDesc(), k, 1)
+}
+
+// ResP returns F_p^res(k) = Σ_{i>k} f_i^p given entries already sorted in
+// decreasing order. It panics on negative k.
+func ResP(sortedDesc []float64, k int, p float64) float64 {
+	if k < 0 {
+		panic("vector: negative k")
+	}
+	if k >= len(sortedDesc) {
+		return 0
+	}
+	s := 0.0
+	if p == 1 {
+		for _, v := range sortedDesc[k:] {
+			s += v
+		}
+		return s
+	}
+	for _, v := range sortedDesc[k:] {
+		if v != 0 {
+			s += math.Pow(v, p)
+		}
+	}
+	return s
+}
+
+// LpErr returns ‖d − other‖_p for p ≥ 1. The vectors must have equal
+// length.
+func (d Dense) LpErr(other Dense, p float64) float64 {
+	if len(d) != len(other) {
+		panic("vector: LpErr length mismatch")
+	}
+	if p < 1 {
+		panic("vector: LpErr requires p >= 1")
+	}
+	s := 0.0
+	for i, v := range d {
+		diff := math.Abs(v - other[i])
+		if diff != 0 {
+			s += math.Pow(diff, p)
+		}
+	}
+	return math.Pow(s, 1/p)
+}
+
+// LinfErr returns max_i |d_i − other_i|.
+func (d Dense) LinfErr(other Dense) float64 {
+	if len(d) != len(other) {
+		panic("vector: LinfErr length mismatch")
+	}
+	m := 0.0
+	for i, v := range d {
+		if diff := math.Abs(v - other[i]); diff > m {
+			m = diff
+		}
+	}
+	return m
+}
+
+// TopK returns the identifiers of the k largest entries, ties broken by
+// smaller identifier first (the paper's deterministic convention). If
+// k exceeds the number of non-zero entries the result includes zero-valued
+// items to make up the count only when k ≤ len(d); k larger than len(d) is
+// truncated.
+func (d Dense) TopK(k int) []uint64 {
+	if k > len(d) {
+		k = len(d)
+	}
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]uint64, len(d))
+	for i := range idx {
+		idx[i] = uint64(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if d[ia] != d[ib] {
+			return d[ia] > d[ib]
+		}
+		return ia < ib
+	})
+	return idx[:k]
+}
+
+// Sparse is a frequency vector carrying only non-zero entries, keyed by
+// item identifier.
+type Sparse map[uint64]float64
+
+// F1 returns the L1 mass of the sparse vector.
+func (s Sparse) F1() float64 {
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}
+
+// Dense expands the sparse vector over the universe [0, n). Entries with
+// identifiers ≥ n panic, since silently dropping mass would corrupt error
+// measurements.
+func (s Sparse) Dense(n int) Dense {
+	d := make(Dense, n)
+	for id, v := range s {
+		if id >= uint64(n) {
+			panic("vector: sparse entry outside universe")
+		}
+		d[id] = v
+	}
+	return d
+}
+
+// TopK returns the identifiers of the k largest sparse entries, ties broken
+// by smaller identifier. If fewer than k entries exist, all are returned.
+func (s Sparse) TopK(k int) []uint64 {
+	ids := make([]uint64, 0, len(s))
+	for id := range s {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ia, ib := ids[a], ids[b]
+		if s[ia] != s[ib] {
+			return s[ia] > s[ib]
+		}
+		return ia < ib
+	})
+	if k < len(ids) {
+		ids = ids[:k]
+	}
+	return ids
+}
+
+// Restrict returns a copy of s keeping only the given identifiers.
+func (s Sparse) Restrict(ids []uint64) Sparse {
+	out := make(Sparse, len(ids))
+	for _, id := range ids {
+		if v, ok := s[id]; ok {
+			out[id] = v
+		}
+	}
+	return out
+}
+
+// Add accumulates other into s (s += other) and returns s.
+func (s Sparse) Add(other Sparse) Sparse {
+	for id, v := range other {
+		s[id] += v
+	}
+	return s
+}

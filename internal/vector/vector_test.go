@@ -1,0 +1,231 @@
+package vector
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestF1(t *testing.T) {
+	cases := []struct {
+		d    Dense
+		want float64
+	}{
+		{Dense{}, 0},
+		{Dense{5}, 5},
+		{Dense{1, 2, 3}, 6},
+		{Dense{0, 0, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := c.d.F1(); got != c.want {
+			t.Errorf("F1(%v) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestFp(t *testing.T) {
+	d := Dense{3, 4}
+	if got := d.Fp(2); got != 25 {
+		t.Errorf("Fp(2) = %v, want 25", got)
+	}
+	if got := d.Fp(1); got != 7 {
+		t.Errorf("Fp(1) = %v, want 7", got)
+	}
+}
+
+func TestSortedDesc(t *testing.T) {
+	d := Dense{1, 5, 3, 5, 0}
+	got := d.SortedDesc()
+	want := []float64{5, 5, 3, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedDesc = %v, want %v", got, want)
+		}
+	}
+	// Original must be untouched.
+	if d[0] != 1 {
+		t.Error("SortedDesc mutated receiver")
+	}
+}
+
+func TestRes1(t *testing.T) {
+	d := Dense{10, 7, 3, 2, 1}
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{0, 23}, // F1^res(0) = F1
+		{1, 13},
+		{2, 6},
+		{4, 1},
+		{5, 0},
+		{100, 0},
+	}
+	for _, c := range cases {
+		if got := d.Res1(c.k); got != c.want {
+			t.Errorf("Res1(%d) = %v, want %v", c.k, got, c.want)
+		}
+	}
+}
+
+func TestResPPanicsOnNegativeK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ResP(-1) did not panic")
+		}
+	}()
+	ResP([]float64{1}, -1, 1)
+}
+
+func TestResP2(t *testing.T) {
+	sorted := []float64{4, 3, 2}
+	if got := ResP(sorted, 1, 2); got != 13 { // 9 + 4
+		t.Errorf("ResP(k=1, p=2) = %v, want 13", got)
+	}
+}
+
+func TestLpErr(t *testing.T) {
+	a := Dense{1, 2, 3}
+	b := Dense{1, 0, 7}
+	if got := a.LpErr(b, 1); got != 6 {
+		t.Errorf("L1 error = %v, want 6", got)
+	}
+	if got := a.LpErr(b, 2); !almostEqual(got, math.Sqrt(4+16)) {
+		t.Errorf("L2 error = %v, want %v", got, math.Sqrt(20))
+	}
+	if got := a.LinfErr(b); got != 4 {
+		t.Errorf("Linf error = %v, want 4", got)
+	}
+}
+
+func TestLpErrPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"length mismatch": func() { Dense{1}.LpErr(Dense{1, 2}, 1) },
+		"p < 1":           func() { Dense{1}.LpErr(Dense{2}, 0.5) },
+		"linf mismatch":   func() { Dense{1}.LinfErr(Dense{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTopKDense(t *testing.T) {
+	d := Dense{3, 9, 9, 1}
+	got := d.TopK(3)
+	want := []uint64{1, 2, 0} // tie between items 1 and 2 broken by id
+	if len(got) != len(want) {
+		t.Fatalf("TopK = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", got, want)
+		}
+	}
+	if res := d.TopK(0); res != nil {
+		t.Errorf("TopK(0) = %v, want nil", res)
+	}
+	if res := d.TopK(100); len(res) != len(d) {
+		t.Errorf("TopK(100) returned %d ids, want %d", len(res), len(d))
+	}
+}
+
+func TestSparseBasics(t *testing.T) {
+	s := Sparse{4: 10, 7: 5}
+	if got := s.F1(); got != 15 {
+		t.Errorf("F1 = %v, want 15", got)
+	}
+	d := s.Dense(10)
+	if d[4] != 10 || d[7] != 5 || d.F1() != 15 {
+		t.Errorf("Dense expansion wrong: %v", d)
+	}
+}
+
+func TestSparseDensePanicsOutOfUniverse(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dense with out-of-universe entry did not panic")
+		}
+	}()
+	Sparse{20: 1}.Dense(10)
+}
+
+func TestSparseTopK(t *testing.T) {
+	s := Sparse{1: 5, 2: 5, 3: 9}
+	got := s.TopK(2)
+	if len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Errorf("TopK = %v, want [3 1]", got)
+	}
+	if all := s.TopK(10); len(all) != 3 {
+		t.Errorf("TopK(10) returned %d ids, want 3", len(all))
+	}
+}
+
+func TestSparseRestrictAndAdd(t *testing.T) {
+	s := Sparse{1: 5, 2: 6, 3: 7}
+	r := s.Restrict([]uint64{1, 3, 9})
+	if len(r) != 2 || r[1] != 5 || r[3] != 7 {
+		t.Errorf("Restrict = %v", r)
+	}
+	sum := Sparse{1: 1}.Add(Sparse{1: 2, 5: 3})
+	if sum[1] != 3 || sum[5] != 3 {
+		t.Errorf("Add = %v", sum)
+	}
+}
+
+func TestResidualMonotoneProperty(t *testing.T) {
+	// F1^res(k) is non-increasing in k, and Res1(0) == F1.
+	err := quick.Check(func(raw []uint16) bool {
+		d := make(Dense, len(raw))
+		for i, v := range raw {
+			d[i] = float64(v)
+		}
+		if !almostEqual(d.Res1(0), d.F1()) {
+			return false
+		}
+		prev := math.Inf(1)
+		for k := 0; k <= len(d)+1; k++ {
+			r := d.Res1(k)
+			if r > prev+1e-9 || r < 0 {
+				return false
+			}
+			prev = r
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	// ‖a−c‖p ≤ ‖a−b‖p + ‖b−c‖p for p = 1, 2.
+	err := quick.Check(func(raw [3][8]int16) bool {
+		mk := func(r [8]int16) Dense {
+			d := make(Dense, 8)
+			for i, v := range r {
+				d[i] = float64(v)
+			}
+			return d
+		}
+		a, b, c := mk(raw[0]), mk(raw[1]), mk(raw[2])
+		for _, p := range []float64{1, 2} {
+			if a.LpErr(c, p) > a.LpErr(b, p)+b.LpErr(c, p)+1e-6 {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package zipfmath
+
+import "math"
+
+// FitAlpha estimates the Zipf parameter α of a frequency distribution by
+// least-squares regression of log(frequency) on log(rank) over the
+// non-zero entries of a frequency vector sorted in decreasing order. The
+// returned alpha is the negated slope; r2 is the coefficient of
+// determination of the fit (1 means perfectly Zipfian).
+//
+// Practitioners use the estimate to size counter budgets via Theorem 8:
+// m = (A+B)·(1/ε)^(1/α̂) counters suffice for error εF1 when the data is
+// (approximately) α̂-Zipfian. Ranks beyond maxRank are ignored (the tail
+// of empirical distributions is dominated by sampling noise); pass 0 to
+// use every non-zero rank.
+func FitAlpha(sortedDesc []float64, maxRank int) (alpha, r2 float64) {
+	n := len(sortedDesc)
+	if maxRank > 0 && maxRank < n {
+		n = maxRank
+	}
+	// Collect (log rank, log freq) points over strictly positive
+	// frequencies.
+	var xs, ys []float64
+	for i := 0; i < n; i++ {
+		f := sortedDesc[i]
+		if f <= 0 {
+			break // sorted: all later entries are zero too
+		}
+		xs = append(xs, math.Log(float64(i+1)))
+		ys = append(ys, math.Log(f))
+	}
+	if len(xs) < 2 {
+		return 0, 0
+	}
+	meanX, meanY := mean(xs), mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-meanX, ys[i]-meanY
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, 0
+	}
+	slope := sxy / sxx
+	alpha = -slope
+	if syy == 0 {
+		// All frequencies equal: a perfect fit with alpha 0.
+		return alpha, 1
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	return alpha, r2
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// SuggestCounters turns a fitted α̂ into a Theorem 8 counter budget for
+// target error rate ε, clamping α̂ to 1 from below (Theorem 8 requires
+// α ≥ 1; sub-Zipfian data falls back to the generic m = (A+B)/ε budget).
+func SuggestCounters(alphaHat, epsilon float64, a, b float64) int {
+	if alphaHat < 1 {
+		alphaHat = 1
+	}
+	return Theorem8Counters(a, b, epsilon, alphaHat)
+}

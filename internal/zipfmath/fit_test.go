@@ -1,0 +1,83 @@
+package zipfmath
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitAlphaOnExactZipf(t *testing.T) {
+	for _, alpha := range []float64{1.0, 1.3, 2.0} {
+		f := Frequencies(2000, alpha, 1e7)
+		sorted := make([]float64, len(f))
+		for i, v := range f {
+			sorted[i] = float64(v)
+		}
+		got, r2 := FitAlpha(sorted, 500)
+		if math.Abs(got-alpha) > 0.05 {
+			t.Errorf("alpha=%v: fitted %v", alpha, got)
+		}
+		if r2 < 0.99 {
+			t.Errorf("alpha=%v: r2 = %v, want ~1", alpha, r2)
+		}
+	}
+}
+
+func TestFitAlphaUniformData(t *testing.T) {
+	sorted := []float64{10, 10, 10, 10}
+	alpha, r2 := FitAlpha(sorted, 0)
+	if alpha != 0 {
+		t.Errorf("alpha = %v, want 0 for uniform data", alpha)
+	}
+	if r2 != 1 {
+		t.Errorf("r2 = %v, want 1 for perfectly flat data", r2)
+	}
+}
+
+func TestFitAlphaDegenerateInputs(t *testing.T) {
+	if a, r2 := FitAlpha(nil, 0); a != 0 || r2 != 0 {
+		t.Errorf("nil input: %v, %v", a, r2)
+	}
+	if a, r2 := FitAlpha([]float64{5}, 0); a != 0 || r2 != 0 {
+		t.Errorf("single point: %v, %v", a, r2)
+	}
+	if a, r2 := FitAlpha([]float64{0, 0}, 0); a != 0 || r2 != 0 {
+		t.Errorf("all zero: %v, %v", a, r2)
+	}
+}
+
+func TestFitAlphaStopsAtZeros(t *testing.T) {
+	sorted := []float64{100, 10, 1, 0, 0, 0}
+	alpha, _ := FitAlpha(sorted, 0)
+	// log-log slope of (1,100),(2,10),(3,1): roughly -4.2.
+	if alpha < 3.5 || alpha > 5 {
+		t.Errorf("alpha = %v, want ~4.2", alpha)
+	}
+}
+
+func TestFitAlphaMaxRankRestricts(t *testing.T) {
+	// A distribution that is Zipf(2) on the head with a flat tail: fitting
+	// only the head must recover 2.
+	f := Frequencies(100, 2.0, 1e6)
+	sorted := make([]float64, 0, 200)
+	for _, v := range f {
+		sorted = append(sorted, float64(v))
+	}
+	for i := 0; i < 100; i++ {
+		sorted = append(sorted, 1)
+	}
+	alpha, _ := FitAlpha(sorted, 50)
+	if math.Abs(alpha-2) > 0.1 {
+		t.Errorf("head-restricted fit = %v, want ~2", alpha)
+	}
+}
+
+func TestSuggestCounters(t *testing.T) {
+	// alpha 2, eps 0.01 -> 2*sqrt(100) = 20.
+	if got := SuggestCounters(2, 0.01, 1, 1); got != 20 {
+		t.Errorf("SuggestCounters = %d, want 20", got)
+	}
+	// Sub-Zipfian clamps to alpha=1: 2/eps.
+	if got := SuggestCounters(0.4, 0.1, 1, 1); got != 20 {
+		t.Errorf("SuggestCounters(clamped) = %d, want 20", got)
+	}
+}

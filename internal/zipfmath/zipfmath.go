@@ -1,0 +1,104 @@
+// Package zipfmath implements the Zipfian-distribution arithmetic of
+// Section 5: the generalised harmonic number ζ_n(α), exact Zipfian
+// frequency vectors f_i = N / (i^α ζ_n(α)), and the counter-budget
+// thresholds of Theorems 8 and 9.
+package zipfmath
+
+import (
+	"math"
+	"sort"
+)
+
+// Zeta returns the generalised harmonic number ζ_n(α) = Σ_{i=1..n} i^{−α}.
+// It panics if n < 1.
+func Zeta(n int, alpha float64) float64 {
+	if n < 1 {
+		panic("zipfmath: Zeta requires n >= 1")
+	}
+	s := 0.0
+	for i := 1; i <= n; i++ {
+		s += math.Pow(float64(i), -alpha)
+	}
+	return s
+}
+
+// Frequencies returns the exact Zipfian frequency vector over n items for a
+// stream of total mass N: f_i = N / (i^α ζ_n(α)), rounded to integers while
+// preserving Σ f_i = N exactly (largest-remainder apportionment). The
+// result is sorted in decreasing order; item identifiers are the indices.
+func Frequencies(n int, alpha, totalMass float64) []uint64 {
+	if n < 1 {
+		panic("zipfmath: Frequencies requires n >= 1")
+	}
+	if totalMass < 0 {
+		panic("zipfmath: negative total mass")
+	}
+	zeta := Zeta(n, alpha)
+	exact := make([]float64, n)
+	floors := make([]uint64, n)
+	var assigned uint64
+	for i := 0; i < n; i++ {
+		exact[i] = totalMass / (math.Pow(float64(i+1), alpha) * zeta)
+		floors[i] = uint64(math.Floor(exact[i]))
+		assigned += floors[i]
+	}
+	// Distribute the remaining mass to the largest fractional parts; on
+	// ties prefer smaller index so the vector stays non-increasing.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		fa := exact[order[a]] - math.Floor(exact[order[a]])
+		fb := exact[order[b]] - math.Floor(exact[order[b]])
+		if fa != fb {
+			return fa > fb
+		}
+		return order[a] < order[b]
+	})
+	remaining := uint64(math.Round(totalMass)) - assigned
+	for i := uint64(0); i < remaining && int(i) < n; i++ {
+		floors[order[i]]++
+	}
+	// Repair any non-monotonicity introduced by rounding. Adjacent entries
+	// can differ by at most one increment, so bubbling larger values left
+	// restores the non-increasing order.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && floors[j] > floors[j-1]; j-- {
+			floors[j-1], floors[j] = floors[j], floors[j-1]
+		}
+	}
+	return floors
+}
+
+// Theorem8Counters returns the counter budget m = (A+B)·(1/ε)^{1/α}
+// prescribed by Theorem 8 to achieve per-item error ≤ εF1 on Zipfian data
+// with parameter α ≥ 1, for an algorithm with tail constants (A, B).
+func Theorem8Counters(a, b, epsilon, alpha float64) int {
+	if epsilon <= 0 || epsilon >= 1 {
+		panic("zipfmath: epsilon must be in (0,1)")
+	}
+	if alpha < 1 {
+		panic("zipfmath: Theorem 8 requires alpha >= 1")
+	}
+	k := math.Pow(1/epsilon, 1/alpha)
+	return int(math.Ceil((a + b) * k))
+}
+
+// Theorem9Epsilon returns the error rate ε = α / (2 ζ_n(α) (k+1)^α k)
+// sufficient (per the Theorem 9 proof) to recover the top-k elements of an
+// α-Zipfian stream in exact order.
+func Theorem9Epsilon(n, k int, alpha float64) float64 {
+	if k < 1 {
+		panic("zipfmath: Theorem 9 requires k >= 1")
+	}
+	return alpha / (2 * Zeta(n, alpha) * math.Pow(float64(k+1), alpha) * float64(k))
+}
+
+// Theorem9Counters combines Theorems 8 and 9: the counter budget sufficient
+// to retrieve the ordered top-k of an α-Zipfian stream (α ≥ 1), for an
+// algorithm with tail constants (A, B).
+func Theorem9Counters(n, k int, a, b, alpha float64) int {
+	eps := Theorem9Epsilon(n, k, alpha)
+	return Theorem8Counters(a, b, eps, alpha)
+}

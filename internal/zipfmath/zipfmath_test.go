@@ -1,0 +1,185 @@
+package zipfmath
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZetaSmall(t *testing.T) {
+	if got := Zeta(1, 2); got != 1 {
+		t.Errorf("Zeta(1, 2) = %v, want 1", got)
+	}
+	// ζ_3(1) = 1 + 1/2 + 1/3
+	if got, want := Zeta(3, 1), 1+0.5+1.0/3; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Zeta(3, 1) = %v, want %v", got, want)
+	}
+	// ζ_n(2) converges to π²/6 from below.
+	if got := Zeta(100000, 2); got >= math.Pi*math.Pi/6 || got < 1.6448 {
+		t.Errorf("Zeta(1e5, 2) = %v, want just under π²/6 ≈ 1.644934", got)
+	}
+}
+
+func TestZetaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Zeta(0) did not panic")
+		}
+	}()
+	Zeta(0, 1)
+}
+
+func TestFrequenciesMassConservation(t *testing.T) {
+	for _, alpha := range []float64{0.5, 1.0, 1.1, 2.0, 3.0} {
+		for _, n := range []int{1, 2, 10, 1000} {
+			const mass = 100000
+			f := Frequencies(n, alpha, mass)
+			var sum uint64
+			for _, v := range f {
+				sum += v
+			}
+			if sum != mass {
+				t.Errorf("alpha=%v n=%d: mass %d, want %d", alpha, n, sum, mass)
+			}
+		}
+	}
+}
+
+func TestFrequenciesNonIncreasing(t *testing.T) {
+	for _, alpha := range []float64{0.8, 1.0, 1.5, 2.5} {
+		f := Frequencies(500, alpha, 1e6)
+		for i := 1; i < len(f); i++ {
+			if f[i] > f[i-1] {
+				t.Fatalf("alpha=%v: f[%d]=%d > f[%d]=%d", alpha, i, f[i], i-1, f[i-1])
+			}
+		}
+	}
+}
+
+func TestFrequenciesMatchFormula(t *testing.T) {
+	const n, mass = 100, 1000000
+	const alpha = 1.5
+	f := Frequencies(n, alpha, mass)
+	zeta := Zeta(n, alpha)
+	for i := 0; i < n; i++ {
+		want := mass / (math.Pow(float64(i+1), alpha) * zeta)
+		if math.Abs(float64(f[i])-want) > 1.5 {
+			t.Errorf("f[%d] = %d, formula gives %v", i, f[i], want)
+		}
+	}
+}
+
+func TestFrequenciesSingleItem(t *testing.T) {
+	f := Frequencies(1, 2.0, 42)
+	if len(f) != 1 || f[0] != 42 {
+		t.Errorf("Frequencies(1) = %v, want [42]", f)
+	}
+}
+
+func TestFrequenciesZeroMass(t *testing.T) {
+	f := Frequencies(5, 1.0, 0)
+	for i, v := range f {
+		if v != 0 {
+			t.Errorf("f[%d] = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestFrequenciesPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"n=0":           func() { Frequencies(0, 1, 10) },
+		"negative mass": func() { Frequencies(3, 1, -5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTheorem8Counters(t *testing.T) {
+	// A = B = 1, ε = 0.01, α = 2 → m = 2 * 10 = 20.
+	if got := Theorem8Counters(1, 1, 0.01, 2); got != 20 {
+		t.Errorf("Theorem8Counters = %d, want 20", got)
+	}
+	// α = 1 → m = 2/ε.
+	if got := Theorem8Counters(1, 1, 0.1, 1); got != 20 {
+		t.Errorf("Theorem8Counters(alpha=1) = %d, want 20", got)
+	}
+}
+
+func TestTheorem8CountersPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"eps=0":    func() { Theorem8Counters(1, 1, 0, 2) },
+		"eps=1":    func() { Theorem8Counters(1, 1, 1, 2) },
+		"alpha<1":  func() { Theorem8Counters(1, 1, 0.1, 0.5) },
+		"eps=-0.1": func() { Theorem8Counters(1, 1, -0.1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTheorem9EpsilonFormula(t *testing.T) {
+	const n, k = 1000, 5
+	const alpha = 2.0
+	got := Theorem9Epsilon(n, k, alpha)
+	want := alpha / (2 * Zeta(n, alpha) * math.Pow(k+1, alpha) * k)
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("Theorem9Epsilon = %v, want %v", got, want)
+	}
+	if got <= 0 || got >= 1 {
+		t.Errorf("epsilon %v outside (0,1)", got)
+	}
+}
+
+func TestTheorem9CountersGrowsWithK(t *testing.T) {
+	prev := 0
+	for _, k := range []int{1, 2, 5, 10, 20} {
+		m := Theorem9Counters(100000, k, 1, 1, 1.5)
+		if m <= prev {
+			t.Fatalf("counter budget not increasing: k=%d gives m=%d, previous %d", k, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestTheorem9AlphaOneBudgetIsKSquaredLogN(t *testing.T) {
+	// Theorem 9 for α = 1: the budget must scale as Θ(k² ln n). With
+	// eps = 1/(2 ζ_n(1) (k+1) k) and m = (A+B)/eps, the formula gives
+	// m = 4 ζ_n(1) (k+1) k; check both the formula and the asymptotic
+	// shape in n and k.
+	const n = 100000
+	for _, k := range []int{2, 5, 10} {
+		m := Theorem9Counters(n, k, 1, 1, 1)
+		want := 4 * Zeta(n, 1) * float64(k+1) * float64(k)
+		if math.Abs(float64(m)-want) > want*0.01+1 {
+			t.Errorf("k=%d: m = %d, formula gives %v", k, m, want)
+		}
+	}
+	// Doubling ln n (squaring n) roughly doubles the budget.
+	m1 := Theorem9Counters(1000, 5, 1, 1, 1)
+	m2 := Theorem9Counters(1000000, 5, 1, 1, 1)
+	ratio := float64(m2) / float64(m1)
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("budget ratio for n 1e3 -> 1e6 is %v, want ~2 (ln n doubling)", ratio)
+	}
+}
+
+func TestTheorem9EpsilonPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Theorem9Epsilon(k=0) did not panic")
+		}
+	}()
+	Theorem9Epsilon(10, 0, 2)
+}

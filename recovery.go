@@ -1,0 +1,63 @@
+package heavyhitters
+
+import (
+	"repro/internal/core"
+	"repro/internal/recovery"
+)
+
+// This file exposes the Section 4 sparse-recovery machinery on the public
+// API: building approximate frequency vectors from summaries, with the
+// paper's closed-form error bounds.
+
+// KSparseRecovery returns the k-sparse approximation f′ of the frequency
+// vector built from a summary's k largest counters (Theorem 5). With a
+// summary of m = k(2/ε + 1) SPACESAVING or FREQUENT counters,
+// ‖f − f′‖p ≤ ε·F1^res(k)/k^{1−1/p} + (F_p^res(k))^{1/p} for every p ≥ 1.
+func KSparseRecovery[K comparable](s Summary[K], k int) map[K]float64 {
+	return recovery.KSparse(s.Entries(), k)
+}
+
+// KSparseRecoveryWeighted is KSparseRecovery for real-valued summaries.
+func KSparseRecoveryWeighted[K comparable](s WeightedSummary[K], k int) map[K]float64 {
+	return recovery.KSparseWeighted(s.WeightedEntries(), k)
+}
+
+// minCounter is implemented by the overestimating SPACESAVING variants;
+// MinCount returns the smallest stored counter Δ, the global
+// overestimation bound of Section 4.2.
+type minCounter interface {
+	MinCount() uint64
+}
+
+// MSparseRecovery returns the m-sparse approximation built from *all*
+// counters of an underestimating summary (Theorem 7). FREQUENT and
+// LOSSYCOUNTING summaries are used as-is; both SPACESAVING variants are
+// first passed through the Section 4.2 global underestimate transform
+// c′_i = max(0, c_i − Δ). With m = k(1/ε + 1) counters,
+// ‖f − f′‖p ≤ (1+ε)(ε/k)^{1−1/p}·F1^res(k).
+func MSparseRecovery[K comparable](s Summary[K]) map[K]float64 {
+	entries := s.Entries()
+	if mc, ok := s.(minCounter); ok {
+		entries = recovery.UnderestimateGlobal(entries, mc.MinCount())
+	}
+	return recovery.MSparse(entries)
+}
+
+// EstimateResidual estimates F1^res(k) — the stream mass outside the top
+// k items — from a summary, as F1 − ‖f′‖1 (Theorem 6). With
+// m = k(1/ε + 1) counters the estimate is within (1 ± ε)·F1^res(k).
+// totalMass is the stream length (Summary.N() for unit streams).
+func EstimateResidual[K comparable](s Summary[K], k int, totalMass float64) float64 {
+	return recovery.ResidualEstimate(s.Entries(), k, totalMass)
+}
+
+// RecoveryBound evaluates the Theorem 5 Lp error bound
+// ε·res1/k^{1−1/p} + resP^{1/p} for reporting alongside measured errors.
+func RecoveryBound(eps float64, k int, res1, resP, p float64) float64 {
+	return recovery.Theorem5Bound(eps, k, res1, resP, p)
+}
+
+// recoveryCounters is the internal hook behind CountersForRecovery.
+func recoveryCounters(k int, eps float64, g core.TailGuarantee) int {
+	return recovery.CountersForTheorem5(k, eps, g, true)
+}

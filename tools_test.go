@@ -1,0 +1,141 @@
+package heavyhitters_test
+
+// Integration tests for the command-line tools: build each binary and run
+// the full distributed pipeline (generate → summarize → ship → merge →
+// size) against real files, asserting on output. Skipped under -short.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles ./cmd/<name> into dir and returns the binary path.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+// run executes a built binary and returns its stdout, failing the test on
+// a non-zero exit.
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestToolsPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool integration tests skipped in -short mode")
+	}
+	dir := t.TempDir()
+	hhgen := buildTool(t, dir, "hhgen")
+	hhcli := buildTool(t, dir, "hhcli")
+	hhmerge := buildTool(t, dir, "hhmerge")
+	hhstat := buildTool(t, dir, "hhstat")
+
+	shard1 := filepath.Join(dir, "s1.bin")
+	shard2 := filepath.Join(dir, "s2.bin")
+	run(t, hhgen, "-kind", "zipf", "-n", "40000", "-universe", "4000", "-seed", "1", "-o", shard1)
+	run(t, hhgen, "-kind", "zipf", "-n", "40000", "-universe", "4000", "-seed", "2", "-o", shard2)
+
+	sum1 := filepath.Join(dir, "s1.sum")
+	sum2 := filepath.Join(dir, "s2.sum")
+	out := run(t, hhcli, "-alg", "spacesaving", "-m", "200", "-k", "3", "-dump", sum1, shard1)
+	if !strings.Contains(out, "processed 40000 elements") {
+		t.Errorf("hhcli output unexpected:\n%s", out)
+	}
+	// The Zipf stream's heaviest item is id 0; it must lead the ranking.
+	if !strings.Contains(out, "1     0") {
+		t.Errorf("hhcli did not rank item 0 first:\n%s", out)
+	}
+	run(t, hhcli, "-alg", "frequent", "-m", "200", "-k", "3", shard1)
+	run(t, hhcli, "-alg", "spacesaving", "-m", "200", "-k", "3", "-dump", sum2, shard2)
+
+	mergedOut := run(t, hhmerge, "-m", "200", "-k", "3", sum1, sum2)
+	if !strings.Contains(mergedOut, "merged 2 summaries covering 80000 stream elements") {
+		t.Errorf("hhmerge output unexpected:\n%s", mergedOut)
+	}
+
+	statOut := run(t, hhstat, "-k", "5", "-eps", "0.01", shard1)
+	for _, want := range []string{"total mass F1", "40000", "fitted Zipf alpha", "Theorem 8 budget"} {
+		if !strings.Contains(statOut, want) {
+			t.Errorf("hhstat output missing %q:\n%s", want, statOut)
+		}
+	}
+}
+
+func TestToolsWeightedPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool integration tests skipped in -short mode")
+	}
+	dir := t.TempDir()
+	hhgen := buildTool(t, dir, "hhgen")
+	hhcli := buildTool(t, dir, "hhcli")
+
+	flows := filepath.Join(dir, "flows.bin")
+	run(t, hhgen, "-kind", "weighted-zipf", "-n", "100000", "-universe", "500", "-o", flows)
+	out := run(t, hhcli, "-alg", "spacesavingR", "-m", "64", "-k", "5", flows)
+	if !strings.Contains(out, "total weight") {
+		t.Errorf("weighted hhcli output unexpected:\n%s", out)
+	}
+}
+
+func TestToolsHHBenchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool integration tests skipped in -short mode")
+	}
+	dir := t.TempDir()
+	hhbench := buildTool(t, dir, "hhbench")
+	out := run(t, hhbench, "-small", "-experiment", "E4")
+	if !strings.Contains(out, "Theorem 6") || !strings.Contains(out, "yes") {
+		t.Errorf("hhbench E4 output unexpected:\n%s", out)
+	}
+	csvOut := run(t, hhbench, "-small", "-experiment", "E4", "-format", "csv")
+	if !strings.HasPrefix(csvOut, "eps,m,") {
+		t.Errorf("hhbench CSV output unexpected:\n%s", csvOut)
+	}
+}
+
+func TestToolsErrorPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool integration tests skipped in -short mode")
+	}
+	dir := t.TempDir()
+	hhcli := buildTool(t, dir, "hhcli")
+	hhbench := buildTool(t, dir, "hhbench")
+
+	// Unknown algorithm must exit non-zero.
+	bad := filepath.Join(dir, "missing.bin")
+	if err := exec.Command(hhcli, "-alg", "nope", bad).Run(); err == nil {
+		t.Error("hhcli accepted an unknown algorithm")
+	}
+	// Missing file must exit non-zero.
+	if err := exec.Command(hhcli, bad).Run(); err == nil {
+		t.Error("hhcli accepted a missing file")
+	}
+	// Unknown experiment must exit non-zero.
+	if err := exec.Command(hhbench, "-experiment", "E99").Run(); err == nil {
+		t.Error("hhbench accepted an unknown experiment")
+	}
+}
