@@ -1,0 +1,76 @@
+package heavyhitters
+
+import "fmt"
+
+// Algo selects the algorithm backing a Summary built by New. The zero
+// value is AlgoSpaceSaving, the paper's recommended default: O(1)
+// updates, never underestimates, per-item certain error bounds, and the
+// space-optimal k-tail guarantee of Theorem 2 / Appendix C.
+type Algo uint8
+
+const (
+	// AlgoSpaceSaving is SPACESAVING (Metwally et al.) backed by the
+	// Stream-Summary bucket list: m counters, O(1) per update, never
+	// underestimates, (1, 1) k-tail guarantee, per-item bounds
+	// [c − ε_i, c].
+	AlgoSpaceSaving Algo = iota
+	// AlgoFrequent is FREQUENT (Misra–Gries): m counters, O(1) amortised
+	// per update, never overestimates, (1, 1) k-tail guarantee, per-item
+	// bounds [c, c + d] where d counts the decrement-all operations.
+	AlgoFrequent
+	// AlgoLossyCounting is the Manku–Motwani baseline: window width m
+	// (ε = 1/m), no hard counter cap and no k-tail guarantee; exported
+	// for comparison studies.
+	AlgoLossyCounting
+	// AlgoCountMin is the Count-Min sketch baseline (Table 1): random-
+	// ized, Ω(k log(n/k)) space for comparable accuracy, supports
+	// deletions in principle; estimates never undercount.
+	AlgoCountMin
+	// AlgoCountSketch is the Count-Sketch baseline (Table 1): random-
+	// ized, unbiased median-of-signs estimates with F2-type error.
+	AlgoCountSketch
+)
+
+// String returns the canonical lower-case name, as accepted by ParseAlgo.
+func (a Algo) String() string {
+	switch a {
+	case AlgoSpaceSaving:
+		return "spacesaving"
+	case AlgoFrequent:
+		return "frequent"
+	case AlgoLossyCounting:
+		return "lossycounting"
+	case AlgoCountMin:
+		return "countmin"
+	case AlgoCountSketch:
+		return "countsketch"
+	default:
+		return fmt.Sprintf("Algo(%d)", uint8(a))
+	}
+}
+
+// ParseAlgo maps a name (as printed by Algo.String) to its Algo. It is
+// the CLI-flag companion of WithAlgorithm.
+func ParseAlgo(name string) (Algo, error) {
+	switch name {
+	case "spacesaving":
+		return AlgoSpaceSaving, nil
+	case "frequent":
+		return AlgoFrequent, nil
+	case "lossycounting":
+		return AlgoLossyCounting, nil
+	case "countmin":
+		return AlgoCountMin, nil
+	case "countsketch":
+		return AlgoCountSketch, nil
+	default:
+		return 0, fmt.Errorf("heavyhitters: unknown algorithm %q (want spacesaving | frequent | lossycounting | countmin | countsketch)", name)
+	}
+}
+
+// deterministic reports whether the algorithm is a deterministic counter
+// algorithm (the paper's HTC class plus LOSSYCOUNTING) as opposed to a
+// randomized sketch.
+func (a Algo) deterministic() bool {
+	return a == AlgoSpaceSaving || a == AlgoFrequent || a == AlgoLossyCounting
+}

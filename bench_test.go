@@ -219,6 +219,82 @@ func BenchmarkDecodeSummary(b *testing.B) {
 	}
 }
 
+// --- unified-API ingestion: per-item Update vs UpdateBatch ---
+
+// benchBatch is the batch size of the UpdateBatch benchmarks; one
+// iteration processes this many items in both variants so ns/op is
+// directly comparable.
+const benchBatch = 4096
+
+func summaryOpts(shards int) []hh.Option {
+	opts := []hh.Option{hh.WithCapacity(1024)}
+	if shards > 0 {
+		opts = append(opts, hh.WithShards(shards))
+	}
+	return opts
+}
+
+func benchSummaryUpdate(b *testing.B, shards int) {
+	s := benchStream(1 << 16)
+	sum := hh.New[uint64](summaryOpts(shards)...)
+	b.ReportAllocs()
+	b.SetBytes(benchBatch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := (i % (1 << 16 / benchBatch)) * benchBatch
+		for j := 0; j < benchBatch; j++ {
+			sum.Update(s[base+j])
+		}
+	}
+}
+
+func benchSummaryUpdateBatch(b *testing.B, shards int) {
+	s := benchStream(1 << 16)
+	sum := hh.New[uint64](summaryOpts(shards)...)
+	b.ReportAllocs()
+	b.SetBytes(benchBatch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := (i % (1 << 16 / benchBatch)) * benchBatch
+		sum.UpdateBatch(s[base : base+benchBatch])
+	}
+}
+
+func BenchmarkSummaryUpdate(b *testing.B)             { benchSummaryUpdate(b, 0) }
+func BenchmarkSummaryUpdateBatch(b *testing.B)        { benchSummaryUpdateBatch(b, 0) }
+func BenchmarkSummaryShardedUpdate(b *testing.B)      { benchSummaryUpdate(b, 8) }
+func BenchmarkSummaryShardedUpdateBatch(b *testing.B) { benchSummaryUpdateBatch(b, 8) }
+
+func BenchmarkSummaryShardedUpdateParallel(b *testing.B) {
+	s := benchStream(1 << 16)
+	sum := hh.New[uint64](hh.WithShards(16), hh.WithCapacity(256))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			sum.Update(s[i&(1<<16-1)])
+			i++
+		}
+	})
+}
+
+func BenchmarkSummaryShardedUpdateBatchParallel(b *testing.B) {
+	s := benchStream(1 << 16)
+	sum := hh.New[uint64](hh.WithShards(16), hh.WithCapacity(256))
+	b.ReportAllocs()
+	b.SetBytes(benchBatch)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			base := (i % (1 << 16 / benchBatch)) * benchBatch
+			sum.UpdateBatch(s[base : base+benchBatch])
+			i++
+		}
+	})
+}
+
 func BenchmarkMerge(b *testing.B) {
 	s := benchStream(1 << 16)
 	a1 := hh.NewSpaceSaving[uint64](256)

@@ -23,7 +23,7 @@ import (
 //
 // For summary types without per-item metadata the point estimate is
 // returned for both bounds.
-func EstimateBounds[K comparable](s Summary[K], item K) (lo, hi uint64) {
+func EstimateBounds[K comparable](s Counter[K], item K) (lo, hi uint64) {
 	switch alg := any(s).(type) {
 	case *spacesaving.StreamSummary[K]:
 		c := alg.Estimate(item)

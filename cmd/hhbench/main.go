@@ -11,6 +11,11 @@
 //
 // Output is plain text, one table per experiment, matching the entries
 // recorded in EXPERIMENTS.md.
+//
+// The -ingest flag instead benchmarks the unified-API ingestion paths
+// (per-item Update vs UpdateBatch, unsharded and sharded) on a Zipf
+// workload — the quick sanity check that batch ingestion amortizes the
+// sharded summary's locking.
 package main
 
 import (
@@ -19,8 +24,45 @@ import (
 	"os"
 	"time"
 
+	hh "repro"
 	"repro/internal/experiments"
+	"repro/internal/stream"
 )
+
+// runIngest measures wall-clock throughput of the four ingestion paths.
+func runIngest(n uint64, universe int, alpha float64, seed uint64, shards, m, batch int) {
+	s := stream.Zipf(universe, alpha, n, stream.OrderRandom, seed)
+	configs := []struct {
+		name  string
+		opts  []hh.Option
+		batch bool
+	}{
+		{"unsharded Update", nil, false},
+		{"unsharded UpdateBatch", nil, true},
+		{fmt.Sprintf("sharded(%d) Update", shards), []hh.Option{hh.WithShards(shards)}, false},
+		{fmt.Sprintf("sharded(%d) UpdateBatch", shards), []hh.Option{hh.WithShards(shards)}, true},
+	}
+	for _, c := range configs {
+		sum := hh.New[uint64](append([]hh.Option{hh.WithCapacity(m)}, c.opts...)...)
+		start := time.Now()
+		if c.batch {
+			for lo := 0; lo < len(s); lo += batch {
+				hi := lo + batch
+				if hi > len(s) {
+					hi = len(s)
+				}
+				sum.UpdateBatch(s[lo:hi])
+			}
+		} else {
+			for _, x := range s {
+				sum.Update(x)
+			}
+		}
+		el := time.Since(start)
+		fmt.Printf("%-24s %10d items in %8v  (%6.1f M items/s)\n",
+			c.name, len(s), el.Round(time.Microsecond), float64(len(s))/el.Seconds()/1e6)
+	}
+}
 
 func main() {
 	var (
@@ -31,8 +73,29 @@ func main() {
 		alpha        = flag.Float64("alpha", 0, "override Zipf parameter")
 		seed         = flag.Uint64("seed", 0, "override random seed")
 		format       = flag.String("format", "text", "output format: text | csv")
+		ingest       = flag.Bool("ingest", false, "benchmark unified-API ingestion paths instead of the experiments")
+		shards       = flag.Int("shards", 8, "shard count for -ingest")
+		m            = flag.Int("m", 1024, "counters for -ingest")
+		batch        = flag.Int("batch", 4096, "batch size for -ingest")
 	)
 	flag.Parse()
+	if *ingest {
+		in, iu, ia, is := uint64(4_000_000), 100_000, 1.1, uint64(1)
+		if *n != 0 {
+			in = *n
+		}
+		if *universe != 0 {
+			iu = *universe
+		}
+		if *alpha != 0 {
+			ia = *alpha
+		}
+		if *seed != 0 {
+			is = *seed
+		}
+		runIngest(in, iu, ia, is, *shards, *m, *batch)
+		return
+	}
 	if *format != "text" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "hhbench: unknown format %q\n", *format)
 		os.Exit(2)

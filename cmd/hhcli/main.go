@@ -1,16 +1,20 @@
 // Command hhcli streams a workload file (written by cmd/hhgen) through a
-// chosen summary algorithm and reports the top-k items with their
-// estimates, error metadata and the paper's tail error bound.
+// summary built by heavyhitters.New and reports the top-k items with
+// their estimates, certain bounds, and the paper's tail error bound.
 //
 // Usage:
 //
 //	hhcli -alg spacesaving -m 1000 -k 10 stream.bin
-//	hhcli -alg frequent -m 500 -k 20 stream.bin
-//	hhcli -alg spacesavingR -m 100 -k 5 flows.bin   # weighted streams
+//	hhcli -alg frequent -eps 0.001 -k 20 stream.bin
+//	hhcli -alg countmin -m 512 -depth 4 -k 10 stream.bin
+//	hhcli -alg spacesaving -weighted -m 100 -k 5 flows.bin
 //
-// For unit streams the tool also prints the Theorem 6 residual estimate
-// and the resulting k-tail error bound — the numbers a practitioner would
-// use to decide whether m was large enough.
+// -m and -eps/-phi size the summary (mutually exclusive; -eps/-phi uses
+// the WithErrorBudget auto-sizing). -shards enables the concurrent
+// sharded backend and ingests via UpdateBatch. For summaries with a
+// tail guarantee the tool also prints the Theorem 6 residual estimate
+// and the resulting k-tail error bound — the numbers a practitioner
+// would use to decide whether the counter budget was large enough.
 package main
 
 import (
@@ -23,19 +27,71 @@ import (
 	"repro/internal/stream"
 )
 
+// buildSummary turns New's panic on invalid option values (bad -eps,
+// -phi, -m, -shards ranges) into the one-line usage error every other
+// flag problem gets.
+func buildSummary(opts []hh.Option) (s hh.Summary[uint64]) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "hhcli: %v\n", r)
+			os.Exit(2)
+		}
+	}()
+	return hh.New[uint64](opts...)
+}
+
 func main() {
 	var (
-		algName = flag.String("alg", "spacesaving", "algorithm: spacesaving | spacesaving-heap | frequent | lossycounting | spacesavingR | frequentR")
-		m       = flag.Int("m", 1000, "number of counters")
-		k       = flag.Int("k", 10, "report the top k items")
-		phi     = flag.Float64("phi", 0, "also report all phi-heavy hitters (items with f >= phi*N)")
-		dump    = flag.String("dump", "", "also write the summary to this file (for cmd/hhmerge)")
+		algName  = flag.String("alg", "spacesaving", "algorithm: spacesaving | frequent | lossycounting | countmin | countsketch")
+		m        = flag.Int("m", 0, "number of counters (0: use -eps/-phi, or the package default)")
+		eps      = flag.Float64("eps", 0, "target error rate (WithErrorBudget sizing)")
+		phi      = flag.Float64("phi", 0, "report all phi-heavy hitters, and include phi in -eps sizing")
+		k        = flag.Int("k", 10, "report the top k items")
+		shards   = flag.Int("shards", 0, "shard count for the concurrent backend (0: unsharded)")
+		depth    = flag.Int("depth", 0, "sketch depth (countmin/countsketch; 0: default)")
+		seed     = flag.Uint64("seed", 0, "sketch seed (0: default)")
+		weighted = flag.Bool("weighted", false, "input is a weighted stream; use the real-valued Section 6.1 variant")
+		dump     = flag.String("dump", "", "also write the summary to this file (for cmd/hhmerge)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hhcli [-alg name] [-m counters] [-k top] stream.bin")
+		fmt.Fprintln(os.Stderr, "usage: hhcli [-alg name] [-m counters | -eps rate] [-k top] stream.bin")
 		os.Exit(2)
 	}
+	algo, err := hh.ParseAlgo(*algName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hhcli: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *dump != "" && (algo == hh.AlgoCountMin || algo == hh.AlgoCountSketch) {
+		fmt.Fprintln(os.Stderr, "hhcli: -dump requires a counter algorithm (sketch state is not portable)")
+		os.Exit(2)
+	}
+
+	opts := []hh.Option{hh.WithAlgorithm(algo)}
+	switch {
+	case *m != 0 && *eps != 0:
+		fmt.Fprintln(os.Stderr, "hhcli: -m and -eps are mutually exclusive")
+		os.Exit(2)
+	case *m != 0:
+		opts = append(opts, hh.WithCapacity(*m))
+	case *eps != 0:
+		opts = append(opts, hh.WithErrorBudget(*eps, *phi))
+	}
+	if *shards > 0 {
+		opts = append(opts, hh.WithShards(*shards))
+	}
+	if *depth > 0 {
+		opts = append(opts, hh.WithDepth(*depth))
+	}
+	if *seed != 0 {
+		opts = append(opts, hh.WithSeed(*seed))
+	}
+	if *weighted {
+		opts = append(opts, hh.WithWeighted())
+	}
+
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hhcli: %v\n", err)
@@ -43,77 +99,65 @@ func main() {
 	}
 	defer f.Close()
 
-	switch *algName {
-	case "spacesavingR", "frequentR":
-		if *dump != "" {
-			fmt.Fprintln(os.Stderr, "hhcli: -dump supports unit-weight algorithms only")
-			os.Exit(2)
+	s := buildSummary(opts)
+	if *weighted {
+		ups, err := stream.ReadWeighted(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hhcli: reading weighted stream: %v\n", err)
+			os.Exit(1)
 		}
-		runWeighted(f, *algName, *m, *k)
-	default:
-		runUnit(f, *algName, *m, *k, *phi, *dump)
-	}
-}
-
-func runUnit(f *os.File, algName string, m, k int, phi float64, dump string) {
-	items, err := stream.ReadUnit(f)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "hhcli: reading stream: %v\n", err)
-		os.Exit(1)
-	}
-	var alg hh.Summary[uint64]
-	guaranteed := true
-	switch algName {
-	case "spacesaving":
-		alg = hh.NewSpaceSaving[uint64](m)
-	case "spacesaving-heap":
-		alg = hh.NewSpaceSavingHeap[uint64](m)
-	case "frequent":
-		alg = hh.NewFrequent[uint64](m)
-	case "lossycounting":
-		alg = hh.NewLossyCounting[uint64](m)
-		guaranteed = false
-	default:
-		fmt.Fprintf(os.Stderr, "hhcli: unknown algorithm %q\n", algName)
-		os.Exit(2)
-	}
-	for _, x := range items {
-		alg.Update(x)
+		for _, u := range ups {
+			s.UpdateWeighted(u.Item, u.Weight)
+		}
+	} else {
+		items, err := stream.ReadUnit(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hhcli: reading stream: %v\n", err)
+			os.Exit(1)
+		}
+		s.UpdateBatch(items)
 	}
 
-	fmt.Printf("processed %d elements with %s (m=%d)\n", alg.N(), algName, m)
+	fmt.Printf("processed mass %.0f with %s (m=%d)\n", s.N(), s.Algorithm(), s.Capacity())
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "rank\titem\testimate\terr bound (per item)")
-	for i, e := range hh.Top(alg, k) {
-		fmt.Fprintf(tw, "%d\t%d\t%d\t±%d\n", i+1, e.Item, e.Count, e.Err)
+	fmt.Fprintln(tw, "rank\titem\testimate\tbounds [lo, hi]")
+	for i, e := range s.Top(*k) {
+		lo, hi := s.EstimateBounds(e.Item)
+		fmt.Fprintf(tw, "%d\t%d\t%.1f\t[%.1f, %.1f]\n", i+1, e.Item, e.Count, lo, hi)
 	}
 	tw.Flush()
 
-	if guaranteed {
-		res := hh.EstimateResidual(alg, k, float64(alg.N()))
-		bound := hh.ErrorBound(hh.TailGuarantee{A: 1, B: 1}, m, k, res)
-		fmt.Printf("estimated F1^res(%d) = %.0f; k-tail error bound = %.1f\n", k, res, bound)
+	if g, ok := s.Guarantee(); ok {
+		res := s.N()
+		for _, e := range s.Top(*k) {
+			res -= e.Count
+		}
+		if res < 0 {
+			res = 0
+		}
+		fmt.Printf("estimated F1^res(%d) <= %.0f; k-tail error bound = %.1f\n",
+			*k, res, hh.ErrorBound(g, s.Capacity(), *k, res))
 	}
 
-	if phi > 0 {
-		hits := hh.HeavyHitters(alg, phi)
-		fmt.Printf("\n%d items may exceed phi=%.4g (threshold %.0f):\n", len(hits), phi, phi*float64(alg.N()))
+	if *phi > 0 {
+		hits := s.HeavyHitters(*phi)
+		fmt.Printf("\n%d items may exceed phi=%.4g (threshold %.0f):\n", len(hits), *phi, *phi*s.N())
 		for _, h := range hits {
 			mark := "possible"
 			if h.Guaranteed {
 				mark = "guaranteed"
 			}
-			fmt.Printf("  item %d  f in [%d, %d]  %s\n", h.Item, h.Lo, h.Hi, mark)
+			fmt.Printf("  item %d  f in [%.1f, %.1f]  %s\n", h.Item, h.Lo, h.Hi, mark)
 		}
 	}
 
-	if dump != "" {
-		out, err := os.Create(dump)
+	if *dump != "" {
+		out, err := os.Create(*dump)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hhcli: %v\n", err)
 			os.Exit(1)
 		}
-		if err := hh.EncodeSummary(out, alg); err != nil {
+		if err := s.Encode(out); err != nil {
 			fmt.Fprintf(os.Stderr, "hhcli: writing summary: %v\n", err)
 			os.Exit(1)
 		}
@@ -121,35 +165,6 @@ func runUnit(f *os.File, algName string, m, k int, phi float64, dump string) {
 			fmt.Fprintf(os.Stderr, "hhcli: closing summary: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("summary written to %s\n", dump)
+		fmt.Printf("summary written to %s\n", *dump)
 	}
-}
-
-func runWeighted(f *os.File, algName string, m, k int) {
-	ups, err := stream.ReadWeighted(f)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "hhcli: reading weighted stream: %v\n", err)
-		os.Exit(1)
-	}
-	var alg hh.WeightedSummary[uint64]
-	switch algName {
-	case "spacesavingR":
-		alg = hh.NewSpaceSavingR[uint64](m)
-	case "frequentR":
-		alg = hh.NewFrequentR[uint64](m)
-	default:
-		fmt.Fprintf(os.Stderr, "hhcli: unknown weighted algorithm %q\n", algName)
-		os.Exit(2)
-	}
-	for _, u := range ups {
-		alg.UpdateWeighted(u.Item, u.Weight)
-	}
-	fmt.Printf("processed %d updates, total weight %.1f, with %s (m=%d)\n",
-		len(ups), alg.TotalWeight(), algName, m)
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "rank\titem\testimate\terr bound (per item)")
-	for i, e := range hh.TopWeighted(alg, k) {
-		fmt.Fprintf(tw, "%d\t%d\t%.1f\t±%.1f\n", i+1, e.Item, e.Count, e.Err)
-	}
-	tw.Flush()
 }

@@ -1,25 +1,58 @@
 // Command hhmerge merges summary files produced by workers into one
-// summary of the combined stream (Section 6.2 / Theorem 11), printing its
-// top-k. Together with the library's EncodeSummary this gives the full
-// distributed pipeline: workers summarize shards, write summary blobs,
-// and hhmerge aggregates them.
+// summary of the combined stream (Section 6.2 / Theorem 11), printing
+// its top-k with certain bounds. Together with Summary.Encode this gives
+// the full distributed pipeline: workers summarize shards, write summary
+// blobs (hhcli -dump), and hhmerge aggregates them.
 //
 // Usage:
 //
 //	hhmerge -m 1000 -k 10 worker1.sum worker2.sum worker3.sum
 //
-// Summary files are written with heavyhitters.EncodeSummary (see
-// examples/distributed for the in-process equivalent).
+// Summary files in the current (v2) format are written by Summary.Encode
+// (hhcli -dump); files in the legacy EncodeSummary (v1) format are
+// accepted transparently.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 
 	hh "repro"
 )
+
+// load reads one summary file, accepting the v2 Summary.Encode format
+// and falling back to the legacy v1 blob format. A file that starts
+// with the v2 magic reports the v2 decoder's error, not the fallback's.
+func load(path string) (hh.Summary[uint64], error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, v2err := hh.Decode[uint64](f)
+	if v2err == nil {
+		return s, nil
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	blob, v1err := hh.DecodeSummary(f)
+	if v1err != nil {
+		var magic [6]byte
+		if _, err := f.Seek(0, 0); err == nil {
+			if _, err := io.ReadFull(f, magic[:]); err == nil && string(magic[:]) == "HHSUM2" {
+				return nil, v2err
+			}
+		}
+		return nil, v1err
+	}
+	// Lift the legacy blob onto the unified surface at its own capacity
+	// so it merges like any other summary, error metadata included.
+	return hh.FromBlob(0, blob), nil
+}
 
 func main() {
 	var (
@@ -32,40 +65,40 @@ func main() {
 		os.Exit(2)
 	}
 
-	blobs := make([]*hh.SummaryBlob[uint64], 0, flag.NArg())
-	var totalN uint64
+	summaries := make([]hh.Summary[uint64], 0, flag.NArg())
+	var totalN float64
 	for _, path := range flag.Args() {
-		f, err := os.Open(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "hhmerge: %v\n", err)
-			os.Exit(1)
-		}
-		blob, err := hh.DecodeSummary(f)
-		f.Close()
+		s, err := load(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hhmerge: %s: %v\n", path, err)
 			os.Exit(1)
 		}
-		blobs = append(blobs, blob)
-		totalN += blob.N
+		summaries = append(summaries, s)
+		totalN += s.N()
 	}
 
-	merged := hh.MergeBlobs(*m, blobs...)
-	fmt.Printf("merged %d summaries covering %d stream elements\n", len(blobs), totalN)
+	merged, err := hh.MergeSummaries(*m, summaries...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hhmerge: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("merged %d summaries covering mass %.0f\n", len(summaries), totalN)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "rank\titem\testimate")
-	for i, e := range hh.TopWeighted[uint64](merged, *k) {
-		fmt.Fprintf(tw, "%d\t%d\t%.1f\n", i+1, e.Item, e.Count)
+	fmt.Fprintln(tw, "rank\titem\testimate\tbounds [lo, hi]")
+	for i, e := range merged.Top(*k) {
+		lo, hi := merged.EstimateBounds(e.Item)
+		fmt.Fprintf(tw, "%d\t%d\t%.1f\t[%.1f, %.1f]\n", i+1, e.Item, e.Count, lo, hi)
 	}
 	tw.Flush()
 
-	g := hh.MergedGuarantee(hh.TailGuarantee{A: 1, B: 1})
-	res := merged.TotalWeight()
-	for _, e := range hh.TopWeighted[uint64](merged, *k) {
-		res -= e.Count
+	if g, ok := merged.Guarantee(); ok {
+		res := merged.N()
+		for _, e := range merged.Top(*k) {
+			res -= e.Count
+		}
+		if res < 0 {
+			res = 0
+		}
+		fmt.Printf("merged k-tail error bound (Theorem 11): %.1f\n", g.Bound(*m, *k, res))
 	}
-	if res < 0 {
-		res = 0
-	}
-	fmt.Printf("merged k-tail error bound (Theorem 11): %.1f\n", g.Bound(*m, *k, res))
 }

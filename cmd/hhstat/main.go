@@ -85,4 +85,15 @@ func main() {
 	genericBudget := int(2 / *eps)
 	fmt.Fprintf(tw, "generic budget 2/eps\t%d counters\n", genericBudget)
 	tw.Flush()
+
+	// A ready-to-paste configuration for the unified API: the Theorem 8
+	// budget where the Zipf fit is trustworthy, the generic sizing
+	// otherwise.
+	m := suggested
+	if r2 < 0.9 {
+		m = genericBudget
+	}
+	fmt.Printf("\nsuggested construction:\n  heavyhitters.New[uint64](heavyhitters.WithCapacity(%d))\n", m)
+	fmt.Printf("  // or, sized from the accuracy target directly:\n")
+	fmt.Printf("  heavyhitters.New[uint64](heavyhitters.WithErrorBudget(%g, 0))\n", *eps)
 }

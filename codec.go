@@ -46,7 +46,7 @@ type SummaryBlob[K comparable] struct {
 
 // FeedInto replays the blob's counters as weighted updates into a
 // weighted summary — the merge primitive of Section 6.2.
-func (b *SummaryBlob[K]) FeedInto(dst WeightedSummary[K]) {
+func (b *SummaryBlob[K]) FeedInto(dst WeightedCounter[K]) {
 	for _, e := range b.Entries {
 		if e.Count > 0 {
 			dst.UpdateWeighted(e.Item, float64(e.Count))
@@ -55,13 +55,13 @@ func (b *SummaryBlob[K]) FeedInto(dst WeightedSummary[K]) {
 }
 
 // EncodeSummary writes a uint64-keyed summary's state to w.
-func EncodeSummary(w io.Writer, s Summary[uint64]) error {
+func EncodeSummary(w io.Writer, s Counter[uint64]) error {
 	return encodeEntries(w, keyKindUint64, s.Capacity(), s.N(), s.Entries(),
 		func(bw *bufio.Writer, k uint64) error { return writeUvarint(bw, k) })
 }
 
 // EncodeStringSummary writes a string-keyed summary's state to w.
-func EncodeStringSummary(w io.Writer, s Summary[string]) error {
+func EncodeStringSummary(w io.Writer, s Counter[string]) error {
 	return encodeEntries(w, keyKindString, s.Capacity(), s.N(), s.Entries(),
 		func(bw *bufio.Writer, k string) error {
 			if err := writeUvarint(bw, uint64(len(k))); err != nil {

@@ -2,6 +2,7 @@ package heavyhitters_test
 
 import (
 	"bytes"
+	"io"
 	"testing"
 
 	hh "repro"
@@ -35,6 +36,42 @@ func FuzzDecodeSummary(f *testing.F) {
 		// Refeeding a decoded blob must not panic.
 		dst := hh.NewSpaceSavingR[uint64](4)
 		blob.FeedInto(dst)
+	})
+}
+
+func FuzzDecodeV2(f *testing.F) {
+	src := hh.New[uint64](hh.WithCapacity(4))
+	for _, x := range []uint64{1, 1, 2, 3, 4, 5} {
+		src.Update(x)
+	}
+	var seed bytes.Buffer
+	if err := src.Encode(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("HHSUM2"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		s, err := hh.Decode[uint64](bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// A successfully decoded summary must be queryable and
+		// re-encodable without panicking, with sane invariants.
+		if s.Capacity() < 1 {
+			t.Fatal("non-positive capacity decoded")
+		}
+		for _, e := range s.Top(8) {
+			lo, hi := s.EstimateBounds(e.Item)
+			if lo > hi {
+				t.Fatalf("inverted bounds [%v, %v]", lo, hi)
+			}
+		}
+		s.HeavyHitters(0.5)
+		if err := s.Encode(io.Discard); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
 	})
 }
 

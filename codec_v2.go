@@ -1,0 +1,326 @@
+package heavyhitters
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/spacesaving"
+)
+
+// Version-2 wire format: the codec behind Summary.Encode and Decode. It
+// supersedes the v1 blob formats (EncodeSummary / EncodeWeightedSummary,
+// still supported for existing files) by carrying everything a
+// coordinator needs to keep querying with certain bounds after a
+// decode:
+//
+//	magic "HHSUM2" | algo | flags | key kind | capacity uvarint |
+//	mass f64 | slack f64 | absent slack f64 | [guarantee A f64, B f64] |
+//	entry count uvarint | entries { key, count f64, err f64 }
+//
+// flags bit 0 records whether entry errs are certain overestimation
+// bounds (the SPACESAVING convention); bit 1 whether the (A, B) k-tail
+// guarantee fields are present. slack widens every decoded upper bound
+// (a FREQUENT producer's undercounted mass); absent slack widens only
+// the bounds of items the blob does not carry (a full SPACESAVING
+// producer's minimum counter Δ — an evicted item can weigh up to Δ).
+// Counts travel as IEEE-754 doubles so unit, integral-weighted and
+// real-valued summaries share the format (unit counts are exact below
+// 2^53). uint64 and string keys are supported — the two key types the
+// tools and examples use.
+
+var summaryMagicV2 = [6]byte{'H', 'H', 'S', 'U', 'M', '2'}
+
+const (
+	v2FlagOverEst      byte = 1 << 0
+	v2FlagHasGuarantee byte = 1 << 1
+)
+
+// ErrUnsupportedSummary reports an Encode of a summary whose state is
+// not portable (sketch backends) or whose key type has no wire form.
+var ErrUnsupportedSummary = errors.New("heavyhitters: summary not encodable")
+
+// keyKindFor maps the key type parameter to its wire tag (0 = no wire
+// form).
+func keyKindFor[K comparable]() byte {
+	var zero K
+	switch any(zero).(type) {
+	case uint64:
+		return keyKindUint64
+	case string:
+		return keyKindString
+	default:
+		return 0
+	}
+}
+
+func writeKeyAny[K comparable](bw *bufio.Writer, k K) error {
+	switch v := any(k).(type) {
+	case uint64:
+		return writeUvarint(bw, v)
+	case string:
+		if err := writeUvarint(bw, uint64(len(v))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(v)
+		return err
+	default:
+		return ErrUnsupportedSummary
+	}
+}
+
+func readKeyAny[K comparable](br *bufio.Reader) (K, error) {
+	var zero K
+	switch any(zero).(type) {
+	case uint64:
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return zero, err
+		}
+		return any(v).(K), nil
+	case string:
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return zero, err
+		}
+		if n > 1<<20 {
+			return zero, fmt.Errorf("%w: unreasonable key length %d", ErrBadSummary, n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return zero, err
+		}
+		return any(string(buf)).(K), nil
+	default:
+		return zero, ErrUnsupportedSummary
+	}
+}
+
+// Encode implements Summary.Encode: it writes the v2 wire form of the
+// summary's counter state. Sketch-backed summaries and key types other
+// than uint64 and string return ErrUnsupportedSummary.
+func (s *summary[K]) Encode(w io.Writer) error {
+	if !s.be.mergeable() {
+		return fmt.Errorf("%w: %v is sketch-backed", ErrUnsupportedSummary, s.algo)
+	}
+	kind := keyKindFor[K]()
+	if kind == 0 {
+		return fmt.Errorf("%w: key type has no wire form (want uint64 or string)", ErrUnsupportedSummary)
+	}
+	var flags byte
+	if s.be.overEst() {
+		flags |= v2FlagOverEst
+	}
+	g, hasG := s.be.guarantee()
+	if hasG {
+		flags |= v2FlagHasGuarantee
+	}
+	entries := s.be.weightedEntries()
+	// A sharded summary stores up to shards×m counters; the encoded
+	// capacity must hold them all so Decode reconstructs losslessly.
+	// Raising the capacity would silently tighten the advertised k-tail
+	// bound A·res/(C − B·k), so the constants are rescaled by the same
+	// factor r = C/m: A·r·res/(r·m − B·r·k) equals the per-structure
+	// bound exactly (each shard's sub-stream residual is at most the
+	// full stream's, so the per-shard bound remains valid globally).
+	capacity := s.be.capacity()
+	if len(entries) > capacity {
+		r := float64(len(entries)) / float64(capacity)
+		capacity = len(entries)
+		g.A *= r
+		g.B *= r
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(summaryMagicV2[:]); err != nil {
+		return err
+	}
+	for _, b := range []byte{byte(s.algo), flags, kind} {
+		if err := bw.WriteByte(b); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(bw, uint64(capacity)); err != nil {
+		return err
+	}
+	if err := writeFloat(bw, s.be.total()); err != nil {
+		return err
+	}
+	if err := writeFloat(bw, s.be.slackOut()); err != nil {
+		return err
+	}
+	if err := writeFloat(bw, s.be.absentExtra()); err != nil {
+		return err
+	}
+	if hasG {
+		if err := writeFloat(bw, g.A); err != nil {
+			return err
+		}
+		if err := writeFloat(bw, g.B); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(bw, uint64(len(entries))); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := writeKeyAny(bw, e.Item); err != nil {
+			return err
+		}
+		if err := writeFloat(bw, e.Count); err != nil {
+			return err
+		}
+		if err := writeFloat(bw, e.Err); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reconstructs a Summary from its v2 wire form. The result is
+// backed by a weighted SPACESAVINGR structure holding the encoded
+// counters with their error metadata and upper slack, so Estimate,
+// EstimateBounds, Top, HeavyHitters, Recover and further Merge calls
+// behave as on the producer (point estimates and bounds are preserved
+// exactly; the reported Algorithm is the producer's). Mutating a decoded
+// summary is supported through the weighted update path.
+func Decode[K comparable](r io.Reader) (Summary[K], error) {
+	wantKind := keyKindFor[K]()
+	if wantKind == 0 {
+		return nil, fmt.Errorf("%w: key type has no wire form (want uint64 or string)", ErrUnsupportedSummary)
+	}
+	br := bufio.NewReader(r)
+	var magic [6]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadSummary, err)
+	}
+	if magic != summaryMagicV2 {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSummary)
+	}
+	var hdr [3]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadSummary, err)
+	}
+	algo, flags, kind := Algo(hdr[0]), hdr[1], hdr[2]
+	if !algo.deterministic() {
+		return nil, fmt.Errorf("%w: algorithm %v has no portable state", ErrBadSummary, algo)
+	}
+	if kind != wantKind {
+		return nil, fmt.Errorf("%w: key kind %d, want %d", ErrBadSummary, kind, wantKind)
+	}
+	capacity, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: capacity: %v", ErrBadSummary, err)
+	}
+	// Encode raises the capacity to the entry count, so the entry bound
+	// below makes this also the counter budget a well-formed producer
+	// could have used; 2^24 counters is far beyond any real deployment.
+	if capacity < 1 || capacity > 1<<24 {
+		return nil, fmt.Errorf("%w: unreasonable capacity %d", ErrBadSummary, capacity)
+	}
+	mass, err := readFiniteFloat(br, "mass")
+	if err != nil {
+		return nil, err
+	}
+	slack, err := readFiniteFloat(br, "slack")
+	if err != nil {
+		return nil, err
+	}
+	absent, err := readFiniteFloat(br, "absent slack")
+	if err != nil {
+		return nil, err
+	}
+	if mass < 0 || slack < 0 || absent < 0 {
+		return nil, fmt.Errorf("%w: negative mass or slack", ErrBadSummary)
+	}
+	var g TailGuarantee
+	hasG := flags&v2FlagHasGuarantee != 0
+	if hasG {
+		if g.A, err = readFiniteFloat(br, "guarantee A"); err != nil {
+			return nil, err
+		}
+		if g.B, err = readFiniteFloat(br, "guarantee B"); err != nil {
+			return nil, err
+		}
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: entry count: %v", ErrBadSummary, err)
+	}
+	// No well-formed encoder emits more entries than counters (Encode
+	// raises the written capacity to the entry count).
+	if count > capacity {
+		return nil, fmt.Errorf("%w: entry count %d exceeds capacity %d", ErrBadSummary, count, capacity)
+	}
+	// Initial storage is sized by the bytes actually present, not the
+	// declared counts: a tiny malicious blob cannot force a large
+	// allocation, and honest blobs grow to their real size as entries
+	// stream in.
+	hint := int(count)
+	if hint > 4096 {
+		hint = 4096
+	}
+	dst := spacesaving.NewRSized[K](int(capacity), hint)
+	carryErr := flags&v2FlagOverEst != 0
+	for i := uint64(0); i < count; i++ {
+		item, err := readKeyAny[K](br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %d key: %v", ErrBadSummary, i, err)
+		}
+		c, err := readFiniteFloat(br, "entry count")
+		if err != nil {
+			return nil, err
+		}
+		e, err := readFiniteFloat(br, "entry err")
+		if err != nil {
+			return nil, err
+		}
+		if c < 0 || e < 0 {
+			return nil, fmt.Errorf("%w: negative entry values", ErrBadSummary)
+		}
+		if !carryErr {
+			e = 0
+		}
+		dst.Absorb(item, c, e)
+	}
+	return &summary[K]{algo: algo, be: &weightedBackend[K]{ssr: dst, slack: slack, absentSlack: absent, g: g, hasG: hasG}}, nil
+}
+
+// FromBlob lifts a legacy v1 summary blob (DecodeSummary) onto the
+// unified Summary surface with m counters, carrying the per-entry error
+// metadata through. The v1 format does not record the producing
+// algorithm, so entries are treated in the SPACESAVING convention
+// (Err is a certain overestimation bound) — the convention of every v1
+// producer in this repository. m < 1 sizes from the blob's capacity.
+func FromBlob[K comparable](m int, blob *SummaryBlob[K]) Summary[K] {
+	if m < 1 {
+		m = blob.Capacity
+	}
+	if m < len(blob.Entries) {
+		m = len(blob.Entries)
+	}
+	if m < 1 {
+		m = 1
+	}
+	dst := NewSpaceSavingR[K](m)
+	for _, e := range blob.Entries {
+		dst.Absorb(e.Item, float64(e.Count), float64(e.Err))
+	}
+	return &summary[K]{
+		algo: AlgoSpaceSaving,
+		be:   &weightedBackend[K]{ssr: dst, g: TailGuarantee{A: 1, B: 1}, hasG: true},
+	}
+}
+
+func readFiniteFloat(br *bufio.Reader, field string) (float64, error) {
+	v, err := readFloat(br)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %s: %v", ErrBadSummary, field, err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("%w: non-finite %s", ErrBadSummary, field)
+	}
+	return v, nil
+}

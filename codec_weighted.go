@@ -29,7 +29,7 @@ type WeightedSummaryBlob struct {
 }
 
 // FeedInto replays the blob's counters into a weighted summary.
-func (b *WeightedSummaryBlob) FeedInto(dst WeightedSummary[uint64]) {
+func (b *WeightedSummaryBlob) FeedInto(dst WeightedCounter[uint64]) {
 	for _, e := range b.Entries {
 		if e.Count > 0 {
 			dst.UpdateWeighted(e.Item, e.Count)
@@ -39,7 +39,7 @@ func (b *WeightedSummaryBlob) FeedInto(dst WeightedSummary[uint64]) {
 
 // EncodeWeightedSummary writes a uint64-keyed weighted summary's state to
 // w.
-func EncodeWeightedSummary(w io.Writer, s WeightedSummary[uint64]) error {
+func EncodeWeightedSummary(w io.Writer, s WeightedCounter[uint64]) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(summaryMagic[:]); err != nil {
 		return err

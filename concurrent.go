@@ -23,6 +23,14 @@ import (
 // against the item's own sub-stream, which here is its full stream.
 //
 // Construct with NewConcurrent; the zero value is not usable.
+//
+// Deprecated: new code should build a sharded Summary with
+// New(WithShards(p), WithCapacity(m)) — the unified surface additionally
+// offers batch ingestion (UpdateBatch), bound-carrying queries and the
+// versioned codec, and its aggregate queries concatenate the disjoint
+// shard counters instead of compacting them, avoiding the merge-step
+// guarantee degradation described at Snapshot. Concurrent remains for
+// callers that need the concrete merged SpaceSavingR snapshot.
 type Concurrent[K comparable] struct {
 	shards []concurrentShard[K]
 	hash   func(K) uint64
@@ -61,28 +69,13 @@ func NewConcurrent[K comparable](p, m int, hash func(K) uint64) *Concurrent[K] {
 // NewConcurrentUint64 returns a sharded summary for uint64 items using a
 // Fibonacci-multiplicative shard hash.
 func NewConcurrentUint64(p, m int) *Concurrent[uint64] {
-	return NewConcurrent[uint64](p, m, func(x uint64) uint64 {
-		x ^= x >> 33
-		x *= 0x9e3779b97f4a7c15
-		return x ^ x>>29
-	})
+	return NewConcurrent[uint64](p, m, func(x uint64) uint64 { return mix64(x) })
 }
 
 // NewConcurrentString returns a sharded summary for string items using
 // FNV-1a.
 func NewConcurrentString(p, m int) *Concurrent[string] {
-	return NewConcurrent[string](p, m, func(s string) uint64 {
-		const (
-			offset = 14695981039346656037
-			prime  = 1099511628211
-		)
-		h := uint64(offset)
-		for i := 0; i < len(s); i++ {
-			h ^= uint64(s[i])
-			h *= prime
-		}
-		return h
-	})
+	return NewConcurrent[string](p, m, func(s string) uint64 { return fnv1a(s, 0) })
 }
 
 // Update records one occurrence of item. Safe for concurrent use.
@@ -113,12 +106,20 @@ func (c *Concurrent[K]) Shards() int { return len(c.shards) }
 // ShardCapacity returns m, the counters per shard.
 func (c *Concurrent[K]) ShardCapacity() int { return c.m }
 
-// Snapshot merges all shards into a single m-counter weighted summary
-// with the Theorem 11 (3, 2) k-tail guarantee over the full stream. It
-// locks shards one at a time, so a snapshot taken during concurrent
-// updates reflects some consistent per-shard states, not a single global
-// instant.
-func (c *Concurrent[K]) Snapshot(m int) *SpaceSavingR[K] {
+// Snapshot merges all shards into a single weighted summary with the
+// configured per-shard capacity m (ShardCapacity), so callers no longer
+// re-specify the merge parameters. It locks shards one at a time, so a
+// snapshot taken during concurrent updates reflects some consistent
+// per-shard states, not a single global instant.
+//
+// The compaction degrades the guarantee per Theorem 11: each shard is a
+// (1, 1)-guaranteed summary of its sub-stream, and merging ℓ summaries
+// with (A, B) k-tail guarantees yields (3A, A+B) — here (3, 2) — over
+// the full stream. Per-item queries against the live Concurrent (or a
+// sharded Summary built by New, which concatenates rather than compacts)
+// keep the shard-level (1, 1) guarantee; only the compacted snapshot
+// pays the (3A, A+B) price.
+func (c *Concurrent[K]) Snapshot() *SpaceSavingR[K] {
 	entries := make([][]Entry[K], len(c.shards))
 	for i := range c.shards {
 		sh := &c.shards[i]
@@ -126,13 +127,13 @@ func (c *Concurrent[K]) Snapshot(m int) *SpaceSavingR[K] {
 		entries[i] = sh.alg.Entries()
 		sh.mu.Unlock()
 	}
-	return merge.MSparse(m, entries...)
+	return merge.MSparse(c.m, entries...)
 }
 
 // Top returns the k largest counters of a fresh snapshot merged at the
 // per-shard capacity.
 func (c *Concurrent[K]) Top(k int) []WeightedEntry[K] {
-	return TopWeighted[K](c.Snapshot(c.m), k)
+	return TopWeighted[K](c.Snapshot(), k)
 }
 
 // Reset clears every shard. It is not atomic with respect to concurrent

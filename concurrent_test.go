@@ -37,7 +37,7 @@ func TestConcurrentSnapshotGuarantee(t *testing.T) {
 	for _, x := range s {
 		c.Update(x)
 	}
-	snap := c.Snapshot(m)
+	snap := c.Snapshot()
 	bound := hh.MergedGuarantee(hh.TailGuarantee{A: 1, B: 1}).Bound(m, k, truth.Res1(k))
 	for i := uint64(0); i < n; i++ {
 		if d := math.Abs(truth.Freq(i) - snap.EstimateWeighted(i)); d > bound {
@@ -70,7 +70,7 @@ func TestConcurrentParallelUpdates(t *testing.T) {
 				return
 			default:
 				c.Estimate(0)
-				c.Snapshot(64)
+				c.Snapshot()
 			}
 		}
 	}()

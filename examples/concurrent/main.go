@@ -1,8 +1,9 @@
-// Concurrent: multi-goroutine ingestion with the sharded summary. Eight
-// producers feed a shared Concurrent summary; the main goroutine takes
-// periodic snapshots whose accuracy is guaranteed by Theorem 11 (each
-// shard is a (1,1)-guaranteed summary of its sub-stream; the merged
-// snapshot is (3,2)-guaranteed on the union).
+// Concurrent: multi-goroutine ingestion with the sharded unified
+// summary. Eight producers feed batches into one Summary built with
+// WithShards; because items are partitioned across shards, per-item
+// estimates and bounds keep the full single-shard (1, 1) guarantee
+// against each item's own stream, and Top concatenates the shards'
+// disjoint counters without a lossy merge step.
 //
 //	go run ./examples/concurrent
 package main
@@ -21,8 +22,9 @@ func main() {
 		perStream = 250_000
 		universe  = 20_000
 		shardM    = 256
+		batch     = 4096
 	)
-	c := hh.NewConcurrentUint64(producers, shardM)
+	c := hh.New[uint64](hh.WithShards(producers), hh.WithCapacity(shardM))
 
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {
@@ -30,25 +32,32 @@ func main() {
 		go func(seed uint64) {
 			defer wg.Done()
 			// Each producer sees its own Zipfian sub-stream (same heavy
-			// hitters, independent arrival order).
+			// hitters, independent arrival order) and ingests it in
+			// batches: UpdateBatch partitions each batch once and locks
+			// every shard once, instead of once per item.
 			s := stream.Zipf(universe, 1.1, perStream, stream.OrderRandom, seed)
-			for _, x := range s {
-				c.Update(x)
+			for lo := 0; lo < len(s); lo += batch {
+				hi := lo + batch
+				if hi > len(s) {
+					hi = len(s)
+				}
+				c.UpdateBatch(s[lo:hi])
 			}
 		}(uint64(p + 1))
 	}
 	wg.Wait()
 
-	fmt.Printf("ingested %d updates across %d goroutines (%d shards × %d counters)\n\n",
-		c.N(), producers, c.Shards(), c.ShardCapacity())
+	fmt.Printf("ingested %.0f updates across %d goroutines (%d shards × %d counters)\n\n",
+		c.N(), producers, producers, c.Capacity())
 
-	snap := c.Snapshot(shardM)
-	fmt.Println("top 5 items of the merged snapshot:")
-	for i, e := range hh.TopWeighted[uint64](snap, 5) {
-		fmt.Printf("  %d. item %-6d ~%0.f occurrences\n", i+1, e.Item, e.Count)
+	fmt.Println("top 5 items (certain bounds carried along):")
+	for i, e := range c.Top(5) {
+		lo, hi := c.EstimateBounds(e.Item)
+		fmt.Printf("  %d. item %-6d ~%0.f occurrences  f in [%.0f, %.0f]\n",
+			i+1, e.Item, e.Count, lo, hi)
 	}
 
 	// Per-item point queries hit only the owning shard. Item 0 is stored
 	// in its shard with zero recorded error, so the estimate is exact.
-	fmt.Printf("\npoint query: item 0 ≈ %d occurrences\n", c.Estimate(0))
+	fmt.Printf("\npoint query: item 0 ≈ %.0f occurrences\n", c.Estimate(0))
 }

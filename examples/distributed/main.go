@@ -1,12 +1,14 @@
 // Distributed: Theorem 11 in practice — eight independent workers each
-// summarize their own shard of a stream; a coordinator merges the eight
-// summaries into one summary of the union without touching the raw data,
-// and the merged error stays within the paper's (3A, A+B) bound.
+// summarize their own shard of a stream and ship the compact wire form
+// (Summary.Encode) to a coordinator, which reconstructs them with Decode
+// and merges them into one summary of the union without touching the raw
+// data. The merged error stays within the paper's (3A, A+B) bound.
 //
 //	go run ./examples/distributed
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 
@@ -30,73 +32,89 @@ func main() {
 		truth[x]++
 	}
 
-	// Each worker summarizes its contiguous shard independently.
-	summaries := make([]hh.Summary[uint64], shardCnt)
+	// Each worker summarizes its contiguous shard independently and
+	// encodes its state — the only bytes that travel to the coordinator.
+	var wire [][]byte
 	per := len(s) / shardCnt
 	for w := 0; w < shardCnt; w++ {
 		lo, hi := w*per, (w+1)*per
 		if w == shardCnt-1 {
 			hi = len(s)
 		}
-		ss := hh.NewSpaceSaving[uint64](m)
-		for _, x := range s[lo:hi] {
-			ss.Update(x)
+		worker := hh.New[uint64](hh.WithCapacity(m))
+		worker.UpdateBatch(s[lo:hi])
+		var buf bytes.Buffer
+		if err := worker.Encode(&buf); err != nil {
+			panic(err)
 		}
-		summaries[w] = ss
+		wire = append(wire, buf.Bytes())
+	}
+	var wireBytes int
+	for _, b := range wire {
+		wireBytes += len(b)
+	}
+	fmt.Printf("%d workers shipped %d bytes of summaries for %d stream elements\n\n",
+		shardCnt, wireBytes, total)
+
+	// The coordinator reconstructs and merges — per-item error metadata
+	// travels with the summaries, so the merged bounds remain certain.
+	summaries := make([]hh.Summary[uint64], len(wire))
+	for i, b := range wire {
+		var err error
+		if summaries[i], err = hh.Decode[uint64](bytes.NewReader(b)); err != nil {
+			panic(err)
+		}
+	}
+	merged, err := hh.MergeSummaries(m, summaries...)
+	if err != nil {
+		panic(err)
 	}
 
-	// The coordinator merges all counters of every summary (the robust
-	// variant of the Theorem 11 construction — see MergeAll's doc
-	// comment for why it is preferred over the literal k-sparse merge).
-	merged := hh.MergeAll(m, summaries...)
-
-	fmt.Printf("%d workers, %d counters each, merged into one %d-counter summary\n\n",
-		shardCnt, m, m)
-	fmt.Println("top 5 items of the union (merged estimate vs exact):")
-	for i, e := range hh.TopWeighted[uint64](merged, 5) {
-		fmt.Printf("  %d. item %-6d est %8.0f  true %8.0f\n", i+1, e.Item, e.Count, truth[e.Item])
+	fmt.Println("top 5 items of the union (merged estimate vs exact, with bounds):")
+	for i, e := range merged.Top(5) {
+		lo, hi := merged.EstimateBounds(e.Item)
+		fmt.Printf("  %d. item %-6d est %8.0f  true %8.0f  f in [%.0f, %.0f]\n",
+			i+1, e.Item, e.Count, truth[e.Item], lo, hi)
 	}
 
 	// Validate the (3, 2) merged tail guarantee over the whole universe.
 	res := residual(truth, k)
-	bound := hh.MergedGuarantee(hh.TailGuarantee{A: 1, B: 1}).Bound(m, k, res)
+	g, _ := merged.Guarantee()
+	bound := g.Bound(m, k, res)
 	worst := 0.0
 	for i, f := range truth {
-		if d := math.Abs(f - merged.EstimateWeighted(uint64(i))); d > worst {
+		if d := math.Abs(f - merged.Estimate(uint64(i))); d > worst {
 			worst = d
 		}
 	}
 	fmt.Printf("\nworst merged error %.0f vs Theorem 11 bound %.0f (ratio %.2f)\n",
 		worst, bound, worst/bound)
 
-	// The literal Theorem 11 construction (k-sparse merge) for contrast:
-	// with homogeneous shards it drops the union's (k+1)-th item from
-	// every shard summary, so its worst error is about f_{k+1}.
-	ksparse := hh.Merge(m, k, summaries...)
-	worstK := 0.0
+	// The per-item intervals must also cover the truth everywhere.
+	violations := 0
 	for i, f := range truth {
-		if d := math.Abs(f - ksparse.EstimateWeighted(uint64(i))); d > worstK {
-			worstK = d
+		lo, hi := merged.EstimateBounds(uint64(i))
+		if f < lo || f > hi {
+			violations++
 		}
 	}
-	fmt.Printf("k-sparse merge worst error %.0f (f_%d = %.0f) — see EXPERIMENTS.md E9\n",
-		worstK, k+1, truth[k])
+	fmt.Printf("items whose true count escapes [Lo, Hi]: %d of %d\n", violations, universe)
 }
 
 // residual returns F1^res(k) of an exact frequency vector.
 func residual(freq []float64, k int) float64 {
 	sorted := make([]float64, len(freq))
 	copy(sorted, freq)
-	// Simple selection of the k largest by repeated max extraction — k is
-	// tiny here.
 	sum := 0.0
 	for _, f := range sorted {
 		sum += f
 	}
+	// Simple selection of the k largest by repeated max extraction — k is
+	// tiny here.
 	for i := 0; i < k; i++ {
-		best := -1
+		best := 0
 		for j, f := range sorted {
-			if best == -1 || f > sorted[best] {
+			if f > sorted[best] {
 				_ = j
 				best = j
 			}

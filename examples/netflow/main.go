@@ -1,8 +1,9 @@
 // Netflow: heavy hitters by *bytes* over a synthetic packet trace — the
 // paper's network-monitoring motivation with real-valued weights
-// (Section 6.1). Each packet carries its size; SPACESAVINGR finds the
-// flows responsible for the most traffic using 64 counters, and the
-// output is validated against exact per-flow byte counts.
+// (Section 6.1). Each packet carries its size; a weighted summary built
+// with New(WithWeighted()) finds the flows responsible for the most
+// traffic using 64 counters, and the output is validated against exact
+// per-flow byte counts.
 //
 //	go run ./examples/netflow
 package main
@@ -22,7 +23,7 @@ func main() {
 	fmt.Printf("trace: %d packets across up to %d flows\n\n", len(trace), flows)
 
 	// Track byte volume per flow with 64 weighted counters.
-	ss := hh.NewSpaceSavingR[uint64](64)
+	ss := hh.New[uint64](hh.WithWeighted(), hh.WithCapacity(64))
 	exactBytes := make(map[uint64]float64)
 	for _, pkt := range trace {
 		key := pkt.FlowKey()
@@ -32,7 +33,7 @@ func main() {
 
 	fmt.Println("top 10 flows by estimated bytes:")
 	fmt.Println("rank  flow key              est MB   true MB  overcount")
-	for i, e := range hh.TopWeighted[uint64](ss, 10) {
+	for i, e := range ss.Top(10) {
 		truth := exactBytes[e.Item]
 		fmt.Printf("%4d  %#018x  %7.2f  %7.2f  %+.3f%%\n",
 			i+1, e.Item, e.Count/1e6, truth/1e6, 100*(e.Count-truth)/truth)
@@ -42,13 +43,14 @@ func main() {
 	// F1^res(k)/(m−k) of the truth; with Zipfian traffic that residual
 	// is a small fraction of the total.
 	const k = 10
-	res := ss.TotalWeight()
-	for _, e := range hh.TopWeighted[uint64](ss, k) {
+	res := ss.N()
+	for _, e := range ss.Top(k) {
 		res -= e.Count
 	}
-	bound := hh.ErrorBound(ss.Guarantee(), ss.Capacity(), k, res)
+	g, _ := ss.Guarantee()
+	bound := hh.ErrorBound(g, ss.Capacity(), k, res)
 	fmt.Printf("\ntotal traffic %.1f MB; estimated tail beyond top %d: %.1f MB\n",
-		ss.TotalWeight()/1e6, k, res/1e6)
+		ss.N()/1e6, k, res/1e6)
 	fmt.Printf("=> per-flow byte estimates are within %.2f MB (%.2f%% of total)\n",
-		bound/1e6, 100*bound/ss.TotalWeight())
+		bound/1e6, 100*bound/ss.N())
 }

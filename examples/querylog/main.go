@@ -2,7 +2,8 @@
 // query strings in a skewed query log, compare the summary's answer set
 // against the exact top-k, and demonstrate the Theorem 9 effect: on
 // Zipfian data a modest counter budget recovers the top-k exactly and in
-// order.
+// order. Summaries are built through the unified New API, including one
+// sized automatically from an accuracy target via WithErrorBudget.
 //
 //	go run ./examples/querylog
 package main
@@ -28,13 +29,10 @@ func main() {
 
 	const k = 10
 	for _, m := range []int{50, 200, 1000} {
-		ss := hh.NewSpaceSaving[string](m)
-		for _, q := range log {
-			ss.Update(q)
-		}
-		top := hh.Top[string](ss, k)
+		ss := hh.New[string](hh.WithCapacity(m))
+		ss.UpdateBatch(log)
 		correct := 0
-		for _, e := range top {
+		for _, e := range ss.Top(k) {
 			// A summary answer is "correct" when the query is truly in
 			// the top k by exact count.
 			if rankOf(truth, e.Item) < k {
@@ -44,14 +42,28 @@ func main() {
 		fmt.Printf("m=%4d counters: top-%d precision %d/%d\n", m, k, correct, k)
 	}
 
-	fmt.Println("\nwith m=1000, the top queries and their true counts:")
-	ss := hh.NewSpaceSaving[string](1000)
-	for _, q := range log {
-		ss.Update(q)
+	// Sizing from an accuracy target instead of a counter count: 0.1% of
+	// the stream, and certain storage of every 1%-heavy hitter.
+	auto := hh.New[string](hh.WithErrorBudget(0.001, 0.01))
+	auto.UpdateBatch(log)
+	fmt.Printf("\nWithErrorBudget(0.001, 0.01) chose m=%d; top queries with certain bounds:\n",
+		auto.Capacity())
+	for i, e := range auto.Top(5) {
+		lo, hi := auto.EstimateBounds(e.Item)
+		fmt.Printf("  %d. %-12s est %6.0f  f in [%.0f, %.0f]  true %6d\n",
+			i+1, e.Item, e.Count, lo, hi, truth[e.Item])
 	}
-	for i, e := range hh.Top[string](ss, 5) {
-		fmt.Printf("  %d. %-12s est %6d  true %6d\n", i+1, e.Item, e.Count, truth[e.Item])
+
+	// The phi-heavy-hitters query labels its answers: Guaranteed means
+	// even the lower bound clears the threshold.
+	guaranteed := 0
+	hits := auto.HeavyHitters(0.01)
+	for _, h := range hits {
+		if h.Guaranteed {
+			guaranteed++
+		}
 	}
+	fmt.Printf("\n1%%-heavy hitters: %d reported, %d guaranteed\n", len(hits), guaranteed)
 }
 
 // rankOf returns how many queries have strictly larger exact counts.

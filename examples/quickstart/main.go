@@ -1,5 +1,6 @@
-// Quickstart: the 60-second tour of the public API — build a summary,
-// feed a stream, query estimates, and read off the paper's guarantees.
+// Quickstart: the 60-second tour of the public API — build a summary
+// with New, feed a stream, query estimates with certain bounds, and read
+// off the paper's guarantees.
 //
 //	go run ./examples/quickstart
 package main
@@ -17,29 +18,33 @@ func main() {
 		strings.Repeat("lorem ipsum dolor sit amet consectetur adipiscing elit sed ", 40)
 	words := strings.Fields(text)
 
-	// SPACESAVING with m = 16 counters. Estimates never undercount, and
-	// every estimate is within F1^res(k)/(m−k) of the truth for all k<m.
-	ss := hh.NewSpaceSaving[string](16)
-	for _, w := range words {
-		ss.Update(w)
-	}
+	// SPACESAVING (the default algorithm) with m = 16 counters.
+	// Estimates never undercount, and every estimate is within
+	// F1^res(k)/(m−k) of the truth for all k < m.
+	s := hh.New[string](hh.WithCapacity(16))
+	s.UpdateBatch(words)
 
-	fmt.Printf("stream length: %d words\n\n", ss.N())
-	fmt.Println("top 5 words (estimate ± possible overcount):")
-	for i, e := range hh.Top[string](ss, 5) {
-		fmt.Printf("  %d. %-6s %5d ±%d\n", i+1, e.Item, e.Count, e.Err)
+	fmt.Printf("stream length: %.0f words\n\n", s.N())
+	fmt.Println("top 5 words (estimate, certain bounds):")
+	for i, e := range s.Top(5) {
+		lo, hi := s.EstimateBounds(e.Item)
+		fmt.Printf("  %d. %-6s %5.0f  f in [%.0f, %.0f]\n", i+1, e.Item, e.Count, lo, hi)
 	}
 
 	// The Theorem 6 residual estimate turns the summary into its own
 	// error bar: how much stream mass lies outside the top k?
 	const k = 5
-	res := hh.EstimateResidual[string](ss, k, float64(ss.N()))
-	bound := hh.ErrorBound(ss.Guarantee(), ss.Capacity(), k, res)
+	res := s.N()
+	for _, e := range s.Top(k) {
+		res -= e.Count
+	}
+	g, _ := s.Guarantee()
+	bound := hh.ErrorBound(g, s.Capacity(), k, res)
 	fmt.Printf("\nestimated mass outside top %d: %.0f\n", k, res)
 	fmt.Printf("=> every estimate above is within %.1f of the true count\n", bound)
 
 	// k-sparse recovery (Theorem 5): an approximate frequency vector.
-	f := hh.KSparseRecovery[string](ss, 3)
+	f := s.Recover(3)
 	fmt.Println("\n3-sparse recovery of the frequency vector:")
 	for w, c := range f {
 		fmt.Printf("  f'[%s] = %.0f\n", w, c)
@@ -48,18 +53,16 @@ func main() {
 	// The classical phi-heavy-hitters query: everything at >= 5% of the
 	// stream, with no false negatives and certainty labels.
 	fmt.Println("\nitems at >= 5% of the stream:")
-	for _, h := range hh.HeavyHitters[string](ss, 0.05) {
+	for _, h := range s.HeavyHitters(0.05) {
 		mark := "possible"
 		if h.Guaranteed {
 			mark = "guaranteed"
 		}
-		fmt.Printf("  %-6s f in [%d, %d]  (%s)\n", h.Item, h.Lo, h.Hi, mark)
+		fmt.Printf("  %-6s f in [%.0f, %.0f]  (%s)\n", h.Item, h.Lo, h.Hi, mark)
 	}
 
 	// FREQUENT gives the mirror-image guarantee: never overcounts.
-	fr := hh.NewFrequent[string](16)
-	for _, w := range words {
-		fr.Update(w)
-	}
-	fmt.Printf("\nFREQUENT (lower bounds): 'the' >= %d occurrences\n", fr.Estimate("the"))
+	fr := hh.New[string](hh.WithAlgorithm(hh.AlgoFrequent), hh.WithCapacity(16))
+	fr.UpdateBatch(words)
+	fmt.Printf("\nFREQUENT (lower bounds): 'the' >= %.0f occurrences\n", fr.Estimate("the"))
 }

@@ -17,13 +17,24 @@
 //
 // # Quick start
 //
-//	ss := heavyhitters.NewSpaceSaving[string](100)
+//	s := heavyhitters.New[string](heavyhitters.WithCapacity(100))
 //	for _, word := range words {
-//		ss.Update(word)
+//		s.Update(word)
 //	}
-//	for _, e := range heavyhitters.Top(ss, 10) {
+//	for _, e := range s.Top(10) {
 //		fmt.Println(e.Item, e.Count)
 //	}
+//	for _, h := range s.HeavyHitters(0.01) {
+//		fmt.Println(h.Item, h.Lo, h.Hi, h.Guaranteed)
+//	}
+//
+// New is the single entry point: WithAlgorithm selects among the five
+// algorithms, WithErrorBudget sizes the structure from accuracy targets,
+// WithShards makes it safe for concurrent use, WithWeighted switches to
+// the real-valued Section 6.1 variants. The typed constructors below
+// (NewSpaceSaving, NewFrequent, ...) and the free functions operating on
+// Counter values remain as a stable low-level surface for callers that
+// need a concrete algorithm type; new code should prefer New.
 //
 // Beyond point estimates the package exposes the paper's derived
 // machinery: k-sparse and m-sparse recovery of the frequency vector
@@ -53,13 +64,20 @@ type Entry[K comparable] = core.Entry[K]
 // WeightedEntry is an Entry of a real-valued summary.
 type WeightedEntry[K comparable] = core.WeightedEntry[K]
 
-// Summary is a deterministic counter algorithm processing unit-weight
+// Counter is a deterministic counter algorithm processing unit-weight
 // streams: FREQUENT, SPACESAVING (either backing structure), or
-// LOSSYCOUNTING.
-type Summary[K comparable] = core.Algorithm[K]
+// LOSSYCOUNTING. (It was named Summary before that name moved to the
+// unified interface returned by New.)
+type Counter[K comparable] = core.Algorithm[K]
 
-// WeightedSummary is a counter algorithm processing positive real-valued
+// WeightedCounter is a counter algorithm processing positive real-valued
 // updates (Section 6.1 of the paper): FREQUENTR or SPACESAVINGR.
+type WeightedCounter[K comparable] = core.WeightedAlgorithm[K]
+
+// WeightedSummary is the former name of WeightedCounter.
+//
+// Deprecated: use WeightedCounter, or build a weighted Summary with
+// New(WithWeighted()).
 type WeightedSummary[K comparable] = core.WeightedAlgorithm[K]
 
 // TailGuarantee carries the constants (A, B) of a summary's k-tail
@@ -140,7 +158,10 @@ func NewCountSketch(depth, width int, seed uint64) *CountSketch {
 
 // Top returns the k largest counters of a summary in decreasing order.
 // Fewer than k entries are returned when the summary stores fewer.
-func Top[K comparable](s Summary[K], k int) []Entry[K] {
+//
+// Deprecated: prefer Summary.Top on a summary built by New; Top remains
+// for code holding a concrete Counter.
+func Top[K comparable](s Counter[K], k int) []Entry[K] {
 	es := s.Entries()
 	if k < len(es) {
 		es = es[:k]
@@ -149,7 +170,9 @@ func Top[K comparable](s Summary[K], k int) []Entry[K] {
 }
 
 // TopWeighted is Top for real-valued summaries.
-func TopWeighted[K comparable](s WeightedSummary[K], k int) []WeightedEntry[K] {
+//
+// Deprecated: prefer Summary.Top on a summary built with WithWeighted().
+func TopWeighted[K comparable](s WeightedCounter[K], k int) []WeightedEntry[K] {
 	es := s.WeightedEntries()
 	if k < len(es) {
 		es = es[:k]

@@ -11,7 +11,7 @@ import (
 
 func TestConstructorsAndInterfaces(t *testing.T) {
 	// Every unit-weight summary satisfies the Summary interface.
-	summaries := map[string]hh.Summary[uint64]{
+	summaries := map[string]hh.Counter[uint64]{
 		"frequent":         hh.NewFrequent[uint64](8),
 		"spacesaving":      hh.NewSpaceSaving[uint64](8),
 		"spacesaving-heap": hh.NewSpaceSavingHeap[uint64](8),
@@ -28,7 +28,7 @@ func TestConstructorsAndInterfaces(t *testing.T) {
 			t.Errorf("%s: N = %d, want 4", name, s.N())
 		}
 	}
-	weighted := map[string]hh.WeightedSummary[string]{
+	weighted := map[string]hh.WeightedCounter[string]{
 		"frequentR":    hh.NewFrequentR[string](8),
 		"spacesavingR": hh.NewSpaceSavingR[string](8),
 	}

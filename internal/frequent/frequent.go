@@ -68,6 +68,92 @@ func (f *Frequent[K]) Update(item K) {
 	f.decrementAll()
 }
 
+// AddN processes n occurrences of item at once, with the semantics of
+// FREQUENTR restricted to integer weights (Section 6.1): a stored item
+// gains n; a newcomer on a full table triggers one weighted decrement by
+// δ = min(n, c_min) — all counters drop by δ, zeroed counters are
+// evicted, and the newcomer enters with the remaining n − δ. Feeding n
+// unit updates one at a time reaches the identical state; AddN reaches
+// it in O(groups crossed) instead of O(n).
+func (f *Frequent[K]) AddN(item K, n uint64) {
+	if n == 0 {
+		return
+	}
+	f.n += n
+	if nd, ok := f.items[item]; ok {
+		f.incrementN(nd, n)
+		return
+	}
+	if len(f.items) < f.m {
+		f.insertN(item, n)
+		return
+	}
+	minCount := f.head.sv - f.base
+	if n < minCount {
+		// The newcomer is the minimum: it zeroes out before any stored
+		// counter does, so only the global decrement remains.
+		f.base += n
+		f.decrements += n
+		return
+	}
+	// δ = c_min: the minimum group zeroes out and the newcomer keeps
+	// the rest.
+	f.base += minCount
+	f.decrements += minCount
+	g := f.head // sv == f.base now
+	for nd := g.head; nd != nil; nd = nd.next {
+		delete(f.items, nd.item)
+	}
+	f.removeGroup(g)
+	if rem := n - minCount; rem > 0 {
+		f.insertN(item, rem)
+	}
+}
+
+// incrementN moves nd from its group to the group with sv+n, scanning
+// forward from its current position.
+func (f *Frequent[K]) incrementN(nd *node[K], n uint64) {
+	newSv := nd.grp.sv + n
+	start := nd.grp.next
+	f.unlinkNode(nd) // may remove nd's old group; start stays valid
+	t := start
+	for t != nil && t.sv < newSv {
+		t = t.next
+	}
+	switch {
+	case t != nil && t.sv == newSv:
+		f.appendNode(t, nd)
+	case t != nil:
+		f.appendNode(f.insertGroupBefore(t, newSv), nd)
+	case f.tail != nil:
+		f.appendNode(f.insertGroupAfter(f.tail, newSv), nd)
+	default:
+		f.appendNode(f.insertGroupBefore(nil, newSv), nd)
+	}
+}
+
+// insertN stores a brand-new item with count n (stored value base+n),
+// scanning from the head.
+func (f *Frequent[K]) insertN(item K, n uint64) {
+	nd := &node[K]{item: item}
+	f.items[item] = nd
+	sv := f.base + n
+	t := f.head
+	for t != nil && t.sv < sv {
+		t = t.next
+	}
+	switch {
+	case t != nil && t.sv == sv:
+		f.appendNode(t, nd)
+	case t != nil:
+		f.appendNode(f.insertGroupBefore(t, sv), nd)
+	case f.tail != nil:
+		f.appendNode(f.insertGroupAfter(f.tail, sv), nd)
+	default:
+		f.appendNode(f.insertGroupBefore(nil, sv), nd)
+	}
+}
+
 // increment moves nd from its group to the group with sv+1.
 func (f *Frequent[K]) increment(nd *node[K]) {
 	g := nd.grp

@@ -56,6 +56,37 @@ func (l *LossyCounting[K]) Update(item K) {
 	}
 }
 
+// AddN processes n occurrences of item at once. The window-boundary
+// prunes the n arrivals would have triggered are batched into a single
+// prune at the last boundary crossed; untouched entries end in the
+// identical state, while item itself keeps its full count (one-at-a-time
+// processing could prune and re-insert it mid-batch, losing mass), so
+// batched estimates are never lower — and the undercount guarantee
+// c_i ≥ f_i − εN is preserved.
+func (l *LossyCounting[K]) AddN(item K, n uint64) {
+	if n == 0 {
+		return
+	}
+	before := l.n
+	l.n += n
+	if e, ok := l.entries[item]; ok {
+		e.count += n
+		l.entries[item] = e
+	} else {
+		l.entries[item] = entry{count: n, delta: l.bucket - 1}
+		if len(l.entries) > l.maxLen {
+			l.maxLen = len(l.entries)
+		}
+	}
+	if crossings := l.n/l.w - before/l.w; crossings > 0 {
+		// Update prunes with the pre-increment bucket at each boundary;
+		// the last boundary uses bucket + crossings − 1.
+		l.bucket += crossings - 1
+		l.prune()
+		l.bucket++
+	}
+}
+
 // prune removes entries that can no longer be frequent: count + Δ ≤ b.
 func (l *LossyCounting[K]) prune() {
 	for k, e := range l.entries {

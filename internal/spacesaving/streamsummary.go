@@ -87,6 +87,53 @@ func (s *StreamSummary[K]) Update(item K) {
 	s.placeWithCount(nd, minG.count+1)
 }
 
+// AddN processes n occurrences of item at once, with the semantics of
+// SPACESAVINGR restricted to integer weights (Section 6.1): a stored item
+// gains n; a newcomer on a full structure replaces the minimum counter,
+// starts at c_min + n, and records ε = c_min. AddN(item, 1) is exactly
+// Update(item). Repositioning scans the group list forward, so a single
+// call costs O(groups crossed) rather than O(1); amortized over a batch
+// the cost matches feeding the occurrences one at a time.
+func (s *StreamSummary[K]) AddN(item K, n uint64) {
+	if n == 0 {
+		return
+	}
+	s.n += n
+	if nd, ok := s.items[item]; ok {
+		s.bumpN(nd, nd.grp.count+n)
+		return
+	}
+	if len(s.items) < s.m {
+		nd := &ssNode[K]{item: item}
+		s.items[item] = nd
+		s.placeWithCount(nd, n)
+		return
+	}
+	minG := s.head
+	victim := minG.head
+	delete(s.items, victim.item)
+	s.unlinkNode(victim)
+	nd := &ssNode[K]{item: item, err: minG.count}
+	s.items[item] = nd
+	s.placeWithCount(nd, minG.count+n)
+}
+
+// bumpN moves nd to the bucket holding newCount (which must exceed its
+// current count), scanning forward from its current position.
+func (s *StreamSummary[K]) bumpN(nd *ssNode[K], newCount uint64) {
+	start := nd.grp.next
+	s.unlinkNode(nd) // may remove nd's old group; start stays valid either way
+	t := start
+	for t != nil && t.count < newCount {
+		t = t.next
+	}
+	if t != nil && t.count == newCount {
+		s.appendNode(t, nd)
+		return
+	}
+	s.appendNode(s.insertGroupBefore(t, newCount), nd)
+}
+
 // bump moves nd to the bucket holding newCount, creating it if needed.
 func (s *StreamSummary[K]) bump(nd *ssNode[K], newCount uint64) {
 	g := nd.grp

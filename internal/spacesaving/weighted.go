@@ -34,6 +34,22 @@ func NewR[K comparable](m int) *R[K] {
 	return &R[K]{m: m, pos: make(map[K]int, m), elems: make([]rElem[K], 0, m)}
 }
 
+// NewRSized returns an R with capacity m whose initial storage is sized
+// for hint counters and grown on demand. Decoders use it so an
+// untrusted capacity field cannot force a large up-front allocation.
+func NewRSized[K comparable](m, hint int) *R[K] {
+	if m < 1 {
+		panic("spacesaving: m must be >= 1")
+	}
+	if hint < 0 {
+		hint = 0
+	}
+	if hint > m {
+		hint = m
+	}
+	return &R[K]{m: m, pos: make(map[K]int, hint), elems: make([]rElem[K], 0, hint)}
+}
+
 // UpdateWeighted processes b occurrences' worth of item. It panics on
 // non-positive b.
 func (r *R[K]) UpdateWeighted(item K, b float64) {
@@ -61,6 +77,37 @@ func (r *R[K]) UpdateWeighted(item K, b float64) {
 
 // Update processes a unit-weight occurrence.
 func (r *R[K]) Update(item K) { r.UpdateWeighted(item, 1) }
+
+// Absorb ingests one counter from another summary: count arrives as
+// weighted occurrences and err widens the per-item error interval (the
+// producing summary's own overestimation bound for the item). It is the
+// merge primitive of Section 6.2 with error metadata carried through, so
+// that a merged summary's [c − ε, c] intervals remain certain bounds when
+// every input is an overestimating (SPACESAVING-family) summary. A
+// non-positive count is ignored.
+func (r *R[K]) Absorb(item K, count, err float64) {
+	if count <= 0 {
+		return
+	}
+	r.total += count
+	if i, ok := r.pos[item]; ok {
+		r.elems[i].count += count
+		r.elems[i].err += err
+		r.siftDown(i)
+		return
+	}
+	if len(r.elems) < r.m {
+		r.elems = append(r.elems, rElem[K]{item: item, count: count, err: err})
+		r.pos[item] = len(r.elems) - 1
+		r.siftUp(len(r.elems) - 1)
+		return
+	}
+	victim := r.elems[0]
+	delete(r.pos, victim.item)
+	r.elems[0] = rElem[K]{item: item, count: victim.count + count, err: victim.count + err}
+	r.pos[item] = 0
+	r.siftDown(0)
+}
 
 // EstimateWeighted returns the stored counter for item, zero if absent.
 // Stored estimates never undercount.

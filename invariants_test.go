@@ -79,7 +79,7 @@ func TestPropertyTailGuaranteeOnRandomStreams(t *testing.T) {
 			truth.Update(x)
 		}
 		bound := hh.TailGuarantee{A: 1, B: 1}.Bound(m, k, truth.Res1(k))
-		for _, mk := range []hh.Summary[uint64]{
+		for _, mk := range []hh.Counter[uint64]{
 			hh.NewFrequent[uint64](m),
 			hh.NewSpaceSaving[uint64](m),
 			hh.NewSpaceSavingHeap[uint64](m),

@@ -8,13 +8,18 @@ import (
 // This file exposes Section 6.2 on the public API: merging summaries of
 // separate streams into a summary of their union.
 
+// Deprecated: prefer MergeSummaries (or Summary.Merge), which carries
+// per-item error metadata into the result; Merge remains for code
+// holding concrete Counter values and for the literal k-sparse
+// construction.
+//
 // Merge combines summaries of ℓ separate streams into one summary of the
 // union (Theorem 11): the k-sparse recovery of each input is fed, as
 // weighted updates, into a fresh SPACESAVINGR with m counters. If every
 // input provides a k-tail guarantee with constants (A, B), the result
 // provides (3A, A+B) — so for SPACESAVING/FREQUENT inputs, picking m a
 // small constant factor larger recovers the single-stream bound.
-func Merge[K comparable](m, k int, summaries ...Summary[K]) *SpaceSavingR[K] {
+func Merge[K comparable](m, k int, summaries ...Counter[K]) *SpaceSavingR[K] {
 	entries := make([][]core.Entry[K], len(summaries))
 	for i, s := range summaries {
 		entries[i] = s.Entries()
@@ -23,7 +28,7 @@ func Merge[K comparable](m, k int, summaries ...Summary[K]) *SpaceSavingR[K] {
 }
 
 // MergeWeighted merges real-valued summaries the same way.
-func MergeWeighted[K comparable](m, k int, summaries ...WeightedSummary[K]) *SpaceSavingR[K] {
+func MergeWeighted[K comparable](m, k int, summaries ...WeightedCounter[K]) *SpaceSavingR[K] {
 	entries := make([][]core.WeightedEntry[K], len(summaries))
 	for i, s := range summaries {
 		entries[i] = s.WeightedEntries()
@@ -31,6 +36,10 @@ func MergeWeighted[K comparable](m, k int, summaries ...WeightedSummary[K]) *Spa
 	return merge.KSparseWeighted(m, k, entries...)
 }
 
+// Deprecated: prefer MergeSummaries (or Summary.Merge), the same
+// construction on the unified surface with error metadata carried
+// through.
+//
 // MergeAll merges summaries by refeeding every stored counter instead of
 // only the top k. It is the recommended merge in practice: with
 // homogeneous shards the union's (k+1)-th item can be dropped from every
@@ -39,7 +48,7 @@ func MergeWeighted[K comparable](m, k int, summaries ...WeightedSummary[K]) *Spa
 // this reproduction; see EXPERIMENTS.md E9). MergeAll keeps the bound for
 // every item because an item a shard's summary dropped entirely has
 // frequency at most that shard's own error bound.
-func MergeAll[K comparable](m int, summaries ...Summary[K]) *SpaceSavingR[K] {
+func MergeAll[K comparable](m int, summaries ...Counter[K]) *SpaceSavingR[K] {
 	entries := make([][]core.Entry[K], len(summaries))
 	for i, s := range summaries {
 		entries[i] = s.Entries()
@@ -48,7 +57,7 @@ func MergeAll[K comparable](m int, summaries ...Summary[K]) *SpaceSavingR[K] {
 }
 
 // MergeAllWeighted is MergeAll for real-valued summaries.
-func MergeAllWeighted[K comparable](m int, summaries ...WeightedSummary[K]) *SpaceSavingR[K] {
+func MergeAllWeighted[K comparable](m int, summaries ...WeightedCounter[K]) *SpaceSavingR[K] {
 	entries := make([][]core.WeightedEntry[K], len(summaries))
 	for i, s := range summaries {
 		entries[i] = s.WeightedEntries()

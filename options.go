@@ -1,0 +1,150 @@
+package heavyhitters
+
+import (
+	"fmt"
+	"math"
+)
+
+// config collects the knobs New understands. It is deliberately
+// non-generic so every Option reads naturally at call sites; the only
+// K-dependent piece of construction (the shard/sketch key hash) is
+// derived from the key type inside New.
+type config struct {
+	algo        Algo
+	m           int     // counters (or sketch width); 0 = derive or default
+	eps, phi    float64 // WithErrorBudget auto-sizing; 0 = unset
+	shards      int     // 0 = unsharded (single structure, no locking)
+	seed        uint64
+	depth       int  // sketch depth
+	weighted    bool // real-valued counters (SPACESAVINGR / FREQUENTR)
+	mSet        bool
+	budgetSet   bool
+	weightedSet bool
+}
+
+// Option configures a Summary under construction by New.
+type Option func(*config)
+
+// WithAlgorithm selects the backing algorithm. The default is
+// AlgoSpaceSaving. See the Algo constants for the trade-offs (Table 1 of
+// the paper: space, guarantee direction, deletions).
+func WithAlgorithm(a Algo) Option {
+	return func(c *config) { c.algo = a }
+}
+
+// WithCapacity sets m, the counter budget (for sketches: the width of
+// each row). Every estimate of an HTC algorithm with m counters is then
+// within F1^res(k)/(m − k) of the truth for every k < m (Theorem 2).
+// Mutually exclusive with WithErrorBudget.
+func WithCapacity(m int) Option {
+	return func(c *config) {
+		c.m = m
+		c.mSet = true
+	}
+}
+
+// WithErrorBudget sizes the summary from accuracy targets instead of a
+// raw counter count: estimates stay within eps·F1 of the truth
+// (classical F1/m sizing — on skewed streams the realized error is far
+// smaller, per the paper's residual bounds), and every phi-heavy hitter
+// is certain to be stored (m > 1/phi). Pass phi = 0 to size from eps
+// alone. Mutually exclusive with WithCapacity.
+func WithErrorBudget(eps, phi float64) Option {
+	return func(c *config) {
+		c.eps = eps
+		c.phi = phi
+		c.budgetSet = true
+	}
+}
+
+// WithShards splits the summary into p independently locked shards,
+// making every Summary method safe for concurrent use. Items are
+// partitioned (not replicated) by a stateless hash, so each item's
+// counts live wholly in one shard and per-item estimates and bounds keep
+// the single-shard guarantee against the item's full stream; see the
+// Summary documentation for the aggregate-query guarantee. p = 1 yields
+// a single locked shard (thread safety without partitioning).
+func WithShards(p int) Option {
+	return func(c *config) { c.shards = p }
+}
+
+// WithSeed fixes the seed of randomized backends (Count-Min,
+// Count-Sketch), making their estimates reproducible. Deterministic
+// counter algorithms ignore it.
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithDepth sets the number of rows of a sketch backend (default 4).
+// Counter algorithms ignore it.
+func WithDepth(d int) Option {
+	return func(c *config) { c.depth = d }
+}
+
+// WithWeighted backs the summary with the real-valued update variant of
+// Section 6.1 (SPACESAVINGR or FREQUENTR, Theorem 10 guarantees), so
+// UpdateWeighted accepts arbitrary positive weights — byte counts,
+// latencies, prices. Without it, counter backends accept only integral
+// weights (applied natively). Valid for AlgoSpaceSaving and AlgoFrequent.
+func WithWeighted() Option {
+	return func(c *config) {
+		c.weighted = true
+		c.weightedSet = true
+	}
+}
+
+// defaultCapacity is the counter budget used when neither WithCapacity
+// nor WithErrorBudget is given: enough for 0.1%-of-stream accuracy.
+const defaultCapacity = 1024
+
+// resolve validates the option combination and fills derived fields,
+// returning a descriptive error for New to panic with.
+func (c *config) resolve() error {
+	if c.mSet && c.budgetSet {
+		return fmt.Errorf("heavyhitters: WithCapacity and WithErrorBudget are mutually exclusive")
+	}
+	if c.mSet && c.m < 1 {
+		return fmt.Errorf("heavyhitters: capacity must be >= 1, got %d", c.m)
+	}
+	if c.budgetSet {
+		if c.eps <= 0 || c.eps > 1 {
+			return fmt.Errorf("heavyhitters: error budget eps must be in (0, 1], got %v", c.eps)
+		}
+		if c.phi < 0 || c.phi > 1 {
+			return fmt.Errorf("heavyhitters: error budget phi must be in [0, 1], got %v", c.phi)
+		}
+		m := int(math.Ceil(1 / c.eps))
+		if c.phi > 0 {
+			if hh := CountersForHeavyHitters(c.phi); hh > m {
+				m = hh
+			}
+		}
+		if m < 1 {
+			m = 1
+		}
+		c.m = m
+	}
+	if c.m == 0 {
+		c.m = defaultCapacity
+	}
+	if c.shards < 0 {
+		return fmt.Errorf("heavyhitters: shard count must be >= 0, got %d", c.shards)
+	}
+	if c.depth == 0 {
+		c.depth = 4
+	}
+	if c.depth < 1 {
+		return fmt.Errorf("heavyhitters: sketch depth must be >= 1, got %d", c.depth)
+	}
+	if c.seed == 0 {
+		c.seed = 1
+	}
+	if c.weightedSet {
+		switch c.algo {
+		case AlgoSpaceSaving, AlgoFrequent:
+		default:
+			return fmt.Errorf("heavyhitters: WithWeighted requires AlgoSpaceSaving or AlgoFrequent, got %v", c.algo)
+		}
+	}
+	return nil
+}

@@ -29,7 +29,11 @@ type HeavyHitter[K comparable] struct {
 // decreasing order of upper bound. phi must lie in (0, 1]. For exactness
 // guarantees choose m > 1/phi (the classical sizing; the paper's results
 // say m = k + F1_res(k)/(phi·N) already suffices on skewed data).
-func HeavyHitters[K comparable](s Summary[K], phi float64) []HeavyHitter[K] {
+//
+// Deprecated: prefer Summary.HeavyHitters on a summary built by New,
+// which also covers weighted, sharded and sketch backends; this free
+// function remains for code holding a concrete Counter.
+func HeavyHitters[K comparable](s Counter[K], phi float64) []HeavyHitter[K] {
 	if phi <= 0 || phi > 1 {
 		panic("heavyhitters: phi must be in (0, 1]")
 	}

@@ -52,7 +52,7 @@ func TestHeavyHittersNoFalseNegativesProperty(t *testing.T) {
 			truth.Update(x)
 		}
 		threshold := phi * truth.F1()
-		for _, s := range []hh.Summary[uint64]{ss, fr} {
+		for _, s := range []hh.Counter[uint64]{ss, fr} {
 			reported := map[uint64]bool{}
 			for _, h := range hh.HeavyHitters[uint64](s, phi) {
 				reported[h.Item] = true

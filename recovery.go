@@ -13,12 +13,12 @@ import (
 // vector built from a summary's k largest counters (Theorem 5). With a
 // summary of m = k(2/ε + 1) SPACESAVING or FREQUENT counters,
 // ‖f − f′‖p ≤ ε·F1^res(k)/k^{1−1/p} + (F_p^res(k))^{1/p} for every p ≥ 1.
-func KSparseRecovery[K comparable](s Summary[K], k int) map[K]float64 {
+func KSparseRecovery[K comparable](s Counter[K], k int) map[K]float64 {
 	return recovery.KSparse(s.Entries(), k)
 }
 
 // KSparseRecoveryWeighted is KSparseRecovery for real-valued summaries.
-func KSparseRecoveryWeighted[K comparable](s WeightedSummary[K], k int) map[K]float64 {
+func KSparseRecoveryWeighted[K comparable](s WeightedCounter[K], k int) map[K]float64 {
 	return recovery.KSparseWeighted(s.WeightedEntries(), k)
 }
 
@@ -35,7 +35,7 @@ type minCounter interface {
 // first passed through the Section 4.2 global underestimate transform
 // c′_i = max(0, c_i − Δ). With m = k(1/ε + 1) counters,
 // ‖f − f′‖p ≤ (1+ε)(ε/k)^{1−1/p}·F1^res(k).
-func MSparseRecovery[K comparable](s Summary[K]) map[K]float64 {
+func MSparseRecovery[K comparable](s Counter[K]) map[K]float64 {
 	entries := s.Entries()
 	if mc, ok := s.(minCounter); ok {
 		entries = recovery.UnderestimateGlobal(entries, mc.MinCount())
@@ -47,7 +47,7 @@ func MSparseRecovery[K comparable](s Summary[K]) map[K]float64 {
 // k items — from a summary, as F1 − ‖f′‖1 (Theorem 6). With
 // m = k(1/ε + 1) counters the estimate is within (1 ± ε)·F1^res(k).
 // totalMass is the stream length (Summary.N() for unit streams).
-func EstimateResidual[K comparable](s Summary[K], k int, totalMass float64) float64 {
+func EstimateResidual[K comparable](s Counter[K], k int, totalMass float64) float64 {
 	return recovery.ResidualEstimate(s.Entries(), k, totalMass)
 }
 

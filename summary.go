@@ -1,0 +1,938 @@
+package heavyhitters
+
+import (
+	"fmt"
+	"hash/maphash"
+	"io"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/frequent"
+	"repro/internal/lossycounting"
+	"repro/internal/recovery"
+	"repro/internal/sketch"
+	"repro/internal/spacesaving"
+)
+
+// Summary is the unified front door of the package: one interface over
+// the whole family of algorithms the paper studies — the deterministic
+// counter algorithms FREQUENT, SPACESAVING and LOSSYCOUNTING, their
+// real-valued Section 6.1 variants, the randomized sketch baselines of
+// Table 1, and the sharded concurrent construction. Build one with New:
+//
+//	s := heavyhitters.New[string](
+//		heavyhitters.WithAlgorithm(heavyhitters.AlgoSpaceSaving),
+//		heavyhitters.WithErrorBudget(0.001, 0.01),
+//	)
+//
+// Counts are reported as float64 throughout so that unit, integral-
+// weighted and real-valued summaries share one query surface; unit
+// backends count exactly (float64 is exact below 2^53).
+//
+// Unless constructed with WithShards, a Summary is not safe for
+// concurrent use. With WithShards(p) every method is safe for concurrent
+// use: items are partitioned across p independently locked shards, so
+// per-item estimates and bounds retain the full single-shard guarantee
+// against the item's own stream, and aggregate queries (Top,
+// HeavyHitters) concatenate the shards' disjoint counter sets — no
+// cross-shard merge error is introduced.
+type Summary[K comparable] interface {
+	// Update records one occurrence of item.
+	Update(item K)
+	// UpdateBatch records one occurrence of every item in items. On a
+	// sharded summary the batch is partitioned first and each shard is
+	// locked once, amortizing the per-update locking of the hot path.
+	UpdateBatch(items []K)
+	// UpdateWeighted records w occurrences' worth of item; w must be
+	// positive. Summaries built with WithWeighted accept any positive
+	// w (Section 6.1); all other backends accept integral w only and
+	// panic otherwise.
+	UpdateWeighted(item K, w float64)
+	// Estimate returns the current point estimate of item's total
+	// weight (zero if the item is not tracked).
+	Estimate(item K) float64
+	// EstimateBounds returns certain bounds lo ≤ f ≤ hi on item's true
+	// total weight, derived from the backend's per-item error metadata.
+	// For randomized sketches the bounds are the trivial determinis-
+	// tically-valid ones (Count-Min: [0, estimate]; Count-Sketch:
+	// [0, N]).
+	EstimateBounds(item K) (lo, hi float64)
+	// Top returns the k largest counters in decreasing order (fewer
+	// when fewer are stored).
+	Top(k int) []WeightedEntry[K]
+	// HeavyHitters returns every tracked item whose true weight may
+	// reach phi·N, in decreasing order of upper bound, each carrying
+	// its certain bounds and a Guaranteed label (lower bound already
+	// clears the threshold). phi must lie in (0, 1]. Deterministic
+	// counter backends sized with m > 1/phi report no false negatives.
+	HeavyHitters(phi float64) []Result[K]
+	// Merge combines this summary with another into a fresh summary of
+	// the union of their streams (Theorem 11), with capacity
+	// max(Capacity(), other.Capacity()). If both inputs carry an (A, B)
+	// k-tail guarantee the result carries (3A', A'+B') for the element-
+	// wise max (A', B'). Sketch-backed summaries are not mergeable.
+	Merge(other Summary[K]) (Summary[K], error)
+	// Recover returns the k-sparse approximation of the frequency
+	// vector built from the k largest counters (Theorem 5).
+	Recover(k int) map[K]float64
+	// Encode writes the summary's portable state (the versioned wire
+	// codec) for Decode to reconstruct. Only uint64- and string-keyed
+	// counter summaries are encodable.
+	Encode(w io.Writer) error
+	// Algorithm reports the backing algorithm.
+	Algorithm() Algo
+	// Capacity returns the counter budget m (per shard when sharded;
+	// the sketch row width for sketch backends).
+	Capacity() int
+	// Len returns the number of currently tracked items.
+	Len() int
+	// N returns the total processed mass Σ w_i (the stream length for
+	// unit streams).
+	N() float64
+	// Guarantee reports the k-tail guarantee constants (A, B) of
+	// Definition 2, when the backend provides one: every error is at
+	// most A·F1^res(k)/(m − B·k) with m = Capacity(). The second result
+	// is false for LOSSYCOUNTING and the sketches.
+	Guarantee() (TailGuarantee, bool)
+	// Reset restores the empty state, retaining configuration.
+	Reset()
+}
+
+// Result is one bound-carrying answer of Summary.HeavyHitters: the item,
+// its point estimate, certain bounds Lo ≤ f ≤ Hi on its true weight, and
+// whether even the lower bound clears the query threshold.
+type Result[K comparable] struct {
+	Item       K
+	Count      float64
+	Lo, Hi     float64
+	Guaranteed bool
+}
+
+// New constructs a Summary from options; see Option and Algo for the
+// knobs. The zero-option call yields an unsharded SPACESAVING summary
+// with 1024 counters. New panics on invalid option combinations (exactly
+// as the legacy constructors panic on invalid m), so a Summary in hand
+// is always usable.
+func New[K comparable](opts ...Option) Summary[K] {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.resolve(); err != nil {
+		panic(err)
+	}
+	mk := func(shard int) backend[K] { return newBackend[K](cfg, shard) }
+	var be backend[K]
+	if cfg.shards > 0 {
+		be = newShardedBackend(cfg.shards, keyHasher[K](cfg.seed), mk)
+	} else {
+		be = mk(0)
+	}
+	return &summary[K]{algo: cfg.algo, be: be}
+}
+
+// newBackend builds the single-structure backend for one shard (shard
+// indices decorrelate sketch seeds; counter algorithms ignore them).
+func newBackend[K comparable](cfg config, shard int) backend[K] {
+	switch {
+	case cfg.algo == AlgoCountMin:
+		return &sketchBackend[K]{
+			cm:    sketch.NewCountMin(cfg.depth, cfg.m, cfg.seed+uint64(shard)),
+			hash:  keyHasher[K](cfg.seed),
+			width: cfg.m,
+			track: newTracker[K](cfg.m),
+		}
+	case cfg.algo == AlgoCountSketch:
+		return &sketchBackend[K]{
+			cs:    sketch.NewCountSketch(cfg.depth, cfg.m, cfg.seed+uint64(shard)),
+			hash:  keyHasher[K](cfg.seed),
+			width: cfg.m,
+			track: newTracker[K](cfg.m),
+		}
+	case cfg.weighted && cfg.algo == AlgoSpaceSaving:
+		return &weightedBackend[K]{ssr: spacesaving.NewR[K](cfg.m), g: TailGuarantee{A: 1, B: 1}, hasG: true}
+	case cfg.weighted && cfg.algo == AlgoFrequent:
+		return &weightedBackend[K]{fqr: frequent.NewR[K](cfg.m), g: TailGuarantee{A: 1, B: 1}, hasG: true}
+	case cfg.algo == AlgoSpaceSaving:
+		ss := spacesaving.New[K](cfg.m)
+		return &unitBackend[K]{alg: ss, addN: ss.AddN, g: TailGuarantee{A: 1, B: 1}, hasG: true, over: true}
+	case cfg.algo == AlgoFrequent:
+		fq := frequent.New[K](cfg.m)
+		return &unitBackend[K]{alg: fq, addN: fq.AddN, g: TailGuarantee{A: 1, B: 1}, hasG: true}
+	case cfg.algo == AlgoLossyCounting:
+		lc := lossycounting.New[K](cfg.m)
+		return &unitBackend[K]{alg: lc, addN: lc.AddN}
+	default:
+		panic(fmt.Sprintf("heavyhitters: unhandled algorithm %v", cfg.algo))
+	}
+}
+
+// backend is the internal contract the summary wrapper drives. Counts
+// are float64 across the board; unit backends convert exactly.
+type backend[K comparable] interface {
+	update(item K)
+	updateN(item K, n uint64)
+	updateWeighted(item K, w float64)
+	updateBatch(items []K)
+	estimate(item K) float64
+	bounds(item K) (lo, hi float64)
+	// weightedEntries snapshots the counters sorted by decreasing
+	// count; Err is meaningful per overEst.
+	weightedEntries() []WeightedEntry[K]
+	capacity() int
+	length() int
+	total() float64
+	guarantee() (TailGuarantee, bool)
+	// mergeable reports whether the counter state is a faithful,
+	// refeedable summary (counter algorithms yes, sketches no).
+	mergeable() bool
+	// overEst reports whether entry Err fields are certain per-item
+	// overestimation bounds (the SPACESAVING convention c − ε ≤ f ≤ c).
+	overEst() bool
+	// slackOut is the global upper slack to carry into merges and
+	// encodes: every tracked item's true weight is at most its count
+	// plus this (zero for overestimating backends).
+	slackOut() float64
+	// absentExtra is the additional upper bound on an item this backend
+	// does not track, beyond slackOut — for SPACESAVING-family state
+	// this is the minimum counter Δ (an evicted or never-stored item's
+	// weight cannot exceed it). Merges and encodes must carry it: an
+	// item absent here may be present in the merged result, whose upper
+	// bound then owes this backend's possible unseen mass.
+	absentExtra() float64
+	reset()
+}
+
+// summary adapts a backend to the public Summary interface.
+type summary[K comparable] struct {
+	algo Algo
+	be   backend[K]
+}
+
+func (s *summary[K]) Update(item K)         { s.be.update(item) }
+func (s *summary[K]) UpdateBatch(items []K) { s.be.updateBatch(items) }
+func (s *summary[K]) UpdateWeighted(item K, w float64) {
+	if w <= 0 {
+		panic("heavyhitters: non-positive weight")
+	}
+	s.be.updateWeighted(item, w)
+}
+func (s *summary[K]) Estimate(item K) float64                { return s.be.estimate(item) }
+func (s *summary[K]) EstimateBounds(item K) (lo, hi float64) { return s.be.bounds(item) }
+func (s *summary[K]) Algorithm() Algo                        { return s.algo }
+func (s *summary[K]) Capacity() int                          { return s.be.capacity() }
+func (s *summary[K]) Len() int                               { return s.be.length() }
+func (s *summary[K]) N() float64                             { return s.be.total() }
+func (s *summary[K]) Guarantee() (TailGuarantee, bool)       { return s.be.guarantee() }
+func (s *summary[K]) Reset()                                 { s.be.reset() }
+
+func (s *summary[K]) Top(k int) []WeightedEntry[K] {
+	es := s.be.weightedEntries()
+	if k < len(es) {
+		es = es[:k]
+	}
+	return es
+}
+
+func (s *summary[K]) HeavyHitters(phi float64) []Result[K] {
+	if phi <= 0 || phi > 1 {
+		panic("heavyhitters: phi must be in (0, 1]")
+	}
+	threshold := phi * s.be.total()
+	var out []Result[K]
+	for _, e := range s.be.weightedEntries() {
+		lo, hi := s.be.bounds(e.Item)
+		if hi >= threshold {
+			out = append(out, Result[K]{
+				Item:       e.Item,
+				Count:      e.Count,
+				Lo:         lo,
+				Hi:         hi,
+				Guaranteed: lo >= threshold,
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Hi > out[j].Hi })
+	return out
+}
+
+func (s *summary[K]) Recover(k int) map[K]float64 {
+	return recovery.KSparseWeighted(s.be.weightedEntries(), k)
+}
+
+func (s *summary[K]) Merge(other Summary[K]) (Summary[K], error) {
+	m := s.Capacity()
+	if oc := other.Capacity(); oc > m {
+		m = oc
+	}
+	return MergeSummaries(m, s, other)
+}
+
+func (s *summary[K]) String() string {
+	return fmt.Sprintf("heavyhitters.Summary{algo: %v, m: %d, n: %.0f}", s.algo, s.be.capacity(), s.be.total())
+}
+
+// MergeSummaries combines any number of counter-backed summaries into a
+// fresh m-counter summary of the union of their streams — the Section
+// 6.2 construction, refeeding every stored counter (the robust MergeAll
+// variant; see that function's note on why it is preferred over the
+// literal k-sparse merge). Per-item error metadata and upper slack are
+// carried through, so EstimateBounds on the result remain certain
+// bounds; because any item may have gone unseen by an input that was
+// full (a SPACESAVING input's unseen mass per item is at most its
+// minimum counter Δ), every upper bound widens by the sum of the
+// inputs' Δ-floors — the honest price of certainty after a merge. The
+// point estimates and the Theorem 11 tail guarantee are unaffected: if
+// every input carries a k-tail guarantee the result carries the (3A,
+// A+B) constants of the elementwise max. Sketch-backed summaries are
+// rejected.
+func MergeSummaries[K comparable](m int, summaries ...Summary[K]) (Summary[K], error) {
+	if m < 1 {
+		return nil, fmt.Errorf("heavyhitters: merge capacity must be >= 1, got %d", m)
+	}
+	if len(summaries) == 0 {
+		return nil, fmt.Errorf("heavyhitters: nothing to merge")
+	}
+	dst := spacesaving.NewR[K](m)
+	slack := 0.0
+	hasG := true
+	var g TailGuarantee
+	for i, in := range summaries {
+		ws, ok := in.(*summary[K])
+		if !ok {
+			return nil, fmt.Errorf("heavyhitters: input %d is not a summary built by this package", i)
+		}
+		if !ws.be.mergeable() {
+			return nil, fmt.Errorf("heavyhitters: input %d (%v) is sketch-backed and cannot be merged", i, ws.algo)
+		}
+		carryErr := ws.be.overEst()
+		for _, e := range ws.be.weightedEntries() {
+			if carryErr {
+				dst.Absorb(e.Item, e.Count, e.Err)
+			} else {
+				dst.Absorb(e.Item, e.Count, 0)
+			}
+		}
+		// slackOut widens every bound (underestimated mass); absentExtra
+		// widens them too, because an item stored in the merge may have
+		// been evicted by this input, hiding up to its Δ.
+		slack += ws.be.slackOut() + ws.be.absentExtra()
+		ig, ok := ws.be.guarantee()
+		if !ok {
+			hasG = false
+		} else {
+			g.A = math.Max(g.A, ig.A)
+			g.B = math.Max(g.B, ig.B)
+		}
+	}
+	be := &weightedBackend[K]{ssr: dst, slack: slack}
+	if hasG {
+		be.g, be.hasG = MergedGuarantee(g), true
+	}
+	return &summary[K]{algo: AlgoSpaceSaving, be: be}, nil
+}
+
+// --- unit counter backend (SPACESAVING / FREQUENT / LOSSYCOUNTING) ---
+
+type unitBackend[K comparable] struct {
+	alg  Counter[K]
+	addN func(K, uint64) // native integral-weight path; nil = repeat Update
+	g    TailGuarantee
+	hasG bool
+	over bool // SPACESAVING convention: Err fields are overestimate bounds
+}
+
+func (b *unitBackend[K]) update(item K) { b.alg.Update(item) }
+
+func (b *unitBackend[K]) updateN(item K, n uint64) {
+	if b.addN != nil {
+		b.addN(item, n)
+		return
+	}
+	for i := uint64(0); i < n; i++ {
+		b.alg.Update(item)
+	}
+}
+
+func (b *unitBackend[K]) updateWeighted(item K, w float64) {
+	if w != math.Trunc(w) {
+		panic("heavyhitters: this backend accepts integral weights only; construct with WithWeighted() for real-valued updates")
+	}
+	b.updateN(item, uint64(w))
+}
+
+func (b *unitBackend[K]) updateBatch(items []K) {
+	for _, it := range items {
+		b.alg.Update(it)
+	}
+}
+
+func (b *unitBackend[K]) estimate(item K) float64 { return float64(b.alg.Estimate(item)) }
+
+func (b *unitBackend[K]) bounds(item K) (float64, float64) {
+	lo, hi := EstimateBounds(b.alg, item)
+	return float64(lo), float64(hi)
+}
+
+func (b *unitBackend[K]) weightedEntries() []WeightedEntry[K] {
+	es := b.alg.Entries()
+	out := make([]WeightedEntry[K], len(es))
+	for i, e := range es {
+		out[i] = WeightedEntry[K]{Item: e.Item, Count: float64(e.Count), Err: float64(e.Err)}
+	}
+	return out
+}
+
+func (b *unitBackend[K]) capacity() int                    { return b.alg.Capacity() }
+func (b *unitBackend[K]) length() int                      { return b.alg.Len() }
+func (b *unitBackend[K]) total() float64                   { return float64(b.alg.N()) }
+func (b *unitBackend[K]) guarantee() (TailGuarantee, bool) { return b.g, b.hasG }
+func (b *unitBackend[K]) mergeable() bool                  { return true }
+func (b *unitBackend[K]) overEst() bool                    { return b.over }
+func (b *unitBackend[K]) reset()                           { b.alg.Reset() }
+
+func (b *unitBackend[K]) slackOut() float64 {
+	switch alg := any(b.alg).(type) {
+	case *spacesaving.StreamSummary[K]:
+		return 0
+	case *frequent.Frequent[K]:
+		return float64(alg.Decrements())
+	case *lossycounting.LossyCounting[K]:
+		w := uint64(alg.Capacity())
+		return float64((alg.N() + w - 1) / w)
+	default:
+		return 0
+	}
+}
+
+func (b *unitBackend[K]) absentExtra() float64 {
+	// FREQUENT's d and LOSSYCOUNTING's ⌈N/w⌉ already bound absent items
+	// and travel via slackOut; SPACESAVING's absent bound is Δ.
+	if mc, ok := any(b.alg).(interface{ MinCount() uint64 }); ok {
+		return float64(mc.MinCount())
+	}
+	return 0
+}
+
+// --- weighted counter backend (SPACESAVINGR / FREQUENTR, Section 6.1) ---
+
+// weightedBackend also backs merged and decoded summaries: slack is the
+// global upper-slack inherited from underestimating or multiply-sourced
+// inputs, so bounds remain certain after Merge/Encode/Decode.
+type weightedBackend[K comparable] struct {
+	ssr   *spacesaving.R[K]
+	fqr   *frequent.FrequentR[K]
+	slack float64
+	g     TailGuarantee
+	hasG  bool
+	// absentSlack widens the upper bound of absent items only: a decoded
+	// summary owes its producer's minimum counter Δ — an item the
+	// producer evicted can weigh up to Δ even though the reconstruction
+	// never saw it.
+	absentSlack float64
+	// deficit cache for the FREQUENTR flavor, keyed by the monotone
+	// total weight (bounds are queried once per stored entry by
+	// HeavyHitters; recomputing the O(m) deficit each time would make
+	// the query O(m²)).
+	defCache, defCacheAt float64
+}
+
+func (b *weightedBackend[K]) alg() WeightedCounter[K] {
+	if b.ssr != nil {
+		return b.ssr
+	}
+	return b.fqr
+}
+
+func (b *weightedBackend[K]) update(item K) { b.alg().UpdateWeighted(item, 1) }
+func (b *weightedBackend[K]) updateN(item K, n uint64) {
+	if n > 0 {
+		b.alg().UpdateWeighted(item, float64(n))
+	}
+}
+func (b *weightedBackend[K]) updateWeighted(item K, w float64) { b.alg().UpdateWeighted(item, w) }
+
+func (b *weightedBackend[K]) updateBatch(items []K) {
+	a := b.alg()
+	for _, it := range items {
+		a.UpdateWeighted(it, 1)
+	}
+}
+
+func (b *weightedBackend[K]) estimate(item K) float64 { return b.alg().EstimateWeighted(item) }
+
+// deficit is the total undercounted mass of a FREQUENTR structure: the
+// processed weight not present in any stored counter. Every item's
+// undercount is at most this. The O(m) scan is cached against the
+// monotone total weight, so repeated bounds queries between updates
+// (HeavyHitters) pay it once.
+func (b *weightedBackend[K]) deficit() float64 {
+	total := b.fqr.TotalWeight()
+	if total == b.defCacheAt && total != 0 {
+		return b.defCache
+	}
+	var stored float64
+	for _, e := range b.fqr.WeightedEntries() {
+		stored += e.Count
+	}
+	d := total - stored
+	if d < 0 {
+		d = 0
+	}
+	b.defCache, b.defCacheAt = d, total
+	return d
+}
+
+func (b *weightedBackend[K]) bounds(item K) (float64, float64) {
+	if b.ssr != nil {
+		c := b.ssr.EstimateWeighted(item)
+		if c == 0 {
+			return 0, b.ssr.MinCount() + b.slack + b.absentSlack
+		}
+		lo := c - b.ssr.ErrorOf(item)
+		if lo < 0 {
+			lo = 0
+		}
+		return lo, c + b.slack
+	}
+	c := b.fqr.EstimateWeighted(item)
+	d := b.deficit()
+	if c == 0 {
+		return 0, d + b.slack
+	}
+	return c, c + d + b.slack
+}
+
+func (b *weightedBackend[K]) weightedEntries() []WeightedEntry[K] { return b.alg().WeightedEntries() }
+func (b *weightedBackend[K]) capacity() int                       { return b.alg().Capacity() }
+func (b *weightedBackend[K]) length() int                         { return b.alg().Len() }
+func (b *weightedBackend[K]) total() float64                      { return b.alg().TotalWeight() }
+func (b *weightedBackend[K]) guarantee() (TailGuarantee, bool)    { return b.g, b.hasG }
+func (b *weightedBackend[K]) mergeable() bool                     { return true }
+func (b *weightedBackend[K]) overEst() bool                       { return b.ssr != nil }
+
+func (b *weightedBackend[K]) slackOut() float64 {
+	if b.ssr != nil {
+		return b.slack
+	}
+	return b.slack + b.deficit()
+}
+
+func (b *weightedBackend[K]) absentExtra() float64 {
+	if b.ssr != nil {
+		return b.ssr.MinCount() + b.absentSlack
+	}
+	return 0 // the FREQUENTR deficit travels via slackOut
+}
+
+func (b *weightedBackend[K]) reset() {
+	b.alg().Reset()
+	b.slack, b.absentSlack = 0, 0
+	b.defCache, b.defCacheAt = 0, 0
+}
+
+// --- sharded backend (items partitioned across locked shards) ---
+
+type shardSlot[K comparable] struct {
+	mu sync.Mutex
+	be backend[K]
+	// Padding to keep shard locks on distinct cache lines.
+	_ [40]byte
+}
+
+type shardedBackend[K comparable] struct {
+	slots []shardSlot[K]
+	hash  func(K) uint64
+}
+
+func newShardedBackend[K comparable](p int, hash func(K) uint64, mk func(int) backend[K]) *shardedBackend[K] {
+	b := &shardedBackend[K]{slots: make([]shardSlot[K], p), hash: hash}
+	for i := range b.slots {
+		b.slots[i].be = mk(i)
+	}
+	return b
+}
+
+func (b *shardedBackend[K]) slot(item K) *shardSlot[K] {
+	return &b.slots[b.hash(item)%uint64(len(b.slots))]
+}
+
+func (b *shardedBackend[K]) update(item K) {
+	sl := b.slot(item)
+	sl.mu.Lock()
+	sl.be.update(item)
+	sl.mu.Unlock()
+}
+
+func (b *shardedBackend[K]) updateN(item K, n uint64) {
+	sl := b.slot(item)
+	sl.mu.Lock()
+	sl.be.updateN(item, n)
+	sl.mu.Unlock()
+}
+
+func (b *shardedBackend[K]) updateWeighted(item K, w float64) {
+	sl := b.slot(item)
+	sl.mu.Lock()
+	sl.be.updateWeighted(item, w)
+	sl.mu.Unlock()
+}
+
+// updateBatch partitions the batch once, then visits each shard exactly
+// once under its lock — the amortization that makes batch ingestion the
+// fast path on sharded summaries.
+func (b *shardedBackend[K]) updateBatch(items []K) {
+	p := uint64(len(b.slots))
+	if p == 1 {
+		sl := &b.slots[0]
+		sl.mu.Lock()
+		sl.be.updateBatch(items)
+		sl.mu.Unlock()
+		return
+	}
+	buckets := make([][]K, p)
+	per := len(items)/int(p) + 1
+	for _, it := range items {
+		i := b.hash(it) % p
+		if buckets[i] == nil {
+			buckets[i] = make([]K, 0, per)
+		}
+		buckets[i] = append(buckets[i], it)
+	}
+	for i := range buckets {
+		if len(buckets[i]) == 0 {
+			continue
+		}
+		sl := &b.slots[i]
+		sl.mu.Lock()
+		sl.be.updateBatch(buckets[i])
+		sl.mu.Unlock()
+	}
+}
+
+func (b *shardedBackend[K]) estimate(item K) float64 {
+	sl := b.slot(item)
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.be.estimate(item)
+}
+
+func (b *shardedBackend[K]) bounds(item K) (float64, float64) {
+	sl := b.slot(item)
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.be.bounds(item)
+}
+
+// weightedEntries concatenates the shards' disjoint counter sets. Shards
+// are locked one at a time, so under concurrent updates the snapshot
+// reflects consistent per-shard states, not one global instant.
+func (b *shardedBackend[K]) weightedEntries() []WeightedEntry[K] {
+	var out []WeightedEntry[K]
+	for i := range b.slots {
+		sl := &b.slots[i]
+		sl.mu.Lock()
+		out = append(out, sl.be.weightedEntries()...)
+		sl.mu.Unlock()
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+func (b *shardedBackend[K]) capacity() int { return b.slots[0].be.capacity() }
+
+func (b *shardedBackend[K]) length() int {
+	n := 0
+	for i := range b.slots {
+		sl := &b.slots[i]
+		sl.mu.Lock()
+		n += sl.be.length()
+		sl.mu.Unlock()
+	}
+	return n
+}
+
+func (b *shardedBackend[K]) total() float64 {
+	var t float64
+	for i := range b.slots {
+		sl := &b.slots[i]
+		sl.mu.Lock()
+		t += sl.be.total()
+		sl.mu.Unlock()
+	}
+	return t
+}
+
+func (b *shardedBackend[K]) guarantee() (TailGuarantee, bool) { return b.slots[0].be.guarantee() }
+func (b *shardedBackend[K]) mergeable() bool                  { return b.slots[0].be.mergeable() }
+func (b *shardedBackend[K]) overEst() bool                    { return b.slots[0].be.overEst() }
+
+func (b *shardedBackend[K]) slackOut() float64 {
+	var s float64
+	for i := range b.slots {
+		sl := &b.slots[i]
+		sl.mu.Lock()
+		s += sl.be.slackOut()
+		sl.mu.Unlock()
+	}
+	return s
+}
+
+func (b *shardedBackend[K]) absentExtra() float64 {
+	// An absent item lives wholly in its owning shard, so the worst
+	// single shard bounds it.
+	var worst float64
+	for i := range b.slots {
+		sl := &b.slots[i]
+		sl.mu.Lock()
+		if e := sl.be.absentExtra(); e > worst {
+			worst = e
+		}
+		sl.mu.Unlock()
+	}
+	return worst
+}
+
+func (b *shardedBackend[K]) reset() {
+	for i := range b.slots {
+		sl := &b.slots[i]
+		sl.mu.Lock()
+		sl.be.reset()
+		sl.mu.Unlock()
+	}
+}
+
+// --- sketch backend (Count-Min / Count-Sketch over hashed keys) ---
+
+// sketchBackend pairs a randomized sketch with a top-m candidate tracker
+// (the standard sketch + heap construction the paper contrasts against
+// in Table 1): the sketch estimates any item, the tracker remembers the
+// keys whose estimates have been largest so Top and HeavyHitters can
+// enumerate candidates. Keys hash to uint64 before entering the sketch;
+// for uint64 keys the mapping is a fixed-point mix, for strings FNV-1a.
+type sketchBackend[K comparable] struct {
+	cm    *sketch.CountMin
+	cs    *sketch.CountSketch
+	hash  func(K) uint64
+	width int
+	track *tracker[K]
+}
+
+func (b *sketchBackend[K]) add(h uint64, n uint64) {
+	if b.cm != nil {
+		b.cm.Add(h, n)
+		return
+	}
+	b.cs.Add(h, int64(n))
+}
+
+func (b *sketchBackend[K]) estimateHash(h uint64) float64 {
+	if b.cm != nil {
+		return float64(b.cm.Estimate(h))
+	}
+	return float64(b.cs.EstimateNonNegative(h))
+}
+
+func (b *sketchBackend[K]) update(item K) { b.updateN(item, 1) }
+
+func (b *sketchBackend[K]) updateN(item K, n uint64) {
+	if n == 0 {
+		return
+	}
+	h := b.hash(item)
+	b.add(h, n)
+	b.track.offer(item, b.estimateHash(h))
+}
+
+func (b *sketchBackend[K]) updateWeighted(item K, w float64) {
+	if w != math.Trunc(w) {
+		panic("heavyhitters: sketch backends accept integral weights only")
+	}
+	b.updateN(item, uint64(w))
+}
+
+func (b *sketchBackend[K]) updateBatch(items []K) {
+	for _, it := range items {
+		b.updateN(it, 1)
+	}
+}
+
+func (b *sketchBackend[K]) estimate(item K) float64 { return b.estimateHash(b.hash(item)) }
+
+func (b *sketchBackend[K]) bounds(item K) (float64, float64) {
+	if b.cm != nil {
+		// Count-Min deterministically overestimates: f ≤ estimate.
+		return 0, float64(b.cm.Estimate(b.hash(item)))
+	}
+	// Count-Sketch estimates carry no certain per-item bound.
+	return 0, b.total()
+}
+
+func (b *sketchBackend[K]) weightedEntries() []WeightedEntry[K] {
+	out := make([]WeightedEntry[K], 0, b.track.len())
+	for _, item := range b.track.items() {
+		out = append(out, WeightedEntry[K]{Item: item, Count: b.estimate(item)})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+func (b *sketchBackend[K]) capacity() int { return b.width }
+func (b *sketchBackend[K]) length() int   { return b.track.len() }
+
+func (b *sketchBackend[K]) total() float64 {
+	if b.cm != nil {
+		return float64(b.cm.N())
+	}
+	return float64(b.cs.N())
+}
+
+func (b *sketchBackend[K]) guarantee() (TailGuarantee, bool) { return TailGuarantee{}, false }
+func (b *sketchBackend[K]) mergeable() bool                  { return false }
+func (b *sketchBackend[K]) overEst() bool                    { return false }
+func (b *sketchBackend[K]) slackOut() float64                { return 0 }
+func (b *sketchBackend[K]) absentExtra() float64             { return 0 }
+
+func (b *sketchBackend[K]) reset() {
+	if b.cm != nil {
+		b.cm.Reset()
+	} else {
+		b.cs.Reset()
+	}
+	b.track.reset()
+}
+
+// tracker is a capacity-bounded candidate set ordered by last observed
+// estimate: a min-heap plus position index, so the smallest candidate is
+// replaced in O(log k) when a larger newcomer appears.
+type tracker[K comparable] struct {
+	k    int
+	pos  map[K]int
+	heap []trackedEntry[K]
+}
+
+type trackedEntry[K comparable] struct {
+	item K
+	est  float64
+}
+
+func newTracker[K comparable](k int) *tracker[K] {
+	return &tracker[K]{k: k, pos: make(map[K]int, k)}
+}
+
+func (t *tracker[K]) len() int { return len(t.heap) }
+
+func (t *tracker[K]) items() []K {
+	out := make([]K, len(t.heap))
+	for i, e := range t.heap {
+		out[i] = e.item
+	}
+	return out
+}
+
+func (t *tracker[K]) reset() {
+	t.pos = make(map[K]int, t.k)
+	t.heap = t.heap[:0]
+}
+
+func (t *tracker[K]) offer(item K, est float64) {
+	if i, ok := t.pos[item]; ok {
+		// Estimates can fall as well as rise (Count-Sketch medians), so
+		// restore the heap invariant in whichever direction is needed.
+		old := t.heap[i].est
+		t.heap[i].est = est
+		if est < old {
+			t.siftUp(i)
+		} else {
+			t.siftDown(i)
+		}
+		return
+	}
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, trackedEntry[K]{item, est})
+		t.pos[item] = len(t.heap) - 1
+		t.siftUp(len(t.heap) - 1)
+		return
+	}
+	if est <= t.heap[0].est {
+		return
+	}
+	delete(t.pos, t.heap[0].item)
+	t.heap[0] = trackedEntry[K]{item, est}
+	t.pos[item] = 0
+	t.siftDown(0)
+}
+
+func (t *tracker[K]) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if t.heap[p].est <= t.heap[i].est {
+			break
+		}
+		t.swap(p, i)
+		i = p
+	}
+}
+
+func (t *tracker[K]) siftDown(i int) {
+	for {
+		l, r, min := 2*i+1, 2*i+2, i
+		if l < len(t.heap) && t.heap[l].est < t.heap[min].est {
+			min = l
+		}
+		if r < len(t.heap) && t.heap[r].est < t.heap[min].est {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		t.swap(min, i)
+		i = min
+	}
+}
+
+func (t *tracker[K]) swap(i, j int) {
+	t.heap[i], t.heap[j] = t.heap[j], t.heap[i]
+	t.pos[t.heap[i].item] = i
+	t.pos[t.heap[j].item] = j
+}
+
+// --- key hashing ---
+
+// keyHasher returns the stateless key hash used for shard placement and
+// sketch key mapping: a seeded Fibonacci mix for uint64 keys, seeded
+// FNV-1a for strings, and hash/maphash for every other comparable type
+// (deterministic within a process, randomized across processes — shard
+// placement never affects correctness, only which shard owns an item).
+func keyHasher[K comparable](seed uint64) func(K) uint64 {
+	var zero K
+	switch any(zero).(type) {
+	case uint64:
+		return func(k K) uint64 { return mix64(any(k).(uint64) ^ seed) }
+	case string:
+		return func(k K) uint64 { return fnv1a(any(k).(string), seed) }
+	default:
+		mseed := maphash.MakeSeed()
+		return func(k K) uint64 { return maphash.Comparable(mseed, k) }
+	}
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0x9e3779b97f4a7c15
+	return x ^ x>>29
+}
+
+func fnv1a(s string, seed uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset) ^ mix64(seed)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

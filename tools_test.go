@@ -62,7 +62,7 @@ func TestToolsPipeline(t *testing.T) {
 	sum1 := filepath.Join(dir, "s1.sum")
 	sum2 := filepath.Join(dir, "s2.sum")
 	out := run(t, hhcli, "-alg", "spacesaving", "-m", "200", "-k", "3", "-dump", sum1, shard1)
-	if !strings.Contains(out, "processed 40000 elements") {
+	if !strings.Contains(out, "processed mass 40000") {
 		t.Errorf("hhcli output unexpected:\n%s", out)
 	}
 	// The Zipf stream's heaviest item is id 0; it must lead the ranking.
@@ -70,11 +70,16 @@ func TestToolsPipeline(t *testing.T) {
 		t.Errorf("hhcli did not rank item 0 first:\n%s", out)
 	}
 	run(t, hhcli, "-alg", "frequent", "-m", "200", "-k", "3", shard1)
+	run(t, hhcli, "-alg", "countmin", "-m", "256", "-k", "3", shard1)
+	run(t, hhcli, "-alg", "spacesaving", "-shards", "4", "-eps", "0.005", "-k", "3", shard1)
 	run(t, hhcli, "-alg", "spacesaving", "-m", "200", "-k", "3", "-dump", sum2, shard2)
 
 	mergedOut := run(t, hhmerge, "-m", "200", "-k", "3", sum1, sum2)
-	if !strings.Contains(mergedOut, "merged 2 summaries covering 80000 stream elements") {
+	if !strings.Contains(mergedOut, "merged 2 summaries covering mass 80000") {
 		t.Errorf("hhmerge output unexpected:\n%s", mergedOut)
+	}
+	if !strings.Contains(mergedOut, "Theorem 11") {
+		t.Errorf("hhmerge did not report the merged bound:\n%s", mergedOut)
 	}
 
 	statOut := run(t, hhstat, "-k", "5", "-eps", "0.01", shard1)
@@ -95,8 +100,8 @@ func TestToolsWeightedPipeline(t *testing.T) {
 
 	flows := filepath.Join(dir, "flows.bin")
 	run(t, hhgen, "-kind", "weighted-zipf", "-n", "100000", "-universe", "500", "-o", flows)
-	out := run(t, hhcli, "-alg", "spacesavingR", "-m", "64", "-k", "5", flows)
-	if !strings.Contains(out, "total weight") {
+	out := run(t, hhcli, "-alg", "spacesaving", "-weighted", "-m", "64", "-k", "5", flows)
+	if !strings.Contains(out, "processed mass") {
 		t.Errorf("weighted hhcli output unexpected:\n%s", out)
 	}
 }
