@@ -128,13 +128,7 @@ func main() {
 	tw.Flush()
 
 	if g, ok := s.Guarantee(); ok {
-		res := s.N()
-		for _, e := range s.Top(*k) {
-			res -= e.Count
-		}
-		if res < 0 {
-			res = 0
-		}
+		res := hh.SummaryResidual(s, *k)
 		fmt.Printf("estimated F1^res(%d) <= %.0f; k-tail error bound = %.1f\n",
 			*k, res, hh.ErrorBound(g, s.Capacity(), *k, res))
 	}

@@ -92,13 +92,7 @@ func main() {
 	tw.Flush()
 
 	if g, ok := merged.Guarantee(); ok {
-		res := merged.N()
-		for _, e := range merged.Top(*k) {
-			res -= e.Count
-		}
-		if res < 0 {
-			res = 0
-		}
+		res := hh.SummaryResidual(merged, *k)
 		fmt.Printf("merged k-tail error bound (Theorem 11): %.1f\n", g.Bound(*m, *k, res))
 	}
 }

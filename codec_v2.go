@@ -285,7 +285,12 @@ func Decode[K comparable](r io.Reader) (Summary[K], error) {
 		}
 		dst.Absorb(item, c, e)
 	}
-	return &summary[K]{algo: algo, be: &weightedBackend[K]{ssr: dst, slack: slack, absentSlack: absent, g: g, hasG: hasG}}, nil
+	be := &weightedBackend[K]{ssr: dst, slack: slack, absentSlack: absent, g: g, hasG: hasG}
+	// Carry the mass the stored counts undercount, so the decoded N() —
+	// and the phi·N thresholds HeavyHitters derives from it — matches
+	// the producer's.
+	be.carryExtraMass(mass)
+	return &summary[K]{algo: algo, be: be}, nil
 }
 
 // FromBlob lifts a legacy v1 summary blob (DecodeSummary) onto the
@@ -308,10 +313,11 @@ func FromBlob[K comparable](m int, blob *SummaryBlob[K]) Summary[K] {
 	for _, e := range blob.Entries {
 		dst.Absorb(e.Item, float64(e.Count), float64(e.Err))
 	}
-	return &summary[K]{
-		algo: AlgoSpaceSaving,
-		be:   &weightedBackend[K]{ssr: dst, g: TailGuarantee{A: 1, B: 1}, hasG: true},
-	}
+	be := &weightedBackend[K]{ssr: dst, g: TailGuarantee{A: 1, B: 1}, hasG: true}
+	// Carry any stream mass the stored counts undercount, so N() matches
+	// the producer's recorded stream length.
+	be.carryExtraMass(float64(blob.N))
+	return &summary[K]{algo: AlgoSpaceSaving, be: be}
 }
 
 func readFiniteFloat(br *bufio.Reader, field string) (float64, error) {

@@ -95,9 +95,12 @@ func DecodeWeightedSummary(r io.Reader) (*WeightedSummaryBlob, error) {
 	if capacity > math.MaxInt32 {
 		return nil, fmt.Errorf("%w: unreasonable capacity %d", ErrBadSummary, capacity)
 	}
-	total, err := readFloat(br)
+	total, err := readFiniteFloat(br, "total weight")
 	if err != nil {
-		return nil, fmt.Errorf("%w: total weight: %v", ErrBadSummary, err)
+		return nil, err
+	}
+	if total < 0 {
+		return nil, fmt.Errorf("%w: negative total weight", ErrBadSummary)
 	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -112,13 +115,19 @@ func DecodeWeightedSummary(r io.Reader) (*WeightedSummaryBlob, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: entry %d item: %v", ErrBadSummary, i, err)
 		}
-		c, err := readFloat(br)
+		// Finiteness matters downstream: a NaN or ±Inf count would turn
+		// FeedInto's replay into a weighted-update panic instead of a
+		// decode error.
+		c, err := readFiniteFloat(br, fmt.Sprintf("entry %d count", i))
 		if err != nil {
-			return nil, fmt.Errorf("%w: entry %d count: %v", ErrBadSummary, i, err)
+			return nil, err
 		}
-		e, err := readFloat(br)
+		e, err := readFiniteFloat(br, fmt.Sprintf("entry %d err", i))
 		if err != nil {
-			return nil, fmt.Errorf("%w: entry %d err: %v", ErrBadSummary, i, err)
+			return nil, err
+		}
+		if c < 0 || e < 0 {
+			return nil, fmt.Errorf("%w: negative entry values", ErrBadSummary)
 		}
 		blob.Entries = append(blob.Entries, WeightedEntry[uint64]{Item: item, Count: c, Err: e})
 	}

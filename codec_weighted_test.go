@@ -2,6 +2,7 @@ package heavyhitters_test
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"math"
 	"testing"
@@ -111,5 +112,45 @@ func TestWeightedCodecFrequentR(t *testing.T) {
 	}
 	if len(blob.Entries) != 1 || blob.Entries[0].Count != 3.5 {
 		t.Errorf("blob = %+v", blob)
+	}
+}
+
+func TestWeightedCodecRejectsNonFiniteAndNegative(t *testing.T) {
+	// A +Inf or negative total weight or entry count must die in the
+	// decoder as ErrBadSummary, not survive into FeedInto and panic the
+	// merging process (or hand consumers a negative mass). The single
+	// 3.5-weight update makes both the total-weight field (first 3.5 bit
+	// pattern) and the entry-count field (last) carry the same value, so
+	// each can be corrupted independently.
+	f := hh.NewFrequentR[uint64](4)
+	f.UpdateWeighted(7, 3.5)
+	var buf bytes.Buffer
+	if err := hh.EncodeWeightedSummary(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	var le, inf, neg [8]byte
+	binary.LittleEndian.PutUint64(le[:], math.Float64bits(3.5))
+	binary.LittleEndian.PutUint64(inf[:], math.Float64bits(math.Inf(1)))
+	binary.LittleEndian.PutUint64(neg[:], math.Float64bits(-3.5))
+	totalOff := bytes.Index(buf.Bytes(), le[:])
+	countOff := bytes.LastIndex(buf.Bytes(), le[:])
+	if totalOff < 0 || countOff <= totalOff {
+		t.Fatal("expected distinct total-weight and entry-count fields in encoding")
+	}
+	for _, tc := range []struct {
+		name string
+		off  int
+		bits [8]byte
+	}{
+		{"inf total", totalOff, inf},
+		{"negative total", totalOff, neg},
+		{"inf entry count", countOff, inf},
+		{"negative entry count", countOff, neg},
+	} {
+		raw := append([]byte(nil), buf.Bytes()...)
+		copy(raw[tc.off:], tc.bits[:])
+		if _, err := hh.DecodeWeightedSummary(bytes.NewReader(raw)); !errors.Is(err, hh.ErrBadSummary) {
+			t.Errorf("%s: decoded without ErrBadSummary: %v", tc.name, err)
+		}
 	}
 }

@@ -43,10 +43,7 @@ func main() {
 	// F1^res(k)/(m−k) of the truth; with Zipfian traffic that residual
 	// is a small fraction of the total.
 	const k = 10
-	res := ss.N()
-	for _, e := range ss.Top(k) {
-		res -= e.Count
-	}
+	res := hh.SummaryResidual(ss, k)
 	g, _ := ss.Guarantee()
 	bound := hh.ErrorBound(g, ss.Capacity(), k, res)
 	fmt.Printf("\ntotal traffic %.1f MB; estimated tail beyond top %d: %.1f MB\n",

@@ -34,10 +34,7 @@ func main() {
 	// The Theorem 6 residual estimate turns the summary into its own
 	// error bar: how much stream mass lies outside the top k?
 	const k = 5
-	res := s.N()
-	for _, e := range s.Top(k) {
-		res -= e.Count
-	}
+	res := hh.SummaryResidual(s, k)
 	g, _ := s.Guarantee()
 	bound := hh.ErrorBound(g, s.Capacity(), k, res)
 	fmt.Printf("\nestimated mass outside top %d: %.0f\n", k, res)

@@ -162,6 +162,9 @@ func NewCountSketch(depth, width int, seed uint64) *CountSketch {
 // Deprecated: prefer Summary.Top on a summary built by New; Top remains
 // for code holding a concrete Counter.
 func Top[K comparable](s Counter[K], k int) []Entry[K] {
+	if k <= 0 {
+		return nil
+	}
 	es := s.Entries()
 	if k < len(es) {
 		es = es[:k]
@@ -173,6 +176,9 @@ func Top[K comparable](s Counter[K], k int) []Entry[K] {
 //
 // Deprecated: prefer Summary.Top on a summary built with WithWeighted().
 func TopWeighted[K comparable](s WeightedCounter[K], k int) []WeightedEntry[K] {
+	if k <= 0 {
+		return nil
+	}
 	es := s.WeightedEntries()
 	if k < len(es) {
 		es = es[:k]

@@ -1,6 +1,10 @@
 package frequent
 
-import "repro/internal/core"
+import (
+	"math"
+
+	"repro/internal/core"
+)
 
 // FrequentR is the real-valued update extension of Section 6.1. Each
 // arrival (a_i, b_i) carries a positive real weight b_i:
@@ -43,8 +47,13 @@ func NewR[K comparable](m int) *FrequentR[K] {
 }
 
 // UpdateWeighted processes b occurrences' worth of item. It panics on
-// non-positive b, matching the paper's stream model.
+// non-positive or non-finite b, matching the paper's stream model.
 func (f *FrequentR[K]) UpdateWeighted(item K, b float64) {
+	if math.IsNaN(b) || math.IsInf(b, 0) {
+		// A non-finite weight would silently poison the running total
+		// and every bound derived from it.
+		panic("frequent: non-finite weight")
+	}
 	if b <= 0 {
 		panic("frequent: non-positive weight")
 	}

@@ -1,6 +1,10 @@
 package spacesaving
 
-import "repro/internal/core"
+import (
+	"math"
+
+	"repro/internal/core"
+)
 
 // R is SPACESAVINGR, the real-valued update extension of Section 6.1: an
 // arrival (a_i, b_i) increments a_i's counter by b_i; when a_i is not
@@ -51,8 +55,13 @@ func NewRSized[K comparable](m, hint int) *R[K] {
 }
 
 // UpdateWeighted processes b occurrences' worth of item. It panics on
-// non-positive b.
+// non-positive or non-finite b.
 func (r *R[K]) UpdateWeighted(item K, b float64) {
+	if math.IsNaN(b) || math.IsInf(b, 0) {
+		// A non-finite weight would silently poison the running total
+		// and every bound derived from it.
+		panic("spacesaving: non-finite weight")
+	}
 	if b <= 0 {
 		panic("spacesaving: non-positive weight")
 	}

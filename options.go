@@ -69,8 +69,17 @@ func WithShards(p int) Option {
 }
 
 // WithSeed fixes the seed of randomized backends (Count-Min,
-// Count-Sketch), making their estimates reproducible. Deterministic
-// counter algorithms ignore it.
+// Count-Sketch) and of the key hash behind shard placement and sketch
+// candidate tracking. For uint64- and string-keyed summaries the key
+// hash derives entirely from the seed, so estimates and shard placement
+// are reproducible across runs. Every other key type hashes through
+// hash/maphash, whose seed is randomized per process: with those keys,
+// sketch estimates and shard placement are deterministic within a run
+// but vary across runs even under WithSeed (correctness and all bounds
+// are unaffected — only which shard owns an item and which candidates a
+// sketch tracks). Deterministic counter algorithms ignore the seed.
+// Seed 0 is reserved to mean "unset" and is treated as WithSeed(1);
+// sweeps over distinct seeds should start at 1.
 func WithSeed(seed uint64) Option {
 	return func(c *config) { c.seed = seed }
 }

@@ -51,6 +51,21 @@ func EstimateResidual[K comparable](s Counter[K], k int, totalMass float64) floa
 	return recovery.ResidualEstimate(s.Entries(), k, totalMass)
 }
 
+// SummaryResidual is EstimateResidual over the unified Summary surface:
+// it estimates F1^res(k) as N() minus the k largest stored counts,
+// clamped at zero (overestimating backends can push the difference
+// slightly negative).
+func SummaryResidual[K comparable](s Summary[K], k int) float64 {
+	res := s.N()
+	for _, e := range s.Top(k) {
+		res -= e.Count
+	}
+	if res < 0 {
+		res = 0
+	}
+	return res
+}
+
 // RecoveryBound evaluates the Theorem 5 Lp error bound
 // ε·res1/k^{1−1/p} + resP^{1/p} for reporting alongside measured errors.
 func RecoveryBound(eps float64, k int, res1, resP, p float64) float64 {

@@ -213,6 +213,11 @@ type summary[K comparable] struct {
 func (s *summary[K]) Update(item K)         { s.be.update(item) }
 func (s *summary[K]) UpdateBatch(items []K) { s.be.updateBatch(items) }
 func (s *summary[K]) UpdateWeighted(item K, w float64) {
+	if math.IsNaN(w) || math.IsInf(w, 0) {
+		// A NaN or infinite weight would silently poison the total mass
+		// and every threshold derived from it.
+		panic("heavyhitters: non-finite weight")
+	}
 	if w <= 0 {
 		panic("heavyhitters: non-positive weight")
 	}
@@ -228,6 +233,9 @@ func (s *summary[K]) Guarantee() (TailGuarantee, bool)       { return s.be.guara
 func (s *summary[K]) Reset()                                 { s.be.reset() }
 
 func (s *summary[K]) Top(k int) []WeightedEntry[K] {
+	if k <= 0 {
+		return nil
+	}
 	es := s.be.weightedEntries()
 	if k < len(es) {
 		es = es[:k]
@@ -296,6 +304,7 @@ func MergeSummaries[K comparable](m int, summaries ...Summary[K]) (Summary[K], e
 	}
 	dst := spacesaving.NewR[K](m)
 	slack := 0.0
+	sumN := 0.0
 	hasG := true
 	var g TailGuarantee
 	for i, in := range summaries {
@@ -318,6 +327,7 @@ func MergeSummaries[K comparable](m int, summaries ...Summary[K]) (Summary[K], e
 		// widens them too, because an item stored in the merge may have
 		// been evicted by this input, hiding up to its Δ.
 		slack += ws.be.slackOut() + ws.be.absentExtra()
+		sumN += ws.be.total()
 		ig, ok := ws.be.guarantee()
 		if !ok {
 			hasG = false
@@ -327,6 +337,7 @@ func MergeSummaries[K comparable](m int, summaries ...Summary[K]) (Summary[K], e
 		}
 	}
 	be := &weightedBackend[K]{ssr: dst, slack: slack}
+	be.carryExtraMass(sumN)
 	if hasG {
 		be.g, be.hasG = MergedGuarantee(g), true
 	}
@@ -358,6 +369,11 @@ func (b *unitBackend[K]) updateN(item K, n uint64) {
 func (b *unitBackend[K]) updateWeighted(item K, w float64) {
 	if w != math.Trunc(w) {
 		panic("heavyhitters: this backend accepts integral weights only; construct with WithWeighted() for real-valued updates")
+	}
+	if w >= 1<<64 {
+		// uint64(w) would be implementation-defined, silently corrupting
+		// the counts.
+		panic("heavyhitters: integral weight overflows uint64")
 	}
 	b.updateN(item, uint64(w))
 }
@@ -431,6 +447,12 @@ type weightedBackend[K comparable] struct {
 	// producer evicted can weigh up to Δ even though the reconstruction
 	// never saw it.
 	absentSlack float64
+	// extraMass is processed stream mass not present in any stored
+	// counter: a FREQUENT or LOSSYCOUNTING producer's stored counts
+	// undercount its stream, so a decoded or merged reconstruction must
+	// carry the difference separately for N() — and hence the phi·N
+	// thresholds of HeavyHitters — to match the producers'.
+	extraMass float64
 	// deficit cache for the FREQUENTR flavor, keyed by the monotone
 	// total weight (bounds are queried once per stored entry by
 	// HeavyHitters; recomputing the O(m) deficit each time would make
@@ -507,7 +529,7 @@ func (b *weightedBackend[K]) bounds(item K) (float64, float64) {
 func (b *weightedBackend[K]) weightedEntries() []WeightedEntry[K] { return b.alg().WeightedEntries() }
 func (b *weightedBackend[K]) capacity() int                       { return b.alg().Capacity() }
 func (b *weightedBackend[K]) length() int                         { return b.alg().Len() }
-func (b *weightedBackend[K]) total() float64                      { return b.alg().TotalWeight() }
+func (b *weightedBackend[K]) total() float64                      { return b.alg().TotalWeight() + b.extraMass }
 func (b *weightedBackend[K]) guarantee() (TailGuarantee, bool)    { return b.g, b.hasG }
 func (b *weightedBackend[K]) mergeable() bool                     { return true }
 func (b *weightedBackend[K]) overEst() bool                       { return b.ssr != nil }
@@ -526,9 +548,21 @@ func (b *weightedBackend[K]) absentExtra() float64 {
 	return 0 // the FREQUENTR deficit travels via slackOut
 }
 
+// carryExtraMass records the stream mass the refed counters undercount:
+// produced is the producers' true total N, of which only the absorbed
+// counter sum (ssr.TotalWeight()) landed in storage — the shortfall of
+// an undercounting (FREQUENT/LOSSYCOUNTING) producer. Negative
+// differences are float noise from re-summing overestimating counters
+// in a different order and carry nothing.
+func (b *weightedBackend[K]) carryExtraMass(produced float64) {
+	if extra := produced - b.ssr.TotalWeight(); extra > 0 {
+		b.extraMass = extra
+	}
+}
+
 func (b *weightedBackend[K]) reset() {
 	b.alg().Reset()
-	b.slack, b.absentSlack = 0, 0
+	b.slack, b.absentSlack, b.extraMass = 0, 0, 0
 	b.defCache, b.defCacheAt = 0, 0
 }
 
@@ -748,6 +782,9 @@ func (b *sketchBackend[K]) updateN(item K, n uint64) {
 func (b *sketchBackend[K]) updateWeighted(item K, w float64) {
 	if w != math.Trunc(w) {
 		panic("heavyhitters: sketch backends accept integral weights only")
+	}
+	if w >= 1<<64 {
+		panic("heavyhitters: integral weight overflows uint64")
 	}
 	b.updateN(item, uint64(w))
 }

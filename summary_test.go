@@ -687,3 +687,212 @@ func TestStructKeysWorkOnCounterBackends(t *testing.T) {
 		t.Errorf("Top(1) = %v", top)
 	}
 }
+
+func TestDecodePreservesMass(t *testing.T) {
+	// The decoded N() must equal the producer's for every counter algo —
+	// in particular the undercounting ones (FREQUENT/LOSSYCOUNTING),
+	// whose stored counts sum to far less than the stream mass: the
+	// review repro was FREQUENT m=4 over a 100-item uniform stream
+	// decoding to N()=0. A wrong N() skews every phi·N HeavyHitters
+	// threshold on the consumer.
+	uniform := make([]uint64, 0, 100)
+	for i := 0; i < 100; i++ {
+		uniform = append(uniform, uint64(i))
+	}
+	for _, algo := range counterAlgos {
+		for _, shards := range []int{0, 3} {
+			name := algo.String()
+			if shards > 0 {
+				name += "-sharded"
+			}
+			t.Run(name, func(t *testing.T) {
+				opts := []hh.Option{hh.WithAlgorithm(algo), hh.WithCapacity(4)}
+				if shards > 0 {
+					opts = append(opts, hh.WithShards(shards))
+				}
+				src := hh.New[uint64](opts...)
+				src.UpdateBatch(uniform)
+				var buf bytes.Buffer
+				if err := src.Encode(&buf); err != nil {
+					t.Fatal(err)
+				}
+				dec, err := hh.Decode[uint64](bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := dec.N(), src.N(); math.Abs(got-want) > 1e-9 {
+					t.Fatalf("decoded N = %v, want %v", got, want)
+				}
+				// The carried mass must survive a second round trip.
+				buf.Reset()
+				if err := dec.Encode(&buf); err != nil {
+					t.Fatal(err)
+				}
+				dec2, err := hh.Decode[uint64](bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := dec2.N(), src.N(); math.Abs(got-want) > 1e-9 {
+					t.Fatalf("twice-decoded N = %v, want %v", got, want)
+				}
+			})
+		}
+	}
+}
+
+func TestDecodedHeavyHittersUseProducerMass(t *testing.T) {
+	// With the true N carried through, a decoded FREQUENT summary must
+	// not promote items to Guaranteed against a shrunken threshold: on a
+	// uniform stream nothing reaches phi = 0.5 of the mass.
+	src := hh.New[uint64](hh.WithAlgorithm(hh.AlgoFrequent), hh.WithCapacity(4))
+	for i := 0; i < 100; i++ {
+		src.Update(uint64(i))
+	}
+	var buf bytes.Buffer
+	if err := src.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := hh.Decode[uint64](bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range dec.HeavyHitters(0.5) {
+		if r.Guaranteed {
+			t.Errorf("item %d marked Guaranteed at phi=0.5 of a uniform stream", r.Item)
+		}
+	}
+}
+
+func TestMergePreservesMass(t *testing.T) {
+	// The merged N() must be the union stream's mass, not the sum of the
+	// inputs' stored counts — the same defect class as the decode one,
+	// reachable whenever an input undercounts (FREQUENT/LOSSYCOUNTING or
+	// a decoded summary carrying slack).
+	for _, algo := range counterAlgos {
+		t.Run(algo.String(), func(t *testing.T) {
+			a := hh.New[uint64](hh.WithAlgorithm(algo), hh.WithCapacity(4))
+			b := hh.New[uint64](hh.WithAlgorithm(algo), hh.WithCapacity(4))
+			for i := 0; i < 100; i++ {
+				a.Update(uint64(i))
+				b.Update(uint64(i % 10))
+			}
+			want := a.N() + b.N()
+			merged, err := a.Merge(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := merged.N(); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("merged N = %v, want %v", got, want)
+			}
+			// Chained merge → encode → decode stays consistent.
+			var buf bytes.Buffer
+			if err := merged.Encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			dec, err := hh.Decode[uint64](bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := dec.N(); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("decoded merged N = %v, want %v", got, want)
+			}
+			// And a merge of decoded inputs still sums the true masses.
+			remerged, err := dec.Merge(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := remerged.N(), want+a.N(); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("re-merged N = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestTopNonPositiveK(t *testing.T) {
+	s := hh.New[uint64](hh.WithCapacity(8))
+	s.Update(1)
+	s.Update(2)
+	if got := s.Top(0); got != nil {
+		t.Errorf("Top(0) = %v, want nil", got)
+	}
+	if got := s.Top(-1); got != nil {
+		t.Errorf("Top(-1) = %v, want nil", got)
+	}
+	legacy := hh.NewSpaceSaving[uint64](8)
+	legacy.Update(1)
+	if got := hh.Top[uint64](legacy, -1); got != nil {
+		t.Errorf("legacy Top(-1) = %v, want nil", got)
+	}
+	weighted := hh.NewSpaceSavingR[uint64](8)
+	weighted.UpdateWeighted(1, 2.5)
+	if got := hh.TopWeighted[uint64](weighted, -1); got != nil {
+		t.Errorf("legacy TopWeighted(-1) = %v, want nil", got)
+	}
+}
+
+func TestIntegralWeightOverflowPanics(t *testing.T) {
+	// A huge integral float64 passes the Trunc test but overflows the
+	// uint64 conversion; it must be rejected, not silently corrupt the
+	// counts.
+	for _, algo := range []hh.Algo{hh.AlgoSpaceSaving, hh.AlgoCountMin} {
+		s := hh.New[uint64](hh.WithAlgorithm(algo), hh.WithCapacity(8))
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v: UpdateWeighted(1e20) did not panic", algo)
+				}
+			}()
+			s.UpdateWeighted(1, 1e20)
+		}()
+	}
+}
+
+func TestNonFiniteWeightPanics(t *testing.T) {
+	// NaN slips past a plain w <= 0 test and +Inf past the integrality
+	// test; either would silently poison N() and every phi·N threshold.
+	s := hh.New[string](hh.WithWeighted(), hh.WithCapacity(8))
+	for _, w := range []float64{math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("UpdateWeighted(%v) did not panic", w)
+				}
+			}()
+			s.UpdateWeighted("a", w)
+		}()
+	}
+	if s.N() != 0 {
+		t.Errorf("N = %v after rejected updates, want 0", s.N())
+	}
+	// The legacy weighted counters guard the same way.
+	r := hh.NewSpaceSavingR[string](8)
+	fr := hh.NewFrequentR[string](8)
+	for _, w := range []float64{math.NaN(), math.Inf(1)} {
+		for name, fn := range map[string]func(){
+			"SpaceSavingR": func() { r.UpdateWeighted("a", w) },
+			"FrequentR":    func() { fr.UpdateWeighted("a", w) },
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s.UpdateWeighted(%v) did not panic", name, w)
+					}
+				}()
+				fn()
+			}()
+		}
+	}
+}
+
+func TestSummaryResidual(t *testing.T) {
+	s := hh.New[uint64](hh.WithCapacity(16))
+	for i := 0; i < 60; i++ {
+		s.Update(uint64(i % 4)) // 4 items x 15
+	}
+	if got := hh.SummaryResidual(s, 2); got != 30 {
+		t.Errorf("SummaryResidual(k=2) = %v, want 30", got)
+	}
+	if got := hh.SummaryResidual(s, 100); got != 0 {
+		t.Errorf("SummaryResidual(k=100) = %v, want 0", got)
+	}
+}
