@@ -1,0 +1,138 @@
+package heavyhitters_test
+
+// Allocation-regression tests: the ingest hot path (Update / AddN via
+// UpdateWeighted) of every counter backend and the TopAppend query path
+// with a reused buffer must not allocate at steady state. These pin the
+// slab-allocated bucket-list layout and the reused-scratch query
+// surface; the CI perf gate enforces the same property on the hhbench
+// suite, but testing.AllocsPerRun catches it at -short test speed.
+
+import (
+	"testing"
+
+	hh "repro"
+	"repro/internal/stream"
+)
+
+// counterAlgos (declared in summary_test.go) are also exactly the
+// backends whose hot paths are required to be allocation-free.
+
+// allocStream exercises insert, bump and eviction paths: Zipf-skewed
+// over a universe much larger than the counter budget.
+func allocStream() []uint64 {
+	return stream.Zipf(10_000, 1.1, 1<<14, stream.OrderRandom, 42)
+}
+
+// assertZeroAllocs warms the summary with one full pass (filling the
+// counters and growing the key map to steady state), then asserts the
+// hot loop allocates nothing.
+func assertZeroAllocs(t *testing.T, name string, warm, loop func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocation accounting is meaningless under -race")
+	}
+	warm()
+	if avg := testing.AllocsPerRun(10, loop); avg != 0 {
+		t.Errorf("%s: %.4f allocs per run at steady state, want 0", name, avg)
+	}
+}
+
+func TestSummaryUpdateZeroAllocs(t *testing.T) {
+	s := allocStream()
+	for _, a := range counterAlgos {
+		sum := hh.New[uint64](hh.WithAlgorithm(a), hh.WithCapacity(256))
+		assertZeroAllocs(t, a.String(),
+			func() { sum.UpdateBatch(s) },
+			func() {
+				for _, x := range s[:4096] {
+					sum.Update(x)
+				}
+			})
+	}
+}
+
+// TestSummaryAddNZeroAllocs drives the native integral-weight AddN path
+// of each backend through UpdateWeighted.
+func TestSummaryAddNZeroAllocs(t *testing.T) {
+	s := allocStream()
+	for _, a := range counterAlgos {
+		sum := hh.New[uint64](hh.WithAlgorithm(a), hh.WithCapacity(256))
+		assertZeroAllocs(t, a.String(),
+			func() { sum.UpdateBatch(s) },
+			func() {
+				for _, x := range s[:4096] {
+					sum.UpdateWeighted(x, 3)
+				}
+			})
+	}
+}
+
+// TestCounterAddNZeroAllocs pins the slab structures directly, without
+// the Summary wrapper in between.
+func TestCounterAddNZeroAllocs(t *testing.T) {
+	s := allocStream()
+	type counter interface {
+		Update(uint64)
+		AddN(uint64, uint64)
+	}
+	for _, tc := range []struct {
+		name string
+		alg  counter
+	}{
+		{"spacesaving.StreamSummary", hh.NewSpaceSaving[uint64](256)},
+		{"frequent.Frequent", hh.NewFrequent[uint64](256)},
+		{"lossycounting.LossyCounting", hh.NewLossyCounting[uint64](256)},
+	} {
+		assertZeroAllocs(t, tc.name,
+			func() {
+				for _, x := range s {
+					tc.alg.Update(x)
+				}
+			},
+			func() {
+				for _, x := range s[:2048] {
+					tc.alg.Update(x)
+					tc.alg.AddN(x, 5)
+				}
+			})
+	}
+}
+
+// TestTopAppendZeroAllocs asserts the query path allocates nothing once
+// the caller reuses a buffer — the contract that lets a poller read the
+// top-k every few milliseconds without GC pressure.
+func TestTopAppendZeroAllocs(t *testing.T) {
+	s := allocStream()
+	for _, a := range counterAlgos {
+		sum := hh.New[uint64](hh.WithAlgorithm(a), hh.WithCapacity(256))
+		sum.UpdateBatch(s)
+		var buf []hh.WeightedEntry[uint64]
+		assertZeroAllocs(t, a.String(),
+			func() { buf = sum.TopAppend(buf[:0], 10) },
+			func() {
+				buf = sum.TopAppend(buf[:0], 10)
+				if len(buf) != 10 {
+					t.Fatalf("top-10 returned %d entries", len(buf))
+				}
+			})
+	}
+}
+
+// TestShardedHotPathZeroAllocs covers the concurrent backend: batch
+// ingestion partitions through pooled scratch buffers and TopAppend
+// snapshots through per-shard reused scratch, so both stay
+// allocation-free at steady state too.
+func TestShardedHotPathZeroAllocs(t *testing.T) {
+	s := allocStream()
+	sum := hh.New[uint64](hh.WithCapacity(256), hh.WithShards(8))
+	var buf []hh.WeightedEntry[uint64]
+	assertZeroAllocs(t, "sharded UpdateBatch+TopAppend",
+		func() {
+			sum.UpdateBatch(s)
+			buf = sum.TopAppend(buf[:0], 10)
+		},
+		func() {
+			sum.UpdateBatch(s[:4096])
+			buf = sum.TopAppend(buf[:0], 10)
+		})
+}

@@ -1,0 +1,202 @@
+package main
+
+// The -json mode: a fixed, machine-readable ingest benchmark suite
+// (algorithm × workload × sharding) whose output feeds the CI perf gate.
+// Unlike the experiment tables (accuracy-focused) this suite measures
+// the ingestion hot path only: UpdateBatch throughput, per-item latency
+// and per-item allocation rate.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	hh "repro"
+	"repro/internal/benchjson"
+	"repro/internal/stream"
+)
+
+// jsonBatch is the UpdateBatch size of the -json suite, matching the
+// bench_test.go micro-benchmarks so numbers are comparable.
+const jsonBatch = 4096
+
+// jsonSuite enumerates the measured configurations.
+var jsonAlgos = []hh.Algo{hh.AlgoSpaceSaving, hh.AlgoFrequent, hh.AlgoLossyCounting}
+
+var jsonWorkloads = []struct {
+	name  string
+	alpha float64 // 0 = uniform
+}{
+	{"zipf-1.1", 1.1},
+	{"uniform", 0},
+}
+
+var jsonShardings = []struct {
+	name   string
+	shards int
+}{
+	{"unsharded", 0},
+	{"sharded8", 8},
+}
+
+// runJSON runs the suite and writes the report to path. n is the
+// measured stream length per configuration; m the counter budget.
+func runJSON(path string, n uint64, universe int, seed uint64, m int) error {
+	report := benchjson.New()
+	for _, w := range jsonWorkloads {
+		var s []uint64
+		if w.alpha == 0 {
+			s = stream.Uniform(universe, n, seed)
+		} else {
+			s = stream.Zipf(universe, w.alpha, n, stream.OrderRandom, seed)
+		}
+		for _, a := range jsonAlgos {
+			for _, sh := range jsonShardings {
+				rec := measureIngest(a, w.name, sh.shards, s, m)
+				report.Add(rec)
+				fmt.Fprintf(os.Stderr, "%-45s %8.2f M items/s  %6.1f ns/op  %.3f allocs/op\n",
+					rec.Name, rec.ItemsPerSec/1e6, rec.NsPerOp, rec.AllocsPerOp)
+			}
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := benchjson.Write(f, report); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// measurePasses is the number of timed passes per configuration; the
+// fastest is reported. Minimum-of-K is the standard defense against
+// scheduler and cache noise — a regression must slow down every pass to
+// move the reported number, which keeps the CI gate stable.
+const measurePasses = 5
+
+// measureIngest times one configuration: the summary is warmed with a
+// full pass (filling counters and growing maps to steady state), then
+// measurePasses further passes over the same stream are timed — the
+// fastest one is reported — with allocation counters read around all of
+// them. Warming first means the reported allocs/op reflect the
+// steady-state hot path, which is the regression the CI gate guards —
+// construction cost is a one-off.
+func measureIngest(a hh.Algo, workload string, shards int, s []uint64, m int) benchjson.Record {
+	opts := []hh.Option{hh.WithAlgorithm(a), hh.WithCapacity(m)}
+	if shards > 0 {
+		opts = append(opts, hh.WithShards(shards))
+	}
+	sum := hh.New[uint64](opts...)
+	ingest := func() {
+		for lo := 0; lo < len(s); lo += jsonBatch {
+			hi := min(lo+jsonBatch, len(s))
+			sum.UpdateBatch(s[lo:hi])
+		}
+	}
+	ingest() // warm
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	var elapsed time.Duration
+	for pass := 0; pass < measurePasses; pass++ {
+		start := time.Now()
+		ingest()
+		if d := time.Since(start); pass == 0 || d < elapsed {
+			elapsed = d
+		}
+	}
+	runtime.ReadMemStats(&after)
+
+	n := float64(len(s))
+	name := fmt.Sprintf("ingest/%v/%s/%s", a, workload, shardingName(shards))
+	return benchjson.Record{
+		Name:        name,
+		Algo:        a.String(),
+		Workload:    workload,
+		Shards:      shards,
+		Batch:       jsonBatch,
+		Items:       uint64(len(s)),
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		ItemsPerSec: n / elapsed.Seconds(),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / (n * measurePasses),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / (n * measurePasses),
+	}
+}
+
+func shardingName(shards int) string {
+	if shards == 0 {
+		return "unsharded"
+	}
+	return fmt.Sprintf("sharded%d", shards)
+}
+
+// runMinReport merges several reports of the same suite into their
+// element-wise minimum and writes the result — the cross-process
+// counterpart of the in-process minimum-of-K (see benchjson.Min): the
+// CI perf job measures in a few fresh processes and gates on the merge,
+// so a per-process unlucky map hash seed cannot fail the build.
+func runMinReport(outPath string, inPaths []string) {
+	reports := make([]*benchjson.Report, 0, len(inPaths))
+	for _, p := range inPaths {
+		r, err := readReport(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hhbench: %s: %v\n", p, err)
+			os.Exit(1)
+		}
+		reports = append(reports, r)
+	}
+	merged := benchjson.Min(reports...)
+	f, err := os.Create(outPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hhbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := benchjson.Write(f, merged); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hhbench: writing %s: %v\n", outPath, err)
+		os.Exit(1)
+	}
+	fmt.Printf("min of %d reports written to %s\n", len(reports), outPath)
+}
+
+// runCompare loads two reports and exits non-zero when cur regresses
+// against base beyond the threshold — the CI perf gate.
+func runCompare(basePath, curPath string, threshold float64) {
+	base, err := readReport(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hhbench: %s: %v\n", basePath, err)
+		os.Exit(1)
+	}
+	cur, err := readReport(curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hhbench: %s: %v\n", curPath, err)
+		os.Exit(1)
+	}
+	regs, med := benchjson.Compare(base, cur, threshold)
+	fmt.Printf("suite-wide median ns/op ratio vs baseline: %.3f (hardware normalization)\n", med)
+	if len(regs) == 0 {
+		fmt.Printf("no regressions beyond %.0f%% across %d benchmarks\n", threshold*100, len(base.Records))
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%d regression(s) beyond %.0f%%:\n", len(regs), threshold*100)
+	for _, g := range regs {
+		fmt.Fprintf(os.Stderr, "  %s\n", g)
+	}
+	os.Exit(1)
+}
+
+func readReport(path string) (*benchjson.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return benchjson.Read(f)
+}

@@ -16,6 +16,21 @@
 // (per-item Update vs UpdateBatch, unsharded and sharded) on a Zipf
 // workload — the quick sanity check that batch ingestion amortizes the
 // sharded summary's locking.
+//
+// The -json flag runs the machine-readable ingest suite (algorithm ×
+// workload × sharding) and writes a benchjson report — the input of the
+// CI perf gate:
+//
+//	hhbench -json full.json                  # full-size suite (4M items)
+//	hhbench -json BENCH_PR2.json -smoke      # baseline/CI size (~seconds)
+//	hhbench -minreport min.json a.json b.json c.json
+//	hhbench -compare -threshold 0.15 BENCH_PR2.json min.json
+//
+// -minreport merges reports from several fresh processes into their
+// element-wise minimum (Go's per-process map hash seed makes
+// eviction-heavy records bimodal; the min filters it out). -compare
+// exits non-zero when the second report regresses against the first
+// beyond the threshold (and on any real allocs/op increase).
 package main
 
 import (
@@ -75,10 +90,52 @@ func main() {
 		format       = flag.String("format", "text", "output format: text | csv")
 		ingest       = flag.Bool("ingest", false, "benchmark unified-API ingestion paths instead of the experiments")
 		shards       = flag.Int("shards", 8, "shard count for -ingest")
-		m            = flag.Int("m", 1024, "counters for -ingest")
+		m            = flag.Int("m", 1024, "counters for -ingest and -json")
 		batch        = flag.Int("batch", 4096, "batch size for -ingest")
+		jsonOut      = flag.String("json", "", "run the machine-readable ingest suite and write a benchjson report to this path")
+		smoke        = flag.Bool("smoke", false, "with -json: CI-sized workload (400k items per configuration instead of 4M)")
+		compare      = flag.Bool("compare", false, "compare two benchjson reports (args: baseline.json current.json); exit 1 on regression")
+		threshold    = flag.Float64("threshold", 0.15, "with -compare: allowed fractional ns/op regression")
+		minReport    = flag.String("minreport", "", "merge benchjson reports (args) into their element-wise minimum at this path")
 	)
 	flag.Parse()
+	if *minReport != "" {
+		if flag.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, "usage: hhbench -minreport out.json in.json...")
+			os.Exit(2)
+		}
+		runMinReport(*minReport, flag.Args())
+		return
+	}
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: hhbench -compare [-threshold frac] baseline.json current.json")
+			os.Exit(2)
+		}
+		runCompare(flag.Arg(0), flag.Arg(1), *threshold)
+		return
+	}
+	if *jsonOut != "" {
+		jn, ju, js := uint64(4_000_000), 100_000, uint64(1)
+		if *smoke {
+			jn = 400_000
+		}
+		if *n != 0 {
+			jn = *n
+		}
+		if *universe != 0 {
+			ju = *universe
+		}
+		if *seed != 0 {
+			js = *seed
+		}
+		if err := runJSON(*jsonOut, jn, ju, js, *m); err != nil {
+			fmt.Fprintf(os.Stderr, "hhbench: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchmark report written to %s\n", *jsonOut)
+		return
+	}
 	if *ingest {
 		in, iu, ia, is := uint64(4_000_000), 100_000, 1.1, uint64(1)
 		if *n != 0 {

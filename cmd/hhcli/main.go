@@ -121,7 +121,10 @@ func main() {
 	fmt.Printf("processed mass %.0f with %s (m=%d)\n", s.N(), s.Algorithm(), s.Capacity())
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "rank\titem\testimate\tbounds [lo, hi]")
-	for i, e := range s.Top(*k) {
+	// TopAppend guards k <= 0 itself and appends at most the stored
+	// entry count, so no pre-sizing from the untrusted flag value.
+	top := s.TopAppend(nil, *k)
+	for i, e := range top {
 		lo, hi := s.EstimateBounds(e.Item)
 		fmt.Fprintf(tw, "%d\t%d\t%.1f\t[%.1f, %.1f]\n", i+1, e.Item, e.Count, lo, hi)
 	}

@@ -85,7 +85,10 @@ func main() {
 	fmt.Printf("merged %d summaries covering mass %.0f\n", len(summaries), totalN)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "rank\titem\testimate\tbounds [lo, hi]")
-	for i, e := range merged.Top(*k) {
+	// TopAppend guards k <= 0 itself and appends at most the stored
+	// entry count, so no pre-sizing from the untrusted flag value.
+	top := merged.TopAppend(nil, *k)
+	for i, e := range top {
 		lo, hi := merged.EstimateBounds(e.Item)
 		fmt.Fprintf(tw, "%d\t%d\t%.1f\t[%.1f, %.1f]\n", i+1, e.Item, e.Count, lo, hi)
 	}

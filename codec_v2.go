@@ -118,7 +118,7 @@ func (s *summary[K]) Encode(w io.Writer) error {
 	if hasG {
 		flags |= v2FlagHasGuarantee
 	}
-	entries := s.be.weightedEntries()
+	entries := s.be.appendEntries(nil, -1)
 	// A sharded summary stores up to shards×m counters; the encoded
 	// capacity must hold them all so Decode reconstructs losslessly.
 	// Raising the capacity would silently tighten the advertised k-tail

@@ -1,0 +1,197 @@
+package benchjson
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Report {
+	r := New()
+	r.Add(Record{
+		Name: "ingest/spacesaving/zipf-1.1/unsharded", Algo: "spacesaving",
+		Workload: "zipf-1.1", Batch: 4096, Items: 1000,
+		NsPerOp: 80, ItemsPerSec: 12.5e6, AllocsPerOp: 0, BytesPerOp: 0,
+	})
+	r.Add(Record{
+		Name: "ingest/frequent/zipf-1.1/sharded8", Algo: "frequent",
+		Workload: "zipf-1.1", Shards: 8, Batch: 4096, Items: 1000,
+		NsPerOp: 100, ItemsPerSec: 10e6, AllocsPerOp: 0.01, BytesPerOp: 3,
+	})
+	r.Add(Record{
+		Name: "ingest/lossycounting/uniform/unsharded", Algo: "lossycounting",
+		Workload: "uniform", Batch: 4096, Items: 1000,
+		NsPerOp: 60, ItemsPerSec: 16.7e6, AllocsPerOp: 0, BytesPerOp: 0,
+	})
+	return r
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema {
+		t.Fatalf("schema %q", got.Schema)
+	}
+	if len(got.Records) != 3 {
+		t.Fatalf("records %d", len(got.Records))
+	}
+	// Write sorts by name for stable diffs.
+	for i := 1; i < len(got.Records); i++ {
+		if got.Records[i-1].Name >= got.Records[i].Name {
+			t.Fatalf("records not sorted: %q, %q", got.Records[i-1].Name, got.Records[i].Name)
+		}
+	}
+}
+
+func TestReadRejectsBadSchema(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"schema":"hhbench/v999"}`)); err == nil {
+		t.Fatal("want schema error")
+	}
+	if _, err := Read(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("want parse error")
+	}
+	dup := `{"schema":"` + Schema + `","records":[{"name":"a"},{"name":"a"}]}`
+	if _, err := Read(strings.NewReader(dup)); err == nil {
+		t.Fatal("want duplicate-name error")
+	}
+	empty := `{"schema":"` + Schema + `","records":[{"name":""}]}`
+	if _, err := Read(strings.NewReader(empty)); err == nil {
+		t.Fatal("want empty-name error")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := sample()
+	cur := sample()
+	regs, med := Compare(base, cur, 0.15)
+	if len(regs) != 0 || med != 1 {
+		t.Fatalf("identical reports: regs %v, median %v", regs, med)
+	}
+
+	// One record slower than threshold; the other two unchanged keep the
+	// median at 1, so the slowdown is flagged.
+	cur = sample()
+	cur.Records[0].NsPerOp = 80 * 1.30
+	regs, _ = Compare(base, cur, 0.15)
+	if len(regs) != 1 || regs[0].Metric != "ns_per_op" {
+		t.Fatalf("want one ns_per_op regression, got %v", regs)
+	}
+
+	// Slower but within threshold.
+	cur = sample()
+	cur.Records[0].NsPerOp = 80 * 1.10
+	if regs, _ := Compare(base, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("within-threshold slowdown flagged: %v", regs)
+	}
+
+	// A uniform slowdown — every record 40% slower, as on a slower CI
+	// runner — is hardware drift, not a regression: the median
+	// normalizes it away.
+	cur = sample()
+	for i := range cur.Records {
+		cur.Records[i].NsPerOp *= 1.4
+	}
+	regs, med = Compare(base, cur, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("uniform slowdown flagged: %v", regs)
+	}
+	if med < 1.39 || med > 1.41 {
+		t.Fatalf("median %v, want ~1.4", med)
+	}
+
+	// One record regressing on top of uniform drift is still caught.
+	cur = sample()
+	for i := range cur.Records {
+		cur.Records[i].NsPerOp *= 1.4
+	}
+	cur.Records[0].NsPerOp *= 1.30
+	regs, _ = Compare(base, cur, 0.15)
+	if len(regs) != 1 || regs[0].Metric != "ns_per_op" {
+		t.Fatalf("want one ns_per_op regression over drift, got %v", regs)
+	}
+
+	// Any real allocation increase is a regression, threshold or not.
+	cur = sample()
+	cur.Records[0].AllocsPerOp = 1
+	regs, _ = Compare(base, cur, 10)
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_op" {
+		t.Fatalf("want one allocs_per_op regression, got %v", regs)
+	}
+
+	// A record dropped from the suite is flagged.
+	cur = sample()
+	cur.Records = cur.Records[:2]
+	regs, _ = Compare(base, cur, 0.15)
+	if len(regs) != 1 || regs[0].Metric != "missing" {
+		t.Fatalf("want one missing record, got %v", regs)
+	}
+
+	// Extra records in cur are fine.
+	cur = sample()
+	cur.Add(Record{Name: "new/bench", NsPerOp: 1})
+	if regs, _ := Compare(base, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("new benchmark flagged: %v", regs)
+	}
+}
+
+func TestMin(t *testing.T) {
+	a := sample()
+	b := sample()
+	b.Records[0].NsPerOp = 50 // faster run of the first record
+	b.Records[0].ItemsPerSec = 20e6
+	b.Records[1].NsPerOp = 200 // slower run of the second
+	b.Add(Record{Name: "only/in/b", NsPerOp: 7})
+
+	m := Min(a, b)
+	byName := make(map[string]Record)
+	for _, rec := range m.Records {
+		byName[rec.Name] = rec
+	}
+	if got := byName[a.Records[0].Name]; got.NsPerOp != 50 || got.ItemsPerSec != 20e6 {
+		t.Fatalf("min did not keep the faster first record: %+v", got)
+	}
+	if got := byName[a.Records[1].Name]; got.NsPerOp != a.Records[1].NsPerOp {
+		t.Fatalf("min did not keep the faster second record: %+v", got)
+	}
+	if _, ok := byName["only/in/b"]; !ok {
+		t.Fatal("record present in only one report was dropped")
+	}
+	if m.Schema != Schema {
+		t.Fatalf("schema %q", m.Schema)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median(nil); got != 1 {
+		t.Fatalf("median(nil) = %v, want neutral 1", got)
+	}
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("median odd = %v, want 2", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Fatalf("median even = %v, want 2.5", got)
+	}
+}
+
+func TestRegressionString(t *testing.T) {
+	s := Regression{Name: "x", Metric: "ns_per_op", Base: 100, Current: 130}.String()
+	if !strings.Contains(s, "ns_per_op") || !strings.Contains(s, "+30.0%") {
+		t.Fatalf("unhelpful message %q", s)
+	}
+	if s := (Regression{Name: "x", Metric: "missing"}).String(); !strings.Contains(s, "not measured") {
+		t.Fatalf("unhelpful message %q", s)
+	}
+	// A zero-alloc baseline regressing to any allocation must not print
+	// an infinite percentage.
+	s = Regression{Name: "x", Metric: "allocs_per_op", Base: 0, Current: 1}.String()
+	if strings.Contains(s, "Inf") || strings.Contains(s, "NaN") {
+		t.Fatalf("division by zero leaked into message %q", s)
+	}
+}

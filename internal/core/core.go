@@ -12,8 +12,9 @@
 package core
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Entry is one stored counter: an item together with its estimated count.
@@ -126,18 +127,20 @@ func Theorem2Guarantee(a float64) TailGuarantee {
 }
 
 // SortEntries sorts entries in place by decreasing count; ties are broken
-// by insertion order of the slice (stable).
+// by insertion order of the slice (stable). It performs no allocations,
+// so hot query paths can sort into reused buffers.
 func SortEntries[K comparable](entries []Entry[K]) {
-	sort.SliceStable(entries, func(i, j int) bool {
-		return entries[i].Count > entries[j].Count
+	slices.SortStableFunc(entries, func(a, b Entry[K]) int {
+		return cmp.Compare(b.Count, a.Count)
 	})
 }
 
 // SortWeightedEntries sorts weighted entries in place by decreasing count,
-// stably.
+// stably and without allocating. (Counts are never NaN: every update
+// path rejects non-finite weights.)
 func SortWeightedEntries[K comparable](entries []WeightedEntry[K]) {
-	sort.SliceStable(entries, func(i, j int) bool {
-		return entries[i].Count > entries[j].Count
+	slices.SortStableFunc(entries, func(a, b WeightedEntry[K]) int {
+		return cmp.Compare(b.Count, a.Count)
 	})
 }
 

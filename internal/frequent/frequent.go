@@ -15,33 +15,48 @@
 package frequent
 
 import (
+	"math"
+
 	"repro/internal/core"
 )
 
+// nilIdx is the null link of the slab-allocated bucket lists.
+const nilIdx = int32(-1)
+
 // group collects all stored items sharing one stored value sv. True count
 // of a member is sv − base. Groups form a doubly linked list in strictly
-// increasing sv order.
-type group[K comparable] struct {
+// increasing sv order, threaded through slab indices rather than
+// pointers so the whole structure lives in two contiguous arrays.
+type group struct {
 	sv         uint64
-	prev, next *group[K]
-	head, tail *node[K]
-	size       int
+	prev, next int32
+	head, tail int32
+	size       int32
 }
 
 type node[K comparable] struct {
 	item       K
-	grp        *group[K]
-	prev, next *node[K]
+	grp        int32
+	prev, next int32
 }
 
-// Frequent is the O(1)-amortised FREQUENT implementation. The zero value
-// is not usable; construct with New.
+// Frequent is the O(1)-amortised FREQUENT implementation, slab-allocated:
+// nodes and groups are indices into two fixed arrays (int32 links,
+// free-listed through the next field), so the update hot path touches
+// contiguous memory and performs zero heap allocations once constructed.
+// The zero value is not usable; construct with New.
 type Frequent[K comparable] struct {
 	m     int
 	base  uint64 // number of decrement-all operations so far
-	items map[K]*node[K]
+	items map[K]int32
+	nodes []node[K]
+	// Groups can momentarily number one more than the live nodes while a
+	// node is detached during a move, hence the m+1 slab.
+	groups    []group
+	freeNode  int32
+	freeGroup int32
 	// head/tail of the group list, ascending by sv.
-	head, tail *group[K]
+	head, tail int32
 	n          uint64
 	decrements uint64 // d in the Appendix B analysis
 }
@@ -51,7 +66,59 @@ func New[K comparable](m int) *Frequent[K] {
 	if m < 1 {
 		panic("frequent: m must be >= 1")
 	}
-	return &Frequent[K]{m: m, items: make(map[K]*node[K], m)}
+	if m > math.MaxInt32-1 {
+		// The slab links are int32 indices (m nodes, m+1 groups); a larger
+		// m would wrap them. Fail loudly instead of corrupting.
+		panic("frequent: m exceeds the int32 slab index range")
+	}
+	f := &Frequent[K]{
+		m:      m,
+		items:  make(map[K]int32, m),
+		nodes:  make([]node[K], m),
+		groups: make([]group, m+1),
+	}
+	f.initFreeLists()
+	return f
+}
+
+func (f *Frequent[K]) initFreeLists() {
+	for i := range f.nodes {
+		f.nodes[i].next = int32(i) + 1
+	}
+	f.nodes[len(f.nodes)-1].next = nilIdx
+	for i := range f.groups {
+		f.groups[i].next = int32(i) + 1
+	}
+	f.groups[len(f.groups)-1].next = nilIdx
+	f.freeNode, f.freeGroup = 0, 0
+	f.head, f.tail = nilIdx, nilIdx
+}
+
+func (f *Frequent[K]) allocNode(item K) int32 {
+	i := f.freeNode
+	f.freeNode = f.nodes[i].next
+	f.nodes[i] = node[K]{item: item, grp: nilIdx, prev: nilIdx, next: nilIdx}
+	return i
+}
+
+func (f *Frequent[K]) freeNodeIdx(i int32) {
+	var zero K
+	f.nodes[i].item = zero // drop any reference held by the slab slot
+	f.nodes[i].next = f.freeNode
+	f.freeNode = i
+}
+
+func (f *Frequent[K]) allocGroup(sv uint64) int32 {
+	i := f.freeGroup
+	f.freeGroup = f.groups[i].next
+	f.groups[i] = group{sv: sv, prev: nilIdx, next: nilIdx, head: nilIdx, tail: nilIdx}
+	return i
+}
+
+func (f *Frequent[K]) freeGroupIdx(i int32) {
+	f.groups[i].size = 0
+	f.groups[i].next = f.freeGroup
+	f.freeGroup = i
 }
 
 // Update processes one occurrence of item.
@@ -88,7 +155,7 @@ func (f *Frequent[K]) AddN(item K, n uint64) {
 		f.insertN(item, n)
 		return
 	}
-	minCount := f.head.sv - f.base
+	minCount := f.groups[f.head].sv - f.base
 	if n < minCount {
 		// The newcomer is the minimum: it zeroes out before any stored
 		// counter does, so only the global decrement remains.
@@ -100,11 +167,7 @@ func (f *Frequent[K]) AddN(item K, n uint64) {
 	// the rest.
 	f.base += minCount
 	f.decrements += minCount
-	g := f.head // sv == f.base now
-	for nd := g.head; nd != nil; nd = nd.next {
-		delete(f.items, nd.item)
-	}
-	f.removeGroup(g)
+	f.dismantleGroup(f.head) // sv == f.base now
 	if rem := n - minCount; rem > 0 {
 		f.insertN(item, rem)
 	}
@@ -112,65 +175,63 @@ func (f *Frequent[K]) AddN(item K, n uint64) {
 
 // incrementN moves nd from its group to the group with sv+n, scanning
 // forward from its current position.
-func (f *Frequent[K]) incrementN(nd *node[K], n uint64) {
-	newSv := nd.grp.sv + n
-	start := nd.grp.next
+func (f *Frequent[K]) incrementN(nd int32, n uint64) {
+	newSv := f.groups[f.nodes[nd].grp].sv + n
+	start := f.groups[f.nodes[nd].grp].next
 	f.unlinkNode(nd) // may remove nd's old group; start stays valid
 	t := start
-	for t != nil && t.sv < newSv {
-		t = t.next
+	for t != nilIdx && f.groups[t].sv < newSv {
+		t = f.groups[t].next
 	}
-	switch {
-	case t != nil && t.sv == newSv:
+	if t != nilIdx && f.groups[t].sv == newSv {
 		f.appendNode(t, nd)
-	case t != nil:
-		f.appendNode(f.insertGroupBefore(t, newSv), nd)
-	case f.tail != nil:
-		f.appendNode(f.insertGroupAfter(f.tail, newSv), nd)
-	default:
-		f.appendNode(f.insertGroupBefore(nil, newSv), nd)
+		return
 	}
+	f.appendNode(f.insertGroupBefore(t, newSv), nd)
 }
 
 // insertN stores a brand-new item with count n (stored value base+n),
 // scanning from the head.
 func (f *Frequent[K]) insertN(item K, n uint64) {
-	nd := &node[K]{item: item}
+	nd := f.allocNode(item)
 	f.items[item] = nd
 	sv := f.base + n
 	t := f.head
-	for t != nil && t.sv < sv {
-		t = t.next
+	for t != nilIdx && f.groups[t].sv < sv {
+		t = f.groups[t].next
 	}
-	switch {
-	case t != nil && t.sv == sv:
+	if t != nilIdx && f.groups[t].sv == sv {
 		f.appendNode(t, nd)
-	case t != nil:
-		f.appendNode(f.insertGroupBefore(t, sv), nd)
-	case f.tail != nil:
-		f.appendNode(f.insertGroupAfter(f.tail, sv), nd)
-	default:
-		f.appendNode(f.insertGroupBefore(nil, sv), nd)
+		return
 	}
+	f.appendNode(f.insertGroupBefore(t, sv), nd)
 }
 
 // increment moves nd from its group to the group with sv+1.
-func (f *Frequent[K]) increment(nd *node[K]) {
-	g := nd.grp
-	target := g.next
-	if target == nil || target.sv != g.sv+1 {
-		target = f.insertGroupAfter(g, g.sv+1)
+func (f *Frequent[K]) increment(nd int32) {
+	g := f.nodes[nd].grp
+	newSv := f.groups[g].sv + 1
+	target := f.groups[g].next
+	f.unlinkNode(nd) // may remove g
+	if target != nilIdx && f.groups[target].sv == newSv {
+		f.appendNode(target, nd)
+		return
 	}
-	f.unlinkNode(nd)
-	f.appendNode(target, nd)
+	// Either g survived (insert right after it) or g was removed (insert
+	// before target, i.e. at g's old position).
+	if f.groups[g].size > 0 {
+		f.appendNode(f.insertGroupAfter(g, newSv), nd)
+	} else {
+		f.appendNode(f.insertGroupBefore(target, newSv), nd)
+	}
 }
 
 // insert stores a brand-new item with count 1 (stored value base+1).
 func (f *Frequent[K]) insert(item K) {
-	nd := &node[K]{item: item}
+	nd := f.allocNode(item)
 	f.items[item] = nd
 	target := f.head
-	if target == nil || target.sv != f.base+1 {
+	if target == nilIdx || f.groups[target].sv != f.base+1 {
 		target = f.insertGroupBefore(f.head, f.base+1)
 	}
 	f.appendNode(target, nd)
@@ -182,13 +243,20 @@ func (f *Frequent[K]) insert(item K) {
 func (f *Frequent[K]) decrementAll() {
 	f.base++
 	f.decrements++
-	if f.head != nil && f.head.sv == f.base {
-		g := f.head
-		for nd := g.head; nd != nil; nd = nd.next {
-			delete(f.items, nd.item)
-		}
-		f.removeGroup(g)
+	if f.head != nilIdx && f.groups[f.head].sv == f.base {
+		f.dismantleGroup(f.head)
 	}
+}
+
+// dismantleGroup evicts every member of group g and removes it.
+func (f *Frequent[K]) dismantleGroup(g int32) {
+	for nd := f.groups[g].head; nd != nilIdx; {
+		next := f.nodes[nd].next
+		delete(f.items, f.nodes[nd].item)
+		f.freeNodeIdx(nd)
+		nd = next
+	}
+	f.removeGroup(g)
 }
 
 // Estimate returns the stored count of item, zero if absent. FREQUENT's
@@ -198,18 +266,49 @@ func (f *Frequent[K]) Estimate(item K) uint64 {
 	if !ok {
 		return 0
 	}
-	return nd.grp.sv - f.base
+	return f.groups[f.nodes[nd].grp].sv - f.base
+}
+
+// Each calls yield for every stored counter in decreasing count order
+// (ties in FIFO bucket order), stopping early if yield returns false. It
+// performs no allocations; the structure must not be mutated during the
+// iteration.
+func (f *Frequent[K]) Each(yield func(core.Entry[K]) bool) {
+	for g := f.tail; g != nilIdx; g = f.groups[g].prev {
+		count := f.groups[g].sv - f.base
+		for nd := f.groups[g].head; nd != nilIdx; nd = f.nodes[nd].next {
+			if !yield(core.Entry[K]{Item: f.nodes[nd].item, Count: count}) {
+				return
+			}
+		}
+	}
+}
+
+// AppendEntries appends the stored counters in decreasing count order to
+// dst, stopping after max entries when max >= 0, and returns the extended
+// slice. With a reused buffer of sufficient capacity it allocates
+// nothing.
+func (f *Frequent[K]) AppendEntries(dst []core.Entry[K], max int) []core.Entry[K] {
+	if max == 0 {
+		return dst
+	}
+	taken := 0
+	for g := f.tail; g != nilIdx; g = f.groups[g].prev {
+		count := f.groups[g].sv - f.base
+		for nd := f.groups[g].head; nd != nilIdx; nd = f.nodes[nd].next {
+			dst = append(dst, core.Entry[K]{Item: f.nodes[nd].item, Count: count})
+			taken++
+			if max > 0 && taken >= max {
+				return dst
+			}
+		}
+	}
+	return dst
 }
 
 // Entries returns the stored counters sorted by decreasing count.
 func (f *Frequent[K]) Entries() []core.Entry[K] {
-	out := make([]core.Entry[K], 0, len(f.items))
-	for g := f.tail; g != nil; g = g.prev {
-		for nd := g.head; nd != nil; nd = nd.next {
-			out = append(out, core.Entry[K]{Item: nd.item, Count: g.sv - f.base})
-		}
-	}
-	return out
+	return f.AppendEntries(make([]core.Entry[K], 0, len(f.items)), -1)
 }
 
 // Capacity returns m.
@@ -225,11 +324,16 @@ func (f *Frequent[K]) N() uint64 { return f.n }
 // the quantity bounded by F1^res(k)/(m+1−k) in Appendix B.
 func (f *Frequent[K]) Decrements() uint64 { return f.decrements }
 
-// Reset restores the empty state.
+// Reset restores the empty state, retaining the slabs and map storage so
+// a reset structure keeps updating allocation-free.
 func (f *Frequent[K]) Reset() {
 	f.base, f.n, f.decrements = 0, 0, 0
-	f.items = make(map[K]*node[K], f.m)
-	f.head, f.tail = nil, nil
+	clear(f.items)
+	var zero K
+	for i := range f.nodes {
+		f.nodes[i].item = zero
+	}
+	f.initFreeLists()
 }
 
 // Guarantee returns the Appendix B tail constants A = B = 1.
@@ -237,74 +341,88 @@ func (f *Frequent[K]) Guarantee() core.TailGuarantee { return core.TailGuarantee
 
 // --- group-list plumbing ---
 
-func (f *Frequent[K]) insertGroupAfter(g *group[K], sv uint64) *group[K] {
-	ng := &group[K]{sv: sv, prev: g, next: g.next}
-	if g.next != nil {
-		g.next.prev = ng
+func (f *Frequent[K]) insertGroupAfter(g int32, sv uint64) int32 {
+	ng := f.allocGroup(sv)
+	next := f.groups[g].next
+	f.groups[ng].prev, f.groups[ng].next = g, next
+	if next != nilIdx {
+		f.groups[next].prev = ng
 	} else {
 		f.tail = ng
 	}
-	g.next = ng
+	f.groups[g].next = ng
 	return ng
 }
 
-func (f *Frequent[K]) insertGroupBefore(g *group[K], sv uint64) *group[K] {
-	ng := &group[K]{sv: sv, next: g}
-	if g != nil {
-		ng.prev = g.prev
-		if g.prev != nil {
-			g.prev.next = ng
+// insertGroupBefore inserts a new group before g; a nil g appends at the
+// tail (covers the empty-list case too).
+func (f *Frequent[K]) insertGroupBefore(g int32, sv uint64) int32 {
+	ng := f.allocGroup(sv)
+	if g == nilIdx {
+		f.groups[ng].prev = f.tail
+		if f.tail != nilIdx {
+			f.groups[f.tail].next = ng
 		} else {
 			f.head = ng
 		}
-		g.prev = ng
-	} else {
-		// Empty list.
-		f.head, f.tail = ng, ng
+		f.tail = ng
+		return ng
 	}
+	prev := f.groups[g].prev
+	f.groups[ng].prev, f.groups[ng].next = prev, g
+	if prev != nilIdx {
+		f.groups[prev].next = ng
+	} else {
+		f.head = ng
+	}
+	f.groups[g].prev = ng
 	return ng
 }
 
-func (f *Frequent[K]) removeGroup(g *group[K]) {
-	if g.prev != nil {
-		g.prev.next = g.next
+func (f *Frequent[K]) removeGroup(g int32) {
+	prev, next := f.groups[g].prev, f.groups[g].next
+	if prev != nilIdx {
+		f.groups[prev].next = next
 	} else {
-		f.head = g.next
+		f.head = next
 	}
-	if g.next != nil {
-		g.next.prev = g.prev
+	if next != nilIdx {
+		f.groups[next].prev = prev
 	} else {
-		f.tail = g.prev
+		f.tail = prev
 	}
+	f.freeGroupIdx(g)
 }
 
-func (f *Frequent[K]) appendNode(g *group[K], nd *node[K]) {
-	nd.grp = g
-	nd.prev, nd.next = g.tail, nil
-	if g.tail != nil {
-		g.tail.next = nd
+func (f *Frequent[K]) appendNode(g int32, nd int32) {
+	tail := f.groups[g].tail
+	f.nodes[nd].grp = g
+	f.nodes[nd].prev, f.nodes[nd].next = tail, nilIdx
+	if tail != nilIdx {
+		f.nodes[tail].next = nd
 	} else {
-		g.head = nd
+		f.groups[g].head = nd
 	}
-	g.tail = nd
-	g.size++
+	f.groups[g].tail = nd
+	f.groups[g].size++
 }
 
-func (f *Frequent[K]) unlinkNode(nd *node[K]) {
-	g := nd.grp
-	if nd.prev != nil {
-		nd.prev.next = nd.next
+func (f *Frequent[K]) unlinkNode(nd int32) {
+	g := f.nodes[nd].grp
+	prev, next := f.nodes[nd].prev, f.nodes[nd].next
+	if prev != nilIdx {
+		f.nodes[prev].next = next
 	} else {
-		g.head = nd.next
+		f.groups[g].head = next
 	}
-	if nd.next != nil {
-		nd.next.prev = nd.prev
+	if next != nilIdx {
+		f.nodes[next].prev = prev
 	} else {
-		g.tail = nd.prev
+		f.groups[g].tail = prev
 	}
-	g.size--
-	if g.size == 0 {
+	f.groups[g].size--
+	if f.groups[g].size == 0 {
 		f.removeGroup(g)
 	}
-	nd.prev, nd.next, nd.grp = nil, nil, nil
+	f.nodes[nd].prev, f.nodes[nd].next, f.nodes[nd].grp = nilIdx, nilIdx, nilIdx
 }

@@ -101,18 +101,33 @@ func (f *FrequentR[K]) EstimateWeighted(item K) float64 {
 	return 0
 }
 
-// WeightedEntries returns the stored counters sorted by decreasing count.
-func (f *FrequentR[K]) WeightedEntries() []core.WeightedEntry[K] {
-	out := make([]core.WeightedEntry[K], 0, len(f.vals))
+// AppendWeightedEntries appends the stored counters in decreasing count
+// order to dst, keeping at most max entries when max >= 0, and returns
+// the extended slice. The counters live in a hash map, so all of them
+// are materialized and sorted before truncation; with a reused buffer of
+// sufficient capacity the call still allocates nothing.
+func (f *FrequentR[K]) AppendWeightedEntries(dst []core.WeightedEntry[K], max int) []core.WeightedEntry[K] {
+	if max == 0 {
+		return dst
+	}
+	start := len(dst)
 	for k, v := range f.vals {
 		c := v - f.off
 		if c <= 0 {
 			continue
 		}
-		out = append(out, core.WeightedEntry[K]{Item: k, Count: c})
+		dst = append(dst, core.WeightedEntry[K]{Item: k, Count: c})
 	}
-	core.SortWeightedEntries(out)
-	return out
+	core.SortWeightedEntries(dst[start:])
+	if max > 0 && len(dst)-start > max {
+		dst = dst[:start+max]
+	}
+	return dst
+}
+
+// WeightedEntries returns the stored counters sorted by decreasing count.
+func (f *FrequentR[K]) WeightedEntries() []core.WeightedEntry[K] {
+	return f.AppendWeightedEntries(make([]core.WeightedEntry[K], 0, len(f.vals)), -1)
 }
 
 // Capacity returns m.

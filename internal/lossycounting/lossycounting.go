@@ -108,15 +108,31 @@ func (l *LossyCounting[K]) DeltaOf(item K) uint64 {
 	return l.entries[item].delta
 }
 
+// AppendEntries appends the stored counters in decreasing count order to
+// dst, keeping at most max entries when max >= 0, and returns the
+// extended slice. The entries live in a hash map, so unlike the
+// bucket-list algorithms all of them are materialized and sorted before
+// truncation; with a reused buffer of sufficient capacity the call still
+// allocates nothing.
+func (l *LossyCounting[K]) AppendEntries(dst []core.Entry[K], max int) []core.Entry[K] {
+	if max == 0 {
+		return dst
+	}
+	start := len(dst)
+	for k, e := range l.entries {
+		dst = append(dst, core.Entry[K]{Item: k, Count: e.count, Err: e.delta})
+	}
+	core.SortEntries(dst[start:])
+	if max > 0 && len(dst)-start > max {
+		dst = dst[:start+max]
+	}
+	return dst
+}
+
 // Entries returns the stored counters sorted by decreasing count; Err
 // carries each entry's Δ.
 func (l *LossyCounting[K]) Entries() []core.Entry[K] {
-	out := make([]core.Entry[K], 0, len(l.entries))
-	for k, e := range l.entries {
-		out = append(out, core.Entry[K]{Item: k, Count: e.count, Err: e.delta})
-	}
-	core.SortEntries(out)
-	return out
+	return l.AppendEntries(make([]core.Entry[K], 0, len(l.entries)), -1)
 }
 
 // Capacity returns the window width w — the nominal space parameter.

@@ -21,29 +21,48 @@
 // trade.
 package spacesaving
 
-import "repro/internal/core"
+import (
+	"math"
 
-type ssGroup[K comparable] struct {
+	"repro/internal/core"
+)
+
+// nilIdx is the null link of the slab-allocated bucket lists.
+const nilIdx = int32(-1)
+
+// ssGroup is one count bucket. Groups form a doubly linked list in
+// strictly ascending count order, threaded through slab indices rather
+// than pointers so the whole structure lives in two contiguous arrays.
+type ssGroup struct {
 	count      uint64
-	prev, next *ssGroup[K]
-	head, tail *ssNode[K]
-	size       int
+	prev, next int32
+	head, tail int32 // node list of this bucket
+	size       int32
 }
 
 type ssNode[K comparable] struct {
 	item       K
 	err        uint64
-	grp        *ssGroup[K]
-	prev, next *ssNode[K]
+	grp        int32
+	prev, next int32
 }
 
-// StreamSummary is the O(1) bucket-list SPACESAVING implementation. The
-// zero value is not usable; construct with New.
+// StreamSummary is the O(1) bucket-list SPACESAVING implementation,
+// slab-allocated: nodes and groups are indices into two fixed arrays
+// (int32 links, free-listed through the next field), so the update hot
+// path touches contiguous memory and performs zero heap allocations
+// once constructed. The zero value is not usable; construct with New.
 type StreamSummary[K comparable] struct {
 	m     int
-	items map[K]*ssNode[K]
+	items map[K]int32
+	nodes []ssNode[K]
+	// Groups can momentarily number one more than the live nodes while a
+	// node is detached during a move, hence the m+1 slab.
+	groups    []ssGroup
+	freeNode  int32
+	freeGroup int32
 	// head/tail of the group list, ascending by count.
-	head, tail *ssGroup[K]
+	head, tail int32
 	n          uint64
 }
 
@@ -53,21 +72,73 @@ func New[K comparable](m int) *StreamSummary[K] {
 	if m < 1 {
 		panic("spacesaving: m must be >= 1")
 	}
-	return &StreamSummary[K]{m: m, items: make(map[K]*ssNode[K], m)}
+	if m > math.MaxInt32-1 {
+		// The slab links are int32 indices (m nodes, m+1 groups); a larger
+		// m would wrap them. Fail loudly instead of corrupting.
+		panic("spacesaving: m exceeds the int32 slab index range")
+	}
+	s := &StreamSummary[K]{
+		m:      m,
+		items:  make(map[K]int32, m),
+		nodes:  make([]ssNode[K], m),
+		groups: make([]ssGroup, m+1),
+	}
+	s.initFreeLists()
+	return s
+}
+
+func (s *StreamSummary[K]) initFreeLists() {
+	for i := range s.nodes {
+		s.nodes[i].next = int32(i) + 1
+	}
+	s.nodes[len(s.nodes)-1].next = nilIdx
+	for i := range s.groups {
+		s.groups[i].next = int32(i) + 1
+	}
+	s.groups[len(s.groups)-1].next = nilIdx
+	s.freeNode, s.freeGroup = 0, 0
+	s.head, s.tail = nilIdx, nilIdx
+}
+
+func (s *StreamSummary[K]) allocNode(item K, err uint64) int32 {
+	i := s.freeNode
+	s.freeNode = s.nodes[i].next
+	s.nodes[i] = ssNode[K]{item: item, err: err, grp: nilIdx, prev: nilIdx, next: nilIdx}
+	return i
+}
+
+func (s *StreamSummary[K]) freeNodeIdx(i int32) {
+	var zero K
+	s.nodes[i].item = zero // drop any reference held by the slab slot
+	s.nodes[i].next = s.freeNode
+	s.freeNode = i
+}
+
+func (s *StreamSummary[K]) allocGroup(count uint64) int32 {
+	i := s.freeGroup
+	s.freeGroup = s.groups[i].next
+	s.groups[i] = ssGroup{count: count, prev: nilIdx, next: nilIdx, head: nilIdx, tail: nilIdx}
+	return i
+}
+
+func (s *StreamSummary[K]) freeGroupIdx(i int32) {
+	s.groups[i].size = 0
+	s.groups[i].next = s.freeGroup
+	s.freeGroup = i
 }
 
 // Update processes one occurrence of item.
 func (s *StreamSummary[K]) Update(item K) {
 	s.n++
 	if nd, ok := s.items[item]; ok {
-		s.bump(nd, nd.grp.count+1)
+		s.bump(nd, s.groups[s.nodes[nd].grp].count+1)
 		return
 	}
 	if len(s.items) < s.m {
-		nd := &ssNode[K]{item: item}
+		nd := s.allocNode(item, 0)
 		s.items[item] = nd
 		target := s.head
-		if target == nil || target.count != 1 {
+		if target == nilIdx || s.groups[target].count != 1 {
 			target = s.insertGroupBefore(s.head, 1)
 		}
 		s.appendNode(target, nd)
@@ -76,15 +147,17 @@ func (s *StreamSummary[K]) Update(item K) {
 	// Evict the oldest member of the minimum bucket; the newcomer
 	// inherits its count plus one and records the eviction error.
 	minG := s.head
-	victim := minG.head
-	delete(s.items, victim.item)
+	minCount := s.groups[minG].count
+	victim := s.groups[minG].head
+	delete(s.items, s.nodes[victim].item)
 	s.unlinkNode(victim)
-	nd := &ssNode[K]{item: item, err: minG.count}
+	s.freeNodeIdx(victim)
+	nd := s.allocNode(item, minCount)
 	s.items[item] = nd
 	// minG may have been removed if the victim was its only member; the
-	// newcomer belongs to the bucket with count minG.count+1 which, if it
+	// newcomer belongs to the bucket with count minCount+1 which, if it
 	// must be created, sits exactly where minG was (or after it).
-	s.placeWithCount(nd, minG.count+1)
+	s.placeWithCount(nd, minCount+1)
 }
 
 // AddN processes n occurrences of item at once, with the semantics of
@@ -100,34 +173,36 @@ func (s *StreamSummary[K]) AddN(item K, n uint64) {
 	}
 	s.n += n
 	if nd, ok := s.items[item]; ok {
-		s.bumpN(nd, nd.grp.count+n)
+		s.bumpN(nd, s.groups[s.nodes[nd].grp].count+n)
 		return
 	}
 	if len(s.items) < s.m {
-		nd := &ssNode[K]{item: item}
+		nd := s.allocNode(item, 0)
 		s.items[item] = nd
 		s.placeWithCount(nd, n)
 		return
 	}
 	minG := s.head
-	victim := minG.head
-	delete(s.items, victim.item)
+	minCount := s.groups[minG].count
+	victim := s.groups[minG].head
+	delete(s.items, s.nodes[victim].item)
 	s.unlinkNode(victim)
-	nd := &ssNode[K]{item: item, err: minG.count}
+	s.freeNodeIdx(victim)
+	nd := s.allocNode(item, minCount)
 	s.items[item] = nd
-	s.placeWithCount(nd, minG.count+n)
+	s.placeWithCount(nd, minCount+n)
 }
 
 // bumpN moves nd to the bucket holding newCount (which must exceed its
 // current count), scanning forward from its current position.
-func (s *StreamSummary[K]) bumpN(nd *ssNode[K], newCount uint64) {
-	start := nd.grp.next
+func (s *StreamSummary[K]) bumpN(nd int32, newCount uint64) {
+	start := s.groups[s.nodes[nd].grp].next
 	s.unlinkNode(nd) // may remove nd's old group; start stays valid either way
 	t := start
-	for t != nil && t.count < newCount {
-		t = t.next
+	for t != nilIdx && s.groups[t].count < newCount {
+		t = s.groups[t].next
 	}
-	if t != nil && t.count == newCount {
+	if t != nilIdx && s.groups[t].count == newCount {
 		s.appendNode(t, nd)
 		return
 	}
@@ -135,17 +210,17 @@ func (s *StreamSummary[K]) bumpN(nd *ssNode[K], newCount uint64) {
 }
 
 // bump moves nd to the bucket holding newCount, creating it if needed.
-func (s *StreamSummary[K]) bump(nd *ssNode[K], newCount uint64) {
-	g := nd.grp
-	target := g.next
+func (s *StreamSummary[K]) bump(nd int32, newCount uint64) {
+	g := s.nodes[nd].grp
+	target := s.groups[g].next
 	s.unlinkNode(nd) // may remove g
-	if target != nil && target.count == newCount {
+	if target != nilIdx && s.groups[target].count == newCount {
 		s.appendNode(target, nd)
 		return
 	}
 	// Either g survived (target group missing: insert right after g) or g
 	// was removed (insert before target, i.e. at target's old position).
-	if g.size > 0 {
+	if s.groups[g].size > 0 {
 		s.appendNode(s.insertGroupAfter(g, newCount), nd)
 	} else {
 		s.appendNode(s.insertGroupBefore(target, newCount), nd)
@@ -155,12 +230,12 @@ func (s *StreamSummary[K]) bump(nd *ssNode[K], newCount uint64) {
 // placeWithCount inserts a fresh node into the bucket with the given
 // count, scanning from the head (the count is within one of the minimum,
 // so this is O(1)).
-func (s *StreamSummary[K]) placeWithCount(nd *ssNode[K], count uint64) {
+func (s *StreamSummary[K]) placeWithCount(nd int32, count uint64) {
 	g := s.head
-	for g != nil && g.count < count {
-		g = g.next
+	for g != nilIdx && s.groups[g].count < count {
+		g = s.groups[g].next
 	}
-	if g != nil && g.count == count {
+	if g != nilIdx && s.groups[g].count == count {
 		s.appendNode(g, nd)
 		return
 	}
@@ -174,7 +249,7 @@ func (s *StreamSummary[K]) Estimate(item K) uint64 {
 	if !ok {
 		return 0
 	}
-	return nd.grp.count
+	return s.groups[s.nodes[nd].grp].count
 }
 
 // ErrorOf returns ε_item, the overestimation recorded when item last
@@ -186,29 +261,60 @@ func (s *StreamSummary[K]) ErrorOf(item K) uint64 {
 	if !ok {
 		return 0
 	}
-	return nd.err
+	return s.nodes[nd].err
 }
 
 // MinCount returns the smallest stored counter value Δ (zero when fewer
 // than m counters are in use). Section 4.2 uses Δ for the global
 // underestimate transform.
 func (s *StreamSummary[K]) MinCount() uint64 {
-	if len(s.items) < s.m || s.head == nil {
+	if len(s.items) < s.m || s.head == nilIdx {
 		return 0
 	}
-	return s.head.count
+	return s.groups[s.head].count
+}
+
+// Each calls yield for every stored counter in decreasing count order
+// (ties in FIFO bucket order), stopping early if yield returns false. It
+// performs no allocations; the structure must not be mutated during the
+// iteration.
+func (s *StreamSummary[K]) Each(yield func(core.Entry[K]) bool) {
+	for g := s.tail; g != nilIdx; g = s.groups[g].prev {
+		count := s.groups[g].count
+		for nd := s.groups[g].head; nd != nilIdx; nd = s.nodes[nd].next {
+			if !yield(core.Entry[K]{Item: s.nodes[nd].item, Count: count, Err: s.nodes[nd].err}) {
+				return
+			}
+		}
+	}
+}
+
+// AppendEntries appends the stored counters in decreasing count order to
+// dst, stopping after max entries when max >= 0, and returns the extended
+// slice. With a reused buffer of sufficient capacity it allocates
+// nothing.
+func (s *StreamSummary[K]) AppendEntries(dst []core.Entry[K], max int) []core.Entry[K] {
+	if max == 0 {
+		return dst
+	}
+	taken := 0
+	for g := s.tail; g != nilIdx; g = s.groups[g].prev {
+		count := s.groups[g].count
+		for nd := s.groups[g].head; nd != nilIdx; nd = s.nodes[nd].next {
+			dst = append(dst, core.Entry[K]{Item: s.nodes[nd].item, Count: count, Err: s.nodes[nd].err})
+			taken++
+			if max > 0 && taken >= max {
+				return dst
+			}
+		}
+	}
+	return dst
 }
 
 // Entries returns the stored counters sorted by decreasing count; each
 // entry carries its ε_i in Err.
 func (s *StreamSummary[K]) Entries() []core.Entry[K] {
-	out := make([]core.Entry[K], 0, len(s.items))
-	for g := s.tail; g != nil; g = g.prev {
-		for nd := g.head; nd != nil; nd = nd.next {
-			out = append(out, core.Entry[K]{Item: nd.item, Count: g.count, Err: nd.err})
-		}
-	}
-	return out
+	return s.AppendEntries(make([]core.Entry[K], 0, len(s.items)), -1)
 }
 
 // Capacity returns m.
@@ -221,10 +327,15 @@ func (s *StreamSummary[K]) Len() int { return len(s.items) }
 // stored counters always sum to exactly this value.
 func (s *StreamSummary[K]) N() uint64 { return s.n }
 
-// Reset restores the empty state.
+// Reset restores the empty state, retaining the slabs and map storage so
+// a reset structure keeps updating allocation-free.
 func (s *StreamSummary[K]) Reset() {
-	s.items = make(map[K]*ssNode[K], s.m)
-	s.head, s.tail = nil, nil
+	clear(s.items)
+	var zero K
+	for i := range s.nodes {
+		s.nodes[i].item = zero
+	}
+	s.initFreeLists()
 	s.n = 0
 }
 
@@ -233,80 +344,88 @@ func (s *StreamSummary[K]) Guarantee() core.TailGuarantee { return core.TailGuar
 
 // --- group-list plumbing (ascending by count) ---
 
-func (s *StreamSummary[K]) insertGroupAfter(g *ssGroup[K], count uint64) *ssGroup[K] {
-	ng := &ssGroup[K]{count: count, prev: g, next: g.next}
-	if g.next != nil {
-		g.next.prev = ng
+func (s *StreamSummary[K]) insertGroupAfter(g int32, count uint64) int32 {
+	ng := s.allocGroup(count)
+	next := s.groups[g].next
+	s.groups[ng].prev, s.groups[ng].next = g, next
+	if next != nilIdx {
+		s.groups[next].prev = ng
 	} else {
 		s.tail = ng
 	}
-	g.next = ng
+	s.groups[g].next = ng
 	return ng
 }
 
 // insertGroupBefore inserts a new group before g; a nil g appends at the
 // tail (covers the empty-list case too).
-func (s *StreamSummary[K]) insertGroupBefore(g *ssGroup[K], count uint64) *ssGroup[K] {
-	if g == nil {
-		ng := &ssGroup[K]{count: count, prev: s.tail}
-		if s.tail != nil {
-			s.tail.next = ng
+func (s *StreamSummary[K]) insertGroupBefore(g int32, count uint64) int32 {
+	ng := s.allocGroup(count)
+	if g == nilIdx {
+		s.groups[ng].prev = s.tail
+		if s.tail != nilIdx {
+			s.groups[s.tail].next = ng
 		} else {
 			s.head = ng
 		}
 		s.tail = ng
 		return ng
 	}
-	ng := &ssGroup[K]{count: count, prev: g.prev, next: g}
-	if g.prev != nil {
-		g.prev.next = ng
+	prev := s.groups[g].prev
+	s.groups[ng].prev, s.groups[ng].next = prev, g
+	if prev != nilIdx {
+		s.groups[prev].next = ng
 	} else {
 		s.head = ng
 	}
-	g.prev = ng
+	s.groups[g].prev = ng
 	return ng
 }
 
-func (s *StreamSummary[K]) removeGroup(g *ssGroup[K]) {
-	if g.prev != nil {
-		g.prev.next = g.next
+func (s *StreamSummary[K]) removeGroup(g int32) {
+	prev, next := s.groups[g].prev, s.groups[g].next
+	if prev != nilIdx {
+		s.groups[prev].next = next
 	} else {
-		s.head = g.next
+		s.head = next
 	}
-	if g.next != nil {
-		g.next.prev = g.prev
+	if next != nilIdx {
+		s.groups[next].prev = prev
 	} else {
-		s.tail = g.prev
+		s.tail = prev
 	}
+	s.freeGroupIdx(g)
 }
 
-func (s *StreamSummary[K]) appendNode(g *ssGroup[K], nd *ssNode[K]) {
-	nd.grp = g
-	nd.prev, nd.next = g.tail, nil
-	if g.tail != nil {
-		g.tail.next = nd
+func (s *StreamSummary[K]) appendNode(g int32, nd int32) {
+	tail := s.groups[g].tail
+	s.nodes[nd].grp = g
+	s.nodes[nd].prev, s.nodes[nd].next = tail, nilIdx
+	if tail != nilIdx {
+		s.nodes[tail].next = nd
 	} else {
-		g.head = nd
+		s.groups[g].head = nd
 	}
-	g.tail = nd
-	g.size++
+	s.groups[g].tail = nd
+	s.groups[g].size++
 }
 
-func (s *StreamSummary[K]) unlinkNode(nd *ssNode[K]) {
-	g := nd.grp
-	if nd.prev != nil {
-		nd.prev.next = nd.next
+func (s *StreamSummary[K]) unlinkNode(nd int32) {
+	g := s.nodes[nd].grp
+	prev, next := s.nodes[nd].prev, s.nodes[nd].next
+	if prev != nilIdx {
+		s.nodes[prev].next = next
 	} else {
-		g.head = nd.next
+		s.groups[g].head = next
 	}
-	if nd.next != nil {
-		nd.next.prev = nd.prev
+	if next != nilIdx {
+		s.nodes[next].prev = prev
 	} else {
-		g.tail = nd.prev
+		s.groups[g].tail = prev
 	}
-	g.size--
-	if g.size == 0 {
+	s.groups[g].size--
+	if s.groups[g].size == 0 {
 		s.removeGroup(g)
 	}
-	nd.prev, nd.next, nd.grp = nil, nil, nil
+	s.nodes[nd].prev, s.nodes[nd].next, s.nodes[nd].grp = nilIdx, nilIdx, nilIdx
 }

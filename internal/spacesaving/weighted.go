@@ -145,14 +145,29 @@ func (r *R[K]) MinCount() float64 {
 	return r.elems[0].count
 }
 
+// AppendWeightedEntries appends the stored counters in decreasing count
+// order to dst, keeping at most max entries when max >= 0, and returns
+// the extended slice. The counters live in a heap, so all of them are
+// materialized and sorted before truncation; with a reused buffer of
+// sufficient capacity the call still allocates nothing.
+func (r *R[K]) AppendWeightedEntries(dst []core.WeightedEntry[K], max int) []core.WeightedEntry[K] {
+	if max == 0 {
+		return dst
+	}
+	start := len(dst)
+	for _, e := range r.elems {
+		dst = append(dst, core.WeightedEntry[K]{Item: e.item, Count: e.count, Err: e.err})
+	}
+	core.SortWeightedEntries(dst[start:])
+	if max > 0 && len(dst)-start > max {
+		dst = dst[:start+max]
+	}
+	return dst
+}
+
 // WeightedEntries returns the stored counters sorted by decreasing count.
 func (r *R[K]) WeightedEntries() []core.WeightedEntry[K] {
-	out := make([]core.WeightedEntry[K], 0, len(r.elems))
-	for _, e := range r.elems {
-		out = append(out, core.WeightedEntry[K]{Item: e.item, Count: e.count, Err: e.err})
-	}
-	core.SortWeightedEntries(out)
-	return out
+	return r.AppendWeightedEntries(make([]core.WeightedEntry[K], 0, len(r.elems)), -1)
 }
 
 // Capacity returns m.

@@ -1,13 +1,16 @@
 package heavyhitters
 
 import (
+	"cmp"
 	"fmt"
 	"hash/maphash"
 	"io"
+	"iter"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/frequent"
 	"repro/internal/lossycounting"
 	"repro/internal/recovery"
@@ -59,8 +62,22 @@ type Summary[K comparable] interface {
 	// [0, N]).
 	EstimateBounds(item K) (lo, hi float64)
 	// Top returns the k largest counters in decreasing order (fewer
-	// when fewer are stored).
+	// when fewer are stored). Each call allocates a fresh slice; hot
+	// paths that poll repeatedly should prefer TopAppend with a reused
+	// buffer.
 	Top(k int) []WeightedEntry[K]
+	// TopAppend appends the k largest counters in decreasing order to
+	// dst and returns the extended slice — the allocation-free variant
+	// of Top: with a reused buffer (TopAppend(buf[:0], k)) of
+	// sufficient capacity, unsharded counter summaries append without
+	// allocating at all.
+	TopAppend(dst []WeightedEntry[K], k int) []WeightedEntry[K]
+	// All returns an iterator over every tracked counter in decreasing
+	// count order. Unsharded counter summaries stream directly off the
+	// live structure (the summary must not be updated during the
+	// iteration); sharded summaries iterate over a point-in-time
+	// snapshot and remain safe for concurrent use.
+	All() iter.Seq[WeightedEntry[K]]
 	// HeavyHitters returns every tracked item whose true weight may
 	// reach phi·N, in decreasing order of upper bound, each carrying
 	// its certain bounds and a Guaranteed label (lower bound already
@@ -122,10 +139,16 @@ func New[K comparable](opts ...Option) Summary[K] {
 	if err := cfg.resolve(); err != nil {
 		panic(err)
 	}
-	mk := func(shard int) backend[K] { return newBackend[K](cfg, shard) }
+	// One hash closure serves shard placement and sketch key mapping:
+	// beyond saving a hash per key on the sharded batch path, sharing
+	// the closure is what makes that reuse sound for every key type —
+	// the maphash fallback of keyHasher draws a random seed per
+	// closure, so two separately built hashers disagree.
+	hash := keyHasher[K](cfg.seed)
+	mk := func(shard int) backend[K] { return newBackend[K](cfg, shard, hash) }
 	var be backend[K]
 	if cfg.shards > 0 {
-		be = newShardedBackend(cfg.shards, keyHasher[K](cfg.seed), mk)
+		be = newShardedBackend(cfg.shards, hash, mk)
 	} else {
 		be = mk(0)
 	}
@@ -134,19 +157,21 @@ func New[K comparable](opts ...Option) Summary[K] {
 
 // newBackend builds the single-structure backend for one shard (shard
 // indices decorrelate sketch seeds; counter algorithms ignore them).
-func newBackend[K comparable](cfg config, shard int) backend[K] {
+// hash must be the same closure the sharded partitioner uses, so
+// precomputed hashes handed to updateBatch match this backend's own.
+func newBackend[K comparable](cfg config, shard int, hash func(K) uint64) backend[K] {
 	switch {
 	case cfg.algo == AlgoCountMin:
 		return &sketchBackend[K]{
 			cm:    sketch.NewCountMin(cfg.depth, cfg.m, cfg.seed+uint64(shard)),
-			hash:  keyHasher[K](cfg.seed),
+			hash:  hash,
 			width: cfg.m,
 			track: newTracker[K](cfg.m),
 		}
 	case cfg.algo == AlgoCountSketch:
 		return &sketchBackend[K]{
 			cs:    sketch.NewCountSketch(cfg.depth, cfg.m, cfg.seed+uint64(shard)),
-			hash:  keyHasher[K](cfg.seed),
+			hash:  hash,
 			width: cfg.m,
 			track: newTracker[K](cfg.m),
 		}
@@ -156,13 +181,19 @@ func newBackend[K comparable](cfg config, shard int) backend[K] {
 		return &weightedBackend[K]{fqr: frequent.NewR[K](cfg.m), g: TailGuarantee{A: 1, B: 1}, hasG: true}
 	case cfg.algo == AlgoSpaceSaving:
 		ss := spacesaving.New[K](cfg.m)
-		return &unitBackend[K]{alg: ss, addN: ss.AddN, g: TailGuarantee{A: 1, B: 1}, hasG: true, over: true}
+		return &unitBackend[K]{
+			alg: ss, addN: ss.AddN, appendRaw: ss.AppendEntries, eachRaw: ss.Each,
+			g: TailGuarantee{A: 1, B: 1}, hasG: true, over: true,
+		}
 	case cfg.algo == AlgoFrequent:
 		fq := frequent.New[K](cfg.m)
-		return &unitBackend[K]{alg: fq, addN: fq.AddN, g: TailGuarantee{A: 1, B: 1}, hasG: true}
+		return &unitBackend[K]{
+			alg: fq, addN: fq.AddN, appendRaw: fq.AppendEntries, eachRaw: fq.Each,
+			g: TailGuarantee{A: 1, B: 1}, hasG: true,
+		}
 	case cfg.algo == AlgoLossyCounting:
 		lc := lossycounting.New[K](cfg.m)
-		return &unitBackend[K]{alg: lc, addN: lc.AddN}
+		return &unitBackend[K]{alg: lc, addN: lc.AddN, appendRaw: lc.AppendEntries}
 	default:
 		panic(fmt.Sprintf("heavyhitters: unhandled algorithm %v", cfg.algo))
 	}
@@ -174,12 +205,26 @@ type backend[K comparable] interface {
 	update(item K)
 	updateN(item K, n uint64)
 	updateWeighted(item K, w float64)
-	updateBatch(items []K)
+	// updateBatch records one occurrence of every item. hashes, when
+	// non-nil, carries the precomputed key hash of every item (the
+	// sharded backend partitions with the same hash family the sketch
+	// key mapping uses, so one hash per key serves both); backends that
+	// do not hash ignore it.
+	updateBatch(items []K, hashes []uint64)
 	estimate(item K) float64
 	bounds(item K) (lo, hi float64)
-	// weightedEntries snapshots the counters sorted by decreasing
-	// count; Err is meaningful per overEst.
-	weightedEntries() []WeightedEntry[K]
+	// appendEntries appends the stored counters in decreasing count
+	// order to dst — all of them, or the top max when max >= 0 — and
+	// returns the extended slice; Err is meaningful per overEst. It is
+	// the single snapshot primitive behind Top, TopAppend, All, Merge,
+	// Recover and the codec: with a reused buffer, unsharded counter
+	// backends append without allocating.
+	appendEntries(dst []WeightedEntry[K], max int) []WeightedEntry[K]
+	// each yields the stored counters in decreasing count order,
+	// streaming off the live structure where the backend maintains one
+	// (the bucket-list counters) and snapshotting first where it does
+	// not (sharded, heap- or map-backed state).
+	each(yield func(WeightedEntry[K]) bool)
 	capacity() int
 	length() int
 	total() float64
@@ -211,7 +256,7 @@ type summary[K comparable] struct {
 }
 
 func (s *summary[K]) Update(item K)         { s.be.update(item) }
-func (s *summary[K]) UpdateBatch(items []K) { s.be.updateBatch(items) }
+func (s *summary[K]) UpdateBatch(items []K) { s.be.updateBatch(items, nil) }
 func (s *summary[K]) UpdateWeighted(item K, w float64) {
 	if math.IsNaN(w) || math.IsInf(w, 0) {
 		// A NaN or infinite weight would silently poison the total mass
@@ -236,11 +281,18 @@ func (s *summary[K]) Top(k int) []WeightedEntry[K] {
 	if k <= 0 {
 		return nil
 	}
-	es := s.be.weightedEntries()
-	if k < len(es) {
-		es = es[:k]
+	return s.be.appendEntries(nil, k)
+}
+
+func (s *summary[K]) TopAppend(dst []WeightedEntry[K], k int) []WeightedEntry[K] {
+	if k <= 0 {
+		return dst
 	}
-	return es
+	return s.be.appendEntries(dst, k)
+}
+
+func (s *summary[K]) All() iter.Seq[WeightedEntry[K]] {
+	return func(yield func(WeightedEntry[K]) bool) { s.be.each(yield) }
 }
 
 func (s *summary[K]) HeavyHitters(phi float64) []Result[K] {
@@ -249,7 +301,7 @@ func (s *summary[K]) HeavyHitters(phi float64) []Result[K] {
 	}
 	threshold := phi * s.be.total()
 	var out []Result[K]
-	for _, e := range s.be.weightedEntries() {
+	s.be.each(func(e WeightedEntry[K]) bool {
 		lo, hi := s.be.bounds(e.Item)
 		if hi >= threshold {
 			out = append(out, Result[K]{
@@ -260,13 +312,16 @@ func (s *summary[K]) HeavyHitters(phi float64) []Result[K] {
 				Guaranteed: lo >= threshold,
 			})
 		}
-	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Hi > out[j].Hi })
+		return true
+	})
+	slices.SortStableFunc(out, func(a, b Result[K]) int {
+		return cmp.Compare(b.Hi, a.Hi)
+	})
 	return out
 }
 
 func (s *summary[K]) Recover(k int) map[K]float64 {
-	return recovery.KSparseWeighted(s.be.weightedEntries(), k)
+	return recovery.KSparseWeighted(s.be.appendEntries(nil, max(k, 0)), k)
 }
 
 func (s *summary[K]) Merge(other Summary[K]) (Summary[K], error) {
@@ -316,13 +371,14 @@ func MergeSummaries[K comparable](m int, summaries ...Summary[K]) (Summary[K], e
 			return nil, fmt.Errorf("heavyhitters: input %d (%v) is sketch-backed and cannot be merged", i, ws.algo)
 		}
 		carryErr := ws.be.overEst()
-		for _, e := range ws.be.weightedEntries() {
+		ws.be.each(func(e WeightedEntry[K]) bool {
 			if carryErr {
 				dst.Absorb(e.Item, e.Count, e.Err)
 			} else {
 				dst.Absorb(e.Item, e.Count, 0)
 			}
-		}
+			return true
+		})
 		// slackOut widens every bound (underestimated mass); absentExtra
 		// widens them too, because an item stored in the merge may have
 		// been evicted by this input, hiding up to its Δ.
@@ -349,9 +405,23 @@ func MergeSummaries[K comparable](m int, summaries ...Summary[K]) (Summary[K], e
 type unitBackend[K comparable] struct {
 	alg  Counter[K]
 	addN func(K, uint64) // native integral-weight path; nil = repeat Update
-	g    TailGuarantee
-	hasG bool
-	over bool // SPACESAVING convention: Err fields are overestimate bounds
+	// appendRaw is the backend's allocation-free snapshot primitive
+	// (AppendEntries on the concrete structure): counters appended in
+	// decreasing order, truncated to max when max >= 0.
+	appendRaw func([]Entry[K], int) []Entry[K]
+	// eachRaw streams counters in decreasing order straight off the live
+	// structure; nil when the structure has no sorted iteration order
+	// (LOSSYCOUNTING's hash map), in which case each buffers through
+	// scratch.
+	eachRaw func(func(Entry[K]) bool)
+	// scratch is reused across appendEntries/each calls so steady-state
+	// queries into a caller-reused buffer allocate nothing. Unsharded
+	// summaries are single-threaded by contract, so a single buffer is
+	// safe.
+	scratch []Entry[K]
+	g       TailGuarantee
+	hasG    bool
+	over    bool // SPACESAVING convention: Err fields are overestimate bounds
 }
 
 func (b *unitBackend[K]) update(item K) { b.alg.Update(item) }
@@ -378,7 +448,7 @@ func (b *unitBackend[K]) updateWeighted(item K, w float64) {
 	b.updateN(item, uint64(w))
 }
 
-func (b *unitBackend[K]) updateBatch(items []K) {
+func (b *unitBackend[K]) updateBatch(items []K, _ []uint64) {
 	for _, it := range items {
 		b.alg.Update(it)
 	}
@@ -391,13 +461,32 @@ func (b *unitBackend[K]) bounds(item K) (float64, float64) {
 	return float64(lo), float64(hi)
 }
 
-func (b *unitBackend[K]) weightedEntries() []WeightedEntry[K] {
-	es := b.alg.Entries()
-	out := make([]WeightedEntry[K], len(es))
-	for i, e := range es {
-		out[i] = WeightedEntry[K]{Item: e.Item, Count: float64(e.Count), Err: float64(e.Err)}
+func (b *unitBackend[K]) appendEntries(dst []WeightedEntry[K], max int) []WeightedEntry[K] {
+	b.scratch = b.appendRaw(b.scratch[:0], max)
+	for _, e := range b.scratch {
+		dst = append(dst, WeightedEntry[K]{Item: e.Item, Count: float64(e.Count), Err: float64(e.Err)})
 	}
-	return out
+	return dst
+}
+
+func (b *unitBackend[K]) each(yield func(WeightedEntry[K]) bool) {
+	if b.eachRaw != nil {
+		b.eachRaw(func(e Entry[K]) bool {
+			return yield(WeightedEntry[K]{Item: e.Item, Count: float64(e.Count), Err: float64(e.Err)})
+		})
+		return
+	}
+	// No sorted live order: snapshot, then yield. The buffer is detached
+	// from the backend while user code runs so a nested query cannot
+	// clobber the iteration.
+	buf := b.appendRaw(b.scratch[:0], -1)
+	b.scratch = nil
+	for _, e := range buf {
+		if !yield(WeightedEntry[K]{Item: e.Item, Count: float64(e.Count), Err: float64(e.Err)}) {
+			break
+		}
+	}
+	b.scratch = buf
 }
 
 func (b *unitBackend[K]) capacity() int                    { return b.alg.Capacity() }
@@ -458,6 +547,8 @@ type weightedBackend[K comparable] struct {
 	// HeavyHitters; recomputing the O(m) deficit each time would make
 	// the query O(m²)).
 	defCache, defCacheAt float64
+	// scratch is reused across each calls; see unitBackend.scratch.
+	scratch []WeightedEntry[K]
 }
 
 func (b *weightedBackend[K]) alg() WeightedCounter[K] {
@@ -475,7 +566,7 @@ func (b *weightedBackend[K]) updateN(item K, n uint64) {
 }
 func (b *weightedBackend[K]) updateWeighted(item K, w float64) { b.alg().UpdateWeighted(item, w) }
 
-func (b *weightedBackend[K]) updateBatch(items []K) {
+func (b *weightedBackend[K]) updateBatch(items []K, _ []uint64) {
 	a := b.alg()
 	for _, it := range items {
 		a.UpdateWeighted(it, 1)
@@ -526,13 +617,33 @@ func (b *weightedBackend[K]) bounds(item K) (float64, float64) {
 	return c, c + d + b.slack
 }
 
-func (b *weightedBackend[K]) weightedEntries() []WeightedEntry[K] { return b.alg().WeightedEntries() }
-func (b *weightedBackend[K]) capacity() int                       { return b.alg().Capacity() }
-func (b *weightedBackend[K]) length() int                         { return b.alg().Len() }
-func (b *weightedBackend[K]) total() float64                      { return b.alg().TotalWeight() + b.extraMass }
-func (b *weightedBackend[K]) guarantee() (TailGuarantee, bool)    { return b.g, b.hasG }
-func (b *weightedBackend[K]) mergeable() bool                     { return true }
-func (b *weightedBackend[K]) overEst() bool                       { return b.ssr != nil }
+func (b *weightedBackend[K]) appendEntries(dst []WeightedEntry[K], max int) []WeightedEntry[K] {
+	if b.ssr != nil {
+		return b.ssr.AppendWeightedEntries(dst, max)
+	}
+	return b.fqr.AppendWeightedEntries(dst, max)
+}
+
+func (b *weightedBackend[K]) each(yield func(WeightedEntry[K]) bool) {
+	// Heap- and map-backed storage has no sorted live order: snapshot,
+	// then yield. The buffer is detached from the backend while user
+	// code runs so a nested query cannot clobber the iteration.
+	buf := b.appendEntries(b.scratch[:0], -1)
+	b.scratch = nil
+	for _, e := range buf {
+		if !yield(e) {
+			break
+		}
+	}
+	b.scratch = buf
+}
+
+func (b *weightedBackend[K]) capacity() int                    { return b.alg().Capacity() }
+func (b *weightedBackend[K]) length() int                      { return b.alg().Len() }
+func (b *weightedBackend[K]) total() float64                   { return b.alg().TotalWeight() + b.extraMass }
+func (b *weightedBackend[K]) guarantee() (TailGuarantee, bool) { return b.g, b.hasG }
+func (b *weightedBackend[K]) mergeable() bool                  { return true }
+func (b *weightedBackend[K]) overEst() bool                    { return b.ssr != nil }
 
 func (b *weightedBackend[K]) slackOut() float64 {
 	if b.ssr != nil {
@@ -578,12 +689,27 @@ type shardSlot[K comparable] struct {
 type shardedBackend[K comparable] struct {
 	slots []shardSlot[K]
 	hash  func(K) uint64
+	// pool recycles batch-partition scratch buffers (one per concurrent
+	// UpdateBatch in flight), so steady-state batch ingestion performs
+	// no per-batch bucket allocations.
+	pool sync.Pool
+}
+
+// batchScratch is the reusable partition workspace of one UpdateBatch
+// call: per-shard key buckets plus each key's hash, computed once and
+// reused by hashing backends for their row hashes.
+type batchScratch[K comparable] struct {
+	keys   [][]K
+	hashes [][]uint64
 }
 
 func newShardedBackend[K comparable](p int, hash func(K) uint64, mk func(int) backend[K]) *shardedBackend[K] {
 	b := &shardedBackend[K]{slots: make([]shardSlot[K], p), hash: hash}
 	for i := range b.slots {
 		b.slots[i].be = mk(i)
+	}
+	b.pool.New = func() any {
+		return &batchScratch[K]{keys: make([][]K, p), hashes: make([][]uint64, p)}
 	}
 	return b
 }
@@ -615,34 +741,44 @@ func (b *shardedBackend[K]) updateWeighted(item K, w float64) {
 
 // updateBatch partitions the batch once, then visits each shard exactly
 // once under its lock — the amortization that makes batch ingestion the
-// fast path on sharded summaries.
-func (b *shardedBackend[K]) updateBatch(items []K) {
+// fast path on sharded summaries. Each key is hashed exactly once: the
+// partition hash doubles as the key hash of sketch backends (both are
+// keyHasher(seed)), and the buckets live in pooled scratch buffers.
+func (b *shardedBackend[K]) updateBatch(items []K, _ []uint64) {
 	p := uint64(len(b.slots))
 	if p == 1 {
 		sl := &b.slots[0]
 		sl.mu.Lock()
-		sl.be.updateBatch(items)
+		sl.be.updateBatch(items, nil)
 		sl.mu.Unlock()
 		return
 	}
-	buckets := make([][]K, p)
-	per := len(items)/int(p) + 1
-	for _, it := range items {
-		i := b.hash(it) % p
-		if buckets[i] == nil {
-			buckets[i] = make([]K, 0, per)
-		}
-		buckets[i] = append(buckets[i], it)
+	sc := b.pool.Get().(*batchScratch[K])
+	for i := range sc.keys {
+		sc.keys[i] = sc.keys[i][:0]
+		sc.hashes[i] = sc.hashes[i][:0]
 	}
-	for i := range buckets {
-		if len(buckets[i]) == 0 {
+	for _, it := range items {
+		h := b.hash(it)
+		i := h % p
+		sc.keys[i] = append(sc.keys[i], it)
+		sc.hashes[i] = append(sc.hashes[i], h)
+	}
+	for i := range sc.keys {
+		if len(sc.keys[i]) == 0 {
 			continue
 		}
 		sl := &b.slots[i]
 		sl.mu.Lock()
-		sl.be.updateBatch(buckets[i])
+		sl.be.updateBatch(sc.keys[i], sc.hashes[i])
 		sl.mu.Unlock()
 	}
+	for i := range sc.keys {
+		// Drop key references before pooling so a parked scratch buffer
+		// cannot pin the previous batch's keys in memory.
+		clear(sc.keys[i])
+	}
+	b.pool.Put(sc)
 }
 
 func (b *shardedBackend[K]) estimate(item K) float64 {
@@ -659,19 +795,38 @@ func (b *shardedBackend[K]) bounds(item K) (float64, float64) {
 	return sl.be.bounds(item)
 }
 
-// weightedEntries concatenates the shards' disjoint counter sets. Shards
+// appendEntries concatenates the shards' disjoint counter sets. Shards
 // are locked one at a time, so under concurrent updates the snapshot
-// reflects consistent per-shard states, not one global instant.
-func (b *shardedBackend[K]) weightedEntries() []WeightedEntry[K] {
-	var out []WeightedEntry[K]
+// reflects consistent per-shard states, not one global instant. The
+// global top-max needs every shard's counters, so all of them are
+// appended and sorted before truncation.
+func (b *shardedBackend[K]) appendEntries(dst []WeightedEntry[K], max int) []WeightedEntry[K] {
+	if max == 0 {
+		return dst
+	}
+	start := len(dst)
 	for i := range b.slots {
 		sl := &b.slots[i]
 		sl.mu.Lock()
-		out = append(out, sl.be.weightedEntries()...)
+		dst = sl.be.appendEntries(dst, -1)
 		sl.mu.Unlock()
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Count > out[j].Count })
-	return out
+	core.SortWeightedEntries(dst[start:])
+	if max > 0 && len(dst)-start > max {
+		dst = dst[:start+max]
+	}
+	return dst
+}
+
+// each snapshots first (a sharded summary is concurrent: yielding under
+// a shard lock could deadlock a consumer that queries the summary), then
+// yields from the private snapshot.
+func (b *shardedBackend[K]) each(yield func(WeightedEntry[K]) bool) {
+	for _, e := range b.appendEntries(nil, -1) {
+		if !yield(e) {
+			return
+		}
+	}
 }
 
 func (b *shardedBackend[K]) capacity() int { return b.slots[0].be.capacity() }
@@ -751,6 +906,10 @@ type sketchBackend[K comparable] struct {
 	hash  func(K) uint64
 	width int
 	track *tracker[K]
+	// scratch is reused across each calls; see unitBackend.scratch.
+	// Unsharded sketch summaries are single-threaded by contract, and
+	// sharded ones serialize backend access per shard lock.
+	scratch []WeightedEntry[K]
 }
 
 func (b *sketchBackend[K]) add(h uint64, n uint64) {
@@ -789,9 +948,20 @@ func (b *sketchBackend[K]) updateWeighted(item K, w float64) {
 	b.updateN(item, uint64(w))
 }
 
-func (b *sketchBackend[K]) updateBatch(items []K) {
-	for _, it := range items {
-		b.updateN(it, 1)
+// updateBatch ingests a batch; when the sharded partitioner supplies the
+// keys' hashes (the same keyHasher family this backend uses), each key's
+// hash is reused instead of recomputed — one hash per key end to end.
+func (b *sketchBackend[K]) updateBatch(items []K, hashes []uint64) {
+	if hashes == nil {
+		for _, it := range items {
+			b.updateN(it, 1)
+		}
+		return
+	}
+	for i, it := range items {
+		h := hashes[i]
+		b.add(h, 1)
+		b.track.offer(it, b.estimateHash(h))
 	}
 }
 
@@ -806,13 +976,32 @@ func (b *sketchBackend[K]) bounds(item K) (float64, float64) {
 	return 0, b.total()
 }
 
-func (b *sketchBackend[K]) weightedEntries() []WeightedEntry[K] {
-	out := make([]WeightedEntry[K], 0, b.track.len())
-	for _, item := range b.track.items() {
-		out = append(out, WeightedEntry[K]{Item: item, Count: b.estimate(item)})
+func (b *sketchBackend[K]) appendEntries(dst []WeightedEntry[K], max int) []WeightedEntry[K] {
+	if max == 0 {
+		return dst
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Count > out[j].Count })
-	return out
+	start := len(dst)
+	for _, te := range b.track.heap {
+		dst = append(dst, WeightedEntry[K]{Item: te.item, Count: b.estimate(te.item)})
+	}
+	core.SortWeightedEntries(dst[start:])
+	if max > 0 && len(dst)-start > max {
+		dst = dst[:start+max]
+	}
+	return dst
+}
+
+func (b *sketchBackend[K]) each(yield func(WeightedEntry[K]) bool) {
+	// The candidate heap has no sorted live order: snapshot, then yield;
+	// the buffer is detached while user code runs (see unitBackend.each).
+	buf := b.appendEntries(b.scratch[:0], -1)
+	b.scratch = nil
+	for _, e := range buf {
+		if !yield(e) {
+			break
+		}
+	}
+	b.scratch = buf
 }
 
 func (b *sketchBackend[K]) capacity() int { return b.width }
@@ -859,14 +1048,6 @@ func newTracker[K comparable](k int) *tracker[K] {
 }
 
 func (t *tracker[K]) len() int { return len(t.heap) }
-
-func (t *tracker[K]) items() []K {
-	out := make([]K, len(t.heap))
-	for i, e := range t.heap {
-		out[i] = e.item
-	}
-	return out
-}
 
 func (t *tracker[K]) reset() {
 	t.pos = make(map[K]int, t.k)

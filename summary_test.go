@@ -380,6 +380,30 @@ func TestShardedConcurrentUse(t *testing.T) {
 	}
 }
 
+// TestShardedSketchBatchMaphashKeys pins the one-hash batch path for
+// key types that fall back to maphash (neither uint64 nor string): the
+// partitioner's precomputed hashes are reused as the sketch key hashes,
+// which is only sound because the partitioner and every shard's sketch
+// backend share one hash closure — separately built maphash closures
+// draw different random seeds and would record counts under hashes that
+// Estimate never queries.
+func TestShardedSketchBatchMaphashKeys(t *testing.T) {
+	for _, algo := range []hh.Algo{hh.AlgoCountMin, hh.AlgoCountSketch} {
+		sum := hh.New[int](hh.WithAlgorithm(algo), hh.WithShards(4), hh.WithCapacity(256))
+		batch := make([]int, 0, 1000)
+		for i := 0; i < 1000; i++ {
+			batch = append(batch, 7)
+		}
+		sum.UpdateBatch(batch)
+		if got := sum.Estimate(7); got != 1000 {
+			t.Errorf("%v: Estimate(7) = %v after batched ingest, want 1000", algo, got)
+		}
+		if top := sum.Top(1); len(top) != 1 || top[0].Item != 7 {
+			t.Errorf("%v: Top(1) = %v, want item 7", algo, top)
+		}
+	}
+}
+
 func TestShardedHeavyHittersNoFalseNegatives(t *testing.T) {
 	const phi = 0.01
 	s := stream.Zipf(1000, 1.2, 100000, stream.OrderRandom, 7)
