@@ -118,6 +118,50 @@ func TestTopAppendZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestWindowRotationZeroAllocs pins the window layer's steady-state
+// contract: the ingest loop — including every epoch rotation it
+// triggers (the loop crosses an epoch boundary every 512 items) — must
+// not allocate once the ring is warm. Rotation recycles the evicted
+// epoch via the slab-retaining Reset; an allocation here means a reset
+// path regressed to rebuilding storage.
+func TestWindowRotationZeroAllocs(t *testing.T) {
+	s := allocStream()
+	for _, tc := range []struct {
+		name string
+		opts []hh.Option
+	}{
+		{"spacesaving", []hh.Option{hh.WithAlgorithm(hh.AlgoSpaceSaving)}},
+		{"frequent", []hh.Option{hh.WithAlgorithm(hh.AlgoFrequent)}},
+		{"lossycounting", []hh.Option{hh.WithAlgorithm(hh.AlgoLossyCounting)}},
+		{"weighted-spacesaving", []hh.Option{hh.WithWeighted()}},
+		{"weighted-frequent", []hh.Option{hh.WithAlgorithm(hh.AlgoFrequent), hh.WithWeighted()}},
+	} {
+		opts := append([]hh.Option{hh.WithCapacity(128), hh.WithWindow(2048), hh.WithEpochs(4)}, tc.opts...)
+		sum := hh.New[uint64](opts...)
+		assertZeroAllocs(t, tc.name,
+			func() { sum.UpdateBatch(s) },
+			func() {
+				for _, x := range s[:4096] { // 8 rotations per run
+					sum.Update(x)
+				}
+			})
+	}
+}
+
+// TestDecayUpdateZeroAllocs: the decay tier's hot path (including the
+// periodic renormalization sweep) stays allocation-free too.
+func TestDecayUpdateZeroAllocs(t *testing.T) {
+	s := allocStream()
+	sum := hh.New[uint64](hh.WithCapacity(128), hh.WithDecay(0.1))
+	assertZeroAllocs(t, "decay",
+		func() { sum.UpdateBatch(s) },
+		func() {
+			for _, x := range s[:4096] { // λ·4096 ≈ 410: > one renormalization per run
+				sum.Update(x)
+			}
+		})
+}
+
 // TestShardedHotPathZeroAllocs covers the concurrent backend: batch
 // ingestion partitions through pooled scratch buffers and TopAppend
 // snapshots through per-shard reused scratch, so both stay

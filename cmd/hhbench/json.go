@@ -32,13 +32,25 @@ var jsonWorkloads = []struct {
 	{"uniform", 0},
 }
 
+// jsonShardings crosses the sharding axis with the window layer: the
+// windowed rows ingest through an 8-epoch ring sized to 1/16 of the
+// stream, so every row exercises steady-state epoch rotation (the
+// covered window turns over repeatedly per pass). windowDiv keeps the
+// window proportional to -n, so -smoke and full-size runs rotate
+// equally often per item.
 var jsonShardings = []struct {
-	name   string
-	shards int
+	name     string
+	shards   int
+	windowed bool
 }{
-	{"unsharded", 0},
-	{"sharded8", 8},
+	{"unsharded", 0, false},
+	{"sharded8", 8, false},
+	{"unsharded-win", 0, true},
+	{"sharded8-win", 8, true},
 }
+
+// windowDiv divides the stream length to obtain the bench window.
+const windowDiv = 16
 
 // runJSON runs the suite and writes the report to path. n is the
 // measured stream length per configuration; m the counter budget.
@@ -53,7 +65,11 @@ func runJSON(path string, n uint64, universe int, seed uint64, m int) error {
 		}
 		for _, a := range jsonAlgos {
 			for _, sh := range jsonShardings {
-				rec := measureIngest(a, w.name, sh.shards, s, m)
+				window := uint64(0)
+				if sh.windowed {
+					window = max(n/windowDiv, 1)
+				}
+				rec := measureIngest(a, w.name, sh.shards, window, s, m)
 				report.Add(rec)
 				fmt.Fprintf(os.Stderr, "%-45s %8.2f M items/s  %6.1f ns/op  %.3f allocs/op\n",
 					rec.Name, rec.ItemsPerSec/1e6, rec.NsPerOp, rec.AllocsPerOp)
@@ -84,10 +100,13 @@ const measurePasses = 5
 // them. Warming first means the reported allocs/op reflect the
 // steady-state hot path, which is the regression the CI gate guards —
 // construction cost is a one-off.
-func measureIngest(a hh.Algo, workload string, shards int, s []uint64, m int) benchjson.Record {
+func measureIngest(a hh.Algo, workload string, shards int, window uint64, s []uint64, m int) benchjson.Record {
 	opts := []hh.Option{hh.WithAlgorithm(a), hh.WithCapacity(m)}
 	if shards > 0 {
 		opts = append(opts, hh.WithShards(shards))
+	}
+	if window > 0 {
+		opts = append(opts, hh.WithWindow(window))
 	}
 	sum := hh.New[uint64](opts...)
 	ingest := func() {
@@ -111,7 +130,7 @@ func measureIngest(a hh.Algo, workload string, shards int, s []uint64, m int) be
 	runtime.ReadMemStats(&after)
 
 	n := float64(len(s))
-	name := fmt.Sprintf("ingest/%v/%s/%s", a, workload, shardingName(shards))
+	name := fmt.Sprintf("ingest/%v/%s/%s", a, workload, shardingName(shards, window))
 	return benchjson.Record{
 		Name:        name,
 		Algo:        a.String(),
@@ -126,11 +145,15 @@ func measureIngest(a hh.Algo, workload string, shards int, s []uint64, m int) be
 	}
 }
 
-func shardingName(shards int) string {
-	if shards == 0 {
-		return "unsharded"
+func shardingName(shards int, window uint64) string {
+	name := "unsharded"
+	if shards > 0 {
+		name = fmt.Sprintf("sharded%d", shards)
 	}
-	return fmt.Sprintf("sharded%d", shards)
+	if window > 0 {
+		name += "-win"
+	}
+	return name
 }
 
 // runMinReport merges several reports of the same suite into their

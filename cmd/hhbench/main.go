@@ -18,13 +18,13 @@
 // sharded summary's locking.
 //
 // The -json flag runs the machine-readable ingest suite (algorithm ×
-// workload × sharding) and writes a benchjson report — the input of the
-// CI perf gate:
+// workload × sharding × whole-stream/windowed) and writes a benchjson
+// report — the input of the CI perf gate:
 //
 //	hhbench -json full.json                  # full-size suite (4M items)
-//	hhbench -json BENCH_PR2.json -smoke      # baseline/CI size (~seconds)
+//	hhbench -json BENCH_PR3.json -smoke      # baseline/CI size (~seconds)
 //	hhbench -minreport min.json a.json b.json c.json
-//	hhbench -compare -threshold 0.15 BENCH_PR2.json min.json
+//	hhbench -compare -threshold 0.15 BENCH_PR3.json min.json
 //
 // -minreport merges reports from several fresh processes into their
 // element-wise minimum (Go's per-process map hash seed makes
@@ -44,9 +44,12 @@ import (
 	"repro/internal/stream"
 )
 
-// runIngest measures wall-clock throughput of the four ingestion paths.
+// runIngest measures wall-clock throughput of the ingestion paths,
+// whole-stream and windowed (the windowed rows rotate an 8-epoch ring
+// sized to 1/16 of the stream, pricing steady-state rotation).
 func runIngest(n uint64, universe int, alpha float64, seed uint64, shards, m, batch int) {
 	s := stream.Zipf(universe, alpha, n, stream.OrderRandom, seed)
+	win := max(n/16, 1)
 	configs := []struct {
 		name  string
 		opts  []hh.Option
@@ -56,6 +59,8 @@ func runIngest(n uint64, universe int, alpha float64, seed uint64, shards, m, ba
 		{"unsharded UpdateBatch", nil, true},
 		{fmt.Sprintf("sharded(%d) Update", shards), []hh.Option{hh.WithShards(shards)}, false},
 		{fmt.Sprintf("sharded(%d) UpdateBatch", shards), []hh.Option{hh.WithShards(shards)}, true},
+		{"windowed UpdateBatch", []hh.Option{hh.WithWindow(win)}, true},
+		{fmt.Sprintf("windowed sharded(%d) UpdateBatch", shards), []hh.Option{hh.WithWindow(win), hh.WithShards(shards)}, true},
 	}
 	for _, c := range configs {
 		sum := hh.New[uint64](append([]hh.Option{hh.WithCapacity(m)}, c.opts...)...)

@@ -8,20 +8,27 @@
 //	hhcli -alg frequent -eps 0.001 -k 20 stream.bin
 //	hhcli -alg countmin -m 512 -depth 4 -k 10 stream.bin
 //	hhcli -alg spacesaving -weighted -m 100 -k 5 flows.bin
+//	hhcli -window 100000 -epochs 8 -k 10 drift.bin
+//	hhcli -decay 0.0001 -k 10 drift.bin
 //
 // -m and -eps/-phi size the summary (mutually exclusive; -eps/-phi uses
 // the WithErrorBudget auto-sizing). -shards enables the concurrent
-// sharded backend and ingests via UpdateBatch. For summaries with a
-// tail guarantee the tool also prints the Theorem 6 residual estimate
-// and the resulting k-tail error bound — the numbers a practitioner
-// would use to decide whether the counter budget was large enough.
+// sharded backend and ingests via UpdateBatch. -window answers every
+// query over (approximately) the last n items via the epoch ring
+// (-epochs sets the ring size); -decay over an exponentially fading
+// window with the given per-item rate. For summaries with a tail
+// guarantee the tool also prints the Theorem 6 residual estimate and
+// the resulting k-tail error bound — the numbers a practitioner would
+// use to decide whether the counter budget was large enough.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	hh "repro"
 	"repro/internal/stream"
@@ -51,6 +58,9 @@ func main() {
 		depth    = flag.Int("depth", 0, "sketch depth (countmin/countsketch; 0: default)")
 		seed     = flag.Uint64("seed", 0, "sketch seed (0: default)")
 		weighted = flag.Bool("weighted", false, "input is a weighted stream; use the real-valued Section 6.1 variant")
+		window   = flag.Uint64("window", 0, "answer over the last n items via the epoch ring (0: whole stream)")
+		epochs   = flag.Int("epochs", 0, "epoch-ring size for -window (0: default)")
+		decay    = flag.Float64("decay", 0, "exponential decay rate per arrival (0: no decay)")
 		dump     = flag.String("dump", "", "also write the summary to this file (for cmd/hhmerge)")
 	)
 	flag.Parse()
@@ -91,6 +101,15 @@ func main() {
 	if *weighted {
 		opts = append(opts, hh.WithWeighted())
 	}
+	if *window > 0 {
+		opts = append(opts, hh.WithWindow(*window))
+	}
+	if *epochs > 0 {
+		opts = append(opts, hh.WithEpochs(*epochs))
+	}
+	if *decay > 0 {
+		opts = append(opts, hh.WithDecay(*decay))
+	}
 
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
@@ -119,6 +138,25 @@ func main() {
 	}
 
 	fmt.Printf("processed mass %.0f with %s (m=%d)\n", s.N(), s.Algorithm(), s.Capacity())
+	if ws, ok := s.Window(); ok {
+		if ws.EpochLen > 0 {
+			// EpochLen is per ring; a sharded summary runs one ring per
+			// shard, so label it to keep epochs × items consistent with
+			// the summed Covered.
+			perShard := ""
+			if *shards > 1 {
+				perShard = " per shard"
+			}
+			fmt.Printf("window: %d/%d epochs live, %d items each%s, covering the last %.0f items\n",
+				ws.Live, ws.Epochs, ws.EpochLen, perShard, ws.Covered)
+		} else {
+			fmt.Printf("window: %d/%d epochs live, %v each, covering mass %.0f\n",
+				ws.Live, ws.Epochs, ws.Tick/time.Duration(ws.Epochs), ws.Covered)
+		}
+	} else if *decay > 0 {
+		fmt.Printf("decay: rate %g per arrival (~%.0f-item half-life), decayed mass %.1f\n",
+			*decay, math.Ln2 / *decay, s.N())
+	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "rank\titem\testimate\tbounds [lo, hi]")
 	// TopAppend guards k <= 0 itself and appends at most the stored

@@ -7,9 +7,20 @@
 //	hhgen -kind zipf-sampled -order random ...
 //	hhgen -kind uniform ...
 //	hhgen -kind weighted-zipf -o flows.bin     # weighted update stream
+//	hhgen -kind drift -period 100000 -o drift.bin
 //
 // Orders for -kind zipf: random, sorted-asc, sorted-desc, round-robin,
 // blocks.
+//
+// -kind drift is the sliding-window workload: a Zipfian stream whose
+// hot set rotates every -period items, so windowed summaries (hhcli
+// -window) surface the current hot set while whole-stream summaries
+// smear across all of them.
+//
+// Every generator is seeded: -seed (default 1) fully determines the
+// output for a given kind and parameter set, so traces are reproducible
+// across the bench pipeline — the same flags always regenerate
+// byte-identical streams, on any machine.
 package main
 
 import (
@@ -22,12 +33,13 @@ import (
 
 func main() {
 	var (
-		kind     = flag.String("kind", "zipf", "workload: zipf | zipf-sampled | uniform | weighted-zipf")
+		kind     = flag.String("kind", "zipf", "workload: zipf | zipf-sampled | uniform | weighted-zipf | drift")
 		n        = flag.Uint64("n", 1_000_000, "stream length (total weight for weighted kinds)")
 		universe = flag.Int("universe", 100_000, "number of distinct items")
 		alpha    = flag.Float64("alpha", 1.1, "Zipf parameter")
 		order    = flag.String("order", "random", "arrival order for -kind zipf")
-		seed     = flag.Uint64("seed", 1, "random seed")
+		period   = flag.Uint64("period", 100_000, "hot-set rotation period for -kind drift")
+		seed     = flag.Uint64("seed", 1, "random seed; fully determines the stream, so equal flags reproduce byte-identical traces")
 		out      = flag.String("o", "", "output file (required)")
 	)
 	flag.Parse()
@@ -57,6 +69,8 @@ func main() {
 		err = stream.WriteUnit(f, stream.Uniform(*universe, *n, *seed))
 	case "weighted-zipf":
 		err = stream.WriteWeighted(f, stream.WeightedZipf(*universe, *alpha, float64(*n), 4, *seed))
+	case "drift":
+		err = stream.WriteUnit(f, stream.Drift(*universe, *alpha, *n, *period, *seed))
 	default:
 		fmt.Fprintf(os.Stderr, "hhgen: unknown kind %q\n", *kind)
 		os.Exit(2)

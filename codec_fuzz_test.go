@@ -75,6 +75,49 @@ func FuzzDecodeV2(f *testing.F) {
 	})
 }
 
+func FuzzDecodeWindow(f *testing.F) {
+	src := hh.New[uint64](hh.WithCapacity(4), hh.WithWindow(16), hh.WithEpochs(4))
+	for i := 0; i < 40; i++ {
+		src.Update(uint64(i % 7))
+	}
+	var seed bytes.Buffer
+	if err := src.Encode(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("HHWIN2"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		s, err := hh.Decode[uint64](bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// A successfully decoded summary (flat or windowed — the fuzzer
+		// mutates the magic freely) must survive queries, further
+		// updates (rotation included) and a re-encode.
+		if s.Capacity() < 1 {
+			t.Fatal("non-positive capacity decoded")
+		}
+		if ws, ok := s.Window(); ok && (ws.Epochs < 1 || ws.Live < 1 || ws.Live > ws.Epochs) {
+			t.Fatalf("inconsistent window state %+v", ws)
+		}
+		for _, e := range s.Top(8) {
+			lo, hi := s.EstimateBounds(e.Item)
+			if lo > hi {
+				t.Fatalf("inverted bounds [%v, %v]", lo, hi)
+			}
+		}
+		s.HeavyHitters(0.5)
+		for i := 0; i < 50; i++ {
+			s.Update(uint64(i))
+		}
+		if err := s.Encode(io.Discard); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+	})
+}
+
 func FuzzDecodeStringSummary(f *testing.F) {
 	ss := hh.NewSpaceSaving[string](4)
 	for _, w := range []string{"a", "bb", "a", ""} {

@@ -100,8 +100,11 @@ func readKeyAny[K comparable](br *bufio.Reader) (K, error) {
 }
 
 // Encode implements Summary.Encode: it writes the v2 wire form of the
-// summary's counter state. Sketch-backed summaries and key types other
-// than uint64 and string return ErrUnsupportedSummary.
+// summary's counter state — a windowed frame (epoch ring, see
+// codec_window.go) when the summary is an unsharded epoch-ring window,
+// a flat frame otherwise. Sharded windows and decayed summaries flatten
+// to a snapshot of their current aggregate. Sketch-backed summaries and
+// key types other than uint64 and string return ErrUnsupportedSummary.
 func (s *summary[K]) Encode(w io.Writer) error {
 	if !s.be.mergeable() {
 		return fmt.Errorf("%w: %v is sketch-backed", ErrUnsupportedSummary, s.algo)
@@ -110,15 +113,29 @@ func (s *summary[K]) Encode(w io.Writer) error {
 	if kind == 0 {
 		return fmt.Errorf("%w: key type has no wire form (want uint64 or string)", ErrUnsupportedSummary)
 	}
+	if wb, ok := s.be.(*windowBackend[K]); ok {
+		return encodeWindow(w, s.algo, kind, wb)
+	}
+	bw := bufio.NewWriter(w)
+	if err := encodeFlatFrame(bw, s.algo, kind, s.be); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// encodeFlatFrame writes one flat v2 frame (magic through entries) for
+// the backend's current counter state. It is the unit the windowed
+// container reuses per epoch.
+func encodeFlatFrame[K comparable](bw *bufio.Writer, algo Algo, kind byte, be backend[K]) error {
 	var flags byte
-	if s.be.overEst() {
+	if be.overEst() {
 		flags |= v2FlagOverEst
 	}
-	g, hasG := s.be.guarantee()
+	g, hasG := be.guarantee()
 	if hasG {
 		flags |= v2FlagHasGuarantee
 	}
-	entries := s.be.appendEntries(nil, -1)
+	entries := be.appendEntries(nil, -1)
 	// A sharded summary stores up to shards×m counters; the encoded
 	// capacity must hold them all so Decode reconstructs losslessly.
 	// Raising the capacity would silently tighten the advertised k-tail
@@ -126,18 +143,17 @@ func (s *summary[K]) Encode(w io.Writer) error {
 	// factor r = C/m: A·r·res/(r·m − B·r·k) equals the per-structure
 	// bound exactly (each shard's sub-stream residual is at most the
 	// full stream's, so the per-shard bound remains valid globally).
-	capacity := s.be.capacity()
+	capacity := be.capacity()
 	if len(entries) > capacity {
 		r := float64(len(entries)) / float64(capacity)
 		capacity = len(entries)
 		g.A *= r
 		g.B *= r
 	}
-	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(summaryMagicV2[:]); err != nil {
 		return err
 	}
-	for _, b := range []byte{byte(s.algo), flags, kind} {
+	for _, b := range []byte{byte(algo), flags, kind} {
 		if err := bw.WriteByte(b); err != nil {
 			return err
 		}
@@ -145,13 +161,13 @@ func (s *summary[K]) Encode(w io.Writer) error {
 	if err := writeUvarint(bw, uint64(capacity)); err != nil {
 		return err
 	}
-	if err := writeFloat(bw, s.be.total()); err != nil {
+	if err := writeFloat(bw, be.total()); err != nil {
 		return err
 	}
-	if err := writeFloat(bw, s.be.slackOut()); err != nil {
+	if err := writeFloat(bw, be.slackOut()); err != nil {
 		return err
 	}
-	if err := writeFloat(bw, s.be.absentExtra()); err != nil {
+	if err := writeFloat(bw, be.absentExtra()); err != nil {
 		return err
 	}
 	if hasG {
@@ -176,16 +192,19 @@ func (s *summary[K]) Encode(w io.Writer) error {
 			return err
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
-// Decode reconstructs a Summary from its v2 wire form. The result is
-// backed by a weighted SPACESAVINGR structure holding the encoded
-// counters with their error metadata and upper slack, so Estimate,
-// EstimateBounds, Top, HeavyHitters, Recover and further Merge calls
-// behave as on the producer (point estimates and bounds are preserved
-// exactly; the reported Algorithm is the producer's). Mutating a decoded
-// summary is supported through the weighted update path.
+// Decode reconstructs a Summary from its v2 wire form, flat or
+// windowed (the magic distinguishes them). A flat frame decodes to a
+// summary backed by a weighted SPACESAVINGR structure holding the
+// encoded counters with their error metadata and upper slack, so
+// Estimate, EstimateBounds, Top, HeavyHitters, Recover and further
+// Merge calls behave as on the producer (point estimates and bounds are
+// preserved exactly; the reported Algorithm is the producer's). A
+// windowed frame decodes to a live epoch ring (see codec_window.go).
+// Mutating a decoded summary is supported through the weighted update
+// path.
 func Decode[K comparable](r io.Reader) (Summary[K], error) {
 	wantKind := keyKindFor[K]()
 	if wantKind == 0 {
@@ -196,63 +215,77 @@ func Decode[K comparable](r io.Reader) (Summary[K], error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("%w: header: %v", ErrBadSummary, err)
 	}
-	if magic != summaryMagicV2 {
+	switch magic {
+	case summaryMagicV2:
+		algo, be, err := decodeFlatBody[K](br, wantKind)
+		if err != nil {
+			return nil, err
+		}
+		return &summary[K]{algo: algo, be: be}, nil
+	case windowMagicV2:
+		return decodeWindowBody[K](br, wantKind)
+	default:
 		return nil, fmt.Errorf("%w: bad magic", ErrBadSummary)
 	}
+}
+
+// decodeFlatBody reads one flat v2 frame after its magic and rebuilds
+// the backend; the windowed container calls it once per epoch.
+func decodeFlatBody[K comparable](br *bufio.Reader, wantKind byte) (Algo, *weightedBackend[K], error) {
 	var hdr [3]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("%w: header: %v", ErrBadSummary, err)
+		return 0, nil, fmt.Errorf("%w: header: %v", ErrBadSummary, err)
 	}
 	algo, flags, kind := Algo(hdr[0]), hdr[1], hdr[2]
 	if !algo.deterministic() {
-		return nil, fmt.Errorf("%w: algorithm %v has no portable state", ErrBadSummary, algo)
+		return 0, nil, fmt.Errorf("%w: algorithm %v has no portable state", ErrBadSummary, algo)
 	}
 	if kind != wantKind {
-		return nil, fmt.Errorf("%w: key kind %d, want %d", ErrBadSummary, kind, wantKind)
+		return 0, nil, fmt.Errorf("%w: key kind %d, want %d", ErrBadSummary, kind, wantKind)
 	}
 	capacity, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("%w: capacity: %v", ErrBadSummary, err)
+		return 0, nil, fmt.Errorf("%w: capacity: %v", ErrBadSummary, err)
 	}
 	// Encode raises the capacity to the entry count, so the entry bound
 	// below makes this also the counter budget a well-formed producer
 	// could have used; 2^24 counters is far beyond any real deployment.
 	if capacity < 1 || capacity > 1<<24 {
-		return nil, fmt.Errorf("%w: unreasonable capacity %d", ErrBadSummary, capacity)
+		return 0, nil, fmt.Errorf("%w: unreasonable capacity %d", ErrBadSummary, capacity)
 	}
 	mass, err := readFiniteFloat(br, "mass")
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
 	slack, err := readFiniteFloat(br, "slack")
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
 	absent, err := readFiniteFloat(br, "absent slack")
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
 	if mass < 0 || slack < 0 || absent < 0 {
-		return nil, fmt.Errorf("%w: negative mass or slack", ErrBadSummary)
+		return 0, nil, fmt.Errorf("%w: negative mass or slack", ErrBadSummary)
 	}
 	var g TailGuarantee
 	hasG := flags&v2FlagHasGuarantee != 0
 	if hasG {
 		if g.A, err = readFiniteFloat(br, "guarantee A"); err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		if g.B, err = readFiniteFloat(br, "guarantee B"); err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("%w: entry count: %v", ErrBadSummary, err)
+		return 0, nil, fmt.Errorf("%w: entry count: %v", ErrBadSummary, err)
 	}
 	// No well-formed encoder emits more entries than counters (Encode
 	// raises the written capacity to the entry count).
 	if count > capacity {
-		return nil, fmt.Errorf("%w: entry count %d exceeds capacity %d", ErrBadSummary, count, capacity)
+		return 0, nil, fmt.Errorf("%w: entry count %d exceeds capacity %d", ErrBadSummary, count, capacity)
 	}
 	// Initial storage is sized by the bytes actually present, not the
 	// declared counts: a tiny malicious blob cannot force a large
@@ -267,18 +300,18 @@ func Decode[K comparable](r io.Reader) (Summary[K], error) {
 	for i := uint64(0); i < count; i++ {
 		item, err := readKeyAny[K](br)
 		if err != nil {
-			return nil, fmt.Errorf("%w: entry %d key: %v", ErrBadSummary, i, err)
+			return 0, nil, fmt.Errorf("%w: entry %d key: %v", ErrBadSummary, i, err)
 		}
 		c, err := readFiniteFloat(br, "entry count")
 		if err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		e, err := readFiniteFloat(br, "entry err")
 		if err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		if c < 0 || e < 0 {
-			return nil, fmt.Errorf("%w: negative entry values", ErrBadSummary)
+			return 0, nil, fmt.Errorf("%w: negative entry values", ErrBadSummary)
 		}
 		if !carryErr {
 			e = 0
@@ -290,7 +323,7 @@ func Decode[K comparable](r io.Reader) (Summary[K], error) {
 	// and the phi·N thresholds HeavyHitters derives from it — matches
 	// the producer's.
 	be.carryExtraMass(mass)
-	return &summary[K]{algo: algo, be: be}, nil
+	return algo, be, nil
 }
 
 // FromBlob lifts a legacy v1 summary blob (DecodeSummary) onto the

@@ -2,9 +2,11 @@ package heavyhitters
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/merge"
 )
 
@@ -30,7 +32,9 @@ import (
 // versioned codec, and its aggregate queries concatenate the disjoint
 // shard counters instead of compacting them, avoiding the merge-step
 // guarantee degradation described at Snapshot. Concurrent remains for
-// callers that need the concrete merged SpaceSavingR snapshot.
+// callers that need the concrete merged SpaceSavingR snapshot; existing
+// deployments can bridge onto the unified query surface without
+// re-ingesting via the Summary method.
 type Concurrent[K comparable] struct {
 	shards []concurrentShard[K]
 	hash   func(K) uint64
@@ -152,3 +156,149 @@ func (c *Concurrent[K]) Reset() {
 func (c *Concurrent[K]) String() string {
 	return fmt.Sprintf("heavyhitters.Concurrent{shards: %d, m: %d}", len(c.shards), c.m)
 }
+
+// Summary returns a live view of c on the unified Summary surface:
+// updates through either handle land in the same shards, and the
+// Summary's bound-carrying queries (EstimateBounds, HeavyHitters, the
+// allocation-conscious TopAppend/All) read the live shard counters
+// directly. Unlike Snapshot — which compacts the shards into m counters
+// and pays the Theorem 11 (3, 2) degradation — the view concatenates
+// the shards' disjoint counter sets, so per-item answers keep the
+// shard-level (1, 1) guarantee and aggregate queries introduce no merge
+// error. It also opens the v2 codec (Encode) and MergeSummaries to
+// legacy Concurrent deployments. Every method of the view is safe for
+// concurrent use; aggregate queries lock shards one at a time, like
+// Snapshot.
+func (c *Concurrent[K]) Summary() Summary[K] {
+	return &summary[K]{algo: AlgoSpaceSaving, be: &concurrentBackend[K]{c: c}}
+}
+
+// concurrentBackend adapts a Concurrent's shard set to the internal
+// backend contract. It is stateless (no reused scratch) so the view
+// inherits Concurrent's thread safety; queries allocate what they
+// return.
+type concurrentBackend[K comparable] struct {
+	c *Concurrent[K]
+}
+
+func (b *concurrentBackend[K]) update(item K) { b.c.Update(item) }
+
+func (b *concurrentBackend[K]) updateN(item K, n uint64) {
+	if n == 0 {
+		return
+	}
+	sh := &b.c.shards[b.c.hash(item)%uint64(len(b.c.shards))]
+	sh.mu.Lock()
+	sh.alg.AddN(item, n)
+	sh.mu.Unlock()
+	b.c.n.Add(n)
+}
+
+func (b *concurrentBackend[K]) updateWeighted(item K, w float64) {
+	if w != math.Trunc(w) {
+		// No WithWeighted advice here: a Concurrent cannot be
+		// reconfigured — real-valued updates need a summary built by New.
+		panic("heavyhitters: Concurrent accepts integral weights only; build New(WithWeighted()) for real-valued updates")
+	}
+	if w >= 1<<64 {
+		panic("heavyhitters: integral weight overflows uint64")
+	}
+	b.updateN(item, uint64(w))
+}
+
+func (b *concurrentBackend[K]) updateBatch(items []K, _ []uint64) {
+	for _, it := range items {
+		b.c.Update(it)
+	}
+}
+
+func (b *concurrentBackend[K]) estimate(item K) float64 { return float64(b.c.Estimate(item)) }
+
+func (b *concurrentBackend[K]) bounds(item K) (float64, float64) {
+	sh := &b.c.shards[b.c.hash(item)%uint64(len(b.c.shards))]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	lo, hi := EstimateBounds[K](sh.alg, item)
+	return float64(lo), float64(hi)
+}
+
+// appendEntries concatenates the shards' disjoint counter sets, locking
+// one shard at a time (consistent per-shard states, not one global
+// instant — the same semantics as the sharded Summary backend).
+func (b *concurrentBackend[K]) appendEntries(dst []WeightedEntry[K], max int) []WeightedEntry[K] {
+	if max == 0 {
+		return dst
+	}
+	start := len(dst)
+	for i := range b.c.shards {
+		sh := &b.c.shards[i]
+		sh.mu.Lock()
+		sh.alg.Each(func(e Entry[K]) bool {
+			dst = append(dst, WeightedEntry[K]{Item: e.Item, Count: float64(e.Count), Err: float64(e.Err)})
+			return true
+		})
+		sh.mu.Unlock()
+	}
+	core.SortWeightedEntries(dst[start:])
+	if max > 0 && len(dst)-start > max {
+		dst = dst[:start+max]
+	}
+	return dst
+}
+
+// each snapshots first: yielding under a shard lock could deadlock a
+// consumer that queries the view from inside the loop.
+func (b *concurrentBackend[K]) each(yield func(WeightedEntry[K]) bool) {
+	for _, e := range b.appendEntries(nil, -1) {
+		if !yield(e) {
+			return
+		}
+	}
+}
+
+func (b *concurrentBackend[K]) capacity() int { return b.c.m }
+
+func (b *concurrentBackend[K]) length() int {
+	n := 0
+	for i := range b.c.shards {
+		sh := &b.c.shards[i]
+		sh.mu.Lock()
+		n += sh.alg.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+func (b *concurrentBackend[K]) total() float64 { return float64(b.c.n.Load()) }
+
+func (b *concurrentBackend[K]) guarantee() (TailGuarantee, bool) {
+	// Per-shard SPACESAVING constants; per-item queries are exact shard
+	// queries, so the shard-level guarantee is the right one to report
+	// (the compacted Snapshot path is what pays (3, 2)).
+	return TailGuarantee{A: 1, B: 1}, true
+}
+
+func (b *concurrentBackend[K]) mergeable() bool { return true }
+func (b *concurrentBackend[K]) overEst() bool   { return true }
+func (b *concurrentBackend[K]) slackOut() float64 {
+	return 0 // SPACESAVING shards never undercount
+}
+
+func (b *concurrentBackend[K]) absentExtra() float64 {
+	// An absent item lives wholly in its owning shard, so the worst
+	// single shard bounds it.
+	var worst float64
+	for i := range b.c.shards {
+		sh := &b.c.shards[i]
+		sh.mu.Lock()
+		if e := float64(sh.alg.MinCount()); e > worst {
+			worst = e
+		}
+		sh.mu.Unlock()
+	}
+	return worst
+}
+
+func (b *concurrentBackend[K]) windowState() (WindowState, bool) { return WindowState{}, false }
+
+func (b *concurrentBackend[K]) reset() { b.c.Reset() }

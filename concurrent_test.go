@@ -1,6 +1,7 @@
 package heavyhitters_test
 
 import (
+	"bytes"
 	"math"
 	"sync"
 	"testing"
@@ -142,4 +143,114 @@ func TestConcurrentAccessors(t *testing.T) {
 	if c.String() == "" {
 		t.Error("empty String()")
 	}
+}
+
+// TestConcurrentSummaryBridge is the regression test for the Summary()
+// adapter: legacy Concurrent callers get the unified surface — live
+// bound-carrying queries, TopAppend, HeavyHitters, codec — without the
+// merge-degraded Snapshot being their only query route.
+func TestConcurrentSummaryBridge(t *testing.T) {
+	c := hh.NewConcurrentUint64(4, 64)
+	view := c.Summary()
+	str := stream.Zipf(200, 1.2, 30000, stream.OrderRandom, 41)
+	truth := exact.FromStream(str)
+	for _, x := range str {
+		c.Update(x)
+	}
+
+	if got, want := view.N(), float64(len(str)); got != want {
+		t.Fatalf("N() = %v, want %v", got, want)
+	}
+	if view.Algorithm() != hh.AlgoSpaceSaving {
+		t.Errorf("Algorithm = %v", view.Algorithm())
+	}
+	if view.Capacity() != 64 {
+		t.Errorf("Capacity = %d, want the per-shard 64", view.Capacity())
+	}
+	// Bound-carrying per-item queries: certain intervals, matching the
+	// live per-shard estimates (no Snapshot compaction in between).
+	for i := uint64(0); i < 200; i++ {
+		lo, hi := view.EstimateBounds(i)
+		if f := truth.Freq(i); lo > f || hi < f {
+			t.Fatalf("bounds [%v, %v] exclude true frequency %v of item %d", lo, hi, f, i)
+		}
+		if est := view.Estimate(i); est != float64(c.Estimate(i)) {
+			t.Fatalf("view Estimate(%d) = %v, Concurrent says %v", i, est, c.Estimate(i))
+		}
+	}
+	// TopAppend into a reused buffer, decreasing and duplicate-free.
+	var buf []hh.WeightedEntry[uint64]
+	buf = view.TopAppend(buf[:0], 10)
+	if len(buf) != 10 || buf[0].Item != 0 {
+		t.Fatalf("TopAppend = %v", buf)
+	}
+	for i := 1; i < len(buf); i++ {
+		if buf[i].Count > buf[i-1].Count {
+			t.Fatalf("TopAppend out of order at %d", i)
+		}
+	}
+	// HeavyHitters carries certain bounds and finds the heavy items.
+	hits := view.HeavyHitters(0.05)
+	if len(hits) == 0 {
+		t.Fatal("no heavy hitters reported")
+	}
+	found := false
+	for _, h := range hits {
+		if h.Item == 0 {
+			found = true
+			if f := truth.Freq(0); h.Lo > f || h.Hi < f {
+				t.Errorf("hit bounds [%v, %v] exclude %v", h.Lo, h.Hi, f)
+			}
+		}
+	}
+	if !found {
+		t.Error("heaviest item missing from HeavyHitters")
+	}
+	if g, ok := view.Guarantee(); !ok || g.A != 1 || g.B != 1 {
+		t.Errorf("Guarantee = %v, %v; want the live (1, 1), not Snapshot's (3, 2)", g, ok)
+	}
+
+	// The view is live in both directions: updates through either handle
+	// are visible to the other.
+	view.Update(777_777)
+	view.UpdateWeighted(777_777, 4)
+	if got := c.Estimate(777_777); got != 5 {
+		t.Errorf("Concurrent.Estimate after view updates = %v, want 5", got)
+	}
+	if got := view.N(); got != float64(len(str))+5 {
+		t.Errorf("N() = %v after view updates", got)
+	}
+
+	// The bridge opens the v2 codec and merging to legacy deployments.
+	var blob bytes.Buffer
+	if err := view.Encode(&blob); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := hh.Decode[uint64](&blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.N() != view.N() {
+		t.Errorf("decoded N = %v, want %v", dec.N(), view.N())
+	}
+	if _, err := view.Merge(hh.New[uint64](hh.WithCapacity(64))); err != nil {
+		t.Errorf("merging the bridge failed: %v", err)
+	}
+
+	// And it stays safe for concurrent use, like the Concurrent it wraps.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < 2000; i++ {
+				view.Update(base + i%50)
+				if i%500 == 0 {
+					view.TopAppend(nil, 5)
+					view.EstimateBounds(base)
+				}
+			}
+		}(uint64(g) * 1000)
+	}
+	wg.Wait()
 }

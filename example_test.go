@@ -104,3 +104,24 @@ func ExampleKSparseRecovery() {
 	// Output:
 	// a=3 b=2 c=0
 }
+
+// A sliding window answers "heavy hitters over the last n items": the
+// epoch ring expels old mass as the stream advances, so yesterday's
+// giant disappears once it stops arriving.
+func ExampleWithWindow() {
+	s := hh.New[string](hh.WithCapacity(8), hh.WithWindow(6), hh.WithEpochs(3))
+	for i := 0; i < 10; i++ {
+		s.Update("old-hot")
+	}
+	for i := 0; i < 8; i++ {
+		s.Update("new-hot")
+	}
+	fmt.Printf("old-hot %.0f\n", s.Estimate("old-hot"))
+	fmt.Printf("new-hot %.0f\n", s.Estimate("new-hot"))
+	ws, _ := s.Window()
+	fmt.Printf("covering the last %.0f items\n", ws.Covered)
+	// Output:
+	// old-hot 0
+	// new-hot 6
+	// covering the last 6 items
+}

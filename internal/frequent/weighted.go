@@ -139,11 +139,33 @@ func (f *FrequentR[K]) Len() int { return len(f.vals) }
 // TotalWeight returns Σ b_i processed so far.
 func (f *FrequentR[K]) TotalWeight() float64 { return f.total }
 
-// Reset restores the empty state.
+// Reset restores the empty state, retaining the map and heap storage so
+// a reset structure keeps updating allocation-free (the window layer's
+// epoch rotation relies on this).
 func (f *FrequentR[K]) Reset() {
 	f.off, f.total = 0, 0
-	f.vals = make(map[K]float64, f.m)
+	clear(f.vals)
+	// Zero the parked heap entries so they do not pin evicted keys.
+	clear(f.heap)
 	f.heap = f.heap[:0]
+}
+
+// Scale multiplies every stored counter, the offset and the running
+// total by s > 0 — the renormalization primitive of the exponential-
+// decay layer. Stored values are counter + offset, so scaling values
+// and offset together scales every counter; heap entries mirror the
+// stored values and scale with them, preserving both the heap order and
+// the staleness comparisons (cur == top.val stays an exact equality
+// because both sides are scaled by the same factor).
+func (f *FrequentR[K]) Scale(s float64) {
+	f.off *= s
+	f.total *= s
+	for k, v := range f.vals {
+		f.vals[k] = v * s
+	}
+	for i := range f.heap {
+		f.heap[i].val *= s
+	}
 }
 
 // Guarantee returns the Theorem 10 tail constants A = B = 1.

@@ -150,8 +150,10 @@ func (l *LossyCounting[K]) MaxStored() int { return l.maxLen }
 // N returns the number of processed stream elements.
 func (l *LossyCounting[K]) N() uint64 { return l.n }
 
-// Reset restores the empty state.
+// Reset restores the empty state, retaining the map storage so a reset
+// structure keeps updating allocation-free (the window layer's epoch
+// rotation relies on this).
 func (l *LossyCounting[K]) Reset() {
-	l.entries = make(map[K]entry)
+	clear(l.entries)
 	l.n, l.bucket, l.maxLen = 0, 1, 0
 }

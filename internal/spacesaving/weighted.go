@@ -180,11 +180,28 @@ func (r *R[K]) Len() int { return len(r.elems) }
 // sum to exactly this value once the structure is full or all items fit.
 func (r *R[K]) TotalWeight() float64 { return r.total }
 
-// Reset restores the empty state.
+// Reset restores the empty state, retaining the map and element storage
+// so a reset structure keeps updating allocation-free (the window
+// layer's epoch rotation relies on this).
 func (r *R[K]) Reset() {
-	r.pos = make(map[K]int, r.m)
+	clear(r.pos)
+	// Zero the elements so slab slots do not pin evicted keys for GC.
+	clear(r.elems)
 	r.elems = r.elems[:0]
 	r.total = 0
+}
+
+// Scale multiplies every stored counter, error term and the running
+// total by f > 0 — the renormalization primitive of the exponential-
+// decay layer. All of R's state is linear in the update weights, so
+// scaling is exact up to float rounding and preserves the heap order
+// and every guarantee.
+func (r *R[K]) Scale(f float64) {
+	for i := range r.elems {
+		r.elems[i].count *= f
+		r.elems[i].err *= f
+	}
+	r.total *= f
 }
 
 // Guarantee returns the Theorem 10 tail constants A = B = 1.

@@ -1,0 +1,36 @@
+package stream
+
+// Drift generates the workload sliding windows exist for: a Zipfian
+// stream whose hot set rotates. The stream is cut into blocks of period
+// items; within a block, popularity ranks follow the usual Zipf
+// distribution, but each block maps rank r to item (r + b·step) mod n,
+// so every block's heavy hitters are a fresh slice of the universe. A
+// whole-stream summary smears its counters across all the hot sets it
+// has ever seen; a windowed or decayed summary must surface the current
+// block's — which is exactly what the windowed invariants tests and
+// benchmarks probe.
+//
+// The rank→item shift step is derived from the seed, so two runs with
+// the same (n, alpha, total, period, seed) produce identical streams —
+// the reproducibility contract of the bench pipeline (hhgen -seed).
+func Drift(n int, alpha float64, total, period, seed uint64) []uint64 {
+	if n < 1 {
+		panic("stream: Drift requires n >= 1")
+	}
+	if period < 1 {
+		panic("stream: Drift requires period >= 1")
+	}
+	out := ZipfSampled(n, alpha, total, seed)
+	// The seed-derived step is forced into [1, n−1], so consecutive
+	// blocks' hot sets always differ (a step ≡ 0 mod n would silently
+	// degenerate the workload to a static Zipf stream).
+	step := uint64(n) / 3
+	if n > 1 {
+		step = 1 + (step+seed%uint64(n))%(uint64(n)-1)
+	}
+	for t, rank := range out {
+		shift := (uint64(t) / period) * step
+		out[t] = (rank + shift) % uint64(n)
+	}
+	return out
+}

@@ -138,3 +138,80 @@ func TestGeneratorPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestDriftRotatesHotSet(t *testing.T) {
+	const (
+		n      = 1000
+		total  = 40000
+		period = 10000
+	)
+	s := Drift(n, 1.2, total, period, 7)
+	if len(s) != total {
+		t.Fatalf("length %d, want %d", len(s), total)
+	}
+	// Reproducible for a fixed seed, different for another.
+	s2 := Drift(n, 1.2, total, period, 7)
+	for i := range s {
+		if s[i] != s2[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	s3 := Drift(n, 1.2, total, period, 8)
+	same := 0
+	for i := range s {
+		if s[i] == s3[i] {
+			same++
+		}
+	}
+	if same == total {
+		t.Error("different seeds produced identical streams")
+	}
+	// The modal item of each block must differ between blocks (the hot
+	// set drifts), and items stay inside the universe.
+	modal := func(block []uint64) uint64 {
+		counts := map[uint64]int{}
+		best, bestC := uint64(0), -1
+		for _, x := range block {
+			if int(x) >= n {
+				t.Fatalf("item %d outside universe %d", x, n)
+			}
+			counts[x]++
+			if counts[x] > bestC {
+				best, bestC = x, counts[x]
+			}
+		}
+		return best
+	}
+	m0 := modal(s[:period])
+	m1 := modal(s[period : 2*period])
+	m2 := modal(s[2*period : 3*period])
+	if m0 == m1 && m1 == m2 {
+		t.Errorf("hot set did not drift: modal items %d, %d, %d", m0, m1, m2)
+	}
+}
+
+// TestDriftStepNeverDegenerates: the rank shift must never be ≡ 0
+// mod n, which would freeze the hot set (seed 10 with n = 15 hits
+// exactly that with a naive step derivation).
+func TestDriftStepNeverDegenerates(t *testing.T) {
+	for n := 2; n <= 40; n++ {
+		for seed := uint64(1); seed <= 30; seed++ {
+			s := Drift(n, 1.3, 4000, 1000, seed)
+			first, second := s[:1000], s[1000:2000]
+			modal := func(block []uint64) uint64 {
+				counts := map[uint64]int{}
+				best, bestC := uint64(0), -1
+				for _, x := range block {
+					counts[x]++
+					if counts[x] > bestC {
+						best, bestC = x, counts[x]
+					}
+				}
+				return best
+			}
+			if m0, m1 := modal(first), modal(second); m0 == m1 {
+				t.Fatalf("n=%d seed=%d: hot set frozen across blocks (modal %d)", n, seed, m0)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package heavyhitters
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // config collects the knobs New understands. It is deliberately
@@ -20,7 +21,27 @@ type config struct {
 	mSet        bool
 	budgetSet   bool
 	weightedSet bool
+
+	// Window layer (WithWindow / WithTickWindow / WithEpochs): the
+	// summary becomes an epoch ring of counter sub-structures answering
+	// queries over a sliding suffix of the stream.
+	window    uint64 // count window: items covered; 0 = whole stream
+	windowSet bool
+	epochs    int           // ring size E; 0 = default
+	tick      time.Duration // tick window: time covered; 0 = count-based
+	tickSet   bool
+	clock     func() time.Time
+	epochsSet bool
+
+	// Exponential decay (WithDecay): the smooth alternative to the epoch
+	// ring, on the real-valued backends.
+	decay    float64 // per-arrival decay rate λ; 0 = no decay
+	decaySet bool
 }
+
+// windowed reports whether the configuration asks for the epoch-ring
+// window layer.
+func (c *config) windowed() bool { return c.window > 0 || c.tick > 0 }
 
 // Option configures a Summary under construction by New.
 type Option func(*config)
@@ -102,9 +123,88 @@ func WithWeighted() Option {
 	}
 }
 
+// WithWindow makes the summary answer every query over (approximately)
+// the last n items instead of the whole stream: the backend becomes a
+// ring of E epoch sub-structures (E from WithEpochs, default 8) of
+// ⌈n/E⌉ items each, rotated as the stream advances — the oldest epoch
+// is recycled in place, so steady-state rotation allocates nothing.
+// Queries concatenate the live epochs, so the covered suffix stays
+// within one epoch of n: between n − ⌈n/E⌉ and E·⌈n/E⌉ items (the
+// upper end exceeds n by at most E−1 when E does not divide n; N
+// reports the exact covered mass, and Window the rotation state).
+// Estimates, bounds and the k-tail guarantee all hold against that
+// covered suffix — see Summary.Window for the guarantee arithmetic. Requires a deterministic counter
+// algorithm (not the sketches). Combined with WithShards(p) each shard
+// windows its own sub-stream over ⌈n/p⌉ items, so the ring covers
+// approximately the last n items globally under the partitioner's
+// uniform hashing. Mutually exclusive with WithTickWindow and
+// WithDecay.
+func WithWindow(n uint64) Option {
+	return func(c *config) {
+		c.window = n
+		c.windowSet = true
+	}
+}
+
+// WithEpochs sets the epoch count E of a windowed summary (default 8).
+// More epochs track the window edge more precisely (the covered suffix
+// is off by at most one epoch, ⌈n/E⌉ items or d/E time) at the price of
+// E× the counter memory and an E× wider advertised tail guarantee; see
+// Summary.Window. Valid only together with WithWindow or
+// WithTickWindow.
+func WithEpochs(e int) Option {
+	return func(c *config) {
+		c.epochs = e
+		c.epochsSet = true
+	}
+}
+
+// WithTickWindow makes the summary answer every query over the last d
+// of wall-clock time: the epoch ring rotates every d/E elapsed (E from
+// WithEpochs), with rotation checked on every update and every query,
+// so epochs expire even while the stream is idle. clock supplies the
+// current time and may be nil for time.Now; tests and replay pipelines
+// inject their own. Sharded tick windows share the clock, so every
+// shard covers the same time span. Mutually exclusive with WithWindow
+// and WithDecay.
+func WithTickWindow(d time.Duration, clock func() time.Time) Option {
+	return func(c *config) {
+		c.tick = d
+		c.tickSet = true
+		c.clock = clock
+	}
+}
+
+// WithDecay applies exponential decay with rate lambda to the summary:
+// at query time, an arrival that came t arrivals ago contributes
+// e^(−lambda·t) of its weight, so the summary tracks a smoothly fading
+// window of roughly the last 1/lambda arrivals — the smooth alternative
+// to the WithWindow epoch ring (no rotation cliffs, but no hard
+// cutoff). Implemented by scaling arrivals up rather than counters
+// down, with periodic renormalization, so updates stay O(1) and
+// allocation-free. Implies WithWeighted (decayed counts are real-
+// valued); valid for AlgoSpaceSaving and AlgoFrequent, whose Section
+// 6.1 guarantees are weight-linear and therefore hold verbatim against
+// the decayed frequency vector. Combined with WithShards(p), each
+// shard's internal rate is scaled by p so the horizon stays ~1/lambda
+// global arrivals under the partitioner's uniform hashing (a shard's
+// decay clock ticks only on its own sub-stream). Mutually exclusive
+// with WithWindow and WithTickWindow.
+func WithDecay(lambda float64) Option {
+	return func(c *config) {
+		c.decay = lambda
+		c.decaySet = true
+		c.weighted = true
+	}
+}
+
 // defaultCapacity is the counter budget used when neither WithCapacity
 // nor WithErrorBudget is given: enough for 0.1%-of-stream accuracy.
 const defaultCapacity = 1024
+
+// defaultEpochs is the epoch-ring size used when WithWindow or
+// WithTickWindow is given without WithEpochs.
+const defaultEpochs = 8
 
 // resolve validates the option combination and fills derived fields,
 // returning a descriptive error for New to panic with.
@@ -153,6 +253,49 @@ func (c *config) resolve() error {
 		case AlgoSpaceSaving, AlgoFrequent:
 		default:
 			return fmt.Errorf("heavyhitters: WithWeighted requires AlgoSpaceSaving or AlgoFrequent, got %v", c.algo)
+		}
+	}
+	if c.windowSet && c.tickSet {
+		return fmt.Errorf("heavyhitters: WithWindow and WithTickWindow are mutually exclusive")
+	}
+	if c.windowSet && c.window < 1 {
+		return fmt.Errorf("heavyhitters: window length must be >= 1, got %d", c.window)
+	}
+	if c.tickSet && c.tick <= 0 {
+		return fmt.Errorf("heavyhitters: tick window duration must be positive, got %v", c.tick)
+	}
+	if c.epochsSet {
+		if !c.windowed() {
+			return fmt.Errorf("heavyhitters: WithEpochs requires WithWindow or WithTickWindow")
+		}
+		if c.epochs < 1 {
+			return fmt.Errorf("heavyhitters: epoch count must be >= 1, got %d", c.epochs)
+		}
+	}
+	if c.windowed() {
+		if !c.algo.deterministic() {
+			return fmt.Errorf("heavyhitters: windowed summaries require a deterministic counter algorithm, got %v", c.algo)
+		}
+		if c.epochs == 0 {
+			c.epochs = defaultEpochs
+		}
+		if c.window > 0 && uint64(c.epochs) > c.window {
+			// More epochs than items would leave most of the ring
+			// permanently empty; clamp so every epoch holds >= 1 item.
+			c.epochs = int(c.window)
+		}
+	}
+	if c.decaySet {
+		if math.IsNaN(c.decay) || math.IsInf(c.decay, 0) || c.decay <= 0 {
+			return fmt.Errorf("heavyhitters: decay rate must be positive and finite, got %v", c.decay)
+		}
+		if c.windowed() {
+			return fmt.Errorf("heavyhitters: WithDecay and WithWindow/WithTickWindow are mutually exclusive")
+		}
+		switch c.algo {
+		case AlgoSpaceSaving, AlgoFrequent:
+		default:
+			return fmt.Errorf("heavyhitters: WithDecay requires AlgoSpaceSaving or AlgoFrequent, got %v", c.algo)
 		}
 	}
 	return nil

@@ -40,6 +40,13 @@ import (
 // against the item's own stream, and aggregate queries (Top,
 // HeavyHitters) concatenate the shards' disjoint counter sets — no
 // cross-shard merge error is introduced.
+//
+// WithWindow / WithTickWindow / WithDecay add the windowed tier: every
+// query is answered over a sliding suffix of the stream (an epoch ring)
+// or an exponentially fading one (decay) instead of the whole stream.
+// The tiers compose — WithShards(p) with WithWindow(n) runs one epoch
+// ring per shard ("shard of windows"), batch ingestion still hashing
+// each key exactly once.
 type Summary[K comparable] interface {
 	// Update records one occurrence of item.
 	Update(item K)
@@ -110,8 +117,18 @@ type Summary[K comparable] interface {
 	// Guarantee reports the k-tail guarantee constants (A, B) of
 	// Definition 2, when the backend provides one: every error is at
 	// most A·F1^res(k)/(m − B·k) with m = Capacity(). The second result
-	// is false for LOSSYCOUNTING and the sketches.
+	// is false for LOSSYCOUNTING and the sketches. Windowed summaries
+	// report the degraded window constants (A·E, B·E) against the ring's
+	// full E·m counter budget — equal to the per-epoch bound
+	// A·res/(m − B·k), the honest price of rotating E epochs.
 	Guarantee() (TailGuarantee, bool)
+	// Window reports the epoch-ring rotation state of a summary built
+	// with WithWindow or WithTickWindow: ring size, live epochs, the
+	// window granularity (items per epoch, or the covered duration)
+	// and the covered stream mass (the N windowed queries are answered
+	// against). The second result is false for unwindowed summaries,
+	// including WithDecay ones (decay has no ring).
+	Window() (WindowState, bool)
 	// Reset restores the empty state, retaining configuration.
 	Reset()
 }
@@ -155,11 +172,24 @@ func New[K comparable](opts ...Option) Summary[K] {
 	return &summary[K]{algo: cfg.algo, be: be}
 }
 
-// newBackend builds the single-structure backend for one shard (shard
-// indices decorrelate sketch seeds; counter algorithms ignore them).
-// hash must be the same closure the sharded partitioner uses, so
-// precomputed hashes handed to updateBatch match this backend's own.
+// newBackend builds the backend for one shard, layering the window or
+// decay tier on top of the core structure when configured.
 func newBackend[K comparable](cfg config, shard int, hash func(K) uint64) backend[K] {
+	switch {
+	case cfg.windowed():
+		return newWindowBackend[K](cfg, shard, hash)
+	case cfg.decay > 0:
+		return newDecayBackend[K](cfg, shard, hash)
+	default:
+		return newCoreBackend[K](cfg, shard, hash)
+	}
+}
+
+// newCoreBackend builds the single-structure backend for one shard
+// (shard indices decorrelate sketch seeds; counter algorithms ignore
+// them). hash must be the same closure the sharded partitioner uses, so
+// precomputed hashes handed to updateBatch match this backend's own.
+func newCoreBackend[K comparable](cfg config, shard int, hash func(K) uint64) backend[K] {
 	switch {
 	case cfg.algo == AlgoCountMin:
 		return &sketchBackend[K]{
@@ -246,6 +276,11 @@ type backend[K comparable] interface {
 	// item absent here may be present in the merged result, whose upper
 	// bound then owes this backend's possible unseen mass.
 	absentExtra() float64
+	// windowState is the rotation/epoch contract of the window tier:
+	// the epoch-ring state when this backend answers over a sliding
+	// window, false for whole-stream (and decayed) backends. Tick
+	// windows expire aged epochs before reporting.
+	windowState() (WindowState, bool)
 	reset()
 }
 
@@ -275,6 +310,7 @@ func (s *summary[K]) Capacity() int                          { return s.be.capac
 func (s *summary[K]) Len() int                               { return s.be.length() }
 func (s *summary[K]) N() float64                             { return s.be.total() }
 func (s *summary[K]) Guarantee() (TailGuarantee, bool)       { return s.be.guarantee() }
+func (s *summary[K]) Window() (WindowState, bool)            { return s.be.windowState() }
 func (s *summary[K]) Reset()                                 { s.be.reset() }
 
 func (s *summary[K]) Top(k int) []WeightedEntry[K] {
@@ -495,6 +531,7 @@ func (b *unitBackend[K]) total() float64                   { return float64(b.al
 func (b *unitBackend[K]) guarantee() (TailGuarantee, bool) { return b.g, b.hasG }
 func (b *unitBackend[K]) mergeable() bool                  { return true }
 func (b *unitBackend[K]) overEst() bool                    { return b.over }
+func (b *unitBackend[K]) windowState() (WindowState, bool) { return WindowState{}, false }
 func (b *unitBackend[K]) reset()                           { b.alg.Reset() }
 
 func (b *unitBackend[K]) slackOut() float64 {
@@ -644,6 +681,7 @@ func (b *weightedBackend[K]) total() float64                   { return b.alg().
 func (b *weightedBackend[K]) guarantee() (TailGuarantee, bool) { return b.g, b.hasG }
 func (b *weightedBackend[K]) mergeable() bool                  { return true }
 func (b *weightedBackend[K]) overEst() bool                    { return b.ssr != nil }
+func (b *weightedBackend[K]) windowState() (WindowState, bool) { return WindowState{}, false }
 
 func (b *weightedBackend[K]) slackOut() float64 {
 	if b.ssr != nil {
@@ -883,6 +921,31 @@ func (b *shardedBackend[K]) absentExtra() float64 {
 	return worst
 }
 
+// windowState aggregates the shards' ring states: granularity from the
+// first shard (every shard is configured identically), covered mass
+// summed across shards — the N windowed aggregate queries see.
+func (b *shardedBackend[K]) windowState() (WindowState, bool) {
+	var agg WindowState
+	for i := range b.slots {
+		sl := &b.slots[i]
+		sl.mu.Lock()
+		ws, ok := sl.be.windowState()
+		sl.mu.Unlock()
+		if !ok {
+			return WindowState{}, false
+		}
+		if i == 0 {
+			agg = ws
+			agg.Covered = 0
+		}
+		agg.Covered += ws.Covered
+		if ws.Live > agg.Live {
+			agg.Live = ws.Live
+		}
+	}
+	return agg, true
+}
+
 func (b *shardedBackend[K]) reset() {
 	for i := range b.slots {
 		sl := &b.slots[i]
@@ -1019,6 +1082,7 @@ func (b *sketchBackend[K]) mergeable() bool                  { return false }
 func (b *sketchBackend[K]) overEst() bool                    { return false }
 func (b *sketchBackend[K]) slackOut() float64                { return 0 }
 func (b *sketchBackend[K]) absentExtra() float64             { return 0 }
+func (b *sketchBackend[K]) windowState() (WindowState, bool) { return WindowState{}, false }
 
 func (b *sketchBackend[K]) reset() {
 	if b.cm != nil {

@@ -90,6 +90,60 @@ func TestToolsPipeline(t *testing.T) {
 	}
 }
 
+// TestToolsWindowedPipeline covers the windowed tool path end to end:
+// a seeded drift trace through a windowed hhcli (rotation state and
+// window-aware ranking printed), the decayed variant, and the windowed
+// dump → decode chain via hhmerge.
+func TestToolsWindowedPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool integration tests skipped in -short mode")
+	}
+	dir := t.TempDir()
+	hhgen := buildTool(t, dir, "hhgen")
+	hhcli := buildTool(t, dir, "hhcli")
+	hhmerge := buildTool(t, dir, "hhmerge")
+
+	drift := filepath.Join(dir, "drift.bin")
+	run(t, hhgen, "-kind", "drift", "-n", "60000", "-universe", "2000",
+		"-period", "20000", "-seed", "5", "-o", drift)
+	// Identical flags must reproduce byte-identical traces (the -seed
+	// contract).
+	drift2 := filepath.Join(dir, "drift2.bin")
+	run(t, hhgen, "-kind", "drift", "-n", "60000", "-universe", "2000",
+		"-period", "20000", "-seed", "5", "-o", drift2)
+	b1, err := os.ReadFile(drift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(drift2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b1), string(b2)) || len(b1) != len(b2) {
+		t.Error("hhgen -seed did not reproduce a byte-identical trace")
+	}
+
+	sum := filepath.Join(dir, "win.sum")
+	out := run(t, hhcli, "-m", "128", "-window", "8000", "-epochs", "4",
+		"-k", "5", "-dump", sum, drift)
+	if !strings.Contains(out, "window: 4/4 epochs live, 2000 items each") {
+		t.Errorf("hhcli did not report the ring state:\n%s", out)
+	}
+	if !strings.Contains(out, "covering the last 8000 items") {
+		t.Errorf("hhcli did not report the covered suffix:\n%s", out)
+	}
+	// The windowed dump decodes and merges downstream.
+	mergedOut := run(t, hhmerge, "-m", "128", "-k", "3", sum, sum)
+	if !strings.Contains(mergedOut, "merged 2 summaries covering mass 16000") {
+		t.Errorf("hhmerge on windowed dumps unexpected:\n%s", mergedOut)
+	}
+
+	decayOut := run(t, hhcli, "-m", "128", "-decay", "0.001", "-k", "5", drift)
+	if !strings.Contains(decayOut, "decay: rate 0.001") {
+		t.Errorf("hhcli did not report the decay mode:\n%s", decayOut)
+	}
+}
+
 func TestToolsWeightedPipeline(t *testing.T) {
 	if testing.Short() {
 		t.Skip("tool integration tests skipped in -short mode")
