@@ -162,6 +162,34 @@ func TestDecayUpdateZeroAllocs(t *testing.T) {
 		})
 }
 
+// TestConcurrentTierIngestZeroAllocs pins the concurrency tier's write
+// path: the striped-lock ingest (per-item and batch, unsharded and
+// sharded) adds only a mutex handoff and an atomic generation bump on
+// top of the wrapped composition — no allocations. Reads are excluded
+// deliberately: a snapshot rebuild allocates its immutable view by
+// design, amortized across all reads until the generation moves.
+func TestConcurrentTierIngestZeroAllocs(t *testing.T) {
+	s := allocStream()
+	for _, tc := range []struct {
+		name string
+		opts []hh.Option
+	}{
+		{"concurrent", []hh.Option{hh.WithConcurrent()}},
+		{"concurrent-sharded", []hh.Option{hh.WithConcurrent(), hh.WithShards(8)}},
+		{"concurrent-window", []hh.Option{hh.WithConcurrent(), hh.WithWindow(2048), hh.WithEpochs(4)}},
+	} {
+		sum := hh.New[uint64](append([]hh.Option{hh.WithCapacity(256)}, tc.opts...)...)
+		assertZeroAllocs(t, tc.name,
+			func() { sum.UpdateBatch(s) },
+			func() {
+				sum.UpdateBatch(s[:2048])
+				for _, x := range s[:2048] {
+					sum.Update(x)
+				}
+			})
+	}
+}
+
 // TestShardedHotPathZeroAllocs covers the concurrent backend: batch
 // ingestion partitions through pooled scratch buffers and TopAppend
 // snapshots through per-shard reused scratch, so both stay

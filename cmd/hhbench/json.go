@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	hh "repro"
@@ -76,6 +78,16 @@ func runJSON(path string, n uint64, universe int, seed uint64, m int) error {
 			}
 		}
 	}
+	// Contended-ingest rows: the concurrency tier under 1/4/8 writer
+	// goroutines, a mixed reader+writer run, the per-item Update path
+	// and the deprecated Concurrent[K] it replaced (kept as the
+	// regression baseline the new tier must not fall below).
+	zipf := stream.Zipf(universe, 1.1, n, stream.OrderRandom, seed)
+	for _, rec := range measureContended(zipf, m) {
+		report.Add(rec)
+		fmt.Fprintf(os.Stderr, "%-45s %8.2f M items/s  %6.1f ns/op  %.3f allocs/op\n",
+			rec.Name, rec.ItemsPerSec/1e6, rec.NsPerOp, rec.AllocsPerOp)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -85,6 +97,131 @@ func runJSON(path string, n uint64, universe int, seed uint64, m int) error {
 		return err
 	}
 	return f.Close()
+}
+
+// contendedShards is the shard count of the contended suite — the
+// 8-way striping the README's scaling guidance recommends.
+const contendedShards = 8
+
+// contendedPasses is the timed-pass count of the contended rows: fewer
+// than the single-threaded suite's measurePasses because each pass
+// spawns goroutines, and scheduler noise is filtered by the
+// cross-process -minreport minimum anyway.
+const contendedPasses = 3
+
+// measureContended times multi-goroutine ingestion into one shared
+// summary. Writer counts cross the batch path (the production ingest
+// path) with a mixed reader+writer row — one reader burst-polling
+// TopAppend and Estimate, which under the concurrency tier must not
+// collapse writer throughput — plus per-item Update rows for the new
+// tier and the legacy Concurrent[K] baseline it retired.
+func measureContended(s []uint64, m int) []benchjson.Record {
+	newSum := func() hh.Summary[uint64] {
+		return hh.New[uint64](hh.WithCapacity(m), hh.WithShards(contendedShards), hh.WithConcurrent())
+	}
+	batchW := func(sum hh.Summary[uint64], part []uint64) {
+		for lo := 0; lo < len(part); lo += jsonBatch {
+			sum.UpdateBatch(part[lo:min(lo+jsonBatch, len(part))])
+		}
+	}
+	itemW := func(sum hh.Summary[uint64], part []uint64) {
+		for _, x := range part {
+			sum.Update(x)
+		}
+	}
+	var recs []benchjson.Record
+	for _, writers := range []int{1, 4, 8} {
+		recs = append(recs, timeContended(
+			fmt.Sprintf("contended/spacesaving/zipf-1.1/concurrent%d/w%d", contendedShards, writers),
+			s, writers, jsonBatch, newSum(), batchW, nil))
+	}
+	// Burst-polling reader: 256 queries back to back, a 5ms sleep
+	// between bursts — see the -ingest reader for why an unbounded spin
+	// would measure the CPU count, not the tier.
+	reader := func(sum hh.Summary[uint64], stop *atomic.Bool) {
+		var buf []hh.WeightedEntry[uint64]
+		for !stop.Load() {
+			for i := uint64(0); i < 256 && !stop.Load(); i++ {
+				buf = sum.TopAppend(buf[:0], 10)
+				sum.Estimate(i % 1000)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	recs = append(recs, timeContended(
+		fmt.Sprintf("contended/spacesaving/zipf-1.1/concurrent%d/w8-mixed", contendedShards),
+		s, 8, jsonBatch, newSum(), batchW, reader))
+	recs = append(recs, timeContended(
+		fmt.Sprintf("contended/spacesaving/zipf-1.1/concurrent%d-update/w8", contendedShards),
+		s, 8, 1, newSum(), itemW, nil))
+	legacy := hh.NewConcurrentUint64(contendedShards, m)
+	recs = append(recs, timeContended(
+		fmt.Sprintf("contended/spacesaving/zipf-1.1/legacy%d-update/w8", contendedShards),
+		s, 8, 1, legacy.Summary(), itemW, nil))
+	return recs
+}
+
+// timeContended warms the summary once, then times contendedPasses
+// runs of `writers` goroutines splitting the stream, keeping the
+// fastest. When reader is non-nil one extra goroutine polls for the
+// duration of each timed pass.
+func timeContended(name string, s []uint64, writers, batch int, sum hh.Summary[uint64],
+	write func(hh.Summary[uint64], []uint64), reader func(hh.Summary[uint64], *atomic.Bool)) benchjson.Record {
+	pass := func() {
+		var wg sync.WaitGroup
+		per := (len(s) + writers - 1) / writers
+		for w := 0; w < writers; w++ {
+			lo := w * per
+			hi := min(lo+per, len(s))
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(part []uint64) {
+				defer wg.Done()
+				write(sum, part)
+			}(s[lo:hi])
+		}
+		wg.Wait()
+	}
+	pass() // warm: fill counters and steady-state the maps/slabs
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	var elapsed time.Duration
+	for p := 0; p < contendedPasses; p++ {
+		var stop atomic.Bool
+		var rwg sync.WaitGroup
+		if reader != nil {
+			rwg.Add(1)
+			go func() {
+				defer rwg.Done()
+				reader(sum, &stop)
+			}()
+		}
+		start := time.Now()
+		pass()
+		d := time.Since(start)
+		stop.Store(true)
+		rwg.Wait()
+		if p == 0 || d < elapsed {
+			elapsed = d
+		}
+	}
+	runtime.ReadMemStats(&after)
+	n := float64(len(s))
+	return benchjson.Record{
+		Name:        name,
+		Algo:        hh.AlgoSpaceSaving.String(),
+		Workload:    "zipf-1.1",
+		Shards:      contendedShards,
+		Batch:       batch,
+		Items:       uint64(len(s)),
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		ItemsPerSec: n / elapsed.Seconds(),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / (n * contendedPasses),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / (n * contendedPasses),
+	}
 }
 
 // measurePasses is the number of timed passes per configuration; the

@@ -22,9 +22,9 @@
 // report — the input of the CI perf gate:
 //
 //	hhbench -json full.json                  # full-size suite (4M items)
-//	hhbench -json BENCH_PR3.json -smoke      # baseline/CI size (~seconds)
+//	hhbench -json BENCH_PR4.json -smoke      # baseline/CI size (~seconds)
 //	hhbench -minreport min.json a.json b.json c.json
-//	hhbench -compare -threshold 0.15 BENCH_PR3.json min.json
+//	hhbench -compare -threshold 0.15 BENCH_PR4.json min.json
 //
 // -minreport merges reports from several fresh processes into their
 // element-wise minimum (Go's per-process map hash seed makes
@@ -37,6 +37,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	hh "repro"
@@ -82,6 +84,96 @@ func runIngest(n uint64, universe int, alpha float64, seed uint64, shards, m, ba
 		fmt.Printf("%-24s %10d items in %8v  (%6.1f M items/s)\n",
 			c.name, len(s), el.Round(time.Microsecond), float64(len(s))/el.Seconds()/1e6)
 	}
+	runIngestContended(s, shards, m, batch)
+}
+
+// runIngestContended prints the multi-goroutine rows: the concurrency
+// tier (WithConcurrent + WithShards) under 1/4/8 batch writers, the
+// same with a burst-polling reader alongside, and the per-item paths
+// of the tier versus the deprecated Concurrent[K] it replaced.
+func runIngestContended(s []uint64, shards, m, batch int) {
+	fmt.Println()
+	batchIngest := func(sum hh.Summary[uint64]) func([]uint64) {
+		return func(part []uint64) {
+			for lo := 0; lo < len(part); lo += batch {
+				sum.UpdateBatch(part[lo:min(lo+batch, len(part))])
+			}
+		}
+	}
+	itemIngest := func(sum hh.Summary[uint64]) func([]uint64) {
+		return func(part []uint64) {
+			for _, x := range part {
+				sum.Update(x)
+			}
+		}
+	}
+	contend := func(name string, sum hh.Summary[uint64], writers int, ingest func([]uint64), read bool) {
+		var stop atomic.Bool
+		var rwg sync.WaitGroup
+		queries := uint64(0)
+		if read {
+			rwg.Add(1)
+			go func() {
+				defer rwg.Done()
+				var buf []hh.WeightedEntry[uint64]
+				for !stop.Load() {
+					// Burst-poll: 256 queries back to back, then sleep five
+					// milliseconds. The reader is lock-free against writers
+					// (stale-snapshot serves, at most one rebuild per
+					// generation move), so the only way it can slow them is
+					// by monopolizing a core with an unbounded busy spin —
+					// which on a box with spare cores costs writers nothing
+					// but would turn this row into a CPU-count measurement.
+					for i := 0; i < 256 && !stop.Load(); i++ {
+						buf = sum.TopAppend(buf[:0], 10)
+						sum.Estimate(uint64(len(buf)))
+						queries++
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+			}()
+		}
+		per := (len(s) + writers - 1) / writers
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < writers; w++ {
+			lo := w * per
+			hi := min(lo+per, len(s))
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(part []uint64) {
+				defer wg.Done()
+				ingest(part)
+			}(s[lo:hi])
+		}
+		wg.Wait()
+		el := time.Since(start)
+		stop.Store(true)
+		rwg.Wait()
+		line := fmt.Sprintf("%-32s %10d items in %8v  (%6.1f M items/s)",
+			name, len(s), el.Round(time.Microsecond), float64(len(s))/el.Seconds()/1e6)
+		if read {
+			line += fmt.Sprintf("  [%d reader queries]", queries)
+		}
+		fmt.Println(line)
+	}
+	concurrentOpts := []hh.Option{hh.WithCapacity(m), hh.WithShards(shards), hh.WithConcurrent()}
+	for _, writers := range []int{1, 4, 8} {
+		sum := hh.New[uint64](concurrentOpts...)
+		contend(fmt.Sprintf("concurrent(%d) %d writers", shards, writers), sum, writers, batchIngest(sum), false)
+	}
+	mixed := hh.New[uint64](concurrentOpts...)
+	contend(fmt.Sprintf("concurrent(%d) 8 writers+reader", shards), mixed, 8, batchIngest(mixed), true)
+	perItem := hh.New[uint64](concurrentOpts...)
+	contend(fmt.Sprintf("concurrent(%d) 8 writers Update", shards), perItem, 8, itemIngest(perItem), false)
+	legacy := hh.NewConcurrentUint64(shards, m)
+	contend(fmt.Sprintf("legacy Concurrent(%d) 8 writers", shards), legacy.Summary(), 8, func(part []uint64) {
+		for _, x := range part {
+			legacy.Update(x)
+		}
+	}, false)
 }
 
 func main() {

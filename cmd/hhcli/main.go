@@ -13,10 +13,12 @@
 //
 // -m and -eps/-phi size the summary (mutually exclusive; -eps/-phi uses
 // the WithErrorBudget auto-sizing). -shards enables the concurrent
-// sharded backend and ingests via UpdateBatch. -window answers every
-// query over (approximately) the last n items via the epoch ring
-// (-epochs sets the ring size); -decay over an exponentially fading
-// window with the given per-item rate. For summaries with a tail
+// sharded backend and ingests via UpdateBatch; -concurrent additionally
+// wraps the composition in the lock-free-read concurrency tier
+// (WithConcurrent — queries served from generation-tracked snapshots).
+// -window answers every query over (approximately) the last n items via
+// the epoch ring (-epochs sets the ring size); -decay over an
+// exponentially fading window with the given per-item rate. For summaries with a tail
 // guarantee the tool also prints the Theorem 6 residual estimate and
 // the resulting k-tail error bound — the numbers a practitioner would
 // use to decide whether the counter budget was large enough.
@@ -49,19 +51,20 @@ func buildSummary(opts []hh.Option) (s hh.Summary[uint64]) {
 
 func main() {
 	var (
-		algName  = flag.String("alg", "spacesaving", "algorithm: spacesaving | frequent | lossycounting | countmin | countsketch")
-		m        = flag.Int("m", 0, "number of counters (0: use -eps/-phi, or the package default)")
-		eps      = flag.Float64("eps", 0, "target error rate (WithErrorBudget sizing)")
-		phi      = flag.Float64("phi", 0, "report all phi-heavy hitters, and include phi in -eps sizing")
-		k        = flag.Int("k", 10, "report the top k items")
-		shards   = flag.Int("shards", 0, "shard count for the concurrent backend (0: unsharded)")
-		depth    = flag.Int("depth", 0, "sketch depth (countmin/countsketch; 0: default)")
-		seed     = flag.Uint64("seed", 0, "sketch seed (0: default)")
-		weighted = flag.Bool("weighted", false, "input is a weighted stream; use the real-valued Section 6.1 variant")
-		window   = flag.Uint64("window", 0, "answer over the last n items via the epoch ring (0: whole stream)")
-		epochs   = flag.Int("epochs", 0, "epoch-ring size for -window (0: default)")
-		decay    = flag.Float64("decay", 0, "exponential decay rate per arrival (0: no decay)")
-		dump     = flag.String("dump", "", "also write the summary to this file (for cmd/hhmerge)")
+		algName    = flag.String("alg", "spacesaving", "algorithm: spacesaving | frequent | lossycounting | countmin | countsketch")
+		m          = flag.Int("m", 0, "number of counters (0: use -eps/-phi, or the package default)")
+		eps        = flag.Float64("eps", 0, "target error rate (WithErrorBudget sizing)")
+		phi        = flag.Float64("phi", 0, "report all phi-heavy hitters, and include phi in -eps sizing")
+		k          = flag.Int("k", 10, "report the top k items")
+		shards     = flag.Int("shards", 0, "shard count for the concurrent backend (0: unsharded)")
+		depth      = flag.Int("depth", 0, "sketch depth (countmin/countsketch; 0: default)")
+		seed       = flag.Uint64("seed", 0, "sketch seed (0: default)")
+		weighted   = flag.Bool("weighted", false, "input is a weighted stream; use the real-valued Section 6.1 variant")
+		concurrent = flag.Bool("concurrent", false, "wrap the summary in the lock-free-read concurrency tier (WithConcurrent)")
+		window     = flag.Uint64("window", 0, "answer over the last n items via the epoch ring (0: whole stream)")
+		epochs     = flag.Int("epochs", 0, "epoch-ring size for -window (0: default)")
+		decay      = flag.Float64("decay", 0, "exponential decay rate per arrival (0: no decay)")
+		dump       = flag.String("dump", "", "also write the summary to this file (for cmd/hhmerge)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -100,6 +103,9 @@ func main() {
 	}
 	if *weighted {
 		opts = append(opts, hh.WithWeighted())
+	}
+	if *concurrent {
+		opts = append(opts, hh.WithConcurrent())
 	}
 	if *window > 0 {
 		opts = append(opts, hh.WithWindow(*window))

@@ -23,9 +23,13 @@ import (
 	hh "repro"
 )
 
-// load reads one summary file, accepting the v2 Summary.Encode format
-// and falling back to the legacy v1 blob format. A file that starts
-// with the v2 magic reports the v2 decoder's error, not the fallback's.
+// load reads one summary file, accepting the v2 Summary.Encode format —
+// flat "HHSUM2" frames and windowed "HHWIN2" containers alike (Decode
+// detects the magic; a windowed blob reconstructs its epoch ring, whose
+// aggregate queries flatten the covered suffix, so it merges like any
+// flat summary) — and falling back to the legacy v1 blob format. A file
+// that starts with either v2 magic reports the v2 decoder's error, not
+// the fallback's.
 func load(path string) (hh.Summary[uint64], error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -43,8 +47,10 @@ func load(path string) (hh.Summary[uint64], error) {
 	if v1err != nil {
 		var magic [6]byte
 		if _, err := f.Seek(0, 0); err == nil {
-			if _, err := io.ReadFull(f, magic[:]); err == nil && string(magic[:]) == "HHSUM2" {
-				return nil, v2err
+			if _, err := io.ReadFull(f, magic[:]); err == nil {
+				if m := string(magic[:]); m == "HHSUM2" || m == "HHWIN2" {
+					return nil, v2err
+				}
 			}
 		}
 		return nil, v1err
@@ -72,6 +78,13 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hhmerge: %s: %v\n", path, err)
 			os.Exit(1)
+		}
+		if ws, ok := s.Window(); ok {
+			// A windowed input contributes only its covered suffix: say so,
+			// or "covering mass" below silently understates the producer's
+			// whole stream.
+			fmt.Printf("%s: windowed summary (%d/%d epochs live), flattening the covered suffix of mass %.0f\n",
+				path, ws.Live, ws.Epochs, ws.Covered)
 		}
 		summaries = append(summaries, s)
 		totalN += s.N()

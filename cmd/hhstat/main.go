@@ -7,22 +7,78 @@
 //
 //	hhstat stream.bin
 //	hhstat -k 20 -eps 0.001 stream.bin
+//	hhstat worker.sum
 //
 // This is the "sizing" companion to hhcli: run hhstat on a representative
 // trace to pick m, then deploy hhcli (or the library) with that budget.
+//
+// Summary blobs are detected by magic and reported too: a flat "HHSUM2"
+// frame or a windowed "HHWIN2" container (hhcli -dump) decodes through
+// the library codec — the windowed ring flattening to its covered
+// suffix — and hhstat prints the summary-derived statistics: covered
+// mass, tracked items, the Theorem 6 residual estimate and the
+// advertised k-tail bound. Unlike a raw stream, a summary cannot yield
+// exact norms or a Zipf fit; rerun on the original trace for sizing.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"text/tabwriter"
+	"time"
 
+	hh "repro"
 	"repro/internal/exact"
 	"repro/internal/stream"
 	"repro/internal/zipfmath"
 )
+
+// reportSummary prints the statistics derivable from a decoded summary
+// blob (flat or windowed).
+func reportSummary(s hh.Summary[uint64], k int) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "summary blob (%s)\t\n", s.Algorithm())
+	if ws, ok := s.Window(); ok {
+		kind := fmt.Sprintf("%d items per epoch", ws.EpochLen)
+		if ws.Tick > 0 {
+			kind = fmt.Sprintf("%v per epoch", ws.Tick/time.Duration(ws.Epochs))
+		}
+		fmt.Fprintf(tw, "window\t%d/%d epochs live, %s\n", ws.Live, ws.Epochs, kind)
+		fmt.Fprintf(tw, "covered mass\t%.1f\n", ws.Covered)
+	} else {
+		fmt.Fprintf(tw, "processed mass N\t%.1f\n", s.N())
+	}
+	fmt.Fprintf(tw, "tracked items\t%d of %d counters\n", s.Len(), s.Capacity())
+	if top := s.TopAppend(nil, 1); len(top) > 0 {
+		lo, hi := s.EstimateBounds(top[0].Item)
+		fmt.Fprintf(tw, "heaviest item\t%d (estimate %.1f, f in [%.1f, %.1f])\n", top[0].Item, top[0].Count, lo, hi)
+	}
+	res := hh.SummaryResidual(s, k)
+	fmt.Fprintf(tw, "estimated F1^res(%d)\t<= %.1f\n", k, res)
+	if g, ok := s.Guarantee(); ok {
+		fmt.Fprintf(tw, "k-tail error bound\t%.1f\n", hh.ErrorBound(g, s.Capacity(), k, res))
+	}
+	tw.Flush()
+	fmt.Printf("\n(summary blobs carry no exact norms; run hhstat on the original trace for Zipf-fit sizing)\n")
+}
+
+// sniffSummary reports whether the file starts with a v2 summary magic
+// (flat or windowed), rewinding afterwards.
+func sniffSummary(f *os.File) bool {
+	var magic [6]byte
+	_, err := io.ReadFull(f, magic[:])
+	if _, serr := f.Seek(0, 0); serr != nil {
+		return false
+	}
+	if err != nil {
+		return false
+	}
+	m := string(magic[:])
+	return m == "HHSUM2" || m == "HHWIN2"
+}
 
 func main() {
 	var (
@@ -40,6 +96,16 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
+
+	if sniffSummary(f) {
+		s, err := hh.Decode[uint64](f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hhstat: decoding summary blob: %v\n", err)
+			os.Exit(1)
+		}
+		reportSummary(s, *k)
+		return
+	}
 
 	truth := exact.New()
 	items, err := stream.ReadUnit(f)

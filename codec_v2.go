@@ -103,8 +103,12 @@ func readKeyAny[K comparable](br *bufio.Reader) (K, error) {
 // summary's counter state — a windowed frame (epoch ring, see
 // codec_window.go) when the summary is an unsharded epoch-ring window,
 // a flat frame otherwise. Sharded windows and decayed summaries flatten
-// to a snapshot of their current aggregate. Sketch-backed summaries and
-// key types other than uint64 and string return ErrUnsupportedSummary.
+// to a snapshot of their current aggregate. On a concurrent summary
+// (WithConcurrent) Encode writes one consistent snapshot: an unsharded
+// ring is framed under the write lock (writers wait for the duration —
+// Encode is not on the lock-free read list), every other composition
+// encodes the pinned read snapshot. Sketch-backed summaries and key
+// types other than uint64 and string return ErrUnsupportedSummary.
 func (s *summary[K]) Encode(w io.Writer) error {
 	if !s.be.mergeable() {
 		return fmt.Errorf("%w: %v is sketch-backed", ErrUnsupportedSummary, s.algo)
@@ -113,11 +117,25 @@ func (s *summary[K]) Encode(w io.Writer) error {
 	if kind == 0 {
 		return fmt.Errorf("%w: key type has no wire form (want uint64 or string)", ErrUnsupportedSummary)
 	}
-	if wb, ok := s.be.(*windowBackend[K]); ok {
+	be := s.be
+	if ct, ok := be.(*concurrentTier[K]); ok {
+		if wb, ok := ct.inner.(*windowBackend[K]); ok {
+			// Keep the resumable ring frame: exclude writers while the
+			// epochs are walked (encodeWindow's sync may also rotate, so
+			// invalidate read snapshots afterwards).
+			ct.wmu.Lock()
+			err := encodeWindow(w, s.algo, kind, wb)
+			ct.wmu.Unlock()
+			ct.gen.Add(1)
+			return err
+		}
+		be = ct.current()
+	}
+	if wb, ok := be.(*windowBackend[K]); ok {
 		return encodeWindow(w, s.algo, kind, wb)
 	}
 	bw := bufio.NewWriter(w)
-	if err := encodeFlatFrame(bw, s.algo, kind, s.be); err != nil {
+	if err := encodeFlatFrame(bw, s.algo, kind, be); err != nil {
 		return err
 	}
 	return bw.Flush()

@@ -2,51 +2,49 @@ package heavyhitters
 
 import (
 	"fmt"
-	"math"
-	"sync"
-	"sync/atomic"
 
-	"repro/internal/core"
 	"repro/internal/merge"
 )
 
-// Concurrent is a thread-safe heavy-hitter summary built from P
-// independent SPACESAVING shards, each guarded by its own mutex. Updates
-// hash to a shard (so a given item always lands on the same shard, and
-// each shard sees a sub-stream); Snapshot merges the shards with the
-// Section 6.2 construction.
+// Concurrent is the legacy thread-safe heavy-hitter summary: P
+// SPACESAVING shards of m counters each, items partitioned by hash.
+// Since PR 4 it is a thin wrapper over the unified concurrency tier —
+// the exact composition New builds for
+//
+//	New[K](WithConcurrent(), WithShards(p), WithCapacity(m))
+//
+// so updates take the same striped per-shard locks, and every query is
+// served from the tier's generation-tracked read snapshot (lock-free
+// against writers, bounded-stale; see WithConcurrent). The duplicated
+// shard/merge/snapshot machinery this type used to carry is gone.
 //
 // The error guarantee follows directly from Theorem 11: each shard
 // provides a (1, 1) k-tail guarantee on its sub-stream, so the merged
-// snapshot provides a (3, 2) k-tail guarantee on the full stream. Because
-// items are partitioned (not replicated) across shards, each item's
-// counts live entirely in one shard — so per-item estimates via Estimate
-// are exact shard estimates and keep the shard-level (1, 1) guarantee
-// against the item's own sub-stream, which here is its full stream.
+// Snapshot provides a (3, 2) k-tail guarantee on the full stream.
+// Because items are partitioned (not replicated) across shards, each
+// item's counts live entirely in one shard — so per-item estimates via
+// Estimate keep the shard-level (1, 1) guarantee against the item's own
+// sub-stream, which here is its full stream.
 //
 // Construct with NewConcurrent; the zero value is not usable.
 //
-// Deprecated: new code should build a sharded Summary with
-// New(WithShards(p), WithCapacity(m)) — the unified surface additionally
-// offers batch ingestion (UpdateBatch), bound-carrying queries and the
-// versioned codec, and its aggregate queries concatenate the disjoint
-// shard counters instead of compacting them, avoiding the merge-step
-// guarantee degradation described at Snapshot. Concurrent remains for
-// callers that need the concrete merged SpaceSavingR snapshot; existing
-// deployments can bridge onto the unified query surface without
+// Deprecated: build the summary directly with
+// New(WithConcurrent(), WithShards(p), WithCapacity(m)) — the unified
+// surface additionally offers batch ingestion (UpdateBatch),
+// bound-carrying queries and the versioned codec, and its aggregate
+// queries concatenate the disjoint shard counters instead of compacting
+// them, avoiding the merge-step guarantee degradation described at
+// Snapshot. Concurrent remains for callers that need the concrete
+// merged SpaceSavingR snapshot or a custom shard hash; existing
+// deployments can move to the unified query surface without
 // re-ingesting via the Summary method.
 type Concurrent[K comparable] struct {
-	shards []concurrentShard[K]
-	hash   func(K) uint64
+	s *summary[K]
+	// shards is the tier's inner sharded backend: Estimate keeps the
+	// legacy O(1) owning-shard read instead of paying a tier snapshot.
+	shards *shardedBackend[K]
+	p      int
 	m      int
-	n      atomic.Uint64
-}
-
-type concurrentShard[K comparable] struct {
-	mu  sync.Mutex
-	alg *SpaceSaving[K]
-	// Padding to keep shard locks on distinct cache lines.
-	_ [40]byte
 }
 
 // NewConcurrent returns a summary with p shards of m counters each, using
@@ -63,11 +61,15 @@ func NewConcurrent[K comparable](p, m int, hash func(K) uint64) *Concurrent[K] {
 	if hash == nil {
 		panic("heavyhitters: nil hash function")
 	}
-	c := &Concurrent[K]{shards: make([]concurrentShard[K], p), hash: hash, m: m}
-	for i := range c.shards {
-		c.shards[i].alg = NewSpaceSaving[K](m)
-	}
-	return c
+	// The same tier stack New assembles for WithConcurrent +
+	// WithShards(p) + WithCapacity(m), with the caller's hash in place
+	// of the derived keyHasher (placement only — correctness never
+	// depends on which shard owns an item).
+	cfg := config{algo: AlgoSpaceSaving, m: m, shards: p, concurrent: true, seed: 1}
+	mk := func(shard int) backend[K] { return newBackend[K](cfg, shard, hash) }
+	sb := newShardedBackend(p, hash, mk)
+	be := newConcurrentTier[K](cfg, sb)
+	return &Concurrent[K]{s: &summary[K]{algo: AlgoSpaceSaving, be: be}, shards: sb, p: p, m: m}
 }
 
 // NewConcurrentUint64 returns a sharded summary for uint64 items using a
@@ -83,55 +85,47 @@ func NewConcurrentString(p, m int) *Concurrent[string] {
 }
 
 // Update records one occurrence of item. Safe for concurrent use.
-func (c *Concurrent[K]) Update(item K) {
-	sh := &c.shards[c.hash(item)%uint64(len(c.shards))]
-	sh.mu.Lock()
-	sh.alg.Update(item)
-	sh.mu.Unlock()
-	c.n.Add(1)
-}
+func (c *Concurrent[K]) Update(item K) { c.s.Update(item) }
 
 // Estimate returns the owning shard's estimate for item. Safe for
-// concurrent use.
-func (c *Concurrent[K]) Estimate(item K) uint64 {
-	sh := &c.shards[c.hash(item)%uint64(len(c.shards))]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.alg.Estimate(item)
-}
+// concurrent use. It keeps the legacy semantics — an O(1) live lookup
+// under the owning shard's lock — rather than going through the tier's
+// read snapshot, so per-item polling loops written against the old
+// implementation keep their cost profile (the unified Summary surface
+// is the place to opt into snapshot reads).
+func (c *Concurrent[K]) Estimate(item K) uint64 { return uint64(c.shards.estimate(item)) }
 
 // N returns the number of updates processed so far. Safe for concurrent
-// use; under concurrent updates the value is a point-in-time snapshot.
-func (c *Concurrent[K]) N() uint64 { return c.n.Load() }
+// use; under concurrent updates the value is a point-in-time snapshot,
+// exact as soon as writers quiesce.
+func (c *Concurrent[K]) N() uint64 { return uint64(c.s.N()) }
 
 // Shards returns the shard count P.
-func (c *Concurrent[K]) Shards() int { return len(c.shards) }
+func (c *Concurrent[K]) Shards() int { return c.p }
 
 // ShardCapacity returns m, the counters per shard.
 func (c *Concurrent[K]) ShardCapacity() int { return c.m }
 
 // Snapshot merges all shards into a single weighted summary with the
 // configured per-shard capacity m (ShardCapacity), so callers no longer
-// re-specify the merge parameters. It locks shards one at a time, so a
-// snapshot taken during concurrent updates reflects some consistent
+// re-specify the merge parameters. The shard counters are read from one
+// tier snapshot: under concurrent updates it reflects consistent
 // per-shard states, not a single global instant.
 //
 // The compaction degrades the guarantee per Theorem 11: each shard is a
 // (1, 1)-guaranteed summary of its sub-stream, and merging ℓ summaries
 // with (A, B) k-tail guarantees yields (3A, A+B) — here (3, 2) — over
 // the full stream. Per-item queries against the live Concurrent (or a
-// sharded Summary built by New, which concatenates rather than compacts)
-// keep the shard-level (1, 1) guarantee; only the compacted snapshot
-// pays the (3A, A+B) price.
+// summary built by New, which concatenates rather than compacts) keep
+// the shard-level (1, 1) guarantee; only the compacted snapshot pays
+// the (3A, A+B) price.
 func (c *Concurrent[K]) Snapshot() *SpaceSavingR[K] {
-	entries := make([][]Entry[K], len(c.shards))
-	for i := range c.shards {
-		sh := &c.shards[i]
-		sh.mu.Lock()
-		entries[i] = sh.alg.Entries()
-		sh.mu.Unlock()
+	agg := c.s.be.appendEntries(nil, -1)
+	entries := make([]Entry[K], len(agg))
+	for i, e := range agg {
+		entries[i] = Entry[K]{Item: e.Item, Count: uint64(e.Count), Err: uint64(e.Err)}
 	}
-	return merge.MSparse(c.m, entries...)
+	return merge.MSparse(c.m, entries)
 }
 
 // Top returns the k largest counters of a fresh snapshot merged at the
@@ -141,164 +135,26 @@ func (c *Concurrent[K]) Top(k int) []WeightedEntry[K] {
 }
 
 // Reset clears every shard. It is not atomic with respect to concurrent
-// updates: callers should quiesce writers first.
-func (c *Concurrent[K]) Reset() {
-	for i := range c.shards {
-		sh := &c.shards[i]
-		sh.mu.Lock()
-		sh.alg.Reset()
-		sh.mu.Unlock()
-	}
-	c.n.Store(0)
-}
+// updates (callers should quiesce writers first), but the tier's reset
+// era guarantees a reader that starts after Reset returns never serves
+// pre-Reset entries.
+func (c *Concurrent[K]) Reset() { c.s.Reset() }
 
 // String describes the configuration.
 func (c *Concurrent[K]) String() string {
-	return fmt.Sprintf("heavyhitters.Concurrent{shards: %d, m: %d}", len(c.shards), c.m)
+	return fmt.Sprintf("heavyhitters.Concurrent{shards: %d, m: %d}", c.p, c.m)
 }
 
-// Summary returns a live view of c on the unified Summary surface:
-// updates through either handle land in the same shards, and the
-// Summary's bound-carrying queries (EstimateBounds, HeavyHitters, the
-// allocation-conscious TopAppend/All) read the live shard counters
-// directly. Unlike Snapshot — which compacts the shards into m counters
-// and pays the Theorem 11 (3, 2) degradation — the view concatenates
-// the shards' disjoint counter sets, so per-item answers keep the
-// shard-level (1, 1) guarantee and aggregate queries introduce no merge
-// error. It also opens the v2 codec (Encode) and MergeSummaries to
-// legacy Concurrent deployments. Every method of the view is safe for
-// concurrent use; aggregate queries lock shards one at a time, like
-// Snapshot.
-func (c *Concurrent[K]) Summary() Summary[K] {
-	return &summary[K]{algo: AlgoSpaceSaving, be: &concurrentBackend[K]{c: c}}
-}
-
-// concurrentBackend adapts a Concurrent's shard set to the internal
-// backend contract. It is stateless (no reused scratch) so the view
-// inherits Concurrent's thread safety; queries allocate what they
-// return.
-type concurrentBackend[K comparable] struct {
-	c *Concurrent[K]
-}
-
-func (b *concurrentBackend[K]) update(item K) { b.c.Update(item) }
-
-func (b *concurrentBackend[K]) updateN(item K, n uint64) {
-	if n == 0 {
-		return
-	}
-	sh := &b.c.shards[b.c.hash(item)%uint64(len(b.c.shards))]
-	sh.mu.Lock()
-	sh.alg.AddN(item, n)
-	sh.mu.Unlock()
-	b.c.n.Add(n)
-}
-
-func (b *concurrentBackend[K]) updateWeighted(item K, w float64) {
-	if w != math.Trunc(w) {
-		// No WithWeighted advice here: a Concurrent cannot be
-		// reconfigured — real-valued updates need a summary built by New.
-		panic("heavyhitters: Concurrent accepts integral weights only; build New(WithWeighted()) for real-valued updates")
-	}
-	if w >= 1<<64 {
-		panic("heavyhitters: integral weight overflows uint64")
-	}
-	b.updateN(item, uint64(w))
-}
-
-func (b *concurrentBackend[K]) updateBatch(items []K, _ []uint64) {
-	for _, it := range items {
-		b.c.Update(it)
-	}
-}
-
-func (b *concurrentBackend[K]) estimate(item K) float64 { return float64(b.c.Estimate(item)) }
-
-func (b *concurrentBackend[K]) bounds(item K) (float64, float64) {
-	sh := &b.c.shards[b.c.hash(item)%uint64(len(b.c.shards))]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	lo, hi := EstimateBounds[K](sh.alg, item)
-	return float64(lo), float64(hi)
-}
-
-// appendEntries concatenates the shards' disjoint counter sets, locking
-// one shard at a time (consistent per-shard states, not one global
-// instant — the same semantics as the sharded Summary backend).
-func (b *concurrentBackend[K]) appendEntries(dst []WeightedEntry[K], max int) []WeightedEntry[K] {
-	if max == 0 {
-		return dst
-	}
-	start := len(dst)
-	for i := range b.c.shards {
-		sh := &b.c.shards[i]
-		sh.mu.Lock()
-		sh.alg.Each(func(e Entry[K]) bool {
-			dst = append(dst, WeightedEntry[K]{Item: e.Item, Count: float64(e.Count), Err: float64(e.Err)})
-			return true
-		})
-		sh.mu.Unlock()
-	}
-	core.SortWeightedEntries(dst[start:])
-	if max > 0 && len(dst)-start > max {
-		dst = dst[:start+max]
-	}
-	return dst
-}
-
-// each snapshots first: yielding under a shard lock could deadlock a
-// consumer that queries the view from inside the loop.
-func (b *concurrentBackend[K]) each(yield func(WeightedEntry[K]) bool) {
-	for _, e := range b.appendEntries(nil, -1) {
-		if !yield(e) {
-			return
-		}
-	}
-}
-
-func (b *concurrentBackend[K]) capacity() int { return b.c.m }
-
-func (b *concurrentBackend[K]) length() int {
-	n := 0
-	for i := range b.c.shards {
-		sh := &b.c.shards[i]
-		sh.mu.Lock()
-		n += sh.alg.Len()
-		sh.mu.Unlock()
-	}
-	return n
-}
-
-func (b *concurrentBackend[K]) total() float64 { return float64(b.c.n.Load()) }
-
-func (b *concurrentBackend[K]) guarantee() (TailGuarantee, bool) {
-	// Per-shard SPACESAVING constants; per-item queries are exact shard
-	// queries, so the shard-level guarantee is the right one to report
-	// (the compacted Snapshot path is what pays (3, 2)).
-	return TailGuarantee{A: 1, B: 1}, true
-}
-
-func (b *concurrentBackend[K]) mergeable() bool { return true }
-func (b *concurrentBackend[K]) overEst() bool   { return true }
-func (b *concurrentBackend[K]) slackOut() float64 {
-	return 0 // SPACESAVING shards never undercount
-}
-
-func (b *concurrentBackend[K]) absentExtra() float64 {
-	// An absent item lives wholly in its owning shard, so the worst
-	// single shard bounds it.
-	var worst float64
-	for i := range b.c.shards {
-		sh := &b.c.shards[i]
-		sh.mu.Lock()
-		if e := float64(sh.alg.MinCount()); e > worst {
-			worst = e
-		}
-		sh.mu.Unlock()
-	}
-	return worst
-}
-
-func (b *concurrentBackend[K]) windowState() (WindowState, bool) { return WindowState{}, false }
-
-func (b *concurrentBackend[K]) reset() { b.c.Reset() }
+// Summary returns c on the unified Summary surface — since the PR 4
+// refactor Concurrent is that summary, so the result shares all state
+// with c: updates through either handle land in the same shards, and
+// the Summary's bound-carrying queries (EstimateBounds, HeavyHitters,
+// the allocation-conscious TopAppend/All) serve from the same lock-free
+// snapshot tier. Unlike Snapshot — which compacts the shards into m
+// counters and pays the Theorem 11 (3, 2) degradation — the summary
+// concatenates the shards' disjoint counter sets, so per-item answers
+// keep the shard-level (1, 1) guarantee and aggregate queries introduce
+// no merge error. It also opens the v2 codec (Encode) and
+// MergeSummaries to legacy Concurrent deployments. Every method is safe
+// for concurrent use.
+func (c *Concurrent[K]) Summary() Summary[K] { return c.s }

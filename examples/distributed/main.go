@@ -4,6 +4,12 @@
 // and merges them into one summary of the union without touching the raw
 // data. The merged error stays within the paper's (3A, A+B) bound.
 //
+// The workers run on the concurrency tier (WithConcurrent): each
+// ingests in its own goroutine, and the coordinator snapshots one
+// worker mid-ingest — Encode pins one consistent snapshot, so the blob
+// is a valid summary of a prefix of that worker's stream even while
+// its writer keeps going.
+//
 //	go run ./examples/distributed
 package main
 
@@ -11,6 +17,8 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"sync"
+	"time"
 
 	hh "repro"
 	"repro/internal/stream"
@@ -32,17 +40,48 @@ func main() {
 		truth[x]++
 	}
 
-	// Each worker summarizes its contiguous shard independently and
-	// encodes its state — the only bytes that travel to the coordinator.
-	var wire [][]byte
+	// Each worker summarizes its contiguous shard in its own goroutine
+	// on the concurrency tier, then encodes its state — the only bytes
+	// that travel to the coordinator. While worker 0 is still ingesting,
+	// the coordinator takes one early consistent snapshot of it: Encode
+	// on a concurrent summary never sees a torn state.
+	workers := make([]hh.Summary[uint64], shardCnt)
+	for w := range workers {
+		workers[w] = hh.New[uint64](hh.WithConcurrent(), hh.WithCapacity(m))
+	}
 	per := len(s) / shardCnt
+	var wg sync.WaitGroup
 	for w := 0; w < shardCnt; w++ {
 		lo, hi := w*per, (w+1)*per
 		if w == shardCnt-1 {
 			hi = len(s)
 		}
-		worker := hh.New[uint64](hh.WithCapacity(m))
-		worker.UpdateBatch(s[lo:hi])
+		wg.Add(1)
+		go func(worker hh.Summary[uint64], part []uint64) {
+			defer wg.Done()
+			for lo := 0; lo < len(part); lo += 4096 {
+				worker.UpdateBatch(part[lo:min(lo+4096, len(part))])
+			}
+		}(workers[w], s[lo:hi])
+	}
+	// Wait until worker 0 is mid-stream. N() waits for a consistent
+	// snapshot (briefly sharing the unsharded worker's write lock), so
+	// poll gently rather than spinning against the ingest.
+	for workers[0].N() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	var early bytes.Buffer
+	if err := workers[0].Encode(&early); err != nil {
+		panic(err)
+	}
+	if snap, err := hh.Decode[uint64](bytes.NewReader(early.Bytes())); err == nil {
+		fmt.Printf("mid-ingest snapshot of worker 0: consistent summary of mass %.0f (of %d eventual)\n",
+			snap.N(), per)
+	}
+	wg.Wait()
+
+	var wire [][]byte
+	for _, worker := range workers {
 		var buf bytes.Buffer
 		if err := worker.Encode(&buf); err != nil {
 			panic(err)

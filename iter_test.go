@@ -31,6 +31,10 @@ func iterBackends() map[string]hh.Summary[uint64] {
 		"window":             hh.New[uint64](hh.WithCapacity(64), hh.WithWindow(2048), hh.WithEpochs(4)),
 		"decay":              hh.New[uint64](hh.WithCapacity(64), hh.WithDecay(0.0001)),
 		"concurrent-bridge":  c.Summary(),
+		"concurrent":         hh.New[uint64](hh.WithCapacity(64), hh.WithConcurrent()),
+		"concurrent-sharded": hh.New[uint64](hh.WithCapacity(64), hh.WithConcurrent(), hh.WithShards(4)),
+		"concurrent-window": hh.New[uint64](hh.WithCapacity(64), hh.WithConcurrent(),
+			hh.WithWindow(2048), hh.WithEpochs(4)),
 	}
 }
 

@@ -37,6 +37,10 @@ type config struct {
 	// ring, on the real-valued backends.
 	decay    float64 // per-arrival decay rate λ; 0 = no decay
 	decaySet bool
+
+	// Concurrency tier (WithConcurrent): striped writer locks plus
+	// generation-tracked read snapshots on top of the composition.
+	concurrent bool
 }
 
 // windowed reports whether the configuration asks for the epoch-ring
@@ -87,6 +91,34 @@ func WithErrorBudget(eps, phi float64) Option {
 // a single locked shard (thread safety without partitioning).
 func WithShards(p int) Option {
 	return func(c *config) { c.shards = p }
+}
+
+// WithConcurrent wraps the summary in the concurrency tier, making
+// every Summary method safe for concurrent use with reads that never
+// block writers. Writers serialize through striped locks — the
+// per-shard mutexes when composed with WithShards(p), one structure
+// lock otherwise — and bump a generation counter; readers serve from
+// an immutable snapshot behind an atomic pointer, rebuilt lazily
+// (by one reader at a time) only when the generation moved, so
+// Estimate, EstimateBounds, Top, TopAppend, All, HeavyHitters, N and
+// Window are lock-free against the write path. Readers may observe a
+// bounded-stale snapshot: at most one in-flight rebuild old, and never
+// from before the latest Reset. N is the exception that trades the
+// staleness allowance for exactness — it waits for an in-flight
+// rebuild (still never blocking writers), so the reported mass is
+// exact as soon as writers quiesce. The tier composes with every other
+// tier (core → window/decay → sharded → concurrent) and keeps the
+// batch path's one-hash-per-key contract; it requires a deterministic
+// counter algorithm (snapshots cannot reproduce a sketch's estimates
+// for never-tracked items — use WithShards alone for thread-safe
+// sketches). Compared with WithShards alone, whose aggregate queries
+// lock every shard on every call, the concurrency tier trades bounded
+// staleness for reads that scale independently of write traffic; a
+// snapshot's upper bounds on a sharded composition widen by the other
+// shards' slack (zero for SPACESAVING). See the README's
+// "Concurrency" section for the full semantics.
+func WithConcurrent() Option {
+	return func(c *config) { c.concurrent = true }
 }
 
 // WithSeed fixes the seed of randomized backends (Count-Min,
@@ -165,7 +197,10 @@ func WithEpochs(e int) Option {
 // so epochs expire even while the stream is idle. clock supplies the
 // current time and may be nil for time.Now; tests and replay pipelines
 // inject their own. Sharded tick windows share the clock, so every
-// shard covers the same time span. Mutually exclusive with WithWindow
+// shard covers the same time span; an injected clock must be safe for
+// concurrent use when combined with WithShards or WithConcurrent (the
+// shards — and, under WithConcurrent, the readers checking snapshot
+// expiry — call it concurrently). Mutually exclusive with WithWindow
 // and WithDecay.
 func WithTickWindow(d time.Duration, clock func() time.Time) Option {
 	return func(c *config) {
@@ -284,6 +319,9 @@ func (c *config) resolve() error {
 			// permanently empty; clamp so every epoch holds >= 1 item.
 			c.epochs = int(c.window)
 		}
+	}
+	if c.concurrent && !c.algo.deterministic() {
+		return fmt.Errorf("heavyhitters: WithConcurrent requires a deterministic counter algorithm, got %v (use WithShards alone for thread-safe sketches)", c.algo)
 	}
 	if c.decaySet {
 		if math.IsNaN(c.decay) || math.IsInf(c.decay, 0) || c.decay <= 0 {

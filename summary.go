@@ -33,20 +33,25 @@ import (
 // weighted and real-valued summaries share one query surface; unit
 // backends count exactly (float64 is exact below 2^53).
 //
-// Unless constructed with WithShards, a Summary is not safe for
-// concurrent use. With WithShards(p) every method is safe for concurrent
-// use: items are partitioned across p independently locked shards, so
-// per-item estimates and bounds retain the full single-shard guarantee
-// against the item's own stream, and aggregate queries (Top,
-// HeavyHitters) concatenate the shards' disjoint counter sets — no
-// cross-shard merge error is introduced.
+// Unless constructed with WithShards or WithConcurrent, a Summary is
+// not safe for concurrent use. With WithShards(p) every method is safe
+// for concurrent use: items are partitioned across p independently
+// locked shards, so per-item estimates and bounds retain the full
+// single-shard guarantee against the item's own stream, and aggregate
+// queries (Top, HeavyHitters) concatenate the shards' disjoint counter
+// sets — no cross-shard merge error is introduced. WithConcurrent adds
+// the lock-free read tier on top of any composition: writers keep the
+// striped shard locks, while queries serve from a generation-tracked
+// snapshot and never block the ingest path (see WithConcurrent for the
+// bounded-staleness contract).
 //
 // WithWindow / WithTickWindow / WithDecay add the windowed tier: every
 // query is answered over a sliding suffix of the stream (an epoch ring)
 // or an exponentially fading one (decay) instead of the whole stream.
 // The tiers compose — WithShards(p) with WithWindow(n) runs one epoch
 // ring per shard ("shard of windows"), batch ingestion still hashing
-// each key exactly once.
+// each key exactly once, and WithConcurrent on top of either makes the
+// whole composition concurrent.
 type Summary[K comparable] interface {
 	// Update records one occurrence of item.
 	Update(item K)
@@ -168,6 +173,9 @@ func New[K comparable](opts ...Option) Summary[K] {
 		be = newShardedBackend(cfg.shards, hash, mk)
 	} else {
 		be = mk(0)
+	}
+	if cfg.concurrent {
+		be = newConcurrentTier(cfg, be)
 	}
 	return &summary[K]{algo: cfg.algo, be: be}
 }
@@ -335,10 +343,14 @@ func (s *summary[K]) HeavyHitters(phi float64) []Result[K] {
 	if phi <= 0 || phi > 1 {
 		panic("heavyhitters: phi must be in (0, 1]")
 	}
-	threshold := phi * s.be.total()
+	// Pin one consistent view for the whole query: on a concurrent
+	// summary the threshold, the enumeration and every bound then come
+	// from the same snapshot even while writers race.
+	be := pinned(s.be)
+	threshold := phi * be.total()
 	var out []Result[K]
-	s.be.each(func(e WeightedEntry[K]) bool {
-		lo, hi := s.be.bounds(e.Item)
+	be.each(func(e WeightedEntry[K]) bool {
+		lo, hi := be.bounds(e.Item)
 		if hi >= threshold {
 			out = append(out, Result[K]{
 				Item:       e.Item,
@@ -403,11 +415,15 @@ func MergeSummaries[K comparable](m int, summaries ...Summary[K]) (Summary[K], e
 		if !ok {
 			return nil, fmt.Errorf("heavyhitters: input %d is not a summary built by this package", i)
 		}
-		if !ws.be.mergeable() {
+		// Pin one consistent view per input: a concurrent input's
+		// entries, slack and mass must all come from the same snapshot or
+		// racing writers could break the carried bounds.
+		be := pinned(ws.be)
+		if !be.mergeable() {
 			return nil, fmt.Errorf("heavyhitters: input %d (%v) is sketch-backed and cannot be merged", i, ws.algo)
 		}
-		carryErr := ws.be.overEst()
-		ws.be.each(func(e WeightedEntry[K]) bool {
+		carryErr := be.overEst()
+		be.each(func(e WeightedEntry[K]) bool {
 			if carryErr {
 				dst.Absorb(e.Item, e.Count, e.Err)
 			} else {
@@ -418,9 +434,9 @@ func MergeSummaries[K comparable](m int, summaries ...Summary[K]) (Summary[K], e
 		// slackOut widens every bound (underestimated mass); absentExtra
 		// widens them too, because an item stored in the merge may have
 		// been evicted by this input, hiding up to its Δ.
-		slack += ws.be.slackOut() + ws.be.absentExtra()
-		sumN += ws.be.total()
-		ig, ok := ws.be.guarantee()
+		slack += be.slackOut() + be.absentExtra()
+		sumN += be.total()
+		ig, ok := be.guarantee()
 		if !ok {
 			hasG = false
 		} else {
@@ -731,6 +747,18 @@ type shardedBackend[K comparable] struct {
 	// UpdateBatch in flight), so steady-state batch ingestion performs
 	// no per-batch bucket allocations.
 	pool sync.Pool
+	// mergePool recycles the run-merge workspace of aggregate queries
+	// (one per concurrent appendEntries in flight).
+	mergePool sync.Pool
+}
+
+// shardMergeScratch is the reusable workspace of one sharded
+// appendEntries call: the ping-pong buffer and run boundaries of the
+// sorted-run merge.
+type shardMergeScratch[K comparable] struct {
+	buf     []WeightedEntry[K]
+	bounds  []int
+	bounds2 []int
 }
 
 // batchScratch is the reusable partition workspace of one UpdateBatch
@@ -749,6 +777,7 @@ func newShardedBackend[K comparable](p int, hash func(K) uint64, mk func(int) ba
 	b.pool.New = func() any {
 		return &batchScratch[K]{keys: make([][]K, p), hashes: make([][]uint64, p)}
 	}
+	b.mergePool.New = func() any { return &shardMergeScratch[K]{} }
 	return b
 }
 
@@ -837,23 +866,88 @@ func (b *shardedBackend[K]) bounds(item K) (float64, float64) {
 // are locked one at a time, so under concurrent updates the snapshot
 // reflects consistent per-shard states, not one global instant. The
 // global top-max needs every shard's counters, so all of them are
-// appended and sorted before truncation.
+// appended before truncation — but each shard's run is already in
+// decreasing order, so the global order comes from a stable merge of
+// the runs (n·log p moves through pooled scratch) rather than
+// re-sorting the concatenation, which profiled as the dominant cost of
+// aggregate queries and concurrency-tier snapshot rebuilds.
 func (b *shardedBackend[K]) appendEntries(dst []WeightedEntry[K], max int) []WeightedEntry[K] {
 	if max == 0 {
 		return dst
 	}
 	start := len(dst)
+	sc := b.mergePool.Get().(*shardMergeScratch[K])
+	bounds := append(sc.bounds[:0], 0)
 	for i := range b.slots {
 		sl := &b.slots[i]
 		sl.mu.Lock()
 		dst = sl.be.appendEntries(dst, -1)
 		sl.mu.Unlock()
+		bounds = append(bounds, len(dst)-start)
 	}
-	core.SortWeightedEntries(dst[start:])
+	var buf []WeightedEntry[K]
+	buf, sc.bounds, sc.bounds2 = mergeSortedRuns(dst[start:], sc.buf, bounds, sc.bounds2)
+	// Drop entry references (string keys) before pooling, so a parked
+	// scratch buffer cannot pin the previous query's keys in memory.
+	buf = buf[:cap(buf)]
+	clear(buf)
+	sc.buf = buf[:0]
+	b.mergePool.Put(sc)
 	if max > 0 && len(dst)-start > max {
 		dst = dst[:start+max]
 	}
 	return dst
+}
+
+// mergeSortedRuns sorts data — the concatenation of runs that are each
+// already in decreasing count order, with run i spanning
+// data[bounds[i]:bounds[i+1]] — by merging the runs pairwise,
+// ping-ponging between data's storage and buf. Ties keep the earlier
+// run's entries first, so the result is identical to a stable sort of
+// the concatenation. Returns the (possibly grown) scratch buffer and
+// boundary slices for pooling; data holds the sorted result.
+func mergeSortedRuns[K comparable](data, buf []WeightedEntry[K], bounds, bounds2 []int) ([]WeightedEntry[K], []int, []int) {
+	src, out := data, buf
+	bs, bo := bounds, bounds2
+	inData := true
+	for len(bs) > 2 {
+		out = out[:0]
+		bo = append(bo[:0], 0)
+		i := 0
+		for ; i+2 < len(bs); i += 2 {
+			out = mergeTwoRuns(out, src[bs[i]:bs[i+1]], src[bs[i+1]:bs[i+2]])
+			bo = append(bo, len(out))
+		}
+		if i+1 < len(bs) {
+			// Odd run count: carry the last run into this round's output.
+			out = append(out, src[bs[i]:bs[i+1]]...)
+			bo = append(bo, len(out))
+		}
+		src, out = out, src[:0]
+		bs, bo = bo, bs
+		inData = !inData
+	}
+	if !inData {
+		copy(data, src)
+		return src, bs, bo
+	}
+	return out, bs, bo
+}
+
+// mergeTwoRuns merges two decreasing-order runs into dst, preferring a
+// on ties (stability: a is the earlier run).
+func mergeTwoRuns[K comparable](dst []WeightedEntry[K], a, b []WeightedEntry[K]) []WeightedEntry[K] {
+	for len(a) > 0 && len(b) > 0 {
+		if b[0].Count > a[0].Count {
+			dst = append(dst, b[0])
+			b = b[1:]
+		} else {
+			dst = append(dst, a[0])
+			a = a[1:]
+		}
+	}
+	dst = append(dst, a...)
+	return append(dst, b...)
 }
 
 // each snapshots first (a sharded summary is concurrent: yielding under

@@ -102,6 +102,7 @@ func TestToolsWindowedPipeline(t *testing.T) {
 	hhgen := buildTool(t, dir, "hhgen")
 	hhcli := buildTool(t, dir, "hhcli")
 	hhmerge := buildTool(t, dir, "hhmerge")
+	hhstat := buildTool(t, dir, "hhstat")
 
 	drift := filepath.Join(dir, "drift.bin")
 	run(t, hhgen, "-kind", "drift", "-n", "60000", "-universe", "2000",
@@ -132,15 +133,45 @@ func TestToolsWindowedPipeline(t *testing.T) {
 	if !strings.Contains(out, "covering the last 8000 items") {
 		t.Errorf("hhcli did not report the covered suffix:\n%s", out)
 	}
-	// The windowed dump decodes and merges downstream.
+	// The windowed dump decodes and merges downstream, and hhmerge
+	// announces that each HHWIN2 input flattens to its covered suffix.
 	mergedOut := run(t, hhmerge, "-m", "128", "-k", "3", sum, sum)
 	if !strings.Contains(mergedOut, "merged 2 summaries covering mass 16000") {
 		t.Errorf("hhmerge on windowed dumps unexpected:\n%s", mergedOut)
+	}
+	if !strings.Contains(mergedOut, "windowed summary (4/4 epochs live), flattening the covered suffix of mass 8000") {
+		t.Errorf("hhmerge did not report the windowed inputs:\n%s", mergedOut)
+	}
+
+	// hhstat detects the HHWIN2 frame and reports summary-derived stats
+	// instead of failing to parse it as a stream.
+	statOut := run(t, hhstat, "-k", "5", sum)
+	for _, want := range []string{"summary blob", "4/4 epochs live", "covered mass", "8000.0", "tracked items"} {
+		if !strings.Contains(statOut, want) {
+			t.Errorf("hhstat on windowed blob missing %q:\n%s", want, statOut)
+		}
+	}
+	// Same for a flat HHSUM2 blob.
+	flatSum := filepath.Join(dir, "flat.sum")
+	run(t, hhcli, "-m", "128", "-k", "3", "-dump", flatSum, drift)
+	flatStat := run(t, hhstat, flatSum)
+	for _, want := range []string{"summary blob", "processed mass N", "60000.0"} {
+		if !strings.Contains(flatStat, want) {
+			t.Errorf("hhstat on flat blob missing %q:\n%s", want, flatStat)
+		}
 	}
 
 	decayOut := run(t, hhcli, "-m", "128", "-decay", "0.001", "-k", "5", drift)
 	if !strings.Contains(decayOut, "decay: rate 0.001") {
 		t.Errorf("hhcli did not report the decay mode:\n%s", decayOut)
+	}
+
+	// The concurrency tier composes with the windowed tool path and
+	// produces the same report shape.
+	concOut := run(t, hhcli, "-m", "128", "-window", "8000", "-epochs", "4",
+		"-shards", "2", "-concurrent", "-k", "5", drift)
+	if !strings.Contains(concOut, "epochs live") {
+		t.Errorf("hhcli -concurrent windowed output unexpected:\n%s", concOut)
 	}
 }
 

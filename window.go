@@ -40,6 +40,18 @@ package heavyhitters
 // (Scale), keeping all values in float64 range. The Section 6.1
 // guarantees are weight-linear, so they hold verbatim against the
 // decayed frequency vector.
+//
+// Thread safety is not this layer's concern: like the core backends,
+// windowBackend and decayBackend are single-threaded by contract.
+// WithShards runs one instance per shard under the shard locks, and
+// WithConcurrent adds the snapshot tier on top (concurrency.go) —
+// under it, the read-path mutations here (tick rotation in sync, the
+// reused agg/scratch buffers) only ever run during a snapshot capture,
+// which holds the same locks the write path takes. Tick windows
+// additionally expire out of *cached* snapshots: the tier stamps each
+// snapshot with its capture time and rebuilds once per epoch
+// granularity even when no writes arrive, so sync's query-driven
+// rotation still happens on an idle stream.
 
 import (
 	"math"
