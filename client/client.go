@@ -1,0 +1,258 @@
+// Package client is the typed Go wrapper around hhserverd's HTTP API:
+// agents use it to push raw batches (Push/PushBinary) or locally
+// summarized blobs (MergeBlob/MergeSummary — the Theorem 11 wire-level
+// merge), and consumers to run bound-carrying queries (Top,
+// HeavyHitters, Estimate) or pull portable snapshots (Snapshot,
+// Encode). One Client addresses one named summary on one server; it is
+// safe for concurrent use.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+
+	hh "repro"
+	"repro/internal/registry"
+)
+
+// Client talks to one named summary of one hhserverd instance.
+type Client struct {
+	base string
+	name string
+	hc   *http.Client
+	// pool recycles request-body buffers so steady-state pushing
+	// allocates no per-batch body storage.
+	pool sync.Pool
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the http.Client (timeouts, transport
+// tuning, test doubles). The default is http.DefaultClient.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the summary named name on the server at
+// base (e.g. "http://127.0.0.1:8070").
+func New(base, name string, opts ...Option) *Client {
+	c := &Client{
+		base: base,
+		name: name,
+		hc:   http.DefaultClient,
+	}
+	c.pool.New = func() any { return new(bytes.Buffer) }
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Name returns the summary name this client addresses.
+func (c *Client) Name() string { return c.name }
+
+func (c *Client) url(endpoint string) string {
+	return c.base + "/v1/" + url.PathEscape(c.name) + endpoint
+}
+
+// apiError surfaces the server's {"error": ...} body with its status.
+func apiError(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	msg := ""
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil {
+		msg = body.Error
+	}
+	if msg == "" {
+		msg = "no error detail"
+	}
+	return fmt.Errorf("client: %s: %s", resp.Status, msg)
+}
+
+func (c *Client) do(ctx context.Context, method, url, contentType string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	if out == nil {
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Create registers the summary under this client's name with the given
+// spec (PUT /v1/{name}); the server errors if the name is taken.
+func (c *Client) Create(ctx context.Context, spec hh.Spec) error {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPut, c.base+"/v1/"+url.PathEscape(c.name),
+		"application/json", bytes.NewReader(body), nil)
+}
+
+// Push ingests one unit-weight occurrence of every key, in the
+// newline-delimited text format. Keys the text format cannot carry
+// faithfully — empty keys, keys containing a newline, keys ending in
+// '\r' (the server's CRLF tolerance would strip it) — make Push fall
+// back to the binary format transparently, so any batch round-trips
+// byte-exact. Returns the server-acknowledged key count.
+func (c *Client) Push(ctx context.Context, keys []string) (int, error) {
+	for _, k := range keys {
+		if k == "" || strings.ContainsRune(k, '\n') || k[len(k)-1] == '\r' {
+			return c.PushBinary(ctx, keys)
+		}
+	}
+	buf := c.pool.Get().(*bytes.Buffer)
+	defer func() { buf.Reset(); c.pool.Put(buf) }()
+	for _, k := range keys {
+		buf.WriteString(k)
+		buf.WriteByte('\n')
+	}
+	return c.push(ctx, registry.ContentTypeText, buf)
+}
+
+// PushBinary ingests one unit-weight occurrence of every key in the
+// length-prefixed binary format, which round-trips arbitrary key
+// bytes.
+func (c *Client) PushBinary(ctx context.Context, keys []string) (int, error) {
+	buf := c.pool.Get().(*bytes.Buffer)
+	defer func() { buf.Reset(); c.pool.Put(buf) }()
+	rec := make([]byte, 0, 64)
+	for _, k := range keys {
+		rec = registry.AppendBinaryRecord(rec[:0], k)
+		buf.Write(rec)
+	}
+	return c.push(ctx, registry.ContentTypeBinary, buf)
+}
+
+func (c *Client) push(ctx context.Context, contentType string, body *bytes.Buffer) (int, error) {
+	var resp struct {
+		Ingested int `json:"ingested"`
+	}
+	if err := c.do(ctx, http.MethodPost, c.url("/update"), contentType, body, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Ingested, nil
+}
+
+// MergeBlob pushes one encoded summary blob (the bytes Summary.Encode
+// writes — flat or windowed) for the server to merge into the named
+// summary with full Theorem 11 error metadata. Returns the blob's
+// stream mass as acknowledged by the server.
+func (c *Client) MergeBlob(ctx context.Context, blob io.Reader) (float64, error) {
+	var resp struct {
+		MergedMass float64 `json:"merged_mass"`
+	}
+	if err := c.do(ctx, http.MethodPost, c.url("/merge"), "application/octet-stream", blob, &resp); err != nil {
+		return 0, err
+	}
+	return resp.MergedMass, nil
+}
+
+// MergeSummary encodes s and pushes it via MergeBlob — the one-call
+// path for an agent holding a live local summary.
+func (c *Client) MergeSummary(ctx context.Context, s hh.Summary[string]) (float64, error) {
+	buf := c.pool.Get().(*bytes.Buffer)
+	defer func() { buf.Reset(); c.pool.Put(buf) }()
+	if err := s.Encode(buf); err != nil {
+		return 0, err
+	}
+	return c.MergeBlob(ctx, buf)
+}
+
+// Result is one bound-carrying answer: the server's certain interval
+// Lo <= f <= Hi on the item's true weight in the served union, and for
+// heavy-hitter queries whether even the lower bound clears the
+// threshold. It aliases the server's own response type, so the two
+// ends of the wire agree by construction.
+type Result = registry.Result
+
+// QueryResponse carries a ranked query's results together with the
+// mass N they were answered against.
+type QueryResponse = registry.QueryResponse
+
+// Top returns the server's k largest counters with certain bounds.
+func (c *Client) Top(ctx context.Context, k int) (QueryResponse, error) {
+	var resp QueryResponse
+	err := c.do(ctx, http.MethodGet, c.url("/top?k="+strconv.Itoa(k)), "", nil, &resp)
+	return resp, err
+}
+
+// HeavyHitters returns every item whose true weight may reach phi*N,
+// with certain bounds and Guaranteed labels.
+func (c *Client) HeavyHitters(ctx context.Context, phi float64) (QueryResponse, error) {
+	var resp QueryResponse
+	err := c.do(ctx, http.MethodGet,
+		c.url("/heavyhitters?phi="+strconv.FormatFloat(phi, 'g', -1, 64)), "", nil, &resp)
+	return resp, err
+}
+
+// Estimate is the /estimate response: a point estimate with its
+// certain interval; Guaranteed reports a zero-width (exact) interval.
+// It aliases the server's own response type.
+type Estimate = registry.EstimateResponse
+
+// Estimate queries one item's estimate and certain bounds.
+func (c *Client) Estimate(ctx context.Context, key string) (Estimate, error) {
+	var resp Estimate
+	err := c.do(ctx, http.MethodGet, c.url("/estimate?key="+url.QueryEscape(key)), "", nil, &resp)
+	return resp, err
+}
+
+// Encode streams the server's portable v2 snapshot of the summary
+// into w — the bytes hh.Decode reconstructs, and the payload of an
+// agent-to-agent relay (curl .../encode | hhmerge -).
+func (c *Client) Encode(ctx context.Context, w io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/encode"), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// Snapshot fetches and decodes the server's current snapshot into a
+// local Summary, ready for offline queries or further merging.
+func (c *Client) Snapshot(ctx context.Context) (hh.Summary[string], error) {
+	var buf bytes.Buffer
+	if err := c.Encode(ctx, &buf); err != nil {
+		return nil, err
+	}
+	return hh.Decode[string](&buf)
+}
+
+// Health checks the server's /healthz endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, c.base+"/healthz", "", nil, nil)
+}

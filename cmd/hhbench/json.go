@@ -88,6 +88,13 @@ func runJSON(path string, n uint64, universe int, seed uint64, m int) error {
 		fmt.Fprintf(os.Stderr, "%-45s %8.2f M items/s  %6.1f ns/op  %.3f allocs/op\n",
 			rec.Name, rec.ItemsPerSec/1e6, rec.NsPerOp, rec.AllocsPerOp)
 	}
+	// Server-path rows: the same Zipf stream pushed over loopback HTTP
+	// into an in-process hhserverd registry by 1 and 4 agents.
+	for _, rec := range measureServer(zipf, m) {
+		report.Add(rec)
+		fmt.Fprintf(os.Stderr, "%-45s %8.2f M items/s  %6.1f ns/op  %.3f allocs/op\n",
+			rec.Name, rec.ItemsPerSec/1e6, rec.NsPerOp, rec.AllocsPerOp)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

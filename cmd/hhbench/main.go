@@ -18,19 +18,24 @@
 // sharded summary's locking.
 //
 // The -json flag runs the machine-readable ingest suite (algorithm ×
-// workload × sharding × whole-stream/windowed) and writes a benchjson
-// report — the input of the CI perf gate:
+// workload × sharding × whole-stream/windowed, contended concurrency-
+// tier rows, and loopback-HTTP server rows through an in-process
+// hhserverd registry) and writes a benchjson report — the input of the
+// CI perf gate:
 //
 //	hhbench -json full.json                  # full-size suite (4M items)
-//	hhbench -json BENCH_PR4.json -smoke      # baseline/CI size (~seconds)
+//	hhbench -json BENCH_PR5.json -smoke      # baseline/CI size (~seconds)
 //	hhbench -minreport min.json a.json b.json c.json
-//	hhbench -compare -threshold 0.15 BENCH_PR4.json min.json
+//	hhbench -compare -threshold 0.15 BENCH_PR5.json min.json
+//	hhbench -floor "server/=1e6" min.json
 //
 // -minreport merges reports from several fresh processes into their
 // element-wise minimum (Go's per-process map hash seed makes
 // eviction-heavy records bimodal; the min filters it out). -compare
 // exits non-zero when the second report regresses against the first
-// beyond the threshold (and on any real allocs/op increase).
+// beyond the threshold (and on any real allocs/op increase). -floor
+// enforces an absolute items/s minimum on matching rows — the serving
+// criterion the relative gate cannot express.
 package main
 
 import (
@@ -194,8 +199,17 @@ func main() {
 		compare      = flag.Bool("compare", false, "compare two benchjson reports (args: baseline.json current.json); exit 1 on regression")
 		threshold    = flag.Float64("threshold", 0.15, "with -compare: allowed fractional ns/op regression")
 		minReport    = flag.String("minreport", "", "merge benchjson reports (args) into their element-wise minimum at this path")
+		floor        = flag.String("floor", "", `enforce an absolute items/s floor on a report (arg), e.g. -floor "server/=1e6" report.json`)
 	)
 	flag.Parse()
+	if *floor != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, `usage: hhbench -floor "name-prefix=items_per_sec" report.json`)
+			os.Exit(2)
+		}
+		runFloor(*floor, flag.Arg(0))
+		return
+	}
 	if *minReport != "" {
 		if flag.NArg() < 1 {
 			fmt.Fprintln(os.Stderr, "usage: hhbench -minreport out.json in.json...")

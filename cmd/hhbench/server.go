@@ -1,0 +1,167 @@
+package main
+
+// The server-path rows of the -json suite: loopback HTTP batch ingest
+// into an in-process hhserverd registry (the same handler + client
+// stack the daemon mounts), measuring the whole wire path — client
+// body framing, HTTP transport, server-side parse, concurrent-tier
+// UpdateBatch — per item. The CI perf gate tracks these rows like any
+// other, and `hhbench -floor "server/=1e6"` enforces the absolute
+// serving criterion (loopback batch ingest >= 1 M items/s in the
+// smoke config).
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	hh "repro"
+	"repro/client"
+	"repro/internal/benchjson"
+	"repro/internal/registry"
+)
+
+// serverPushers enumerates the concurrent-agent counts of the server
+// rows.
+var serverPushers = []int{1, 4}
+
+// measureServer boots a loopback hhserverd registry and times client
+// batch pushes from 1 and 4 concurrent agents. s is the uint64 stream
+// shared with the in-process rows; keys are its decimal renderings,
+// built once outside every timed region.
+func measureServer(s []uint64, m int) []benchjson.Record {
+	keys := make([]string, len(s))
+	for i, x := range s {
+		keys[i] = strconv.FormatUint(x, 10)
+	}
+
+	reg, err := registry.New(registry.Config{
+		Summaries: map[string]hh.Spec{
+			"bench": {Capacity: m, Shards: contendedShards},
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hhbench: server rows: %v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hhbench: server rows: %v\n", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: registry.NewServer(reg, 0)}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	hc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        16,
+		MaxIdleConnsPerHost: 16,
+	}}
+	c := client.New("http://"+ln.Addr().String(), "bench", client.WithHTTPClient(hc))
+
+	var recs []benchjson.Record
+	for _, pushers := range serverPushers {
+		recs = append(recs, timeServerPush(c, keys, pushers))
+	}
+	return recs
+}
+
+// timeServerPush warms once, then times contendedPasses full-stream
+// pushes split across `pushers` goroutines, keeping the fastest pass.
+func timeServerPush(c *client.Client, keys []string, pushers int) benchjson.Record {
+	ctx := context.Background()
+	pass := func() {
+		per := (len(keys) + pushers - 1) / pushers
+		var wg sync.WaitGroup
+		for p := 0; p < pushers; p++ {
+			lo := p * per
+			hi := min(lo+per, len(keys))
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(part []string) {
+				defer wg.Done()
+				for lo := 0; lo < len(part); lo += jsonBatch {
+					if _, err := c.Push(ctx, part[lo:min(lo+jsonBatch, len(part))]); err != nil {
+						fmt.Fprintf(os.Stderr, "hhbench: server push: %v\n", err)
+						os.Exit(1)
+					}
+				}
+			}(keys[lo:hi])
+		}
+		wg.Wait()
+	}
+	pass() // warm: fill counters, establish keep-alive connections
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	var elapsed time.Duration
+	for p := 0; p < contendedPasses; p++ {
+		start := time.Now()
+		pass()
+		if d := time.Since(start); p == 0 || d < elapsed {
+			elapsed = d
+		}
+	}
+	runtime.ReadMemStats(&after)
+	n := float64(len(keys))
+	return benchjson.Record{
+		Name:        fmt.Sprintf("server/spacesaving/zipf-1.1/loopback%d/w%d", contendedShards, pushers),
+		Algo:        hh.AlgoSpaceSaving.String(),
+		Workload:    "zipf-1.1",
+		Shards:      contendedShards,
+		Batch:       jsonBatch,
+		Items:       uint64(len(keys)),
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		ItemsPerSec: n / elapsed.Seconds(),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / (n * contendedPasses),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / (n * contendedPasses),
+	}
+}
+
+// runFloor enforces an absolute items/s floor on a report: spec is
+// "prefix=rate" (e.g. "server/=1e6"), matched against record-name
+// prefixes. Exits non-zero when any matching record falls below the
+// floor — the absolute half of the perf gate, complementing the
+// relative -compare.
+func runFloor(spec, reportPath string) {
+	prefix, rateStr, ok := strings.Cut(spec, "=")
+	rate, perr := strconv.ParseFloat(rateStr, 64)
+	if !ok || prefix == "" || perr != nil || rate <= 0 {
+		fmt.Fprintf(os.Stderr, "hhbench: -floor wants \"name-prefix=items_per_sec\", got %q\n", spec)
+		os.Exit(2)
+	}
+	report, err := readReport(reportPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hhbench: %s: %v\n", reportPath, err)
+		os.Exit(1)
+	}
+	matched, failed := 0, 0
+	for _, rec := range report.Records {
+		if !strings.HasPrefix(rec.Name, prefix) {
+			continue
+		}
+		matched++
+		if rec.ItemsPerSec < rate {
+			failed++
+			fmt.Fprintf(os.Stderr, "  %s: %.2f M items/s below the %.2f M items/s floor\n",
+				rec.Name, rec.ItemsPerSec/1e6, rate/1e6)
+		}
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "hhbench: -floor %q matched no records in %s\n", spec, reportPath)
+		os.Exit(1)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "hhbench: %d of %d %q records below the floor\n", failed, matched, prefix)
+		os.Exit(1)
+	}
+	fmt.Printf("all %d %q records clear %.2f M items/s\n", matched, prefix, rate/1e6)
+}

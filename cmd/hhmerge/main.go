@@ -7,13 +7,20 @@
 // Usage:
 //
 //	hhmerge -m 1000 -k 10 worker1.sum worker2.sum worker3.sum
+//	curl -s http://hhserverd:8070/v1/queries/encode | hhmerge -m 1000 -
 //
-// Summary files in the current (v2) format are written by Summary.Encode
-// (hhcli -dump); files in the legacy EncodeSummary (v1) format are
-// accepted transparently.
+// "-" reads one summary blob from standard input (usable once per
+// invocation), so server snapshots pipe straight in. Summary files in
+// the current (v2) format are written by Summary.Encode (hhcli -dump,
+// hhserverd's /encode endpoint); both uint64- and string-keyed blobs
+// are accepted — the key kind is sniffed per file, and one invocation
+// must be all one kind (a uint64 stream and a string stream have no
+// common item space to merge). Files in the legacy EncodeSummary (v1)
+// format are accepted transparently.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -23,41 +30,88 @@ import (
 	hh "repro"
 )
 
-// load reads one summary file, accepting the v2 Summary.Encode format —
-// flat "HHSUM2" frames and windowed "HHWIN2" containers alike (Decode
-// detects the magic; a windowed blob reconstructs its epoch ring, whose
-// aggregate queries flatten the covered suffix, so it merges like any
-// flat summary) — and falling back to the legacy v1 blob format. A file
-// that starts with either v2 magic reports the v2 decoder's error, not
-// the fallback's.
-func load(path string) (hh.Summary[uint64], error) {
-	f, err := os.Open(path)
+// loaded is one input file decoded onto the unified surface: exactly
+// one of u64/str is set, per the blob's sniffed key kind.
+type loaded struct {
+	u64 hh.Summary[uint64]
+	str hh.Summary[string]
+}
+
+// load reads one summary input (a file path, or "-" for stdin),
+// accepting the v2 Summary.Encode format — flat "HHSUM2" frames and
+// windowed "HHWIN2" containers alike, uint64- or string-keyed — and
+// falling back to the legacy v1 blob format (uint64-keyed; its only
+// producers). An input that carries a v2 magic reports the v2
+// decoder's error, not the fallback's.
+func load(path string) (loaded, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
 	if err != nil {
-		return nil, err
+		return loaded{}, err
 	}
-	defer f.Close()
-	s, v2err := hh.Decode[uint64](f)
-	if v2err == nil {
-		return s, nil
-	}
-	if _, err := f.Seek(0, 0); err != nil {
-		return nil, err
-	}
-	blob, v1err := hh.DecodeSummary(f)
-	if v1err != nil {
-		var magic [6]byte
-		if _, err := f.Seek(0, 0); err == nil {
-			if _, err := io.ReadFull(f, magic[:]); err == nil {
-				if m := string(magic[:]); m == "HHSUM2" || m == "HHWIN2" {
-					return nil, v2err
-				}
+	if len(data) >= 6 {
+		switch string(data[:6]) {
+		case "HHSUM2", "HHWIN2":
+			if info, ok := hh.SniffBlob(data); ok && info.StringKeys {
+				s, err := hh.Decode[string](bytes.NewReader(data))
+				return loaded{str: s}, err
 			}
+			s, err := hh.Decode[uint64](bytes.NewReader(data))
+			return loaded{u64: s}, err
 		}
-		return nil, v1err
+	}
+	blob, err := hh.DecodeSummary(bytes.NewReader(data))
+	if err != nil {
+		return loaded{}, err
 	}
 	// Lift the legacy blob onto the unified surface at its own capacity
 	// so it merges like any other summary, error metadata included.
-	return hh.FromBlob(0, blob), nil
+	return loaded{u64: hh.FromBlob(0, blob)}, nil
+}
+
+// announceWindow notes a windowed input: it contributes only its
+// covered suffix, or "covering mass" below would silently understate
+// the producer's whole stream.
+func announceWindow[K comparable](path string, s hh.Summary[K]) {
+	if ws, ok := s.Window(); ok {
+		fmt.Printf("%s: windowed summary (%d/%d epochs live), flattening the covered suffix of mass %.0f\n",
+			path, ws.Live, ws.Epochs, ws.Covered)
+	}
+}
+
+// mergeAndReport merges one homogeneous batch and prints the ranked
+// top-k with certain bounds plus the Theorem 11 tail bound.
+func mergeAndReport[K comparable](m, k int, summaries []hh.Summary[K]) error {
+	var totalN float64
+	for _, s := range summaries {
+		totalN += s.N()
+	}
+	merged, err := hh.MergeSummaries(m, summaries...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("merged %d summaries covering mass %.0f\n", len(summaries), totalN)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\titem\testimate\tbounds [lo, hi]")
+	// TopAppend guards k <= 0 itself and appends at most the stored
+	// entry count, so no pre-sizing from the untrusted flag value.
+	top := merged.TopAppend(nil, k)
+	for i, e := range top {
+		lo, hi := merged.EstimateBounds(e.Item)
+		fmt.Fprintf(tw, "%d\t%v\t%.1f\t[%.1f, %.1f]\n", i+1, e.Item, e.Count, lo, hi)
+	}
+	tw.Flush()
+
+	if g, ok := merged.Guarantee(); ok {
+		res := hh.SummaryResidual(merged, k)
+		fmt.Printf("merged k-tail error bound (Theorem 11): %.1f\n", g.Bound(m, k, res))
+	}
+	return nil
 }
 
 func main() {
@@ -67,48 +121,48 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: hhmerge [-m counters] [-k top] summary.sum...")
+		fmt.Fprintln(os.Stderr, "usage: hhmerge [-m counters] [-k top] summary.sum... ('-' reads one blob from stdin)")
 		os.Exit(2)
 	}
 
-	summaries := make([]hh.Summary[uint64], 0, flag.NArg())
-	var totalN float64
+	var u64s []hh.Summary[uint64]
+	var strs []hh.Summary[string]
+	stdinUsed := false
 	for _, path := range flag.Args() {
-		s, err := load(path)
+		if path == "-" {
+			if stdinUsed {
+				fmt.Fprintln(os.Stderr, "hhmerge: '-' (stdin) may be given only once")
+				os.Exit(2)
+			}
+			stdinUsed = true
+		}
+		in, err := load(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hhmerge: %s: %v\n", path, err)
 			os.Exit(1)
 		}
-		if ws, ok := s.Window(); ok {
-			// A windowed input contributes only its covered suffix: say so,
-			// or "covering mass" below silently understates the producer's
-			// whole stream.
-			fmt.Printf("%s: windowed summary (%d/%d epochs live), flattening the covered suffix of mass %.0f\n",
-				path, ws.Live, ws.Epochs, ws.Covered)
+		if in.u64 != nil {
+			announceWindow(path, in.u64)
+			u64s = append(u64s, in.u64)
+		} else {
+			announceWindow(path, in.str)
+			strs = append(strs, in.str)
 		}
-		summaries = append(summaries, s)
-		totalN += s.N()
 	}
-
-	merged, err := hh.MergeSummaries(*m, summaries...)
+	if len(u64s) > 0 && len(strs) > 0 {
+		fmt.Fprintf(os.Stderr,
+			"hhmerge: cannot merge %d uint64-keyed and %d string-keyed summaries (no common item space)\n",
+			len(u64s), len(strs))
+		os.Exit(1)
+	}
+	var err error
+	if len(strs) > 0 {
+		err = mergeAndReport(*m, *k, strs)
+	} else {
+		err = mergeAndReport(*m, *k, u64s)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hhmerge: %v\n", err)
 		os.Exit(1)
-	}
-	fmt.Printf("merged %d summaries covering mass %.0f\n", len(summaries), totalN)
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "rank\titem\testimate\tbounds [lo, hi]")
-	// TopAppend guards k <= 0 itself and appends at most the stored
-	// entry count, so no pre-sizing from the untrusted flag value.
-	top := merged.TopAppend(nil, *k)
-	for i, e := range top {
-		lo, hi := merged.EstimateBounds(e.Item)
-		fmt.Fprintf(tw, "%d\t%d\t%.1f\t[%.1f, %.1f]\n", i+1, e.Item, e.Count, lo, hi)
-	}
-	tw.Flush()
-
-	if g, ok := merged.Guarantee(); ok {
-		res := hh.SummaryResidual(merged, *k)
-		fmt.Printf("merged k-tail error bound (Theorem 11): %.1f\n", g.Bound(*m, *k, res))
 	}
 }

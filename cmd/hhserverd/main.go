@@ -1,0 +1,112 @@
+// Command hhserverd is the multi-tenant heavy-hitter serving daemon:
+// it owns a named registry of summaries (declared in a JSON config
+// file, or created at runtime with PUT /v1/{name}) and serves the
+// distributed-ingest HTTP API — batch ingest, wire-level Theorem 11
+// blob merging, bound-carrying queries, and portable snapshots.
+//
+// Usage:
+//
+//	hhserverd -config serverd.json
+//	hhserverd -addr 127.0.0.1:0            # empty registry, ephemeral port
+//
+// Config file schema (registry.Config):
+//
+//	{
+//	  "listen": "127.0.0.1:8070",
+//	  "max_body_bytes": 33554432,
+//	  "max_blobs": 64,
+//	  "summaries": {
+//	    "queries": {"algorithm": "spacesaving", "capacity": 2048, "shards": 8},
+//	    "clicks":  {"epsilon": 0.001, "window": 1000000}
+//	  }
+//	}
+//
+// Each summary stanza is a heavyhitters.Spec; the registry forces
+// WithConcurrent onto deterministic counter algorithms so queries are
+// lock-free against ingest. On startup the daemon prints
+// "hhserverd listening on <addr>" with the bound address — with
+// ":0" that is the kernel-assigned port, which scripts (and the e2e
+// CI job) parse. SIGINT/SIGTERM drain in-flight requests and exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/registry"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "", `listen address (overrides the config file's "listen"; default :8070)`)
+		cfgPath = flag.String("config", "", "JSON config file (registry.Config schema); empty starts an empty registry")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: hhserverd [-addr host:port] [-config serverd.json]")
+		os.Exit(2)
+	}
+
+	var cfg registry.Config
+	if *cfgPath != "" {
+		var err error
+		if cfg, err = registry.LoadConfig(*cfgPath); err != nil {
+			fmt.Fprintf(os.Stderr, "hhserverd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	listen := cfg.Listen
+	if *addr != "" {
+		listen = *addr
+	}
+	if listen == "" {
+		listen = ":8070"
+	}
+
+	reg, err := registry.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hhserverd: %v\n", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hhserverd: %v\n", err)
+		os.Exit(1)
+	}
+	// The parseable startup line: scripts read the bound address off it.
+	fmt.Printf("hhserverd listening on %s (%d summaries)\n", ln.Addr(), reg.Len())
+
+	srv := &http.Server{
+		Handler:           registry.NewServer(reg, cfg.MaxBodyBytes),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "hhserverd: %v\n", err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		fmt.Printf("hhserverd: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "hhserverd: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -8,20 +8,25 @@
 //	hhstat stream.bin
 //	hhstat -k 20 -eps 0.001 stream.bin
 //	hhstat worker.sum
+//	curl -s http://hhserverd:8070/v1/queries/encode | hhstat -
+//
+// "-" reads from standard input, so server snapshots pipe straight in.
 //
 // This is the "sizing" companion to hhcli: run hhstat on a representative
 // trace to pick m, then deploy hhcli (or the library) with that budget.
 //
 // Summary blobs are detected by magic and reported too: a flat "HHSUM2"
-// frame or a windowed "HHWIN2" container (hhcli -dump) decodes through
-// the library codec — the windowed ring flattening to its covered
-// suffix — and hhstat prints the summary-derived statistics: covered
-// mass, tracked items, the Theorem 6 residual estimate and the
+// frame or a windowed "HHWIN2" container (hhcli -dump, hhserverd's
+// /encode endpoint), uint64- or string-keyed — the key kind is sniffed
+// — decodes through the library codec, the windowed ring flattening to
+// its covered suffix, and hhstat prints the summary-derived statistics:
+// covered mass, tracked items, the Theorem 6 residual estimate and the
 // advertised k-tail bound. Unlike a raw stream, a summary cannot yield
 // exact norms or a Zipf fit; rerun on the original trace for sizing.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -37,8 +42,8 @@ import (
 )
 
 // reportSummary prints the statistics derivable from a decoded summary
-// blob (flat or windowed).
-func reportSummary(s hh.Summary[uint64], k int) {
+// blob (flat or windowed, either key kind).
+func reportSummary[K comparable](s hh.Summary[K], k int) {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "summary blob (%s)\t\n", s.Algorithm())
 	if ws, ok := s.Window(); ok {
@@ -54,7 +59,7 @@ func reportSummary(s hh.Summary[uint64], k int) {
 	fmt.Fprintf(tw, "tracked items\t%d of %d counters\n", s.Len(), s.Capacity())
 	if top := s.TopAppend(nil, 1); len(top) > 0 {
 		lo, hi := s.EstimateBounds(top[0].Item)
-		fmt.Fprintf(tw, "heaviest item\t%d (estimate %.1f, f in [%.1f, %.1f])\n", top[0].Item, top[0].Count, lo, hi)
+		fmt.Fprintf(tw, "heaviest item\t%v (estimate %.1f, f in [%.1f, %.1f])\n", top[0].Item, top[0].Count, lo, hi)
 	}
 	res := hh.SummaryResidual(s, k)
 	fmt.Fprintf(tw, "estimated F1^res(%d)\t<= %.1f\n", k, res)
@@ -65,21 +70,6 @@ func reportSummary(s hh.Summary[uint64], k int) {
 	fmt.Printf("\n(summary blobs carry no exact norms; run hhstat on the original trace for Zipf-fit sizing)\n")
 }
 
-// sniffSummary reports whether the file starts with a v2 summary magic
-// (flat or windowed), rewinding afterwards.
-func sniffSummary(f *os.File) bool {
-	var magic [6]byte
-	_, err := io.ReadFull(f, magic[:])
-	if _, serr := f.Seek(0, 0); serr != nil {
-		return false
-	}
-	if err != nil {
-		return false
-	}
-	m := string(magic[:])
-	return m == "HHSUM2" || m == "HHWIN2"
-}
-
 func main() {
 	var (
 		k   = flag.Int("k", 10, "residual parameter k")
@@ -87,35 +77,68 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hhstat [-k int] [-eps float] stream.bin")
+		fmt.Fprintln(os.Stderr, "usage: hhstat [-k int] [-eps float] stream.bin ('-' reads from stdin)")
 		os.Exit(2)
 	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "hhstat: %v\n", err)
-		os.Exit(1)
-	}
-	defer f.Close()
-
-	if sniffSummary(f) {
-		s, err := hh.Decode[uint64](f)
+	// Stream files can be multi-gigabyte traces: file inputs stay on a
+	// seekable *os.File and are never buffered whole; only stdin ("-",
+	// which cannot seek for the sniff + format retries) is slurped.
+	var in io.ReadSeeker
+	if path := flag.Arg(0); path == "-" {
+		data, err := io.ReadAll(os.Stdin)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "hhstat: decoding summary blob: %v\n", err)
+			fmt.Fprintf(os.Stderr, "hhstat: %v\n", err)
 			os.Exit(1)
 		}
-		reportSummary(s, *k)
-		return
+		in = bytes.NewReader(data)
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hhstat: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	rewind := func() {
+		if _, err := in.Seek(0, io.SeekStart); err != nil {
+			fmt.Fprintf(os.Stderr, "hhstat: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	var header [9]byte
+	n, _ := io.ReadFull(in, header[:])
+	rewind()
+	if n >= 6 {
+		switch string(header[:6]) {
+		case "HHSUM2", "HHWIN2":
+			info, _ := hh.SniffBlob(header[:n])
+			if info.StringKeys {
+				s, err := hh.Decode[string](in)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "hhstat: decoding summary blob: %v\n", err)
+					os.Exit(1)
+				}
+				reportSummary(s, *k)
+				return
+			}
+			s, err := hh.Decode[uint64](in)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hhstat: decoding summary blob: %v\n", err)
+				os.Exit(1)
+			}
+			reportSummary(s, *k)
+			return
+		}
 	}
 
 	truth := exact.New()
-	items, err := stream.ReadUnit(f)
+	items, err := stream.ReadUnit(in)
 	if err != nil {
 		// Retry as a weighted stream.
-		if _, serr := f.Seek(0, 0); serr != nil {
-			fmt.Fprintf(os.Stderr, "hhstat: %v\n", serr)
-			os.Exit(1)
-		}
-		ups, werr := stream.ReadWeighted(f)
+		rewind()
+		ups, werr := stream.ReadWeighted(in)
 		if werr != nil {
 			fmt.Fprintf(os.Stderr, "hhstat: not a stream file: %v / %v\n", err, werr)
 			os.Exit(1)

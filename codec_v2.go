@@ -213,6 +213,57 @@ func encodeFlatFrame[K comparable](bw *bufio.Writer, algo Algo, kind byte, be ba
 	return nil
 }
 
+// BlobInfo is the header metadata SniffBlob reads off a v2 blob
+// without decoding it: enough for a consumer holding bytes of unknown
+// provenance — a tool reading stdin, a server accepting an upload — to
+// route the blob to the right Decode instantiation.
+type BlobInfo struct {
+	// Algo is the producing algorithm recorded in the frame.
+	Algo Algo
+	// Windowed reports an epoch-ring container ("HHWIN2") rather than a
+	// flat frame ("HHSUM2").
+	Windowed bool
+	// StringKeys reports string-keyed entries (Decode[string]); false
+	// means uint64 keys (Decode[uint64]).
+	StringKeys bool
+}
+
+// sniffHeaderLen is the prefix SniffBlob needs: magic, algo and the
+// kind byte (offset 8 in flat frames, 7 in windowed containers).
+const sniffHeaderLen = 9
+
+// SniffBlob inspects the first bytes of a v2 summary blob (at least 9)
+// and reports its header metadata. The second result is false when the
+// prefix is too short, carries no v2 magic, or names an unknown key
+// kind — the caller should fall back to other formats or reject the
+// input. Sniffing validates only the header: Decode still performs the
+// full validation.
+func SniffBlob(prefix []byte) (BlobInfo, bool) {
+	if len(prefix) < sniffHeaderLen {
+		return BlobInfo{}, false
+	}
+	var info BlobInfo
+	var kind byte
+	switch {
+	case [6]byte(prefix[:6]) == summaryMagicV2:
+		// magic | algo | flags | kind
+		info.Algo, kind = Algo(prefix[6]), prefix[8]
+	case [6]byte(prefix[:6]) == windowMagicV2:
+		// magic | algo | kind | mode
+		info.Algo, info.Windowed, kind = Algo(prefix[6]), true, prefix[7]
+	default:
+		return BlobInfo{}, false
+	}
+	switch kind {
+	case keyKindUint64:
+	case keyKindString:
+		info.StringKeys = true
+	default:
+		return BlobInfo{}, false
+	}
+	return info, true
+}
+
 // Decode reconstructs a Summary from its v2 wire form, flat or
 // windowed (the magic distinguishes them). A flat frame decodes to a
 // summary backed by a weighted SPACESAVINGR structure holding the

@@ -1,26 +1,35 @@
-// Distributed: Theorem 11 in practice — eight independent workers each
-// summarize their own shard of a stream and ship the compact wire form
-// (Summary.Encode) to a coordinator, which reconstructs them with Decode
-// and merges them into one summary of the union without touching the raw
-// data. The merged error stays within the paper's (3A, A+B) bound.
+// Distributed: Theorem 11 over the wire — eight independent agents
+// each summarize their own shard of a stream and push the compact
+// encoded form (Summary.Encode) over real loopback HTTP to a live
+// hhserverd instance, which merges the blobs at the registry tier
+// (MergeSummaries, so per-item error metadata survives the transfer)
+// and serves bound-carrying queries over the union without ever seeing
+// the raw data.
 //
-// The workers run on the concurrency tier (WithConcurrent): each
-// ingests in its own goroutine, and the coordinator snapshots one
-// worker mid-ingest — Encode pins one consistent snapshot, so the blob
-// is a valid summary of a prefix of that worker's stream even while
-// its writer keeps going.
+// The example boots the same registry server the hhserverd binary
+// mounts, on an ephemeral port, so it is self-contained:
 //
 //	go run ./examples/distributed
+//
+// One agent pushes mid-ingest too: a summary encoded while its writer
+// keeps going is a consistent snapshot of a prefix (the concurrency
+// tier pins it), so agents can ship partial state on a timer and push
+// the remainder at shutdown.
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
 	"sync"
-	"time"
+	"sync/atomic"
 
 	hh "repro"
+	"repro/client"
+	"repro/internal/registry"
 	"repro/internal/stream"
 )
 
@@ -28,138 +37,166 @@ func main() {
 	const (
 		universe = 20_000
 		total    = 800_000
-		shardCnt = 8
+		agents   = 8
 		m        = 200
 		k        = 10
+		phi      = 0.005
 	)
 	s := stream.Zipf(universe, 1.1, total, stream.OrderRandom, 99)
 
-	// Exact union frequencies, for validation only.
-	truth := make([]float64, universe)
+	// Exact union frequencies, for validation only — neither the agents
+	// nor the server ever hold the whole stream.
+	truth := make(map[string]float64, universe)
+	key := func(x uint64) string { return fmt.Sprintf("item-%d", x) }
 	for _, x := range s {
-		truth[x]++
+		truth[key(x)]++
 	}
 
-	// Each worker summarizes its contiguous shard in its own goroutine
-	// on the concurrency tier, then encodes its state — the only bytes
-	// that travel to the coordinator. While worker 0 is still ingesting,
-	// the coordinator takes one early consistent snapshot of it: Encode
-	// on a concurrent summary never sees a torn state.
-	workers := make([]hh.Summary[uint64], shardCnt)
-	for w := range workers {
-		workers[w] = hh.New[uint64](hh.WithConcurrent(), hh.WithCapacity(m))
-	}
-	per := len(s) / shardCnt
-	var wg sync.WaitGroup
-	for w := 0; w < shardCnt; w++ {
-		lo, hi := w*per, (w+1)*per
-		if w == shardCnt-1 {
-			hi = len(s)
-		}
-		wg.Add(1)
-		go func(worker hh.Summary[uint64], part []uint64) {
-			defer wg.Done()
-			for lo := 0; lo < len(part); lo += 4096 {
-				worker.UpdateBatch(part[lo:min(lo+4096, len(part))])
-			}
-		}(workers[w], s[lo:hi])
-	}
-	// Wait until worker 0 is mid-stream. N() waits for a consistent
-	// snapshot (briefly sharing the unsharded worker's write lock), so
-	// poll gently rather than spinning against the ingest.
-	for workers[0].N() == 0 {
-		time.Sleep(time.Millisecond)
-	}
-	var early bytes.Buffer
-	if err := workers[0].Encode(&early); err != nil {
-		panic(err)
-	}
-	if snap, err := hh.Decode[uint64](bytes.NewReader(early.Bytes())); err == nil {
-		fmt.Printf("mid-ingest snapshot of worker 0: consistent summary of mass %.0f (of %d eventual)\n",
-			snap.N(), per)
-	}
-	wg.Wait()
-
-	var wire [][]byte
-	for _, worker := range workers {
-		var buf bytes.Buffer
-		if err := worker.Encode(&buf); err != nil {
-			panic(err)
-		}
-		wire = append(wire, buf.Bytes())
-	}
-	var wireBytes int
-	for _, b := range wire {
-		wireBytes += len(b)
-	}
-	fmt.Printf("%d workers shipped %d bytes of summaries for %d stream elements\n\n",
-		shardCnt, wireBytes, total)
-
-	// The coordinator reconstructs and merges — per-item error metadata
-	// travels with the summaries, so the merged bounds remain certain.
-	summaries := make([]hh.Summary[uint64], len(wire))
-	for i, b := range wire {
-		var err error
-		if summaries[i], err = hh.Decode[uint64](bytes.NewReader(b)); err != nil {
-			panic(err)
-		}
-	}
-	merged, err := hh.MergeSummaries(m, summaries...)
+	// A live hhserverd: the registry + HTTP server the daemon binary
+	// mounts, booted in-process on an ephemeral loopback port.
+	reg, err := registry.New(registry.Config{
+		Summaries: map[string]hh.Spec{"union": {Capacity: m}},
+	})
 	if err != nil {
 		panic(err)
 	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	srv := &http.Server{Handler: registry.NewServer(reg, 0)}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("hhserverd registry listening on %s\n", ln.Addr())
 
-	fmt.Println("top 5 items of the union (merged estimate vs exact, with bounds):")
-	for i, e := range merged.Top(5) {
-		lo, hi := merged.EstimateBounds(e.Item)
-		fmt.Printf("  %d. item %-6d est %8.0f  true %8.0f  f in [%.0f, %.0f]\n",
-			i+1, e.Item, e.Count, truth[e.Item], lo, hi)
+	// Each agent summarizes its contiguous shard locally and ships only
+	// the encoded summary — the bytes on the wire are counters plus
+	// error metadata, not the shard's items. Agent 0 additionally pushes
+	// a consistent mid-ingest snapshot, so the server's view covers a
+	// prefix of its stream long before the agent finishes.
+	ctx := context.Background()
+	var wireBytes atomic.Uint64
+	per := len(s) / agents
+	var wg sync.WaitGroup
+	for a := 0; a < agents; a++ {
+		lo, hi := a*per, (a+1)*per
+		if a == agents-1 {
+			hi = len(s)
+		}
+		wg.Add(1)
+		go func(id int, part []uint64) {
+			defer wg.Done()
+			c := client.New(base, "union")
+			local := hh.New[string](hh.WithConcurrent(), hh.WithCapacity(m))
+			keys := make([]string, 0, 4096)
+			pushedEarly := false
+			for lo := 0; lo < len(part); lo += 4096 {
+				keys = keys[:0]
+				for _, x := range part[lo:min(lo+4096, len(part))] {
+					keys = append(keys, key(x))
+				}
+				local.UpdateBatch(keys)
+				if id == 0 && !pushedEarly && lo >= len(part)/2 {
+					pushedEarly = true
+					var buf bytes.Buffer
+					if err := local.Encode(&buf); err != nil {
+						panic(err)
+					}
+					mass, err := c.MergeBlob(ctx, bytes.NewReader(buf.Bytes()))
+					if err != nil {
+						panic(err)
+					}
+					wireBytes.Add(uint64(buf.Len()))
+					fmt.Printf("agent 0 pushed a mid-ingest snapshot: %d bytes covering mass %.0f\n",
+						buf.Len(), mass)
+					// Start a fresh local summary: the pushed prefix now lives
+					// on the server, and only the remainder ships at the end.
+					local = hh.New[string](hh.WithConcurrent(), hh.WithCapacity(m))
+				}
+			}
+			var buf bytes.Buffer
+			if err := local.Encode(&buf); err != nil {
+				panic(err)
+			}
+			if _, err := c.MergeBlob(ctx, bytes.NewReader(buf.Bytes())); err != nil {
+				panic(err)
+			}
+			wireBytes.Add(uint64(buf.Len()))
+		}(a, s[lo:hi])
+	}
+	wg.Wait()
+	fmt.Printf("%d agents shipped %d bytes of summaries for %d stream elements\n\n",
+		agents, wireBytes.Load(), total)
+
+	// The coordinator is any HTTP client: bound-carrying queries over
+	// the merged union, no raw data involved.
+	c := client.New(base, "union")
+	top, err := c.Top(ctx, 5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("server's union covers mass %.0f\n", top.N)
+	fmt.Println("top 5 items of the union (served estimate vs exact, with bounds):")
+	for i, r := range top.Results {
+		fmt.Printf("  %d. %-12s est %8.0f  true %8.0f  f in [%.0f, %.0f]\n",
+			i+1, r.Item, r.Count, truth[r.Item], r.Lo, r.Hi)
 	}
 
-	// Validate the (3, 2) merged tail guarantee over the whole universe.
-	res := residual(truth, k)
-	g, _ := merged.Guarantee()
-	bound := g.Bound(m, k, res)
-	worst := 0.0
-	for i, f := range truth {
-		if d := math.Abs(f - merged.Estimate(uint64(i))); d > worst {
-			worst = d
+	hits, err := c.HeavyHitters(ctx, phi)
+	if err != nil {
+		panic(err)
+	}
+	guaranteed := 0
+	for _, h := range hits.Results {
+		if h.Guaranteed {
+			guaranteed++
 		}
 	}
-	fmt.Printf("\nworst merged error %.0f vs Theorem 11 bound %.0f (ratio %.2f)\n",
-		worst, bound, worst/bound)
+	fmt.Printf("\n%.2f%%-heavy hitters served: %d candidates, %d guaranteed\n",
+		phi*100, len(hits.Results), guaranteed)
 
-	// The per-item intervals must also cover the truth everywhere.
-	violations := 0
-	for i, f := range truth {
-		lo, hi := merged.EstimateBounds(uint64(i))
+	// Pull the portable snapshot for offline validation: the decoded
+	// summary answers exactly like the server's view.
+	snap, err := c.Snapshot(ctx)
+	if err != nil {
+		panic(err)
+	}
+	res := residual(truth, k)
+	g, _ := snap.Guarantee()
+	bound := g.Bound(m, k, res)
+	worst, violations := 0.0, 0
+	for item, f := range truth {
+		if d := math.Abs(f - snap.Estimate(item)); d > worst {
+			worst = d
+		}
+		lo, hi := snap.EstimateBounds(item)
 		if f < lo || f > hi {
 			violations++
 		}
 	}
-	fmt.Printf("items whose true count escapes [Lo, Hi]: %d of %d\n", violations, universe)
+	fmt.Printf("\nworst merged error %.0f vs Theorem 11 bound %.0f (ratio %.2f)\n",
+		worst, bound, worst/bound)
+	fmt.Printf("items whose true count escapes [Lo, Hi]: %d of %d\n", violations, len(truth))
 }
 
-// residual returns F1^res(k) of an exact frequency vector.
-func residual(freq []float64, k int) float64 {
-	sorted := make([]float64, len(freq))
-	copy(sorted, freq)
+// residual returns F1^res(k) of an exact frequency map.
+func residual(freq map[string]float64, k int) float64 {
 	sum := 0.0
-	for _, f := range sorted {
+	heavy := make([]float64, 0, len(freq))
+	for _, f := range freq {
 		sum += f
+		heavy = append(heavy, f)
 	}
-	// Simple selection of the k largest by repeated max extraction — k is
-	// tiny here.
-	for i := 0; i < k; i++ {
+	for i := 0; i < k && len(heavy) > 0; i++ {
 		best := 0
-		for j, f := range sorted {
-			if f > sorted[best] {
-				_ = j
+		for j, f := range heavy {
+			if f > heavy[best] {
 				best = j
 			}
 		}
-		sum -= sorted[best]
-		sorted[best] = -1
+		sum -= heavy[best]
+		heavy[best] = -1
 	}
 	return sum
 }

@@ -1,0 +1,458 @@
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	hh "repro"
+)
+
+// Config is the daemon configuration hhserverd loads from its JSON
+// config file: the listen address, global limits, and the summaries to
+// create at boot. Further summaries can be created at runtime with
+// PUT /v1/{name}.
+type Config struct {
+	// Listen is the address to serve on (overridden by the -addr flag);
+	// empty means the daemon default.
+	Listen string `json:"listen,omitempty"`
+	// MaxBodyBytes bounds the body of a single /update or /merge
+	// request; 0 means the 32 MiB default.
+	MaxBodyBytes int64 `json:"max_body_bytes,omitempty"`
+	// MaxBlobs bounds how many pushed blobs a summary keeps un-merged
+	// (see Entry's staleness/compaction notes); 0 means the default 64.
+	MaxBlobs int `json:"max_blobs,omitempty"`
+	// Summaries maps each summary name to its construction Spec.
+	Summaries map[string]hh.Spec `json:"summaries,omitempty"`
+}
+
+// DefaultMaxBodyBytes bounds request bodies when the config does not.
+const DefaultMaxBodyBytes = 32 << 20
+
+// DefaultMaxBlobs is the un-compacted pushed-blob bound per summary.
+const DefaultMaxBlobs = 64
+
+// LoadConfig reads and parses a JSON config file, rejecting unknown
+// fields so a typo in a stanza fails loudly at boot instead of being
+// silently ignored.
+func LoadConfig(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, err
+	}
+	defer f.Close()
+	var cfg Config
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("registry: config %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// nameRE restricts summary names to one clean URL path segment.
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+
+// Registry owns the named summaries a server instance serves.
+type Registry struct {
+	maxBlobs int
+	start    time.Time
+
+	mu      sync.RWMutex
+	entries map[string]*Entry
+}
+
+// New builds a registry and creates an entry per config stanza.
+func New(cfg Config) (*Registry, error) {
+	r := &Registry{
+		maxBlobs: cfg.MaxBlobs,
+		start:    time.Now(),
+		entries:  make(map[string]*Entry),
+	}
+	if r.maxBlobs <= 0 {
+		r.maxBlobs = DefaultMaxBlobs
+	}
+	// Deterministic creation order, so a config error always names the
+	// same stanza.
+	names := make([]string, 0, len(cfg.Summaries))
+	for name := range cfg.Summaries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := r.Create(name, cfg.Summaries[name]); err != nil {
+			return nil, fmt.Errorf("registry: summary %q: %w", name, err)
+		}
+	}
+	return r, nil
+}
+
+// Create builds the summary for spec and registers it under name. The
+// registry hardens every spec for concurrent serving: deterministic
+// counter algorithms get WithConcurrent (queries must be lock-free
+// against the ingest handlers), and sketch algorithms — which the
+// concurrency tier rejects — get at least one locked shard so handler
+// goroutines never race on an unsynchronized structure.
+func (r *Registry) Create(name string, spec hh.Spec) (*Entry, error) {
+	if !nameRE.MatchString(name) {
+		return nil, fmt.Errorf("invalid summary name %q (want 1-128 of [A-Za-z0-9._-], starting alphanumeric)", name)
+	}
+	algo := hh.AlgoSpaceSaving
+	if spec.Algorithm != "" {
+		a, err := hh.ParseAlgo(spec.Algorithm)
+		if err != nil {
+			return nil, err
+		}
+		algo = a
+	}
+	deterministic := algo != hh.AlgoCountMin && algo != hh.AlgoCountSketch
+	if deterministic {
+		spec.Concurrent = true
+	} else if spec.Shards < 1 {
+		spec.Shards = 1
+	}
+	live, err := hh.NewFromSpec[string](spec)
+	if err != nil {
+		return nil, err
+	}
+	e := &Entry{
+		name:       name,
+		spec:       spec,
+		algo:       algo,
+		mergeable:  deterministic,
+		live:       live,
+		capacity:   live.Capacity(),
+		maxBlobs:   r.maxBlobs,
+		lastScrape: time.Now(),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		return nil, fmt.Errorf("summary %q already exists", name)
+	}
+	r.entries[name] = e
+	return e, nil
+}
+
+// Get returns the named entry.
+func (r *Registry) Get(name string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Names returns the registered summary names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered summaries.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Uptime reports how long the registry has been serving.
+func (r *Registry) Uptime() time.Duration { return time.Since(r.start) }
+
+// Entry is one named summary: the live concurrently written structure
+// fed by /update, plus the blobs remote agents pushed via /merge.
+//
+// Queries answer over the union view — MergeSummaries of the live
+// summary and every pushed blob, exactly the in-process Section 6.2
+// merge, so Theorem 11 error metadata pushed over the wire survives
+// into query bounds unchanged. The view is cached and rebuilt only
+// when ingest advanced or a new blob arrived; while no blob has been
+// pushed, queries go straight to the live summary's lock-free
+// concurrent-tier reads. Pushed blobs are kept as decoded (so the view
+// always equals a single flat MergeSummaries over the original
+// inputs — never a nested re-merge, which would widen bounds by the
+// intermediate Δ-floors); past maxBlobs the oldest blobs are compacted
+// into one merged summary, trading exactly that widening for bounded
+// memory.
+type Entry struct {
+	name      string
+	spec      hh.Spec
+	algo      hh.Algo
+	mergeable bool
+	live      hh.Summary[string]
+	capacity  int
+	maxBlobs  int
+
+	// mergeMu guards remotes and remoteMass; mergeGen bumps per
+	// accepted blob (and compaction), versioning the cached view.
+	mergeMu    sync.Mutex
+	remotes    []hh.Summary[string]
+	remoteMass float64
+	mergeGen   atomic.Uint64
+
+	// view caches the merged union; viewMu single-flights rebuilds.
+	viewMu  sync.Mutex
+	view    atomic.Pointer[viewState]
+	snapGen atomic.Uint64
+
+	items   atomic.Uint64
+	batches atomic.Uint64
+	blobs   atomic.Uint64
+
+	// rateMu guards the scrape-to-scrape ingest-rate bookkeeping.
+	rateMu     sync.Mutex
+	lastItems  uint64
+	lastScrape time.Time
+}
+
+type viewState struct {
+	sum   hh.Summary[string]
+	liveN float64
+	gen   uint64
+	// mu serializes queries against sum: a MergeSummaries result is a
+	// plain summary with the library's single-threaded contract (its
+	// scratch-reusing queries mutate backend state), while any number
+	// of HTTP handler goroutines may hold the same cached view.
+	mu sync.Mutex
+}
+
+// View is the handle queries run against: either the live summary
+// (lock-free concurrent-tier reads; mu nil) or a cached merged union,
+// whose plain summary is serialized through the view's mutex. The
+// underlying counters never change once a view is built, so per-call
+// locking still yields internally consistent responses.
+type View struct {
+	sum hh.Summary[string]
+	mu  *sync.Mutex
+}
+
+func (v View) lock() {
+	if v.mu != nil {
+		v.mu.Lock()
+	}
+}
+
+func (v View) unlock() {
+	if v.mu != nil {
+		v.mu.Unlock()
+	}
+}
+
+// N returns the mass the view answers against.
+func (v View) N() float64 {
+	v.lock()
+	defer v.unlock()
+	return v.sum.N()
+}
+
+// Top returns the view's k largest counters.
+func (v View) Top(k int) []hh.WeightedEntry[string] {
+	v.lock()
+	defer v.unlock()
+	return v.sum.TopAppend(nil, k)
+}
+
+// Estimate returns the view's point estimate for item.
+func (v View) Estimate(item string) float64 {
+	v.lock()
+	defer v.unlock()
+	return v.sum.Estimate(item)
+}
+
+// EstimateBounds returns the view's certain bounds for item.
+func (v View) EstimateBounds(item string) (lo, hi float64) {
+	v.lock()
+	defer v.unlock()
+	return v.sum.EstimateBounds(item)
+}
+
+// HeavyHitters returns the view's phi-heavy hitters.
+func (v View) HeavyHitters(phi float64) []hh.Result[string] {
+	v.lock()
+	defer v.unlock()
+	return v.sum.HeavyHitters(phi)
+}
+
+// Encode streams the view's v2 wire form.
+func (v View) Encode(w io.Writer) error {
+	v.lock()
+	defer v.unlock()
+	return v.sum.Encode(w)
+}
+
+// Name returns the entry's registry name.
+func (e *Entry) Name() string { return e.name }
+
+// Spec returns the (hardened) construction spec.
+func (e *Entry) Spec() hh.Spec { return e.spec }
+
+// Live returns the live ingest summary.
+func (e *Entry) Live() hh.Summary[string] { return e.live }
+
+// IngestBatch records one occurrence of every key — the /update fast
+// path, feeding the concurrent tier's batch ingestion (one hash per
+// key, pooled partition scratch, zero allocations past the keys
+// themselves).
+func (e *Entry) IngestBatch(keys []string) {
+	if len(keys) == 0 {
+		return
+	}
+	e.live.UpdateBatch(keys)
+	e.items.Add(uint64(len(keys)))
+	e.batches.Add(1)
+}
+
+// AbsorbBlob decodes one encoded summary blob (flat "HHSUM2" or
+// windowed "HHWIN2" — Decode detects the magic) and adds it to the
+// entry's merge set, returning the blob's stream mass. The blob must
+// be string-keyed; a uint64-keyed blob is rejected by the decoder's
+// key-kind check. Rejected blobs leave the entry untouched.
+func (e *Entry) AbsorbBlob(r io.Reader) (float64, error) {
+	if !e.mergeable {
+		return 0, fmt.Errorf("summary %q is sketch-backed (%v) and cannot absorb merges", e.name, e.algo)
+	}
+	s, err := hh.Decode[string](r)
+	if err != nil {
+		return 0, err
+	}
+	mass := s.N()
+	e.mergeMu.Lock()
+	defer e.mergeMu.Unlock()
+	e.remotes = append(e.remotes, s)
+	e.remoteMass += mass
+	if len(e.remotes) > e.maxBlobs {
+		// Compact: one nested merge over the accumulated blobs. Bounds
+		// widen by the compacted inputs' Δ-floors — the honest price of
+		// bounded memory; mass and estimates are unaffected.
+		compacted, err := hh.MergeSummaries(e.capacity, e.remotes...)
+		if err != nil {
+			return 0, err
+		}
+		clear(e.remotes)
+		e.remotes = append(e.remotes[:0], compacted)
+	}
+	e.mergeGen.Add(1)
+	e.blobs.Add(1)
+	return mass, nil
+}
+
+// View returns the handle queries answer against: the live summary
+// itself while nothing has been pushed via /merge (lock-free
+// concurrent-tier reads), otherwise a cached MergeSummaries of the
+// live summary and every pushed blob. The cache is keyed by the merge
+// generation and the live mass at build time, so a view is rebuilt
+// only when something actually changed; rebuilds are single-flighted
+// (a query arriving during another's rebuild serves the previous view
+// — bounded staleness, exactly the concurrency tier's trade — and
+// only blocks when there is no previous view yet), pin consistent
+// snapshots of the live summary, and never block ingest. The merge
+// runs under mergeMu so it cannot race a compaction's merge over the
+// same decoded blobs (plain summaries' queries mutate scratch state).
+func (e *Entry) View() (View, error) {
+	gen := e.mergeGen.Load()
+	if gen == 0 {
+		return View{sum: e.live}, nil
+	}
+	liveN := e.live.N()
+	if v := e.view.Load(); v != nil && v.gen == gen && v.liveN == liveN {
+		return View{sum: v.sum, mu: &v.mu}, nil
+	}
+	if !e.viewMu.TryLock() {
+		// Another query is rebuilding: serve the bounded-stale cached
+		// view rather than queueing behind the merge.
+		if v := e.view.Load(); v != nil {
+			return View{sum: v.sum, mu: &v.mu}, nil
+		}
+		e.viewMu.Lock() // nothing to serve yet; wait for the first build
+	}
+	defer e.viewMu.Unlock()
+	gen = e.mergeGen.Load()
+	liveN = e.live.N()
+	if v := e.view.Load(); v != nil && v.gen == gen && v.liveN == liveN {
+		return View{sum: v.sum, mu: &v.mu}, nil
+	}
+	e.mergeMu.Lock()
+	inputs := make([]hh.Summary[string], 0, len(e.remotes)+1)
+	if liveN > 0 {
+		inputs = append(inputs, e.live)
+	}
+	inputs = append(inputs, e.remotes...)
+	merged, err := hh.MergeSummaries(e.capacity, inputs...)
+	e.mergeMu.Unlock()
+	if err != nil {
+		return View{}, err
+	}
+	v := &viewState{sum: merged, liveN: liveN, gen: gen}
+	e.view.Store(v)
+	e.snapGen.Add(1)
+	return View{sum: merged, mu: &v.mu}, nil
+}
+
+// Stats is the per-summary block of /metricsz.
+type Stats struct {
+	Algorithm string `json:"algorithm"`
+	// N is the total served mass: live ingest plus every pushed blob.
+	N float64 `json:"n"`
+	// Len is the tracked-counter count of the current query view.
+	Len      int `json:"len"`
+	Capacity int `json:"capacity"`
+	// IngestedItems and IngestedBatches count the /update traffic;
+	// MergedBlobs the accepted /merge pushes.
+	IngestedItems   uint64 `json:"ingested_items"`
+	IngestedBatches uint64 `json:"ingested_batches"`
+	MergedBlobs     uint64 `json:"merged_blobs"`
+	// SnapshotGeneration counts union-view rebuilds (0 until a blob is
+	// pushed: pure-ingest queries serve the concurrent tier directly).
+	SnapshotGeneration uint64 `json:"snapshot_generation"`
+	// IngestRate is the /update item rate (items/s) averaged since the
+	// previous /metricsz scrape.
+	IngestRate float64 `json:"ingest_rate"`
+}
+
+// ReadStats assembles the metrics block, advancing the scrape-window
+// rate bookkeeping.
+func (e *Entry) ReadStats() Stats {
+	items := e.items.Load()
+	e.rateMu.Lock()
+	now := time.Now()
+	elapsed := now.Sub(e.lastScrape).Seconds()
+	var rate float64
+	if elapsed > 0 {
+		rate = float64(items-e.lastItems) / elapsed
+	}
+	e.lastItems = items
+	e.lastScrape = now
+	e.rateMu.Unlock()
+
+	// Report against the cached view when one exists; never force a
+	// merge from the metrics path.
+	length := e.live.Len()
+	if v := e.view.Load(); v != nil {
+		length = v.sum.Len()
+	}
+	e.mergeMu.Lock()
+	remoteMass := e.remoteMass
+	e.mergeMu.Unlock()
+	return Stats{
+		Algorithm:          e.algo.String(),
+		N:                  e.live.N() + remoteMass,
+		Len:                length,
+		Capacity:           e.capacity,
+		IngestedItems:      items,
+		IngestedBatches:    e.batches.Load(),
+		MergedBlobs:        e.blobs.Load(),
+		SnapshotGeneration: e.snapGen.Load(),
+		IngestRate:         rate,
+	}
+}

@@ -1,0 +1,352 @@
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"sync"
+
+	hh "repro"
+)
+
+// Server is the HTTP surface over a Registry — the handler hhserverd
+// mounts. Endpoints (all summary routes 404 on unknown names):
+//
+//	PUT  /v1/{name}                    create a summary from a Spec JSON body
+//	POST /v1/{name}/update             ingest a batch (text or binary body)
+//	POST /v1/{name}/merge              absorb an encoded blob (HHSUM2/HHWIN2)
+//	GET  /v1/{name}/top?k=             top-k with certain bounds
+//	GET  /v1/{name}/heavyhitters?phi=  phi-heavy hitters with bounds + guarantees
+//	GET  /v1/{name}/estimate?key=      one item's estimate and bounds
+//	GET  /v1/{name}/encode             stream the v2 codec snapshot of the view
+//	GET  /healthz                      liveness + summary count
+//	GET  /metricsz                     per-summary serving metrics
+//
+// Errors are JSON bodies {"error": "..."} with conventional status
+// codes: 400 malformed input, 404 unknown summary, 409 duplicate
+// create, 413 oversized body, 422 unsupported operation for the
+// summary's algorithm.
+type Server struct {
+	reg     *Registry
+	maxBody int64
+	mux     *http.ServeMux
+	// pool recycles per-request ingest scratch (body bytes + parsed key
+	// slice), so the steady-state /update path allocates only the key
+	// strings themselves — the PR 2 zero-alloc batch contract holds from
+	// the parsed batch down.
+	pool sync.Pool
+}
+
+// ingestScratch is one pooled /update workspace.
+type ingestScratch struct {
+	body []byte
+	keys []string
+}
+
+// NewServer builds the HTTP surface over reg. maxBody bounds /update
+// and /merge request bodies; <= 0 means DefaultMaxBodyBytes.
+func NewServer(reg *Registry, maxBody int64) *Server {
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	s := &Server{reg: reg, maxBody: maxBody, mux: http.NewServeMux()}
+	s.pool.New = func() any { return &ingestScratch{} }
+	s.mux.HandleFunc("PUT /v1/{name}", s.handleCreate)
+	s.mux.HandleFunc("POST /v1/{name}/update", s.handleUpdate)
+	s.mux.HandleFunc("POST /v1/{name}/merge", s.handleMerge)
+	s.mux.HandleFunc("GET /v1/{name}/top", s.handleTop)
+	s.mux.HandleFunc("GET /v1/{name}/heavyhitters", s.handleHeavyHitters)
+	s.mux.HandleFunc("GET /v1/{name}/estimate", s.handleEstimate)
+	s.mux.HandleFunc("GET /v1/{name}/encode", s.handleEncode)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	return s
+}
+
+// ServeHTTP makes Server an http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// entry resolves the {name} path segment, writing the 404 itself.
+func (s *Server) entry(w http.ResponseWriter, r *http.Request) (*Entry, bool) {
+	name := r.PathValue("name")
+	e, ok := s.reg.Get(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown summary %q", name)
+	}
+	return e, ok
+}
+
+// readBody drains a size-capped request body into dst (reused across
+// requests via the scratch pool), distinguishing the over-limit error.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, dst []byte) ([]byte, error) {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := body.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec hh.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "spec: %v", err)
+		return
+	}
+	e, err := s.reg.Create(r.PathValue("name"), spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if _, exists := s.reg.Get(r.PathValue("name")); exists {
+			code = http.StatusConflict
+		}
+		writeErr(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"created": e.Name(), "spec": e.Spec()})
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	sc := s.pool.Get().(*ingestScratch)
+	defer func() {
+		// Drop key references before pooling so parked scratch cannot pin
+		// a request's strings in memory.
+		clear(sc.keys)
+		sc.keys = sc.keys[:0]
+		sc.body = sc.body[:0]
+		s.pool.Put(sc)
+	}()
+	var err error
+	if sc.body, err = s.readBody(w, r, sc.body[:0]); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.maxBody)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	switch ct {
+	case ContentTypeBinary:
+		sc.keys, err = AppendBinaryKeys(sc.keys[:0], sc.body)
+	default:
+		sc.keys, err = AppendTextKeys(sc.keys[:0], sc.body)
+	}
+	if err != nil {
+		// Nothing was ingested: the batch parses fully before any update.
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e.IngestBatch(sc.keys)
+	writeJSON(w, http.StatusOK, map[string]any{"ingested": len(sc.keys)})
+}
+
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	if !e.mergeable {
+		writeErr(w, http.StatusUnprocessableEntity,
+			"summary %q is sketch-backed (%v) and cannot absorb merges", e.Name(), e.algo)
+		return
+	}
+	mass, err := e.AbsorbBlob(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		code := http.StatusBadRequest
+		if errors.As(err, &mbe) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeErr(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"merged_mass": mass,
+		"blobs":       e.blobs.Load(),
+	})
+}
+
+// Result is one bound-carrying query answer, the JSON twin of
+// heavyhitters.Result.
+type Result struct {
+	Item       string  `json:"item"`
+	Count      float64 `json:"count"`
+	Lo         float64 `json:"lo"`
+	Hi         float64 `json:"hi"`
+	Guaranteed bool    `json:"guaranteed,omitempty"`
+}
+
+// QueryResponse is the body of /top and /heavyhitters: the answered-
+// against mass (the view's N — live ingest plus pushed blobs) and the
+// ranked results.
+type QueryResponse struct {
+	N       float64  `json:"n"`
+	Results []Result `json:"results"`
+}
+
+func (s *Server) view(w http.ResponseWriter, e *Entry) (View, bool) {
+	v, err := e.View()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "building view: %v", err)
+		return View{}, false
+	}
+	return v, true
+}
+
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	k := 10
+	if kq := r.URL.Query().Get("k"); kq != "" {
+		var err error
+		if k, err = strconv.Atoi(kq); err != nil || k < 1 {
+			writeErr(w, http.StatusBadRequest, "k must be a positive integer, got %q", kq)
+			return
+		}
+	}
+	view, ok := s.view(w, e)
+	if !ok {
+		return
+	}
+	top := view.Top(k)
+	resp := QueryResponse{N: view.N(), Results: make([]Result, 0, len(top))}
+	for _, entry := range top {
+		lo, hi := view.EstimateBounds(entry.Item)
+		resp.Results = append(resp.Results, Result{Item: entry.Item, Count: entry.Count, Lo: lo, Hi: hi})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHeavyHitters(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	phi, err := strconv.ParseFloat(r.URL.Query().Get("phi"), 64)
+	if err != nil || !(phi > 0 && phi <= 1) {
+		writeErr(w, http.StatusBadRequest, "phi must be in (0, 1], got %q", r.URL.Query().Get("phi"))
+		return
+	}
+	view, ok := s.view(w, e)
+	if !ok {
+		return
+	}
+	hits := view.HeavyHitters(phi)
+	resp := QueryResponse{N: view.N(), Results: make([]Result, 0, len(hits))}
+	for _, h := range hits {
+		resp.Results = append(resp.Results, Result{
+			Item: h.Item, Count: h.Count, Lo: h.Lo, Hi: h.Hi, Guaranteed: h.Guaranteed,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// EstimateResponse is the body of /estimate: the point estimate and
+// the certain interval lo <= f <= hi on the item's true weight in the
+// served union. Guaranteed reports a zero-width interval — the
+// estimate is exact.
+type EstimateResponse struct {
+	Key        string  `json:"key"`
+	Estimate   float64 `json:"estimate"`
+	Lo         float64 `json:"lo"`
+	Hi         float64 `json:"hi"`
+	Guaranteed bool    `json:"guaranteed"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	if !q.Has("key") {
+		writeErr(w, http.StatusBadRequest, "missing key parameter")
+		return
+	}
+	key := q.Get("key")
+	view, ok := s.view(w, e)
+	if !ok {
+		return
+	}
+	lo, hi := view.EstimateBounds(key)
+	writeJSON(w, http.StatusOK, EstimateResponse{
+		Key:        key,
+		Estimate:   view.Estimate(key),
+		Lo:         lo,
+		Hi:         hi,
+		Guaranteed: lo == hi,
+	})
+}
+
+func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	if !e.mergeable {
+		writeErr(w, http.StatusUnprocessableEntity,
+			"summary %q is sketch-backed (%v) and has no portable snapshot", e.Name(), e.algo)
+		return
+	}
+	view, ok := s.view(w, e)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	// The codec streams straight onto the response writer; with the
+	// sketch case rejected above, a mid-stream error is a connection
+	// failure the client already sees as a truncated body.
+	_ = view.Encode(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"summaries":      s.reg.Len(),
+		"uptime_seconds": s.reg.Uptime().Seconds(),
+	})
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	stats := make(map[string]Stats)
+	for _, name := range s.reg.Names() {
+		if e, ok := s.reg.Get(name); ok {
+			stats[name] = e.ReadStats()
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": s.reg.Uptime().Seconds(),
+		"summaries":      stats,
+	})
+}

@@ -1,0 +1,101 @@
+// Package registry implements the multi-tenant heavy-hitter serving
+// tier behind cmd/hhserverd: a named registry of Summary[string]
+// instances built from declarative JSON Specs, plus the HTTP surface
+// that ingests batches, absorbs encoded summary blobs pushed by remote
+// agents (wire-level Theorem 11 merging), and answers bound-carrying
+// queries — all against a live, concurrently written summary.
+//
+// The split from cmd/hhserverd keeps every behavior testable in
+// process: the daemon binary is a thin flag-parsing shell around
+// New + NewServer + net/http.
+package registry
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Ingest batch wire formats of POST /v1/{name}/update. Two encodings
+// carry the same payload — a flat batch of string keys, each occurring
+// once (the unit-weight UpdateBatch contract):
+//
+//   - Text (Content-Type text/plain, the default): newline-delimited
+//     UTF-8 keys. A trailing newline is optional; CRLF line endings are
+//     tolerated; empty lines are skipped (an empty key therefore needs
+//     the binary format). The format a shell one-liner can produce.
+//   - Binary (Content-Type application/x-hh-batch): repeated records of
+//     uvarint key length followed by that many key bytes, until the end
+//     of the body. Zero-length keys are valid. The format an agent uses
+//     when keys may contain newlines, and the one that parses fastest.
+//
+// Parsing is strict and total: any malformed body — a truncated or
+// overlong uvarint, a length past the end of the body, a key beyond
+// MaxKeyLen — yields an error and the server ingests nothing from the
+// request (parse first, UpdateBatch only on success), so a corrupt
+// frame can never partially poison a summary. FuzzIngestWire pins the
+// no-panic/no-corruption contract.
+
+const (
+	// ContentTypeText is the newline-delimited ingest format.
+	ContentTypeText = "text/plain"
+	// ContentTypeBinary is the length-prefixed ingest format.
+	ContentTypeBinary = "application/x-hh-batch"
+)
+
+// MaxKeyLen bounds a single key's byte length in either format,
+// matching the library codec's key sanity bound.
+const MaxKeyLen = 1 << 20
+
+// AppendTextKeys parses a newline-delimited batch body, appending the
+// keys to dst. On error the appended prefix is meaningless and dst
+// must be discarded by the caller.
+func AppendTextKeys(dst []string, body []byte) ([]string, error) {
+	for start := 0; start < len(body); {
+		end := start
+		for end < len(body) && body[end] != '\n' {
+			end++
+		}
+		line := body[start:end]
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		if len(line) > MaxKeyLen {
+			return dst, fmt.Errorf("registry: key of %d bytes exceeds the %d-byte limit", len(line), MaxKeyLen)
+		}
+		if len(line) > 0 {
+			dst = append(dst, string(line))
+		}
+		start = end + 1
+	}
+	return dst, nil
+}
+
+// AppendBinaryKeys parses a length-prefixed batch body, appending the
+// keys to dst. On error the appended prefix is meaningless and dst
+// must be discarded by the caller.
+func AppendBinaryKeys(dst []string, body []byte) ([]string, error) {
+	for off := 0; off < len(body); {
+		n, w := binary.Uvarint(body[off:])
+		if w <= 0 {
+			return dst, fmt.Errorf("registry: record at byte %d: truncated or overlong key length", off)
+		}
+		off += w
+		if n > MaxKeyLen {
+			return dst, fmt.Errorf("registry: record at byte %d: key of %d bytes exceeds the %d-byte limit", off-w, n, MaxKeyLen)
+		}
+		if uint64(len(body)-off) < n {
+			return dst, fmt.Errorf("registry: record at byte %d: key length %d runs past the body", off-w, n)
+		}
+		dst = append(dst, string(body[off:off+int(n)]))
+		off += int(n)
+	}
+	return dst, nil
+}
+
+// AppendBinaryRecord appends one length-prefixed record for key to buf —
+// the encoder matching AppendBinaryKeys, shared by the client package
+// and tests so both ends of the wire agree by construction.
+func AppendBinaryRecord(buf []byte, key string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	return append(buf, key...)
+}

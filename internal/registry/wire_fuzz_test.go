@@ -1,0 +1,69 @@
+package registry_test
+
+// FuzzIngestWire pins the ingest wire contract of POST /update for
+// both batch formats: an arbitrary body either ingests fully (200,
+// mass advances by exactly the acknowledged key count) or is rejected
+// whole (non-200, mass unchanged) — and the server never panics. This
+// is the nightly CI fuzz target for the server wire formats; the
+// push/PR jobs replay its seed corpus.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	hh "repro"
+	"repro/internal/registry"
+)
+
+func FuzzIngestWire(f *testing.F) {
+	f.Add([]byte("alpha\nbeta\nalpha\n"), false)
+	f.Add([]byte("no-trailing-newline"), false)
+	f.Add([]byte("crlf\r\nline\r\n"), false)
+	f.Add([]byte("\n\n\n"), false)
+	f.Add(registry.AppendBinaryRecord(registry.AppendBinaryRecord(nil, "a"), "longer-key"), true)
+	f.Add(registry.AppendBinaryRecord(nil, ""), true)
+	f.Add([]byte{0xff}, true)                                                             // truncated uvarint
+	f.Add([]byte{0x10, 'a'}, true)                                                        // length past body end
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02}, true) // overlong uvarint
+	f.Add(append(registry.AppendBinaryRecord(nil, "good"), 0xff), true)
+
+	reg, err := registry.New(registry.Config{
+		Summaries: map[string]hh.Spec{"fuzz": {Capacity: 32}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	srv := registry.NewServer(reg, 1<<20)
+	entry, _ := reg.Get("fuzz")
+
+	f.Fuzz(func(t *testing.T, body []byte, binaryCT bool) {
+		ct := registry.ContentTypeText
+		if binaryCT {
+			ct = registry.ContentTypeBinary
+		}
+		before := entry.Live().N()
+		req := httptest.NewRequest(http.MethodPost, "/v1/fuzz/update", bytes.NewReader(body))
+		req.Header.Set("Content-Type", ct)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		after := entry.Live().N()
+		if rec.Code != http.StatusOK {
+			if after != before {
+				t.Fatalf("rejected batch (status %d) changed mass %v -> %v", rec.Code, before, after)
+			}
+			return
+		}
+		var resp struct {
+			Ingested float64 `json:"ingested"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("200 response not valid JSON: %v\n%s", err, rec.Body.Bytes())
+		}
+		if after != before+resp.Ingested {
+			t.Fatalf("acknowledged %v keys but mass moved %v -> %v", resp.Ingested, before, after)
+		}
+	})
+}

@@ -5,6 +5,7 @@ package heavyhitters_test
 // size) against real files, asserting on output. Skipped under -short.
 
 import (
+	"bytes"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -172,6 +173,77 @@ func TestToolsWindowedPipeline(t *testing.T) {
 		"-shards", "2", "-concurrent", "-k", "5", drift)
 	if !strings.Contains(concOut, "epochs live") {
 		t.Errorf("hhcli -concurrent windowed output unexpected:\n%s", concOut)
+	}
+}
+
+// TestToolsStdinPipeline covers the '-' stdin path of hhmerge and
+// hhstat: a dumped blob pipes into both tools exactly the way
+// `curl .../encode | hhmerge -` does, mixing stdin with file args.
+func TestToolsStdinPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool integration tests skipped in -short mode")
+	}
+	dir := t.TempDir()
+	hhgen := buildTool(t, dir, "hhgen")
+	hhcli := buildTool(t, dir, "hhcli")
+	hhmerge := buildTool(t, dir, "hhmerge")
+	hhstat := buildTool(t, dir, "hhstat")
+
+	shard := filepath.Join(dir, "s.bin")
+	run(t, hhgen, "-kind", "zipf", "-n", "40000", "-universe", "4000", "-seed", "1", "-o", shard)
+	sum1 := filepath.Join(dir, "s1.sum")
+	sum2 := filepath.Join(dir, "s2.sum")
+	run(t, hhcli, "-alg", "spacesaving", "-m", "200", "-k", "3", "-dump", sum1, shard)
+	run(t, hhcli, "-alg", "spacesaving", "-m", "200", "-k", "3", "-dump", sum2, shard)
+	blob, err := os.ReadFile(sum1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// hhmerge '-' mixed with a file argument.
+	merge := exec.Command(hhmerge, "-m", "200", "-k", "3", "-", sum2)
+	merge.Stdin = bytes.NewReader(blob)
+	out, err := merge.CombinedOutput()
+	if err != nil {
+		t.Fatalf("hhmerge -: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "merged 2 summaries covering mass 80000") {
+		t.Errorf("hhmerge via stdin unexpected:\n%s", out)
+	}
+
+	// hhstat '-' on a piped blob.
+	stat := exec.Command(hhstat, "-k", "5", "-")
+	stat.Stdin = bytes.NewReader(blob)
+	out, err = stat.CombinedOutput()
+	if err != nil {
+		t.Fatalf("hhstat -: %v\n%s", err, out)
+	}
+	for _, want := range []string{"summary blob", "processed mass N", "40000.0"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("hhstat via stdin missing %q:\n%s", want, out)
+		}
+	}
+
+	// hhstat '-' on a piped raw stream file (not a blob).
+	raw, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat = exec.Command(hhstat, "-")
+	stat.Stdin = bytes.NewReader(raw)
+	out, err = stat.CombinedOutput()
+	if err != nil {
+		t.Fatalf("hhstat - (raw stream): %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "total mass F1") {
+		t.Errorf("hhstat via stdin on a raw stream unexpected:\n%s", out)
+	}
+
+	// stdin may only be consumed once per invocation.
+	dup := exec.Command(hhmerge, "-", "-")
+	dup.Stdin = bytes.NewReader(blob)
+	if err := dup.Run(); err == nil {
+		t.Error("hhmerge accepted '-' twice")
 	}
 }
 
