@@ -12,6 +12,7 @@ import (
 
 	hh "repro"
 	"repro/internal/stream"
+	"repro/internal/testutil"
 )
 
 // counterAlgos (declared in summary_test.go) are also exactly the
@@ -28,7 +29,7 @@ func allocStream() []uint64 {
 // hot loop allocates nothing.
 func assertZeroAllocs(t *testing.T, name string, warm, loop func()) {
 	t.Helper()
-	if raceEnabled {
+	if testutil.RaceEnabled {
 		t.Skip("race instrumentation allocates; allocation accounting is meaningless under -race")
 	}
 	warm()

@@ -23,6 +23,8 @@ import (
 //
 // For summary types without per-item metadata the point estimate is
 // returned for both bounds.
+//
+//hh:noalloc
 func EstimateBounds[K comparable](s Counter[K], item K) (lo, hi uint64) {
 	switch alg := any(s).(type) {
 	case *spacesaving.StreamSummary[K]:
@@ -53,6 +55,8 @@ func EstimateBounds[K comparable](s Counter[K], item K) (lo, hi uint64) {
 // EstimateBoundsHeap is EstimateBounds for the heap-backed SPACESAVING
 // variant (a separate function because its key constraint is cmp.Ordered
 // rather than comparable).
+//
+//hh:noalloc
 func EstimateBoundsHeap[K cmp.Ordered](s *SpaceSavingHeap[K], item K) (lo, hi uint64) {
 	c := s.Estimate(item)
 	if c == 0 {

@@ -321,10 +321,9 @@ func runMinReport(outPath string, inPaths []string) {
 		fmt.Fprintf(os.Stderr, "hhbench: %v\n", err)
 		os.Exit(1)
 	}
-	if err := benchjson.Write(f, merged); err == nil {
-		err = f.Close()
-	} else {
-		f.Close()
+	err = benchjson.Write(f, merged)
+	if cerr := f.Close(); err == nil {
+		err = cerr
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hhbench: writing %s: %v\n", outPath, err)

@@ -88,8 +88,8 @@ func timeServerPush(c *client.Client, keys []string, pushers int) benchjson.Reco
 			wg.Add(1)
 			go func(part []string) {
 				defer wg.Done()
-				for lo := 0; lo < len(part); lo += jsonBatch {
-					if _, err := c.Push(ctx, part[lo:min(lo+jsonBatch, len(part))]); err != nil {
+				for off := 0; off < len(part); off += jsonBatch {
+					if _, err := c.Push(ctx, part[off:min(off+jsonBatch, len(part))]); err != nil {
 						fmt.Fprintf(os.Stderr, "hhbench: server push: %v\n", err)
 						os.Exit(1)
 					}

@@ -1,0 +1,69 @@
+// Command hhlint is the repo's contract linter: a go/analysis suite
+// enforcing the //hh:noalloc, //hh:guardedby, //hh:immutable and
+// //hh:nopanic annotations, plus extended vet checks (nilness,
+// unusedwrite, shadow).
+//
+// It speaks the go vet vettool protocol, and when invoked directly it
+// re-executes itself through the build system, so both of these work:
+//
+//	go build -o hhlint ./cmd/hhlint && ./hhlint ./...
+//	go vet -vettool=$(pwd)/hhlint ./...
+//
+// Run a single analyzer with the usual vet flag form:
+//
+//	./hhlint -noalloc ./...
+//
+// Driving through go vet (rather than loading packages in-process)
+// gives incremental caching and cross-package fact propagation for
+// free, and keeps hhlint's only dependency the vendored, pinned
+// golang.org/x/tools.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/analyzers"
+)
+
+func main() {
+	if vetDriverInvocation(os.Args[1:]) {
+		unitchecker.Main(analyzers.All()...) // does not return
+	}
+
+	// Standalone invocation: re-exec through `go vet` with ourselves as
+	// the vettool. Analyzer flags and package patterns pass through.
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hhlint: cannot locate own executable: %v\n", err)
+		os.Exit(2)
+	}
+	args := append([]string{"vet", "-vettool=" + exe}, os.Args[1:]...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdin, cmd.Stdout, cmd.Stderr = os.Stdin, os.Stdout, os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "hhlint: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// vetDriverInvocation reports whether the arguments look like the
+// go vet vettool protocol (-flags / -V=full / unit.cfg / help) rather
+// than a human invocation with package patterns.
+func vetDriverInvocation(args []string) bool {
+	for _, a := range args {
+		switch {
+		case a == "-flags", a == "help",
+			strings.HasPrefix(a, "-V"), strings.HasSuffix(a, ".cfg"):
+			return true
+		}
+	}
+	return false
+}

@@ -73,6 +73,8 @@ func EncodeStringSummary(w io.Writer, s Counter[string]) error {
 }
 
 // DecodeSummary reads a uint64-keyed summary blob from r.
+//
+//hh:nopanic
 func DecodeSummary(r io.Reader) (*SummaryBlob[uint64], error) {
 	return decodeEntries(r, keyKindUint64, func(br *bufio.Reader) (uint64, error) {
 		return binary.ReadUvarint(br)
@@ -80,6 +82,8 @@ func DecodeSummary(r io.Reader) (*SummaryBlob[uint64], error) {
 }
 
 // DecodeStringSummary reads a string-keyed summary blob from r.
+//
+//hh:nopanic
 func DecodeStringSummary(r io.Reader) (*SummaryBlob[string], error) {
 	return decodeEntries(r, keyKindString, func(br *bufio.Reader) (string, error) {
 		n, err := binary.ReadUvarint(br)
@@ -131,6 +135,7 @@ func encodeEntries[K comparable](w io.Writer, kind byte, capacity int, n uint64,
 	return bw.Flush()
 }
 
+//hh:nopanic
 func decodeEntries[K comparable](r io.Reader, wantKind byte, readKey func(*bufio.Reader) (K, error)) (*SummaryBlob[K], error) {
 	br := bufio.NewReader(r)
 	var magic [6]byte

@@ -72,6 +72,7 @@ func writeKeyAny[K comparable](bw *bufio.Writer, k K) error {
 	}
 }
 
+//hh:nopanic
 func readKeyAny[K comparable](br *bufio.Reader) (K, error) {
 	var zero K
 	switch any(zero).(type) {
@@ -80,6 +81,7 @@ func readKeyAny[K comparable](br *bufio.Reader) (K, error) {
 		if err != nil {
 			return zero, err
 		}
+		//hh:checked K is uint64 in this branch of the zero-value type switch
 		return any(v).(K), nil
 	case string:
 		n, err := binary.ReadUvarint(br)
@@ -93,6 +95,7 @@ func readKeyAny[K comparable](br *bufio.Reader) (K, error) {
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return zero, err
 		}
+		//hh:checked K is string in this branch of the zero-value type switch
 		return any(string(buf)).(K), nil
 	default:
 		return zero, ErrUnsupportedSummary
@@ -238,6 +241,8 @@ const sniffHeaderLen = 9
 // kind — the caller should fall back to other formats or reject the
 // input. Sniffing validates only the header: Decode still performs the
 // full validation.
+//
+//hh:nopanic
 func SniffBlob(prefix []byte) (BlobInfo, bool) {
 	if len(prefix) < sniffHeaderLen {
 		return BlobInfo{}, false
@@ -274,6 +279,8 @@ func SniffBlob(prefix []byte) (BlobInfo, bool) {
 // windowed frame decodes to a live epoch ring (see codec_window.go).
 // Mutating a decoded summary is supported through the weighted update
 // path.
+//
+//hh:nopanic
 func Decode[K comparable](r io.Reader) (Summary[K], error) {
 	wantKind := keyKindFor[K]()
 	if wantKind == 0 {
@@ -300,6 +307,8 @@ func Decode[K comparable](r io.Reader) (Summary[K], error) {
 
 // decodeFlatBody reads one flat v2 frame after its magic and rebuilds
 // the backend; the windowed container calls it once per epoch.
+//
+//hh:nopanic
 func decodeFlatBody[K comparable](br *bufio.Reader, wantKind byte) (Algo, *weightedBackend[K], error) {
 	var hdr [3]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -364,6 +373,7 @@ func decodeFlatBody[K comparable](br *bufio.Reader, wantKind byte) (Algo, *weigh
 	if hint > 4096 {
 		hint = 4096
 	}
+	//hh:checked capacity is validated to [1, 2^24] above and hint clamped to 4096, inside NewRSized's domain
 	dst := spacesaving.NewRSized[K](int(capacity), hint)
 	carryErr := flags&v2FlagOverEst != 0
 	for i := uint64(0); i < count; i++ {
@@ -422,6 +432,7 @@ func FromBlob[K comparable](m int, blob *SummaryBlob[K]) Summary[K] {
 	return &summary[K]{algo: AlgoSpaceSaving, be: be}
 }
 
+//hh:nopanic
 func readFiniteFloat(br *bufio.Reader, field string) (float64, error) {
 	v, err := readFloat(br)
 	if err != nil {

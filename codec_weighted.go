@@ -72,6 +72,8 @@ func EncodeWeightedSummary(w io.Writer, s WeightedCounter[uint64]) error {
 }
 
 // DecodeWeightedSummary reads a weighted summary blob from r.
+//
+//hh:nopanic
 func DecodeWeightedSummary(r io.Reader) (*WeightedSummaryBlob, error) {
 	br := bufio.NewReader(r)
 	var magic [6]byte
@@ -151,6 +153,7 @@ func writeFloat(bw *bufio.Writer, v float64) error {
 	return err
 }
 
+//hh:nopanic
 func readFloat(br *bufio.Reader) (float64, error) {
 	var buf [8]byte
 	if _, err := io.ReadFull(br, buf[:]); err != nil {

@@ -90,6 +90,8 @@ func encodeWindow[K comparable](w io.Writer, algo Algo, kind byte, wb *windowBac
 
 // decodeWindowBody reads the windowed container after its magic and
 // rebuilds a live epoch ring.
+//
+//hh:nopanic
 func decodeWindowBody[K comparable](br *bufio.Reader, wantKind byte) (Summary[K], error) {
 	var hdr [3]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -111,6 +113,7 @@ func decodeWindowBody[K comparable](br *bufio.Reader, wantKind byte) (Summary[K]
 		if err != nil {
 			return nil, fmt.Errorf("%w: %s: %v", ErrBadSummary, name, err)
 		}
+		//hh:checked i ranges over a 4-element name list; fields is a 4-element array
 		fields[i] = v
 	}
 	epochs, granularity, curItems, live := fields[0], fields[1], fields[2], fields[3]
@@ -174,6 +177,7 @@ func decodeWindowBody[K comparable](br *bufio.Reader, wantKind byte) (Summary[K]
 		if _, err := sub.ReadByte(); err != io.EOF {
 			return nil, fmt.Errorf("%w: epoch %d: trailing bytes in frame", ErrBadSummary, i)
 		}
+		//hh:checked i < live ≤ epochs == len(b.ring), all validated above
 		b.ring[i] = be
 		if c := be.capacity(); c > capacity {
 			capacity = c
@@ -186,6 +190,7 @@ func decodeWindowBody[K comparable](br *bufio.Reader, wantKind byte) (Summary[K]
 	// guarantee as the decoded epochs, so the window keeps advertising
 	// one consistent bound as it advances past the transferred state.
 	for i := int(live); i < int(epochs); i++ {
+		//hh:checked i < epochs == len(b.ring); capacity comes from a decoded epoch, ≥ 1 by decodeFlatBody validation
 		b.ring[i] = &weightedBackend[K]{ssr: spacesaving.NewRSized[K](capacity, 0), g: g, hasG: hasG}
 	}
 	return &summary[K]{algo: algo, be: b}, nil

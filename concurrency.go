@@ -75,8 +75,8 @@ type concurrentTier[K comparable] struct {
 	// it; readers TryLock and fall back to the previous snapshot when a
 	// rebuild is already in flight.
 	rebuildMu sync.Mutex
-	// lastLen sizes the next snapshot's buffers (guarded by rebuildMu).
-	lastLen int
+	// lastLen sizes the next snapshot's buffers.
+	lastLen int //hh:guardedby rebuildMu
 
 	// Tick-window staleness: snapshots expire after one epoch
 	// granularity even without writes, so idle epochs age out of reads.
@@ -107,6 +107,8 @@ func newConcurrentTier[K comparable](cfg config, inner backend[K]) *concurrentTi
 // everything a read needs, so serving it touches no locks. It
 // implements backend[K] so pinned compound queries (HeavyHitters,
 // Merge, Encode) run against one consistent view.
+//
+//hh:immutable
 type concurrentSnapshot[K comparable] struct {
 	gen      uint64
 	resetGen uint64
@@ -131,6 +133,7 @@ type concurrentSnapshot[K comparable] struct {
 
 // --- write path (striped locks + generation bump) ---
 
+//hh:noalloc
 func (t *concurrentTier[K]) update(item K) {
 	if t.selfLocked {
 		t.inner.update(item)
@@ -142,6 +145,7 @@ func (t *concurrentTier[K]) update(item K) {
 	t.gen.Add(1)
 }
 
+//hh:noalloc
 func (t *concurrentTier[K]) updateN(item K, n uint64) {
 	if t.selfLocked {
 		t.inner.updateN(item, n)
@@ -153,6 +157,7 @@ func (t *concurrentTier[K]) updateN(item K, n uint64) {
 	t.gen.Add(1)
 }
 
+//hh:noalloc
 func (t *concurrentTier[K]) updateWeighted(item K, w float64) {
 	if t.selfLocked {
 		t.inner.updateWeighted(item, w)
@@ -164,6 +169,7 @@ func (t *concurrentTier[K]) updateWeighted(item K, w float64) {
 	t.gen.Add(1)
 }
 
+//hh:noalloc
 func (t *concurrentTier[K]) updateBatch(items []K, hashes []uint64) {
 	if t.selfLocked {
 		t.inner.updateBatch(items, hashes)
@@ -175,6 +181,7 @@ func (t *concurrentTier[K]) updateBatch(items []K, hashes []uint64) {
 	t.gen.Add(1)
 }
 
+//hh:noalloc
 func (t *concurrentTier[K]) reset() {
 	if t.selfLocked {
 		// Per-shard locking: not atomic against concurrent writers (the
@@ -196,6 +203,8 @@ func (t *concurrentTier[K]) reset() {
 // --- read path (lock-free serve, single-flight rebuild) ---
 
 // fresh reports whether s can be served as the exact current state.
+//
+//hh:noalloc
 func (t *concurrentTier[K]) fresh(s *concurrentSnapshot[K]) bool {
 	if s == nil || s.gen != t.gen.Load() || s.resetGen != t.resetGen.Load() {
 		return false
@@ -271,6 +280,8 @@ func (t *concurrentTier[K]) currentFresh() *concurrentSnapshot[K] {
 // freshness — a write racing with the collection is either included
 // and re-collected on the next read, or not included and invisible;
 // never reported as covered when it is not.
+//
+//hh:locked rebuildMu
 func (t *concurrentTier[K]) capture() *concurrentSnapshot[K] {
 	s := &concurrentSnapshot[K]{
 		gen:      t.gen.Load(),
@@ -334,6 +345,7 @@ func (t *concurrentTier[K]) overEst() bool                    { return t.inner.o
 
 // --- the snapshot as a backend (pinned compound queries) ---
 
+//hh:noalloc
 func (s *concurrentSnapshot[K]) estimate(item K) float64 {
 	if i, ok := s.index[item]; ok {
 		return s.entries[i].Count
@@ -347,6 +359,8 @@ func (s *concurrentSnapshot[K]) estimate(item K) float64 {
 // (FREQUENT/LOSSYCOUNTING, whose deficit travels in the slack) keeps
 // lo = count; every upper bound owes the captured global slack, and an
 // absent item owes the absent floor on top.
+//
+//hh:noalloc
 func (s *concurrentSnapshot[K]) bounds(item K) (lo, hi float64) {
 	if i, ok := s.index[item]; ok {
 		e := s.entries[i]
@@ -362,6 +376,7 @@ func (s *concurrentSnapshot[K]) bounds(item K) (lo, hi float64) {
 	return 0, s.upSlack + s.absFlr
 }
 
+//hh:noalloc
 func (s *concurrentSnapshot[K]) appendEntries(dst []WeightedEntry[K], max int) []WeightedEntry[K] {
 	take := len(s.entries)
 	if max >= 0 && take > max {
@@ -370,6 +385,7 @@ func (s *concurrentSnapshot[K]) appendEntries(dst []WeightedEntry[K], max int) [
 	return append(dst, s.entries[:take]...)
 }
 
+//hh:noalloc
 func (s *concurrentSnapshot[K]) each(yield func(WeightedEntry[K]) bool) {
 	for _, e := range s.entries {
 		if !yield(e) {
@@ -390,14 +406,24 @@ func (s *concurrentSnapshot[K]) overEst() bool                    { return s.ove
 
 // Snapshots are read-only views; the summary wrapper never routes
 // writes to one.
-func (s *concurrentSnapshot[K]) update(K)          { panic("heavyhitters: write through snapshot") }
+//
+//hh:noalloc
+func (s *concurrentSnapshot[K]) update(K) { panic("heavyhitters: write through snapshot") }
+
+//hh:noalloc
 func (s *concurrentSnapshot[K]) updateN(K, uint64) { panic("heavyhitters: write through snapshot") }
+
+//hh:noalloc
 func (s *concurrentSnapshot[K]) updateWeighted(K, float64) {
 	panic("heavyhitters: write through snapshot")
 }
+
+//hh:noalloc
 func (s *concurrentSnapshot[K]) updateBatch([]K, []uint64) {
 	panic("heavyhitters: write through snapshot")
 }
+
+//hh:noalloc
 func (s *concurrentSnapshot[K]) reset() { panic("heavyhitters: write through snapshot") }
 
 // pinned returns the consistent read view a compound query should run

@@ -91,13 +91,13 @@ func main() {
 			local := hh.New[string](hh.WithConcurrent(), hh.WithCapacity(m))
 			keys := make([]string, 0, 4096)
 			pushedEarly := false
-			for lo := 0; lo < len(part); lo += 4096 {
+			for off := 0; off < len(part); off += 4096 {
 				keys = keys[:0]
-				for _, x := range part[lo:min(lo+4096, len(part))] {
+				for _, x := range part[off:min(off+4096, len(part))] {
 					keys = append(keys, key(x))
 				}
 				local.UpdateBatch(keys)
-				if id == 0 && !pushedEarly && lo >= len(part)/2 {
+				if id == 0 && !pushedEarly && off >= len(part)/2 {
 					pushedEarly = true
 					var buf bytes.Buffer
 					if err := local.Encode(&buf); err != nil {

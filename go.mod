@@ -1,3 +1,8 @@
 module repro
 
 go 1.24
+
+// Pinned and vendored (vendor/): hhlint's analysis framework. Bump
+// deliberately -- a floating x/tools could redden unchanged code, the
+// same reason CI pins staticcheck.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

@@ -1,0 +1,189 @@
+// Package analyzers implements hhlint, the repo-specific static
+// analysis suite: golang.org/x/tools/go/analysis passes that
+// machine-check the contracts the hot paths and wire decoders rely on
+// but that the compiler cannot see.
+//
+// The contracts are declared as comment annotations:
+//
+//	//hh:noalloc        on a function, interface method, named func
+//	                    type or func-typed struct field: the zero-
+//	                    allocation ingest/query contract. The body (or
+//	                    every value assigned to the field) must avoid
+//	                    allocating constructs and may call only other
+//	                    noalloc functions (see noalloc.go for the exact
+//	                    construct list and the documented trust
+//	                    boundaries).
+//	//hh:guardedby mu   on a struct field: every access must happen
+//	                    with the named sibling lock held (a lexically
+//	                    preceding <base>.mu.Lock/RLock/TryLock in the
+//	                    same function), inside a function annotated
+//	                    //hh:locked mu, or inside the function that
+//	                    constructs the struct.
+//	//hh:locked mu      on a function: the caller holds mu for the
+//	                    whole call (capture() under rebuildMu).
+//	//hh:immutable      on a struct type: no field may be written after
+//	                    the constructor returns — the property an
+//	                    atomic-pointer publish relies on.
+//	//hh:nopanic        on a function that parses bytes of foreign
+//	                    provenance: it must not panic on any input.
+//	                    Explicit panics and calls to module functions
+//	                    that can panic are flagged transitively;
+//	                    unchecked indexing, slicing and single-value
+//	                    type assertions are flagged in annotated
+//	                    bodies.
+//
+// Site-level waivers, each requiring a reason and greppable in review:
+//
+//	//hh:allocok <why>   waive noalloc findings on this line
+//	//hh:unguarded <why> waive guardedby findings on this line (or, in
+//	                     a function's doc comment, for the whole body)
+//	//hh:checked <why>   waive nopanic findings on this line (the
+//	                     callee's panic precondition is locally
+//	                     validated)
+//
+// The analyzers only ever report on this module's packages and skip
+// _test.go files (tests deliberately poke internals); fact computation
+// likewise skips the standard library, whose calls are covered by the
+// explicit allowlist in noalloc.go and the stdlib trust note in
+// nopanic.go.
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// All returns every analyzer hhlint runs: the four contract checkers
+// plus the extended (non-default-vet) checks nilness, unusedwrite and
+// shadow in their repo-local simplified forms.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		NoAlloc,
+		GuardedBy,
+		Immutable,
+		NoPanic,
+		Nilness,
+		UnusedWrite,
+		Shadow,
+	}
+}
+
+// analyzable reports whether pass's package belongs to code this suite
+// should analyze. The go vet driver feeds fact-exporting analyzers
+// every dependency, standard library included (with no module recorded
+// for it) — the contracts only apply to module code, and stdlib calls
+// are handled by noalloc's allowlist and nopanic's trust boundary.
+func analyzable(pass *analysis.Pass) bool {
+	m := pass.Module
+	return m != nil && m.Path != "" && m.Path != "std" && m.Path != "cmd"
+}
+
+// marker scans a comment group for a "//hh:<name>" annotation and
+// returns the rest of that comment line (trimmed).
+func marker(cg *ast.CommentGroup, name string) (arg string, ok bool) {
+	if cg == nil {
+		return "", false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		rest, found := strings.CutPrefix(text, name)
+		if !found {
+			continue
+		}
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			continue // e.g. hh:noallocX
+		}
+		return strings.TrimSpace(rest), true
+	}
+	return "", false
+}
+
+// waivers indexes one file's "//hh:<waiver> <reason>" comments by line.
+type waivers map[int][]string
+
+// fileWaivers collects the waiver comments of f. A waiver with no
+// reason text is ignored (and reported), so every suppression carries
+// its justification.
+func fileWaivers(pass *analysis.Pass, f *ast.File, name string) waivers {
+	w := waivers{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, found := strings.CutPrefix(text, name)
+			if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+				continue
+			}
+			reason := strings.TrimSpace(rest)
+			if reason == "" {
+				pass.Reportf(c.Pos(), "%s waiver without a reason", name)
+				continue
+			}
+			line := pass.Fset.Position(c.Slash).Line
+			w[line] = append(w[line], reason)
+		}
+	}
+	return w
+}
+
+// waived reports whether pos's line (or the standalone comment line
+// directly above it) carries a waiver.
+func (w waivers) waived(fset *token.FileSet, pos token.Pos) bool {
+	line := fset.Position(pos).Line
+	return len(w[line]) > 0 || len(w[line-1]) > 0
+}
+
+// isTestFile reports whether pos lies in a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// funcDoc returns the doc comment of the function declaration.
+func funcDoc(fd *ast.FuncDecl) *ast.CommentGroup { return fd.Doc }
+
+// exprString renders an expression for textual base matching (lock
+// bases, self-append targets). It is deliberately positional-free:
+// two occurrences of "sl.mu" compare equal.
+func exprString(e ast.Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		b.WriteString(e.Name)
+	case *ast.SelectorExpr:
+		writeExpr(b, e.X)
+		b.WriteByte('.')
+		b.WriteString(e.Sel.Name)
+	case *ast.IndexExpr:
+		writeExpr(b, e.X)
+		b.WriteByte('[')
+		writeExpr(b, e.Index)
+		b.WriteByte(']')
+	case *ast.SliceExpr:
+		writeExpr(b, e.X)
+		b.WriteString("[…]")
+	case *ast.ParenExpr:
+		writeExpr(b, e.X)
+	case *ast.StarExpr:
+		b.WriteByte('*')
+		writeExpr(b, e.X)
+	case *ast.UnaryExpr:
+		b.WriteString(e.Op.String())
+		writeExpr(b, e.X)
+	case *ast.BasicLit:
+		b.WriteString(e.Value)
+	case *ast.CallExpr:
+		writeExpr(b, e.Fun)
+		b.WriteString("(…)")
+	default:
+		// Unrenderable shapes compare unequal to everything, which only
+		// ever makes the analyzers stricter.
+		b.WriteString("‹expr›")
+	}
+}

@@ -1,0 +1,220 @@
+// Fixture tests for the hhlint analyzer suite. Each directory under
+// testdata/src is a self-contained module annotated with
+// `// want:<analyzer> "substr"` comments; the test builds the real
+// hhlint binary, runs it through the real go vet driver (so facts,
+// waivers and cross-package imports behave exactly as in CI), and
+// compares the diagnostics against the want comments in both
+// directions: every want must fire, and nothing else may.
+package analyzers_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var hhlintBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "hhlint")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	hhlintBin = filepath.Join(dir, "hhlint")
+	build := exec.Command("go", "build", "-o", hhlintBin, "repro/cmd/hhlint")
+	build.Dir = repoRoot()
+	if out, err := build.CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building hhlint: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+func repoRoot() string {
+	abs, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		panic(err)
+	}
+	return abs
+}
+
+// expectation is one `// want:<analyzer> "substr"` comment.
+type expectation struct {
+	file     string // base name
+	line     int
+	analyzer string
+	substr   string
+	matched  bool
+}
+
+// diagnostic is one reported finding, flattened from vet's JSON.
+type diagnostic struct {
+	file     string // base name
+	line     int
+	analyzer string
+	message  string
+	matched  bool
+}
+
+var wantRE = regexp.MustCompile(`// want:([a-z]+) "([^"]*)"`)
+
+func collectWants(t *testing.T, fixture string) []expectation {
+	t.Helper()
+	var wants []expectation
+	err := filepath.Walk(fixture, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				wants = append(wants, expectation{
+					file:     filepath.Base(path),
+					line:     i + 1,
+					analyzer: m[1],
+					substr:   m[2],
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// runVet runs hhlint over the fixture module via the go vet driver and
+// returns the parsed diagnostics.
+func runVet(t *testing.T, fixture string) []diagnostic {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+hhlintBin, "-json", "./...")
+	cmd.Dir = fixture
+	// The fixture is its own module: detach it from the repo's
+	// workspace and vendor settings.
+	cmd.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	_ = cmd.Run() // vet exits nonzero when it reports findings
+
+	// Stderr interleaves `# package` comment lines with JSON objects of
+	// the form {"pkg": {"analyzer": [{posn, message}, ...]}}.
+	var jsonText strings.Builder
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		jsonText.WriteString(line)
+		jsonText.WriteString("\n")
+	}
+	type posnMessage struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	var diags []diagnostic
+	dec := json.NewDecoder(strings.NewReader(jsonText.String()))
+	for dec.More() {
+		var chunk map[string]map[string][]posnMessage
+		if err := dec.Decode(&chunk); err != nil {
+			t.Fatalf("parsing go vet -json output: %v\nstderr:\n%s", err, stderr.String())
+		}
+		for _, byAnalyzer := range chunk {
+			for analyzer, findings := range byAnalyzer {
+				for _, f := range findings {
+					file, line := splitPosn(t, f.Posn)
+					diags = append(diags, diagnostic{
+						file:     file,
+						line:     line,
+						analyzer: analyzer,
+						message:  f.Message,
+					})
+				}
+			}
+		}
+	}
+	return diags
+}
+
+func splitPosn(t *testing.T, posn string) (string, int) {
+	t.Helper()
+	parts := strings.Split(posn, ":")
+	if len(parts) < 3 {
+		t.Fatalf("malformed position %q", posn)
+	}
+	line, err := strconv.Atoi(parts[len(parts)-2])
+	if err != nil {
+		t.Fatalf("malformed position %q: %v", posn, err)
+	}
+	return filepath.Base(strings.Join(parts[:len(parts)-2], ":")), line
+}
+
+func TestFixtures(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			fixture := filepath.Join("testdata", "src", e.Name())
+			wants := collectWants(t, fixture)
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no want comments", e.Name())
+			}
+			diags := runVet(t, fixture)
+			for i := range wants {
+				w := &wants[i]
+				for j := range diags {
+					d := &diags[j]
+					if d.matched || d.analyzer != w.analyzer || d.file != w.file || d.line != w.line {
+						continue
+					}
+					if !strings.Contains(d.message, w.substr) {
+						continue
+					}
+					w.matched, d.matched = true, true
+					break
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("missing diagnostic: %s:%d expected %s finding containing %q",
+						w.file, w.line, w.analyzer, w.substr)
+				}
+			}
+			for _, d := range diags {
+				if !d.matched {
+					t.Errorf("unexpected diagnostic: %s:%d %s: %s", d.file, d.line, d.analyzer, d.message)
+				}
+			}
+		})
+	}
+}
+
+// TestRepoIsClean is the acceptance gate the CI lint job re-runs: the
+// annotated repository must produce zero findings.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-vets the whole repository; skipped in -short mode")
+	}
+	cmd := exec.Command(hhlintBin, "./...")
+	cmd.Dir = repoRoot()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("hhlint ./... reported findings:\n%s", out)
+	}
+}

@@ -1,0 +1,397 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// This file holds the extended (beyond default go vet) analyzers the
+// CI lint job runs alongside the contract checkers: nilness,
+// unusedwrite and shadow. They are deliberately conservative,
+// AST-level reimplementations of the upstream passes' highest-signal
+// cases — tuned so that a diagnostic is near-certainly a bug, at the
+// cost of catching fewer borderline ones.
+
+// Nilness flags the classic inverted-nil-check bug: dereferencing,
+// indexing or calling a variable inside the very `if x == nil` block
+// that just proved it nil.
+var Nilness = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "check for uses of a variable inside the if-block that proved it nil",
+	Run:  runNilness,
+}
+
+func runNilness(pass *analysis.Pass) (interface{}, error) {
+	if !analyzable(pass) {
+		return nil, nil
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			cond, ok := ifs.Cond.(*ast.BinaryExpr)
+			if !ok || cond.Op != token.EQL {
+				return true
+			}
+			id := nilComparedIdent(info, cond)
+			if id == nil {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			reportNilUse(pass, ifs.Body, obj, id.Name)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// nilComparedIdent returns the identifier compared against nil in
+// cond, if the identifier has a nilable type.
+func nilComparedIdent(info *types.Info, cond *ast.BinaryExpr) *ast.Ident {
+	for _, pair := range [][2]ast.Expr{{cond.X, cond.Y}, {cond.Y, cond.X}} {
+		id, ok := ast.Unparen(pair[0]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if nl, ok := ast.Unparen(pair[1]).(*ast.Ident); !ok || nl.Name != "nil" {
+			continue
+		}
+		t := info.TypeOf(id)
+		if t == nil {
+			continue
+		}
+		switch t.Underlying().(type) {
+		case *types.Pointer, *types.Map, *types.Slice, *types.Signature, *types.Chan:
+			return id
+		}
+	}
+	return nil
+}
+
+// reportNilUse reports dereference-like uses of obj within block,
+// stopping at any reassignment of obj.
+func reportNilUse(pass *analysis.Pass, block *ast.BlockStmt, obj types.Object, name string) {
+	var reassignedAt token.Pos = token.Pos(-1)
+	usesObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == obj
+	}
+	ast.Inspect(block, func(n ast.Node) bool {
+		if reassignedAt >= 0 && n != nil && n.Pos() > reassignedAt {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && (pass.TypesInfo.Uses[id] == obj || pass.TypesInfo.Defs[id] == obj) {
+					reassignedAt = n.End()
+				}
+			}
+		case *ast.StarExpr:
+			if usesObj(n.X) {
+				pass.Reportf(n.Pos(), "nil dereference of %s (proved nil by the enclosing if)", name)
+			}
+		case *ast.SelectorExpr:
+			if usesObj(n.X) && !isPkgName(pass.TypesInfo, n.X) {
+				t := pass.TypesInfo.TypeOf(n.X)
+				if t != nil {
+					if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+						pass.Reportf(n.Pos(), "nil dereference of %s (proved nil by the enclosing if)", name)
+					}
+				}
+			}
+		case *ast.IndexExpr:
+			if usesObj(n.X) {
+				t := pass.TypesInfo.TypeOf(n.X)
+				if t != nil {
+					if _, isSlice := t.Underlying().(*types.Slice); isSlice {
+						pass.Reportf(n.Pos(), "index of %s (proved nil by the enclosing if)", name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if usesObj(n.Fun) {
+				pass.Reportf(n.Pos(), "call of %s (proved nil by the enclosing if)", name)
+			}
+		}
+		return true
+	})
+}
+
+func isPkgName(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.PkgName)
+	return ok
+}
+
+// UnusedWrite flags writes to a field of a non-pointer local or
+// value-receiver copy that is never read afterwards — almost always a
+// lost update through a struct copy.
+var UnusedWrite = &analysis.Analyzer{
+	Name: "unusedwrite",
+	Doc:  "check for field writes to struct copies that are never read again",
+	Run:  runUnusedWrite,
+}
+
+func runUnusedWrite(pass *analysis.Pass) (interface{}, error) {
+	if !analyzable(pass) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkUnusedWrites(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkUnusedWrites(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Disqualify variables whose writes we cannot reason about
+	// lexically: address-taken, captured by a closure, or written
+	// inside a loop (a lexically earlier read may run later).
+	escaped := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						escaped[obj] = true
+					}
+				}
+			}
+		case *ast.FuncLit:
+			ast.Inspect(n, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						escaped[obj] = true
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			ast.Inspect(n, func(m ast.Node) bool {
+				if as, ok := m.(*ast.AssignStmt); ok {
+					for _, lhs := range as.Lhs {
+						if sel, ok := lhs.(*ast.SelectorExpr); ok {
+							if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+								if obj := info.Uses[id]; obj != nil {
+									escaped[obj] = true
+								}
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	type write struct {
+		sel *ast.SelectorExpr
+		obj types.Object
+		end token.Pos
+	}
+	var writes []write
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Uses[id]
+			v, isVar := obj.(*types.Var)
+			if !isVar || v.IsField() || escaped[obj] {
+				continue
+			}
+			// Only non-pointer struct-typed locals/receivers: writing
+			// through a pointer mutates the shared value and is fine.
+			if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if _, isStruct := v.Type().Underlying().(*types.Struct); !isStruct {
+				continue
+			}
+			writes = append(writes, write{sel: sel, obj: obj, end: as.End()})
+		}
+		return true
+	})
+
+	for _, wr := range writes {
+		read := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || n.Pos() <= wr.end || info.Uses[id] != wr.obj {
+				return true
+			}
+			// An identifier that is itself the base of a later field
+			// write is not a read; anything else is.
+			if !isWriteBase(fd.Body, id) {
+				read = true
+			}
+			return !read
+		})
+		if !read {
+			pass.Reportf(wr.sel.Pos(), "unusedwrite: field write to %s is never read (writing to a struct copy?)", exprString(wr.sel))
+		}
+	}
+}
+
+// isWriteBase reports whether id appears as the base of a plain
+// field-write LHS somewhere in body.
+func isWriteBase(body *ast.BlockStmt, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if sel, ok := lhs.(*ast.SelectorExpr); ok {
+				if base, ok := ast.Unparen(sel.X).(*ast.Ident); ok && base == id {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// Shadow flags the risky form of variable shadowing: an inner
+// declaration reuses the name of a function-local variable that is
+// still used after the inner scope ends (the pattern behind lost
+// `err :=` assignments).
+var Shadow = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "check for shadowed variables that are still used after the shadowing scope",
+	Run:  runShadow,
+}
+
+func runShadow(pass *analysis.Pass) (interface{}, error) {
+	if !analyzable(pass) {
+		return nil, nil
+	}
+	info := pass.TypesInfo
+	// Reads and writes of each object, for the used-after check
+	// (function-local variables never cross files, so package-wide
+	// maps suffice). A use on the left of any assignment — including
+	// the reuse in a partial := — is a write, not a read.
+	reads := map[types.Object][]token.Pos{}
+	writes := map[types.Object][]token.Pos{}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		writeIdents := map[*ast.Ident]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						writeIdents[id] = true
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					if writeIdents[id] {
+						writes[obj] = append(writes[obj], id.Pos())
+					} else {
+						reads[obj] = append(reads[obj], id.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+	for id, obj := range info.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || id.Name == "_" {
+			continue
+		}
+		if isTestFile(pass.Fset, v.Pos()) {
+			continue
+		}
+		inner := v.Parent()
+		if inner == nil || inner == pass.Pkg.Scope() {
+			continue
+		}
+		outerScope := inner.Parent()
+		if outerScope == nil {
+			continue
+		}
+		_, outerObj := outerScope.LookupParent(id.Name, v.Pos())
+		outer, ok := outerObj.(*types.Var)
+		if !ok || outer == v || outer.IsField() {
+			continue
+		}
+		// Only function-local shadowing: package-level and universe
+		// shadowing is idiomatic (err, min, max...).
+		if outer.Parent() == pass.Pkg.Scope() || outer.Parent() == types.Universe {
+			continue
+		}
+		// Risky only if the outer variable is read after the inner
+		// scope closes with no intervening write: a read behind a fresh
+		// assignment cannot observe a value the shadow made stale.
+		usedAfter := false
+		for _, r := range reads[outer] {
+			if r <= inner.End() {
+				continue
+			}
+			rewritten := false
+			for _, wpos := range writes[outer] {
+				if wpos > inner.End() && wpos < r {
+					rewritten = true
+					break
+				}
+			}
+			if !rewritten {
+				usedAfter = true
+				break
+			}
+		}
+		if !usedAfter {
+			continue
+		}
+		pass.Reportf(id.Pos(), "shadow: declaration of %q shadows declaration at line %d, and the outer variable is used after this scope",
+			id.Name, pass.Fset.Position(outer.Pos()).Line)
+	}
+	return nil, nil
+}

@@ -1,0 +1,232 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// GuardedBy verifies the //hh:guardedby contract: a struct field
+// annotated `//hh:guardedby mu` may only be accessed
+//
+//   - after a lexically preceding <base>.mu.Lock / RLock / TryLock in
+//     the same function, where <base> is the same expression the field
+//     is accessed through (sl.mu.Lock() guards sl.be, not other[i].be);
+//   - inside a function annotated `//hh:locked mu` (the caller holds
+//     the lock for the whole call, e.g. capture() under rebuildMu);
+//   - inside the function that constructs the declaring struct (no
+//     other goroutine can see it yet); or
+//   - on a line waived with `//hh:unguarded <why>`, or anywhere in a
+//     function whose doc comment carries that waiver.
+//
+// The lexical-order heuristic accepts an access after Unlock and
+// cannot see aliasing, so it under-reports rather than over-reports;
+// -race remains the dynamic backstop. What it reliably catches is the
+// dangerous default: a new code path touching a guarded field with no
+// locking at all.
+var GuardedBy = &analysis.Analyzer{
+	Name:      "guardedby",
+	Doc:       "check that //hh:guardedby struct fields are only accessed with their lock held",
+	Run:       runGuardedBy,
+	FactTypes: []analysis.Fact{new(guardFact)},
+}
+
+// guardFact records the name of the sibling field that guards an
+// annotated field, so access sites in other packages can be checked.
+type guardFact struct{ Guard string }
+
+func (*guardFact) AFact()           {}
+func (f *guardFact) String() string { return "guardedby " + f.Guard }
+
+func runGuardedBy(pass *analysis.Pass) (interface{}, error) {
+	if !analyzable(pass) {
+		return nil, nil
+	}
+	g := &guardPass{pass: pass, local: map[types.Object]string{}}
+	g.collect()
+	g.check()
+	return nil, nil
+}
+
+type guardPass struct {
+	pass  *analysis.Pass
+	local map[types.Object]string
+}
+
+func (g *guardPass) collect() {
+	for _, f := range g.pass.Files {
+		if isTestFile(g.pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			names := map[string]bool{}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					names[name.Name] = true
+				}
+			}
+			for _, fld := range st.Fields.List {
+				guard, ok := marker(fld.Doc, "hh:guardedby")
+				if !ok {
+					guard, ok = marker(fld.Comment, "hh:guardedby")
+				}
+				if !ok {
+					continue
+				}
+				if guard == "" || !names[guard] {
+					g.pass.Reportf(fld.Pos(), "//hh:guardedby names %q, which is not a sibling field", guard)
+					continue
+				}
+				for _, name := range fld.Names {
+					obj := g.pass.TypesInfo.Defs[name]
+					if obj == nil {
+						continue
+					}
+					g.local[obj] = guard
+					g.pass.ExportObjectFact(obj, &guardFact{Guard: guard})
+				}
+			}
+			return true
+		})
+	}
+}
+
+// guardOf returns the guard field name for obj, or "" if unguarded.
+func (g *guardPass) guardOf(obj types.Object) string {
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() {
+		return ""
+	}
+	obj = v.Origin()
+	if guard, ok := g.local[obj]; ok {
+		return guard
+	}
+	var fact guardFact
+	if g.pass.ImportObjectFact(obj, &fact) {
+		return fact.Guard
+	}
+	return ""
+}
+
+func (g *guardPass) check() {
+	for _, f := range g.pass.Files {
+		if isTestFile(g.pass.Fset, f.Pos()) {
+			continue
+		}
+		w := fileWaivers(g.pass, f, "hh:unguarded")
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			g.checkFunc(fd, w)
+		}
+	}
+}
+
+func (g *guardPass) checkFunc(fd *ast.FuncDecl, w waivers) {
+	if _, ok := marker(funcDoc(fd), "hh:unguarded"); ok {
+		return // whole function waived
+	}
+	lockedGuards := map[string]bool{}
+	if guard, ok := marker(funcDoc(fd), "hh:locked"); ok && guard != "" {
+		lockedGuards[guard] = true
+	}
+
+	// Lock acquisitions, keyed by the textual form "<base>.<guard>",
+	// with the position of each acquisition.
+	locks := map[string][]token.Pos{}
+	// Struct types constructed in this function: any access to their
+	// guarded fields is pre-publication initialization.
+	constructed := map[*types.TypeName]bool{}
+
+	info := g.pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					locks[exprString(sel.X)] = append(locks[exprString(sel.X)], n.Pos())
+				case "LoadOrStore", "CompareAndSwap":
+					// not lock acquisitions; ignore
+				}
+			}
+			if isBuiltin(info, n, "make") && len(n.Args) > 0 {
+				if tn := namedOf(info.TypeOf(n)); tn != nil {
+					constructed[tn] = true
+				}
+				if s, ok := info.TypeOf(n).Underlying().(*types.Slice); ok {
+					if tn := namedOf(s.Elem()); tn != nil {
+						constructed[tn] = true
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if tn := namedOf(info.TypeOf(n)); tn != nil {
+				constructed[tn] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		guard := g.guardOf(s.Obj())
+		if guard == "" {
+			return true
+		}
+		if w.waived(g.pass.Fset, sel.Pos()) || lockedGuards[guard] {
+			return true
+		}
+		if tn := namedOf(info.TypeOf(sel.X)); tn != nil && constructed[tn] {
+			return true
+		}
+		want := exprString(sel.X) + "." + guard
+		for _, pos := range locks[want] {
+			if pos < sel.Pos() {
+				return true
+			}
+		}
+		g.pass.Reportf(sel.Pos(), "guardedby: access to %s.%s without %s held (no preceding %s.Lock in this function; annotate //hh:locked %s or waive //hh:unguarded)",
+			exprString(sel.X), s.Obj().Name(), want, want, guard)
+		return true
+	})
+}
+
+// namedOf unwraps pointers and returns the *types.TypeName of t's
+// named (or generic-instantiated) type, if any.
+func namedOf(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	for {
+		if p, ok := t.Underlying().(*types.Pointer); ok && p.Elem() != t {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	if a, ok := t.(*types.Alias); ok {
+		if n, ok := a.Rhs().(*types.Named); ok {
+			return n.Obj()
+		}
+	}
+	return nil
+}

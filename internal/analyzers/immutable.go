@@ -1,0 +1,171 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Immutable verifies the //hh:immutable contract: a struct type
+// annotated `//hh:immutable` (concurrentSnapshot, the registry's
+// published view types) is frozen once its constructor returns — the
+// exact property that makes an atomic.Pointer publish safe without a
+// read lock. Any write through a field of the annotated type (direct
+// assignment, compound assignment, ++/--, or assignment into an
+// element of a field) is flagged unless it occurs in a function that
+// itself constructs the type, where the value is provably unpublished.
+var Immutable = &analysis.Analyzer{
+	Name:      "immutable",
+	Doc:       "check that //hh:immutable struct types are never written after construction",
+	Run:       runImmutable,
+	FactTypes: []analysis.Fact{new(immutableFact)},
+}
+
+// immutableFact marks a named struct type as frozen-after-construction.
+type immutableFact struct{}
+
+func (*immutableFact) AFact()         {}
+func (*immutableFact) String() string { return "immutable" }
+
+func runImmutable(pass *analysis.Pass) (interface{}, error) {
+	if !analyzable(pass) {
+		return nil, nil
+	}
+	im := &immutablePass{pass: pass, local: map[types.Object]bool{}}
+	im.collect()
+	im.check()
+	return nil, nil
+}
+
+type immutablePass struct {
+	pass  *analysis.Pass
+	local map[types.Object]bool
+}
+
+func (im *immutablePass) collect() {
+	for _, f := range im.pass.Files {
+		if isTestFile(im.pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				_, onSpec := marker(ts.Doc, "hh:immutable")
+				_, onDecl := marker(gd.Doc, "hh:immutable")
+				if !onSpec && !(onDecl && len(gd.Specs) == 1) {
+					continue
+				}
+				if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
+					im.pass.Reportf(ts.Pos(), "//hh:immutable on non-struct type %s", ts.Name.Name)
+					continue
+				}
+				obj := im.pass.TypesInfo.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				im.local[obj] = true
+				im.pass.ExportObjectFact(obj, new(immutableFact))
+			}
+		}
+	}
+}
+
+func (im *immutablePass) isImmutable(tn *types.TypeName) bool {
+	if tn == nil {
+		return false
+	}
+	return im.local[tn] || im.pass.ImportObjectFact(tn, new(immutableFact))
+}
+
+func (im *immutablePass) check() {
+	for _, f := range im.pass.Files {
+		if isTestFile(im.pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			im.checkFunc(fd)
+		}
+	}
+}
+
+func (im *immutablePass) checkFunc(fd *ast.FuncDecl) {
+	info := im.pass.TypesInfo
+
+	// Types constructed in this function: writes to them are
+	// initialization, not mutation.
+	constructed := map[*types.TypeName]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if tn := namedOf(info.TypeOf(n)); tn != nil {
+				constructed[tn] = true
+			}
+		case *ast.CallExpr:
+			if isBuiltin(info, n, "new") && len(n.Args) == 1 {
+				if tn := namedOf(info.TypeOf(n.Args[0])); tn != nil {
+					constructed[tn] = true
+				}
+			}
+		}
+		return true
+	})
+
+	checkLHS := func(lhs ast.Expr) {
+		// Unwrap element writes (snap.entries[i] = ...) down to the
+		// field selector they go through.
+		for {
+			switch l := lhs.(type) {
+			case *ast.IndexExpr:
+				lhs = l.X
+				continue
+			case *ast.ParenExpr:
+				lhs = l.X
+				continue
+			case *ast.StarExpr:
+				lhs = l.X
+				continue
+			}
+			break
+		}
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return
+		}
+		tn := namedOf(info.TypeOf(sel.X))
+		if !im.isImmutable(tn) {
+			return
+		}
+		if constructed[tn] {
+			return
+		}
+		im.pass.Reportf(sel.Pos(), "immutable: write to field %s of //hh:immutable type %s after construction", s.Obj().Name(), tn.Name())
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkLHS(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkLHS(n.X)
+		}
+		return true
+	})
+}

@@ -1,0 +1,576 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// NoAlloc verifies the //hh:noalloc contract: the steady-state ingest
+// and query paths (Update, AddN, updateBatch, TopAppend, rotation,
+// gather) must not allocate. The analyzer rejects allocating
+// constructs syntactically and enforces closure over the call graph:
+// an annotated function may only call other annotated functions, an
+// explicit allowlist of non-allocating stdlib helpers, builtins, or
+// annotated interface methods / func-valued fields.
+//
+// Documented trust boundaries (backstopped by the -benchmem alloc
+// tests and scripts/escapecheck.sh):
+//
+//   - Self-append (x = append(x, ...)), return-position append, and
+//     append into a reslice of an existing buffer (append(buf[:0], ...))
+//     are allowed: the contract is amortized-zero on pre-sized or
+//     pooled slices.
+//   - Map assignment and delete are allowed: the slabs pre-size their
+//     maps and the steady state only rewrites existing buckets.
+//   - Func literals are allowed only in call position (directly
+//     invoked, or passed as a callback argument where the compiler can
+//     stack-allocate them); their bodies are checked.
+//   - defer/panic/recover are allowed: failure paths may allocate.
+var NoAlloc = &analysis.Analyzer{
+	Name:      "noalloc",
+	Doc:       "check that //hh:noalloc functions avoid allocating constructs and only call noalloc-safe code",
+	Run:       runNoAlloc,
+	FactTypes: []analysis.Fact{new(noAllocFact)},
+}
+
+// noAllocFact marks a function, interface method or func-typed struct
+// field as carrying the //hh:noalloc contract, so call sites in other
+// packages can trust it.
+type noAllocFact struct{}
+
+func (*noAllocFact) AFact()         {}
+func (*noAllocFact) String() string { return "noalloc" }
+
+// noAllocPackages are stdlib packages whose exported functions are
+// trusted not to allocate in the ways the hot paths use them.
+var noAllocPackages = map[string]bool{
+	"sync":         true,
+	"sync/atomic":  true,
+	"math":         true,
+	"math/bits":    true,
+	"cmp":          true,
+	"hash/maphash": true,
+	"time":         true, // Time arithmetic (Sub, Add, Before) is pure value math
+	"unsafe":       true,
+}
+
+// noAllocFuncs are individually trusted stdlib functions from packages
+// that are otherwise not allowlisted. The slices in-place sorts work
+// without allocating.
+var noAllocFuncs = map[string]bool{
+	"slices.Sort":             true,
+	"slices.SortFunc":         true,
+	"slices.SortStableFunc":   true,
+	"slices.BinarySearch":     true,
+	"slices.BinarySearchFunc": true,
+}
+
+func runNoAlloc(pass *analysis.Pass) (interface{}, error) {
+	if !analyzable(pass) {
+		return nil, nil
+	}
+	na := &noAllocPass{pass: pass, local: map[types.Object]bool{}}
+	na.collect()
+	na.check()
+	return nil, nil
+}
+
+type noAllocPass struct {
+	pass  *analysis.Pass
+	local map[types.Object]bool // annotated objects declared in this package
+}
+
+// collect finds every //hh:noalloc annotation in the package, records
+// the annotated object, and exports a fact for it.
+func (na *noAllocPass) collect() {
+	for _, f := range na.pass.Files {
+		if isTestFile(na.pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if _, ok := marker(n.Doc, "hh:noalloc"); ok {
+					na.mark(n.Name)
+				}
+				return false // fields of local types are rare; keep decl scan shallow
+			case *ast.InterfaceType:
+				for _, m := range n.Methods.List {
+					if !annotatedField(m) {
+						continue
+					}
+					for _, name := range m.Names {
+						na.mark(name)
+					}
+				}
+			case *ast.StructType:
+				for _, fld := range n.Fields.List {
+					if !annotatedField(fld) {
+						continue
+					}
+					for _, name := range fld.Names {
+						obj := na.pass.TypesInfo.Defs[name]
+						if obj == nil {
+							continue
+						}
+						if _, ok := obj.Type().Underlying().(*types.Signature); !ok {
+							na.pass.Reportf(name.Pos(), "//hh:noalloc on non-func field %s", name.Name)
+							continue
+						}
+						na.mark(name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// annotatedField reports whether a struct or interface field carries
+// the //hh:noalloc marker in its doc or trailing comment.
+func annotatedField(f *ast.Field) bool {
+	if _, ok := marker(f.Doc, "hh:noalloc"); ok {
+		return true
+	}
+	_, ok := marker(f.Comment, "hh:noalloc")
+	return ok
+}
+
+func (na *noAllocPass) mark(name *ast.Ident) {
+	obj := na.pass.TypesInfo.Defs[name]
+	if obj == nil {
+		return
+	}
+	na.local[obj] = true
+	na.pass.ExportObjectFact(obj, new(noAllocFact))
+}
+
+// isNoAlloc reports whether obj carries the noalloc contract, via the
+// local annotation set, an imported fact, or the stdlib allowlist.
+func (na *noAllocPass) isNoAlloc(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		obj = fn.Origin()
+	}
+	if v, ok := obj.(*types.Var); ok {
+		obj = v.Origin()
+	}
+	if na.local[obj] {
+		return true
+	}
+	if na.pass.ImportObjectFact(obj, new(noAllocFact)) {
+		return true
+	}
+	if pkg := obj.Pkg(); pkg != nil {
+		if noAllocPackages[pkg.Path()] {
+			return true
+		}
+		if noAllocFuncs[pkg.Path()+"."+obj.Name()] {
+			return true
+		}
+	}
+	return false
+}
+
+// check walks the package a second time: annotated function bodies are
+// checked for allocating constructs, and every assignment into an
+// annotated func-valued field is checked to reference noalloc code.
+func (na *noAllocPass) check() {
+	for _, f := range na.pass.Files {
+		if isTestFile(na.pass.Fset, f.Pos()) {
+			continue
+		}
+		w := fileWaivers(na.pass, f, "hh:allocok")
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				obj := na.pass.TypesInfo.Defs[n.Name]
+				if n.Body != nil && obj != nil && na.local[obj] {
+					na.checkBody(n.Body, w)
+				}
+				// Fall through into the body regardless: it may contain
+				// assignments into annotated fields.
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					break // multi-value unpacking never stores a checkable func expr
+				}
+				for i, lhs := range n.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					fld := na.fieldOf(sel)
+					if fld == nil || !na.isAnnotatedField(fld) {
+						continue
+					}
+					na.checkFuncValue(n.Rhs[i], w)
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					fld := na.pass.TypesInfo.Uses[key]
+					if fld == nil || !na.isAnnotatedField(fld) {
+						continue
+					}
+					na.checkFuncValue(kv.Value, w)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isAnnotatedField reports whether obj is a func-typed field carrying
+// the noalloc contract (locally or via an imported fact). Unlike
+// isNoAlloc it does not consult the stdlib allowlist.
+func (na *noAllocPass) isAnnotatedField(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() {
+		return false
+	}
+	return na.local[v.Origin()] || na.pass.ImportObjectFact(v.Origin(), new(noAllocFact))
+}
+
+func (na *noAllocPass) fieldOf(sel *ast.SelectorExpr) types.Object {
+	if s, ok := na.pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj()
+	}
+	return nil
+}
+
+// checkFuncValue verifies that a value stored into an //hh:noalloc
+// func field honours the contract: nil, a noalloc named function or
+// method value, or a func literal (whose body is then checked).
+func (na *noAllocPass) checkFuncValue(e ast.Expr, w waivers) {
+	if w.waived(na.pass.Fset, e.Pos()) {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.FuncLit:
+		na.checkBody(e.Body, w)
+		return
+	case *ast.Ident:
+		if e.Name == "nil" || na.isNoAlloc(na.pass.TypesInfo.Uses[e]) {
+			return
+		}
+	case *ast.SelectorExpr:
+		if s, ok := na.pass.TypesInfo.Selections[e]; ok {
+			if na.isNoAlloc(s.Obj()) {
+				return
+			}
+		} else if na.isNoAlloc(na.pass.TypesInfo.Uses[e.Sel]) {
+			return
+		}
+	case *ast.CallExpr:
+		// e.g. wrapping constructors; conservative: reject.
+	}
+	na.pass.Reportf(e.Pos(), "assignment of non-noalloc value into //hh:noalloc field")
+}
+
+// checkBody flags allocating constructs inside an annotated body.
+func (na *noAllocPass) checkBody(body *ast.BlockStmt, w waivers) {
+	info := na.pass.TypesInfo
+
+	// Pre-pass: appends in self-assign or return position, and func
+	// literals in call position, are allowed.
+	allowed := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isBuiltin(info, call, "append") && len(call.Args) > 0 {
+					if exprString(n.Lhs[0]) == exprString(call.Args[0]) {
+						allowed[call] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if call, ok := r.(*ast.CallExpr); ok && isBuiltin(info, call, "append") {
+					allowed[call] = true
+				}
+			}
+		case *ast.CallExpr:
+			if fl, ok := n.Fun.(*ast.FuncLit); ok {
+				allowed[fl] = true
+			}
+			for _, a := range n.Args {
+				if fl, ok := a.(*ast.FuncLit); ok {
+					allowed[fl] = true
+				}
+			}
+			// append into a reslice of an existing buffer reuses (and
+			// amortizes growth of) that buffer's storage, wherever the
+			// result lands: bounds = append(sc.bounds[:0], 0).
+			if isBuiltin(info, n, "append") && len(n.Args) > 0 {
+				if _, ok := n.Args[0].(*ast.SliceExpr); ok {
+					allowed[n] = true
+				}
+			}
+		case *ast.GoStmt, *ast.DeferStmt:
+			var call *ast.CallExpr
+			if g, ok := n.(*ast.GoStmt); ok {
+				call = g.Call
+			} else {
+				call = n.(*ast.DeferStmt).Call
+			}
+			if fl, ok := call.Fun.(*ast.FuncLit); ok {
+				allowed[fl] = true
+			}
+		}
+		return true
+	})
+
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if !w.waived(na.pass.Fset, pos) {
+			na.pass.Reportf(pos, "noalloc: "+format, args...)
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement allocates a goroutine")
+		case *ast.FuncLit:
+			if !allowed[n] {
+				report(n.Pos(), "closure literal outside call position may allocate")
+			}
+			// body is still traversed and checked
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				report(n.Pos(), "map literal allocates")
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n.Pos(), "&composite literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.TypeOf(n)) {
+				report(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.SelectorExpr:
+			if s, ok := info.Selections[n]; ok && s.Kind() == types.MethodVal && !callFun(body, n) {
+				report(n.Pos(), "method value allocates a bound-method closure")
+			}
+		case *ast.CallExpr:
+			na.checkCall(n, report)
+			return true
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i < len(n.Rhs) && len(n.Lhs) == len(n.Rhs) {
+					na.checkBox(info.TypeOf(lhs), n.Rhs[i], report)
+				}
+			}
+		}
+		return true
+	})
+
+	// Allowed-append calls were collected above; re-walk to flag the rest.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isBuiltin(info, call, "append") && !allowed[call] {
+			report(call.Pos(), "append outside self-assignment or return position may allocate and lose the result's backing array")
+		}
+		return true
+	})
+}
+
+// Local func values called inside a noalloc body are trusted: either
+// they are checked callback parameters, or the statement that produced
+// them was itself flagged (a closure literal outside call position).
+// Struct-field func values are NOT trusted unless the field is
+// annotated — that is the contract unitBackend's addN/appendRaw rely
+// on.
+
+// checkCall classifies one call inside a noalloc body.
+func (na *noAllocPass) checkCall(call *ast.CallExpr, report func(token.Pos, string, ...interface{})) {
+	info := na.pass.TypesInfo
+
+	// Conversions.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		na.checkConversion(tv.Type, call, report)
+		return
+	}
+
+	callee := typeutil.Callee(info, call)
+	switch callee := callee.(type) {
+	case *types.Builtin:
+		switch callee.Name() {
+		case "make":
+			report(call.Pos(), "make allocates")
+		case "new":
+			report(call.Pos(), "new allocates")
+		case "append":
+			// handled by the self-append pre-pass
+		case "len", "cap", "copy", "delete", "clear", "min", "max",
+			"panic", "recover", "print", "println", "real", "imag", "complex":
+			// non-allocating (or failure-path-only) builtins
+		default:
+			report(call.Pos(), "builtin %s not allowed in noalloc code", callee.Name())
+		}
+		return
+	case *types.Func:
+		if !na.isNoAlloc(callee) {
+			report(call.Pos(), "call to %s, which is not //hh:noalloc", callee.FullName())
+		}
+		na.checkCallArgs(callee.Type().(*types.Signature), call, report)
+		return
+	case nil:
+		// Dynamic call: through a func literal (allowed, body checked),
+		// an annotated func field, or an untracked func value.
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.SelectorExpr:
+			if fld := na.fieldOf(fun); fld != nil {
+				if na.isAnnotatedField(fld) {
+					return
+				}
+				report(call.Pos(), "call through func field %s, which is not //hh:noalloc", fld.Name())
+				return
+			}
+		case *ast.Ident:
+			// Local func value: trusted only if it is a parameter of the
+			// annotated function (the caller passed a checked callback).
+			if v, ok := info.Uses[fun].(*types.Var); ok && !v.IsField() {
+				return
+			}
+		}
+		report(call.Pos(), "call through untracked function value")
+	}
+}
+
+// checkConversion flags conversions that allocate: string<->byte/rune
+// slices, non-string->string, and boxing into an interface.
+func (na *noAllocPass) checkConversion(dst types.Type, call *ast.CallExpr, report func(token.Pos, string, ...interface{})) {
+	info := na.pass.TypesInfo
+	src := info.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	du, su := dst.Underlying(), src.Underlying()
+	switch {
+	case isString(du) && !isString(su):
+		report(call.Pos(), "conversion to string allocates")
+	case isByteOrRuneSlice(du) && isString(su):
+		report(call.Pos(), "string to slice conversion allocates")
+	case types.IsInterface(du) && !types.IsInterface(su):
+		report(call.Pos(), "conversion to interface boxes the value")
+	}
+}
+
+// checkCallArgs flags interface boxing at argument positions of a
+// statically-known call.
+func (na *noAllocPass) checkCallArgs(sig *types.Signature, call *ast.CallExpr, report func(token.Pos, string, ...interface{})) {
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type()
+			} else if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		}
+		if pt == nil {
+			continue
+		}
+		na.checkBox(pt, arg, report)
+	}
+}
+
+// checkBox reports if assigning expr to a destination of type dst
+// boxes a concrete value into an interface.
+func (na *noAllocPass) checkBox(dst types.Type, expr ast.Expr, report func(token.Pos, string, ...interface{})) {
+	if dst == nil {
+		return
+	}
+	if _, isTP := dst.(*types.TypeParam); isTP {
+		return // a type parameter's underlying is an interface, but no boxing occurs
+	}
+	if !types.IsInterface(dst.Underlying()) {
+		return
+	}
+	tv, ok := na.pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return
+	}
+	if types.IsInterface(tv.Type.Underlying()) {
+		return
+	}
+	if _, isTP := tv.Type.(*types.TypeParam); isTP {
+		return // instantiation-dependent; the concrete instantiations are what run hot
+	}
+	if pointerShaped(tv.Type) {
+		return // the value IS a pointer word; storing it in an interface copies it, no allocation
+	}
+	report(expr.Pos(), "interface boxing of %s", tv.Type)
+}
+
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// pointerShaped reports whether values of t fit in an interface's data
+// word without an indirection allocation: pointers, maps, channels,
+// func values and unsafe.Pointer. (pool.Put(ptr) does not allocate.)
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// callFun reports whether sel appears as the Fun of some call in body.
+func callFun(body *ast.BlockStmt, sel *ast.SelectorExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && ast.Unparen(call.Fun) == sel {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

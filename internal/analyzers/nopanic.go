@@ -1,0 +1,352 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// NoPanic verifies the //hh:nopanic contract: functions that parse
+// bytes of foreign provenance (Decode, SniffBlob, the /update wire
+// parsers) must return errors, never panic, no matter the input.
+//
+// Two mechanisms compose:
+//
+//   - May-panic propagation. A function that contains a reachable
+//     panic call — or that statically calls a module function that
+//     does, transitively — is recorded with a panicFact. Calls to such
+//     functions from a //hh:nopanic body are flagged. Validation
+//     panics remain legal in constructors (and options.go is exempt
+//     from fact export entirely): the decoder must validate its inputs
+//     and waive the call with `//hh:checked <why>`.
+//
+//   - Local input-safety checks, applied only inside annotated bodies
+//     (slab internals index by invariant everywhere; flagging them
+//     transitively would drown the signal): indexing or slicing a
+//     slice/string is flagged unless a len(<same base>) call appears
+//     somewhere in the function, and single-value type assertions are
+//     flagged (use the comma-ok form).
+//
+// Trust boundary, on purpose: stdlib calls, interface-method calls and
+// func-value calls are assumed non-panicking — the wire fuzz tests are
+// the backstop for those. A function with a top-level
+// `defer func(){ recover() }()` barrier is accepted as non-panicking.
+var NoPanic = &analysis.Analyzer{
+	Name:      "nopanic",
+	Doc:       "check that //hh:nopanic wire-facing functions cannot panic on any input",
+	Run:       runNoPanic,
+	FactTypes: []analysis.Fact{new(panicFact)},
+}
+
+// panicFact marks an exported-or-not function as able to panic, so
+// nopanic zones in other packages refuse to call it unchecked.
+type panicFact struct{}
+
+func (*panicFact) AFact()         {}
+func (*panicFact) String() string { return "may panic" }
+
+func runNoPanic(pass *analysis.Pass) (interface{}, error) {
+	if !analyzable(pass) {
+		return nil, nil
+	}
+	np := &noPanicPass{
+		pass:      pass,
+		decls:     map[*types.Func]*ast.FuncDecl{},
+		annotated: map[*types.Func]bool{},
+		exempt:    map[*types.Func]bool{},
+		mayPanic:  map[*types.Func]string{},
+		calls:     map[*types.Func][]edge{},
+		fileOf:    map[*ast.FuncDecl]*ast.File{},
+	}
+	np.collect()
+	np.propagate()
+	np.export()
+	np.checkAnnotated()
+	return nil, nil
+}
+
+type edge struct {
+	callee *types.Func
+	pos    ast.Node
+}
+
+type noPanicPass struct {
+	pass      *analysis.Pass
+	decls     map[*types.Func]*ast.FuncDecl
+	annotated map[*types.Func]bool // //hh:nopanic
+	exempt    map[*types.Func]bool // options.go, or recover barrier
+	mayPanic  map[*types.Func]string
+	calls     map[*types.Func][]edge
+	fileOf    map[*ast.FuncDecl]*ast.File
+	checked   map[*ast.File]waivers
+}
+
+func (np *noPanicPass) collect() {
+	np.checked = map[*ast.File]waivers{}
+	for _, f := range np.pass.Files {
+		if isTestFile(np.pass.Fset, f.Pos()) {
+			continue
+		}
+		np.checked[f] = fileWaivers(np.pass, f, "hh:checked")
+		optionsFile := np.pass.Fset.Position(f.Pos()).Filename
+		isOptions := len(optionsFile) >= len("options.go") && optionsFile[len(optionsFile)-len("options.go"):] == "options.go"
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := np.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			np.decls[fn] = fd
+			np.fileOf[fd] = f
+			if _, ok := marker(funcDoc(fd), "hh:nopanic"); ok {
+				np.annotated[fn] = true
+			}
+			if isOptions || hasRecoverBarrier(fd.Body) {
+				np.exempt[fn] = true
+				continue
+			}
+			np.scanBody(fn, fd, np.checked[f])
+		}
+	}
+}
+
+// scanBody records fn's direct panic sites and static call edges,
+// skipping sites waived with //hh:checked.
+func (np *noPanicPass) scanBody(fn *types.Func, fd *ast.FuncDecl, w waivers) {
+	info := np.pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if w.waived(np.pass.Fset, call.Pos()) {
+			return true
+		}
+		if isBuiltin(info, call, "panic") {
+			if _, has := np.mayPanic[fn]; !has {
+				np.mayPanic[fn] = fmt.Sprintf("panics at %s", np.pass.Fset.Position(call.Pos()))
+			}
+			return true
+		}
+		callee, _ := typeutil.Callee(info, call).(*types.Func)
+		if callee == nil {
+			return true // dynamic or builtin: trust boundary
+		}
+		callee = callee.Origin()
+		np.calls[fn] = append(np.calls[fn], edge{callee: callee, pos: call})
+		return true
+	})
+}
+
+// propagate runs the may-panic fixpoint over module-local edges.
+// Annotated (//hh:nopanic) functions are pinned non-panicking: their
+// violations are reported in their own bodies, not at every caller.
+func (np *noPanicPass) propagate() {
+	for changed := true; changed; {
+		changed = false
+		for fn, edges := range np.calls {
+			if _, has := np.mayPanic[fn]; has {
+				continue
+			}
+			if np.annotated[fn] || np.exempt[fn] {
+				continue
+			}
+			for _, e := range edges {
+				if reason, bad := np.calleePanics(e.callee); bad {
+					np.mayPanic[fn] = fmt.Sprintf("calls %s, which %s", e.callee.FullName(), reason)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// calleePanics reports whether a call to fn can panic, with a reason.
+func (np *noPanicPass) calleePanics(fn *types.Func) (string, bool) {
+	if np.annotated[fn] || np.exempt[fn] {
+		return "", false
+	}
+	if reason, has := np.mayPanic[fn]; has {
+		return reason, true
+	}
+	if _, local := np.decls[fn]; local {
+		return "", false
+	}
+	if np.pass.ImportObjectFact(fn, new(panicFact)) {
+		return "may panic", true
+	}
+	return "", false
+}
+
+func (np *noPanicPass) export() {
+	for fn := range np.mayPanic {
+		if np.annotated[fn] || np.exempt[fn] {
+			continue
+		}
+		np.pass.ExportObjectFact(fn, new(panicFact))
+	}
+}
+
+func (np *noPanicPass) checkAnnotated() {
+	info := np.pass.TypesInfo
+	for fn := range np.annotated {
+		fd, ok := np.decls[fn]
+		if !ok || np.exempt[fn] {
+			continue
+		}
+		w := np.checked[np.fileOf[fd]]
+
+		// Direct panics and calls to may-panic functions.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if w.waived(np.pass.Fset, call.Pos()) {
+				return true
+			}
+			if isBuiltin(info, call, "panic") {
+				np.pass.Reportf(call.Pos(), "nopanic: explicit panic in //hh:nopanic function %s", fn.Name())
+				return true
+			}
+			callee, _ := typeutil.Callee(info, call).(*types.Func)
+			if callee == nil {
+				return true
+			}
+			if reason, bad := np.calleePanics(callee.Origin()); bad {
+				np.pass.Reportf(call.Pos(), "nopanic: %s calls %s, which %s (validate and waive with //hh:checked)", fn.Name(), callee.FullName(), reason)
+			}
+			return true
+		})
+
+		np.checkInputSafety(fn, fd, w)
+	}
+}
+
+// checkInputSafety flags unchecked indexing/slicing and single-value
+// type assertions inside one annotated body.
+func (np *noPanicPass) checkInputSafety(fn *types.Func, fd *ast.FuncDecl, w waivers) {
+	info := np.pass.TypesInfo
+
+	// Any len(x) call anywhere in the function blesses indexing of the
+	// textually identical x: the decoders' whole-or-nothing prologues
+	// ("if len(b) < need { return ErrTruncated }") satisfy this.
+	lenChecked := map[string]bool{}
+	commaOK := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(info, n, "len") && len(n.Args) == 1 {
+				lenChecked[exprString(n.Args[0])] = true
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 2 && len(n.Rhs) == 1 {
+				if ta, ok := ast.Unparen(n.Rhs[0]).(*ast.TypeAssertExpr); ok {
+					commaOK[ta] = true
+				}
+			}
+		}
+		return true
+	})
+
+	report := func(n ast.Node, format string, args ...interface{}) {
+		if !w.waived(np.pass.Fset, n.Pos()) {
+			np.pass.Reportf(n.Pos(), "nopanic: "+format, args...)
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			t := info.TypeOf(n.X)
+			if t == nil || !indexable(t) {
+				return true // map index or generic instantiation: safe here
+			}
+			if isArrayLike(t) && info.Types[n.Index].Value != nil {
+				return true // constant index into array: compile-time checked
+			}
+			if lenChecked[exprString(n.X)] {
+				return true
+			}
+			report(n, "index of %s without a len(%s) check in %s", exprString(n.X), exprString(n.X), fn.Name())
+		case *ast.SliceExpr:
+			if n.Low == nil && n.High == nil && n.Max == nil {
+				return true // x[:] cannot panic
+			}
+			t := info.TypeOf(n.X)
+			if t == nil || !indexable(t) {
+				return true
+			}
+			if lenChecked[exprString(n.X)] {
+				return true
+			}
+			report(n, "slice of %s without a len(%s) check in %s", exprString(n.X), exprString(n.X), fn.Name())
+		case *ast.TypeAssertExpr:
+			if n.Type == nil || commaOK[n] {
+				return true // type switch, or comma-ok form
+			}
+			report(n, "single-value type assertion can panic; use the comma-ok form")
+		}
+		return true
+	})
+}
+
+// indexable reports whether t is a slice, string or array — the types
+// whose indexing can panic on attacker-controlled lengths. Maps are
+// excluded (indexing never panics) and so are type parameters.
+func indexable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Pointer:
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			_, isArr := p.Elem().Underlying().(*types.Array)
+			return isArr
+		}
+		return true
+	case *types.Basic:
+		return isString(t)
+	}
+	return false
+}
+
+// isArrayLike reports whether t is an array or pointer-to-array.
+func isArrayLike(t types.Type) bool {
+	u := t.Underlying()
+	if p, ok := u.(*types.Pointer); ok {
+		u = p.Elem().Underlying()
+	}
+	_, ok := u.(*types.Array)
+	return ok
+}
+
+// hasRecoverBarrier reports whether body opens with a deferred closure
+// that calls recover, converting any panic into an error return.
+func hasRecoverBarrier(body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		ds, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		fl, ok := ds.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		found := false
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == "recover" {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,25 @@
+// Package extendedfix exercises the simplified nilness, unusedwrite
+// and shadow analyzers.
+package extendedfix
+
+type point struct{ x, y int }
+
+func deref(p *point) int {
+	if p == nil {
+		return p.x // want:nilness "proved nil"
+	}
+	return p.x
+}
+
+func copyWrite(p point) {
+	p.x = 1 // want:unusedwrite "never read"
+}
+
+func shadowed(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total := i // want:shadow "shadows declaration"
+		_ = total
+	}
+	return total
+}

@@ -1,0 +1,3 @@
+module extendedfix
+
+go 1.24

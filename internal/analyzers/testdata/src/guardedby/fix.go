@@ -1,0 +1,32 @@
+// Package guardedbyfix exercises the guardedby analyzer: fields
+// annotated //hh:guardedby must only be touched with the named sibling
+// lock held, inside an //hh:locked function, in the constructing
+// function, or under an //hh:unguarded waiver.
+package guardedbyfix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //hh:guardedby mu
+}
+
+func newCounter() *counter { return &counter{n: 1} }
+
+func locked(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// calledWithLockHeld documents that every caller already holds mu.
+//
+//hh:locked mu
+func calledWithLockHeld(c *counter) int { return c.n }
+
+func racy(c *counter) int {
+	return c.n // want:guardedby "without c.mu held"
+}
+
+//hh:unguarded fixture demonstrates a whole-function waiver
+func waived(c *counter) int { return c.n }

@@ -1,0 +1,3 @@
+module guardedbyfix
+
+go 1.24

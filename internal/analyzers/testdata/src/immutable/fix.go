@@ -1,0 +1,21 @@
+// Package immutablefix exercises the immutable analyzer: fields of an
+// //hh:immutable type may only be written in functions that construct
+// the type.
+package immutablefix
+
+// view is published through an atomic pointer and frozen once built.
+//
+//hh:immutable
+type view struct {
+	n int
+}
+
+func build(n int) *view {
+	v := &view{}
+	v.n = n
+	return v
+}
+
+func mutate(v *view) {
+	v.n++ // want:immutable "write to field n"
+}

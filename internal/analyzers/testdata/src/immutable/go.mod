@@ -1,0 +1,3 @@
+module immutablefix
+
+go 1.24

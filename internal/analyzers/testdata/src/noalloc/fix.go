@@ -1,0 +1,52 @@
+// Package noallocfix exercises the noalloc analyzer: annotated
+// functions must avoid allocating constructs and may only call other
+// noalloc code; //hh:allocok waives a finding with a reason.
+//
+// Lines carrying a want comment must produce a matching diagnostic;
+// all other lines must be clean.
+package noallocfix
+
+import "noallocfix/inner"
+
+//hh:noalloc
+func makes(n int) []int {
+	s := make([]int, n) // want:noalloc "make allocates"
+	return s
+}
+
+//hh:noalloc
+func selfAppend(dst []int, v int) []int {
+	dst = append(dst, v)
+	return append(dst, v)
+}
+
+//hh:noalloc
+func resliceAppend(buf []int) []int {
+	out := append(buf[:0], 1)
+	return out
+}
+
+//hh:noalloc
+func strayAppend(dst, src []int) []int {
+	tmp := append(src, 1) // want:noalloc "append outside self-assignment"
+	return dst[:copy(dst, tmp)]
+}
+
+//hh:noalloc
+func callsPlain() { inner.Plain() } // want:noalloc "not //hh:noalloc"
+
+//hh:noalloc
+func callsChecked() { inner.Checked() }
+
+//hh:noalloc
+func boxes(v int) {
+	var sink any
+	sink = v // want:noalloc "interface boxing"
+	_ = sink
+}
+
+//hh:noalloc
+func waivedMake(n int) []int {
+	s := make([]int, n) //hh:allocok fixture demonstrates a reasoned waiver
+	return s
+}

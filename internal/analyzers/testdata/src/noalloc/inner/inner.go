@@ -1,0 +1,12 @@
+// Package inner provides callees for the cross-package fact test: the
+// root fixture package may call Checked (its noalloc fact is exported
+// and imported across the package boundary) but not Plain.
+package inner
+
+// Plain carries no contract.
+func Plain() {}
+
+// Checked carries the noalloc contract.
+//
+//hh:noalloc
+func Checked() {}

@@ -1,0 +1,54 @@
+// Package nopanicfix exercises the nopanic analyzer: annotated parsers
+// must not panic on any input — explicit panics, calls into panicking
+// module code, unchecked indexing and single-value type assertions are
+// all flagged.
+package nopanicfix
+
+import "errors"
+
+var errShort = errors.New("short input")
+
+//hh:nopanic
+func parse(b []byte) (byte, error) {
+	if len(b) < 2 {
+		return 0, errShort
+	}
+	return b[1], nil
+}
+
+//hh:nopanic
+func unchecked(b []byte) byte {
+	return b[0] // want:nopanic "index of b"
+}
+
+//hh:nopanic
+func explodes() {
+	panic("boom") // want:nopanic "explicit panic"
+}
+
+//hh:nopanic
+func callsMust() {
+	must(false) // want:nopanic "callsMust calls"
+}
+
+// must panics when ok is false; the panic fact reaches callers through
+// the local call graph.
+func must(ok bool) {
+	if !ok {
+		panic("must")
+	}
+}
+
+//hh:nopanic
+func assertsChecked(v any) int {
+	n, ok := v.(int)
+	if !ok {
+		return 0
+	}
+	return n
+}
+
+//hh:nopanic
+func asserts(v any) int {
+	return v.(int) // want:nopanic "type assertion"
+}

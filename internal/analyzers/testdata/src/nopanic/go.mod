@@ -1,0 +1,3 @@
+module nopanicfix
+
+go 1.24

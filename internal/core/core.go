@@ -32,9 +32,11 @@ type Entry[K comparable] struct {
 // arrival).
 type Algorithm[K comparable] interface {
 	// Update processes one occurrence of item.
+	//hh:noalloc
 	Update(item K)
 	// Estimate returns the current estimate f̂ of item's frequency
 	// (zero if the item is not stored).
+	//hh:noalloc
 	Estimate(item K) uint64
 	// Entries returns a snapshot of the stored counters sorted by
 	// decreasing count (ties in unspecified order). The caller owns the
@@ -47,6 +49,7 @@ type Algorithm[K comparable] interface {
 	// N returns the number of stream elements processed.
 	N() uint64
 	// Reset restores the empty state, retaining capacity.
+	//hh:noalloc
 	Reset()
 }
 
@@ -63,9 +66,11 @@ type WeightedEntry[K comparable] struct {
 type WeightedAlgorithm[K comparable] interface {
 	// UpdateWeighted processes b occurrences' worth of item; b must be
 	// positive.
+	//hh:noalloc
 	UpdateWeighted(item K, b float64)
 	// EstimateWeighted returns the current estimate of item's total
 	// weight.
+	//hh:noalloc
 	EstimateWeighted(item K) float64
 	// WeightedEntries snapshots the stored counters, sorted by
 	// decreasing count.
@@ -77,6 +82,7 @@ type WeightedAlgorithm[K comparable] interface {
 	// TotalWeight returns Σ b_i processed so far (F1).
 	TotalWeight() float64
 	// Reset restores the empty state.
+	//hh:noalloc
 	Reset()
 }
 
@@ -129,6 +135,8 @@ func Theorem2Guarantee(a float64) TailGuarantee {
 // SortEntries sorts entries in place by decreasing count; ties are broken
 // by insertion order of the slice (stable). It performs no allocations,
 // so hot query paths can sort into reused buffers.
+//
+//hh:noalloc
 func SortEntries[K comparable](entries []Entry[K]) {
 	slices.SortStableFunc(entries, func(a, b Entry[K]) int {
 		return cmp.Compare(b.Count, a.Count)
@@ -138,6 +146,8 @@ func SortEntries[K comparable](entries []Entry[K]) {
 // SortWeightedEntries sorts weighted entries in place by decreasing count,
 // stably and without allocating. (Counts are never NaN: every update
 // path rejects non-finite weights.)
+//
+//hh:noalloc
 func SortWeightedEntries[K comparable](entries []WeightedEntry[K]) {
 	slices.SortStableFunc(entries, func(a, b WeightedEntry[K]) int {
 		return cmp.Compare(b.Count, a.Count)

@@ -81,6 +81,7 @@ func New[K comparable](m int) *Frequent[K] {
 	return f
 }
 
+//hh:noalloc
 func (f *Frequent[K]) initFreeLists() {
 	for i := range f.nodes {
 		f.nodes[i].next = int32(i) + 1
@@ -94,6 +95,7 @@ func (f *Frequent[K]) initFreeLists() {
 	f.head, f.tail = nilIdx, nilIdx
 }
 
+//hh:noalloc
 func (f *Frequent[K]) allocNode(item K) int32 {
 	i := f.freeNode
 	f.freeNode = f.nodes[i].next
@@ -101,6 +103,7 @@ func (f *Frequent[K]) allocNode(item K) int32 {
 	return i
 }
 
+//hh:noalloc
 func (f *Frequent[K]) freeNodeIdx(i int32) {
 	var zero K
 	f.nodes[i].item = zero // drop any reference held by the slab slot
@@ -108,6 +111,7 @@ func (f *Frequent[K]) freeNodeIdx(i int32) {
 	f.freeNode = i
 }
 
+//hh:noalloc
 func (f *Frequent[K]) allocGroup(sv uint64) int32 {
 	i := f.freeGroup
 	f.freeGroup = f.groups[i].next
@@ -115,6 +119,7 @@ func (f *Frequent[K]) allocGroup(sv uint64) int32 {
 	return i
 }
 
+//hh:noalloc
 func (f *Frequent[K]) freeGroupIdx(i int32) {
 	f.groups[i].size = 0
 	f.groups[i].next = f.freeGroup
@@ -122,6 +127,8 @@ func (f *Frequent[K]) freeGroupIdx(i int32) {
 }
 
 // Update processes one occurrence of item.
+//
+//hh:noalloc
 func (f *Frequent[K]) Update(item K) {
 	f.n++
 	if nd, ok := f.items[item]; ok {
@@ -142,6 +149,8 @@ func (f *Frequent[K]) Update(item K) {
 // evicted, and the newcomer enters with the remaining n − δ. Feeding n
 // unit updates one at a time reaches the identical state; AddN reaches
 // it in O(groups crossed) instead of O(n).
+//
+//hh:noalloc
 func (f *Frequent[K]) AddN(item K, n uint64) {
 	if n == 0 {
 		return
@@ -175,6 +184,8 @@ func (f *Frequent[K]) AddN(item K, n uint64) {
 
 // incrementN moves nd from its group to the group with sv+n, scanning
 // forward from its current position.
+//
+//hh:noalloc
 func (f *Frequent[K]) incrementN(nd int32, n uint64) {
 	newSv := f.groups[f.nodes[nd].grp].sv + n
 	start := f.groups[f.nodes[nd].grp].next
@@ -192,6 +203,8 @@ func (f *Frequent[K]) incrementN(nd int32, n uint64) {
 
 // insertN stores a brand-new item with count n (stored value base+n),
 // scanning from the head.
+//
+//hh:noalloc
 func (f *Frequent[K]) insertN(item K, n uint64) {
 	nd := f.allocNode(item)
 	f.items[item] = nd
@@ -208,6 +221,8 @@ func (f *Frequent[K]) insertN(item K, n uint64) {
 }
 
 // increment moves nd from its group to the group with sv+1.
+//
+//hh:noalloc
 func (f *Frequent[K]) increment(nd int32) {
 	g := f.nodes[nd].grp
 	newSv := f.groups[g].sv + 1
@@ -227,6 +242,8 @@ func (f *Frequent[K]) increment(nd int32) {
 }
 
 // insert stores a brand-new item with count 1 (stored value base+1).
+//
+//hh:noalloc
 func (f *Frequent[K]) insert(item K) {
 	nd := f.allocNode(item)
 	f.items[item] = nd
@@ -240,6 +257,8 @@ func (f *Frequent[K]) insert(item K) {
 // decrementAll implements "forall j ∈ T: c_j ← c_j − 1" in O(1) amortised
 // time: the global base advances, and only the group whose count reaches
 // zero is dismantled.
+//
+//hh:noalloc
 func (f *Frequent[K]) decrementAll() {
 	f.base++
 	f.decrements++
@@ -249,6 +268,8 @@ func (f *Frequent[K]) decrementAll() {
 }
 
 // dismantleGroup evicts every member of group g and removes it.
+//
+//hh:noalloc
 func (f *Frequent[K]) dismantleGroup(g int32) {
 	for nd := f.groups[g].head; nd != nilIdx; {
 		next := f.nodes[nd].next
@@ -261,6 +282,8 @@ func (f *Frequent[K]) dismantleGroup(g int32) {
 
 // Estimate returns the stored count of item, zero if absent. FREQUENT's
 // estimates never exceed the true frequency.
+//
+//hh:noalloc
 func (f *Frequent[K]) Estimate(item K) uint64 {
 	nd, ok := f.items[item]
 	if !ok {
@@ -273,6 +296,8 @@ func (f *Frequent[K]) Estimate(item K) uint64 {
 // (ties in FIFO bucket order), stopping early if yield returns false. It
 // performs no allocations; the structure must not be mutated during the
 // iteration.
+//
+//hh:noalloc
 func (f *Frequent[K]) Each(yield func(core.Entry[K]) bool) {
 	for g := f.tail; g != nilIdx; g = f.groups[g].prev {
 		count := f.groups[g].sv - f.base
@@ -288,6 +313,8 @@ func (f *Frequent[K]) Each(yield func(core.Entry[K]) bool) {
 // dst, stopping after max entries when max >= 0, and returns the extended
 // slice. With a reused buffer of sufficient capacity it allocates
 // nothing.
+//
+//hh:noalloc
 func (f *Frequent[K]) AppendEntries(dst []core.Entry[K], max int) []core.Entry[K] {
 	if max == 0 {
 		return dst
@@ -322,10 +349,14 @@ func (f *Frequent[K]) N() uint64 { return f.n }
 
 // Decrements returns d, the number of decrement-all operations performed —
 // the quantity bounded by F1^res(k)/(m+1−k) in Appendix B.
+//
+//hh:noalloc
 func (f *Frequent[K]) Decrements() uint64 { return f.decrements }
 
 // Reset restores the empty state, retaining the slabs and map storage so
 // a reset structure keeps updating allocation-free.
+//
+//hh:noalloc
 func (f *Frequent[K]) Reset() {
 	f.base, f.n, f.decrements = 0, 0, 0
 	clear(f.items)
@@ -341,6 +372,7 @@ func (f *Frequent[K]) Guarantee() core.TailGuarantee { return core.TailGuarantee
 
 // --- group-list plumbing ---
 
+//hh:noalloc
 func (f *Frequent[K]) insertGroupAfter(g int32, sv uint64) int32 {
 	ng := f.allocGroup(sv)
 	next := f.groups[g].next
@@ -356,6 +388,8 @@ func (f *Frequent[K]) insertGroupAfter(g int32, sv uint64) int32 {
 
 // insertGroupBefore inserts a new group before g; a nil g appends at the
 // tail (covers the empty-list case too).
+//
+//hh:noalloc
 func (f *Frequent[K]) insertGroupBefore(g int32, sv uint64) int32 {
 	ng := f.allocGroup(sv)
 	if g == nilIdx {
@@ -379,6 +413,7 @@ func (f *Frequent[K]) insertGroupBefore(g int32, sv uint64) int32 {
 	return ng
 }
 
+//hh:noalloc
 func (f *Frequent[K]) removeGroup(g int32) {
 	prev, next := f.groups[g].prev, f.groups[g].next
 	if prev != nilIdx {
@@ -394,6 +429,7 @@ func (f *Frequent[K]) removeGroup(g int32) {
 	f.freeGroupIdx(g)
 }
 
+//hh:noalloc
 func (f *Frequent[K]) appendNode(g int32, nd int32) {
 	tail := f.groups[g].tail
 	f.nodes[nd].grp = g
@@ -407,6 +443,7 @@ func (f *Frequent[K]) appendNode(g int32, nd int32) {
 	f.groups[g].size++
 }
 
+//hh:noalloc
 func (f *Frequent[K]) unlinkNode(nd int32) {
 	g := f.nodes[nd].grp
 	prev, next := f.nodes[nd].prev, f.nodes[nd].next

@@ -48,6 +48,8 @@ func NewR[K comparable](m int) *FrequentR[K] {
 
 // UpdateWeighted processes b occurrences' worth of item. It panics on
 // non-positive or non-finite b, matching the paper's stream model.
+//
+//hh:noalloc
 func (f *FrequentR[K]) UpdateWeighted(item K, b float64) {
 	if math.IsNaN(b) || math.IsInf(b, 0) {
 		// A non-finite weight would silently poison the running total
@@ -86,10 +88,14 @@ func (f *FrequentR[K]) UpdateWeighted(item K, b float64) {
 }
 
 // Update processes a unit-weight occurrence.
+//
+//hh:noalloc
 func (f *FrequentR[K]) Update(item K) { f.UpdateWeighted(item, 1) }
 
 // EstimateWeighted returns the stored counter for item, zero if absent.
 // FREQUENTR underestimates true total weights.
+//
+//hh:noalloc
 func (f *FrequentR[K]) EstimateWeighted(item K) float64 {
 	v, ok := f.vals[item]
 	if !ok {
@@ -106,6 +112,8 @@ func (f *FrequentR[K]) EstimateWeighted(item K) float64 {
 // the extended slice. The counters live in a hash map, so all of them
 // are materialized and sorted before truncation; with a reused buffer of
 // sufficient capacity the call still allocates nothing.
+//
+//hh:noalloc
 func (f *FrequentR[K]) AppendWeightedEntries(dst []core.WeightedEntry[K], max int) []core.WeightedEntry[K] {
 	if max == 0 {
 		return dst
@@ -137,11 +145,30 @@ func (f *FrequentR[K]) Capacity() int { return f.m }
 func (f *FrequentR[K]) Len() int { return len(f.vals) }
 
 // TotalWeight returns Σ b_i processed so far.
+//
+//hh:noalloc
 func (f *FrequentR[K]) TotalWeight() float64 { return f.total }
+
+// StoredWeight returns the sum of the stored counter values — the mass
+// the structure can still account for. TotalWeight minus StoredWeight
+// is the uniform-subtraction deficit every estimate may undercount by.
+//
+//hh:noalloc
+func (f *FrequentR[K]) StoredWeight() float64 {
+	var s float64
+	for _, v := range f.vals {
+		if c := v - f.off; c > 0 {
+			s += c
+		}
+	}
+	return s
+}
 
 // Reset restores the empty state, retaining the map and heap storage so
 // a reset structure keeps updating allocation-free (the window layer's
 // epoch rotation relies on this).
+//
+//hh:noalloc
 func (f *FrequentR[K]) Reset() {
 	f.off, f.total = 0, 0
 	clear(f.vals)
@@ -157,6 +184,8 @@ func (f *FrequentR[K]) Reset() {
 // stored values and scale with them, preserving both the heap order and
 // the staleness comparisons (cur == top.val stays an exact equality
 // because both sides are scaled by the same factor).
+//
+//hh:noalloc
 func (f *FrequentR[K]) Scale(s float64) {
 	f.off *= s
 	f.total *= s
@@ -174,6 +203,8 @@ func (f *FrequentR[K]) Guarantee() core.TailGuarantee { return core.TailGuarante
 // --- lazy min-heap plumbing ---
 
 // push adds an entry, compacting first if stale entries dominate.
+//
+//hh:noalloc
 func (f *FrequentR[K]) push(e heapEntry[K]) {
 	if len(f.heap) > 4*f.m+16 {
 		f.compact()
@@ -185,6 +216,8 @@ func (f *FrequentR[K]) push(e heapEntry[K]) {
 // cleanTop pops stale and zero entries until the top reflects a live
 // counter, and returns its stored value. The caller guarantees the map is
 // non-empty.
+//
+//hh:noalloc
 func (f *FrequentR[K]) cleanTop() float64 {
 	for {
 		top := f.heap[0]
@@ -198,6 +231,8 @@ func (f *FrequentR[K]) cleanTop() float64 {
 
 // removeZeros discards items whose stored value no longer exceeds the
 // offset (counter ≤ 0).
+//
+//hh:noalloc
 func (f *FrequentR[K]) removeZeros() {
 	for len(f.heap) > 0 {
 		top := f.heap[0]
@@ -215,6 +250,7 @@ func (f *FrequentR[K]) removeZeros() {
 	}
 }
 
+//hh:noalloc
 func (f *FrequentR[K]) compact() {
 	f.heap = f.heap[:0]
 	for k, v := range f.vals {
@@ -225,6 +261,7 @@ func (f *FrequentR[K]) compact() {
 	}
 }
 
+//hh:noalloc
 func (f *FrequentR[K]) pop() {
 	last := len(f.heap) - 1
 	f.heap[0] = f.heap[last]
@@ -234,6 +271,7 @@ func (f *FrequentR[K]) pop() {
 	}
 }
 
+//hh:noalloc
 func (f *FrequentR[K]) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -245,6 +283,7 @@ func (f *FrequentR[K]) siftUp(i int) {
 	}
 }
 
+//hh:noalloc
 func (f *FrequentR[K]) siftDown(i int) {
 	n := len(f.heap)
 	for {

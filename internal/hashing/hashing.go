@@ -19,6 +19,8 @@ import (
 const MersennePrime61 = (uint64(1) << 61) - 1
 
 // mod61 reduces a 64-bit value modulo 2^61 − 1.
+//
+//hh:noalloc
 func mod61(x uint64) uint64 {
 	x = (x & MersennePrime61) + (x >> 61)
 	if x >= MersennePrime61 {
@@ -28,6 +30,8 @@ func mod61(x uint64) uint64 {
 }
 
 // mulMod61 returns a*b mod 2^61−1 for a, b < 2^61.
+//
+//hh:noalloc
 func mulMod61(a, b uint64) uint64 {
 	hi, lo := bits.Mul64(a, b)
 	// a*b = hi*2^64 + lo. With 2^61 ≡ 1, we have 2^64 ≡ 8, so
@@ -62,6 +66,8 @@ func NewPoly(src *rng.Source, independence int) Poly {
 
 // Hash evaluates the polynomial at x, returning a value in
 // [0, 2^61 − 1).
+//
+//hh:noalloc
 func (p Poly) Hash(x uint64) uint64 {
 	x = mod61(x)
 	acc := uint64(0)
@@ -73,6 +79,8 @@ func (p Poly) Hash(x uint64) uint64 {
 
 // Bucket maps x into [0, buckets) by reducing the hash value. It panics if
 // buckets == 0.
+//
+//hh:noalloc
 func (p Poly) Bucket(x, buckets uint64) uint64 {
 	if buckets == 0 {
 		panic("hashing: Bucket with zero buckets")
@@ -82,6 +90,8 @@ func (p Poly) Bucket(x, buckets uint64) uint64 {
 
 // Sign maps x to ±1 using the lowest bit of the hash value; with a 4-wise
 // independent polynomial this is the Count-Sketch sign function.
+//
+//hh:noalloc
 func (p Poly) Sign(x uint64) int64 {
 	if p.Hash(x)&1 == 1 {
 		return 1

@@ -39,6 +39,8 @@ func New[K comparable](w int) *LossyCounting[K] {
 }
 
 // Update processes one occurrence of item.
+//
+//hh:noalloc
 func (l *LossyCounting[K]) Update(item K) {
 	l.n++
 	if e, ok := l.entries[item]; ok {
@@ -63,6 +65,8 @@ func (l *LossyCounting[K]) Update(item K) {
 // processing could prune and re-insert it mid-batch, losing mass), so
 // batched estimates are never lower — and the undercount guarantee
 // c_i ≥ f_i − εN is preserved.
+//
+//hh:noalloc
 func (l *LossyCounting[K]) AddN(item K, n uint64) {
 	if n == 0 {
 		return
@@ -88,6 +92,8 @@ func (l *LossyCounting[K]) AddN(item K, n uint64) {
 }
 
 // prune removes entries that can no longer be frequent: count + Δ ≤ b.
+//
+//hh:noalloc
 func (l *LossyCounting[K]) prune() {
 	for k, e := range l.entries {
 		if e.count+e.delta <= l.bucket {
@@ -98,12 +104,16 @@ func (l *LossyCounting[K]) prune() {
 
 // Estimate returns the stored count of item, zero if absent.
 // LOSSYCOUNTING underestimates: c_i ≤ f_i ≤ c_i + Δ_i ≤ c_i + εN.
+//
+//hh:noalloc
 func (l *LossyCounting[K]) Estimate(item K) uint64 {
 	return l.entries[item].count
 }
 
 // DeltaOf returns the Δ recorded at item's insertion (its maximum
 // undercount), zero if absent.
+//
+//hh:noalloc
 func (l *LossyCounting[K]) DeltaOf(item K) uint64 {
 	return l.entries[item].delta
 }
@@ -114,6 +124,8 @@ func (l *LossyCounting[K]) DeltaOf(item K) uint64 {
 // bucket-list algorithms all of them are materialized and sorted before
 // truncation; with a reused buffer of sufficient capacity the call still
 // allocates nothing.
+//
+//hh:noalloc
 func (l *LossyCounting[K]) AppendEntries(dst []core.Entry[K], max int) []core.Entry[K] {
 	if max == 0 {
 		return dst
@@ -138,6 +150,8 @@ func (l *LossyCounting[K]) Entries() []core.Entry[K] {
 // Capacity returns the window width w — the nominal space parameter.
 // Unlike the HTC algorithms, the actual number of stored entries may
 // exceed w; see MaxStored.
+//
+//hh:noalloc
 func (l *LossyCounting[K]) Capacity() int { return int(l.w) }
 
 // Len returns the number of currently stored entries.
@@ -148,11 +162,15 @@ func (l *LossyCounting[K]) Len() int { return len(l.entries) }
 func (l *LossyCounting[K]) MaxStored() int { return l.maxLen }
 
 // N returns the number of processed stream elements.
+//
+//hh:noalloc
 func (l *LossyCounting[K]) N() uint64 { return l.n }
 
 // Reset restores the empty state, retaining the map storage so a reset
 // structure keeps updating allocation-free (the window layer's epoch
 // rotation relies on this).
+//
+//hh:noalloc
 func (l *LossyCounting[K]) Reset() {
 	clear(l.entries)
 	l.n, l.bucket, l.maxLen = 0, 1, 0

@@ -65,7 +65,7 @@ type Registry struct {
 	start    time.Time
 
 	mu      sync.RWMutex
-	entries map[string]*Entry
+	entries map[string]*Entry //hh:guardedby mu
 }
 
 // New builds a registry and creates an entry per config stanza.
@@ -197,8 +197,8 @@ type Entry struct {
 	// mergeMu guards remotes and remoteMass; mergeGen bumps per
 	// accepted blob (and compaction), versioning the cached view.
 	mergeMu    sync.Mutex
-	remotes    []hh.Summary[string]
-	remoteMass float64
+	remotes    []hh.Summary[string] //hh:guardedby mergeMu
+	remoteMass float64              //hh:guardedby mergeMu
 	mergeGen   atomic.Uint64
 
 	// view caches the merged union; viewMu single-flights rebuilds.
@@ -212,10 +212,13 @@ type Entry struct {
 
 	// rateMu guards the scrape-to-scrape ingest-rate bookkeeping.
 	rateMu     sync.Mutex
-	lastItems  uint64
-	lastScrape time.Time
+	lastItems  uint64    //hh:guardedby rateMu
+	lastScrape time.Time //hh:guardedby rateMu
 }
 
+// viewState is published through an atomic.Pointer: frozen once built.
+//
+//hh:immutable
 type viewState struct {
 	sum   hh.Summary[string]
 	liveN float64
@@ -232,6 +235,8 @@ type viewState struct {
 // whose plain summary is serialized through the view's mutex. The
 // underlying counters never change once a view is built, so per-call
 // locking still yields internally consistent responses.
+//
+//hh:immutable
 type View struct {
 	sum hh.Summary[string]
 	mu  *sync.Mutex

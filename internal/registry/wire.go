@@ -49,6 +49,8 @@ const MaxKeyLen = 1 << 20
 // AppendTextKeys parses a newline-delimited batch body, appending the
 // keys to dst. On error the appended prefix is meaningless and dst
 // must be discarded by the caller.
+//
+//hh:nopanic
 func AppendTextKeys(dst []string, body []byte) ([]string, error) {
 	for start := 0; start < len(body); {
 		end := start
@@ -73,6 +75,8 @@ func AppendTextKeys(dst []string, body []byte) ([]string, error) {
 // AppendBinaryKeys parses a length-prefixed batch body, appending the
 // keys to dst. On error the appended prefix is meaningless and dst
 // must be discarded by the caller.
+//
+//hh:nopanic
 func AppendBinaryKeys(dst []string, body []byte) ([]string, error) {
 	for off := 0; off < len(body); {
 		n, w := binary.Uvarint(body[off:])

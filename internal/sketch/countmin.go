@@ -58,9 +58,13 @@ func newCountMin(depth, width int, seed uint64, conservative bool) *CountMin {
 }
 
 // Update adds one occurrence of item.
+//
+//hh:noalloc
 func (cm *CountMin) Update(item uint64) { cm.Add(item, 1) }
 
 // Add adds c occurrences of item.
+//
+//hh:noalloc
 func (cm *CountMin) Add(item uint64, c uint64) {
 	cm.n += c
 	if !cm.conservative {
@@ -82,6 +86,8 @@ func (cm *CountMin) Add(item uint64, c uint64) {
 
 // Estimate returns the minimum cell across rows — an upper bound on
 // item's frequency.
+//
+//hh:noalloc
 func (cm *CountMin) Estimate(item uint64) uint64 {
 	est := uint64(math.MaxUint64)
 	for r, p := range cm.rows {
@@ -93,6 +99,8 @@ func (cm *CountMin) Estimate(item uint64) uint64 {
 }
 
 // N returns the total weight added.
+//
+//hh:noalloc
 func (cm *CountMin) N() uint64 { return cm.n }
 
 // Words returns the memory footprint in machine words: cells plus two
@@ -106,6 +114,8 @@ func (cm *CountMin) Depth() int { return cm.depth }
 func (cm *CountMin) Width() int { return cm.width }
 
 // Reset zeroes all cells, keeping the hash functions.
+//
+//hh:noalloc
 func (cm *CountMin) Reset() {
 	for r := range cm.cells {
 		for i := range cm.cells[r] {

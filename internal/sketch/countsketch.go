@@ -1,7 +1,7 @@
 package sketch
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/hashing"
 	"repro/internal/rng"
@@ -43,9 +43,13 @@ func NewCountSketch(depth, width int, seed uint64) *CountSketch {
 }
 
 // Update adds one occurrence of item.
+//
+//hh:noalloc
 func (cs *CountSketch) Update(item uint64) { cs.Add(item, 1) }
 
 // Add adds c occurrences of item (c may model deletions when negative).
+//
+//hh:noalloc
 func (cs *CountSketch) Add(item uint64, c int64) {
 	if c > 0 {
 		cs.n += uint64(c)
@@ -58,11 +62,13 @@ func (cs *CountSketch) Add(item uint64, c int64) {
 // Estimate returns the median across rows of the sign-corrected cell
 // values. Estimates are two-sided and may be negative; callers needing a
 // frequency should clamp at zero.
+//
+//hh:noalloc
 func (cs *CountSketch) Estimate(item uint64) int64 {
 	for r := 0; r < cs.depth; r++ {
 		cs.scratch[r] = cs.signs[r].Sign(item) * cs.cells[r][cs.buckets[r].Bucket(item, uint64(cs.width))]
 	}
-	sort.Slice(cs.scratch, func(i, j int) bool { return cs.scratch[i] < cs.scratch[j] })
+	slices.Sort(cs.scratch)
 	mid := cs.depth / 2
 	if cs.depth%2 == 1 {
 		return cs.scratch[mid]
@@ -71,6 +77,8 @@ func (cs *CountSketch) Estimate(item uint64) int64 {
 }
 
 // EstimateNonNegative clamps Estimate at zero.
+//
+//hh:noalloc
 func (cs *CountSketch) EstimateNonNegative(item uint64) uint64 {
 	e := cs.Estimate(item)
 	if e < 0 {
@@ -80,6 +88,8 @@ func (cs *CountSketch) EstimateNonNegative(item uint64) uint64 {
 }
 
 // N returns the total positive weight added.
+//
+//hh:noalloc
 func (cs *CountSketch) N() uint64 { return cs.n }
 
 // Words returns the memory footprint in machine words: cells plus the
@@ -93,6 +103,8 @@ func (cs *CountSketch) Depth() int { return cs.depth }
 func (cs *CountSketch) Width() int { return cs.width }
 
 // Reset zeroes all cells, keeping the hash functions.
+//
+//hh:noalloc
 func (cs *CountSketch) Reset() {
 	for r := range cs.cells {
 		for i := range cs.cells[r] {

@@ -37,6 +37,8 @@ func NewTopKTracker(k int, estimate func(uint64) uint64) *TopKTracker {
 // Observe refreshes item's estimate in the candidate set, inserting it
 // and evicting the smallest candidate when the set overflows k. Call it
 // after updating the underlying sketch with the same item.
+//
+//hh:noalloc
 func (t *TopKTracker) Observe(item uint64) {
 	est := t.estimate(item)
 	if _, ok := t.members[item]; ok {
@@ -109,6 +111,8 @@ func NewCountMinTopK(depth, width, k int, seed uint64) *CountMinTopK {
 }
 
 // Update adds one occurrence and refreshes the candidate set.
+//
+//hh:noalloc
 func (c *CountMinTopK) Update(item uint64) {
 	c.Sketch.Update(item)
 	c.Tracker.Observe(item)

@@ -36,6 +36,8 @@ func NewHeap[K cmp.Ordered](m int) *Heap[K] {
 
 // less orders by count, then identifier: the root is the smallest
 // identifier among minimum counts.
+//
+//hh:noalloc
 func (h *Heap[K]) less(a, b heapElem[K]) bool {
 	if a.count != b.count {
 		return a.count < b.count
@@ -44,6 +46,8 @@ func (h *Heap[K]) less(a, b heapElem[K]) bool {
 }
 
 // Update processes one occurrence of item.
+//
+//hh:noalloc
 func (h *Heap[K]) Update(item K) {
 	h.n++
 	if i, ok := h.pos[item]; ok {
@@ -66,6 +70,8 @@ func (h *Heap[K]) Update(item K) {
 }
 
 // Estimate returns the stored count of item, zero if absent.
+//
+//hh:noalloc
 func (h *Heap[K]) Estimate(item K) uint64 {
 	i, ok := h.pos[item]
 	if !ok {
@@ -75,6 +81,8 @@ func (h *Heap[K]) Estimate(item K) uint64 {
 }
 
 // ErrorOf returns ε_item (zero if absent or never evicted anyone).
+//
+//hh:noalloc
 func (h *Heap[K]) ErrorOf(item K) uint64 {
 	i, ok := h.pos[item]
 	if !ok {
@@ -85,6 +93,8 @@ func (h *Heap[K]) ErrorOf(item K) uint64 {
 
 // MinCount returns the smallest stored counter Δ (zero when the structure
 // is not yet full).
+//
+//hh:noalloc
 func (h *Heap[K]) MinCount() uint64 {
 	if len(h.elems) < h.m || len(h.elems) == 0 {
 		return 0
@@ -111,9 +121,12 @@ func (h *Heap[K]) Len() int { return len(h.elems) }
 // N returns the number of processed stream elements.
 func (h *Heap[K]) N() uint64 { return h.n }
 
-// Reset restores the empty state.
+// Reset restores the empty state, retaining the map and heap storage
+// so a reset structure keeps updating allocation-free.
+//
+//hh:noalloc
 func (h *Heap[K]) Reset() {
-	h.pos = make(map[K]int, h.m)
+	clear(h.pos)
 	h.elems = h.elems[:0]
 	h.n = 0
 }
@@ -121,12 +134,14 @@ func (h *Heap[K]) Reset() {
 // Guarantee returns the Appendix C tail constants A = B = 1.
 func (h *Heap[K]) Guarantee() core.TailGuarantee { return core.TailGuarantee{A: 1, B: 1} }
 
+//hh:noalloc
 func (h *Heap[K]) swap(i, j int) {
 	h.elems[i], h.elems[j] = h.elems[j], h.elems[i]
 	h.pos[h.elems[i].item] = i
 	h.pos[h.elems[j].item] = j
 }
 
+//hh:noalloc
 func (h *Heap[K]) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -138,6 +153,7 @@ func (h *Heap[K]) siftUp(i int) {
 	}
 }
 
+//hh:noalloc
 func (h *Heap[K]) siftDown(i int) {
 	n := len(h.elems)
 	for {

@@ -87,6 +87,7 @@ func New[K comparable](m int) *StreamSummary[K] {
 	return s
 }
 
+//hh:noalloc
 func (s *StreamSummary[K]) initFreeLists() {
 	for i := range s.nodes {
 		s.nodes[i].next = int32(i) + 1
@@ -100,6 +101,7 @@ func (s *StreamSummary[K]) initFreeLists() {
 	s.head, s.tail = nilIdx, nilIdx
 }
 
+//hh:noalloc
 func (s *StreamSummary[K]) allocNode(item K, err uint64) int32 {
 	i := s.freeNode
 	s.freeNode = s.nodes[i].next
@@ -107,6 +109,7 @@ func (s *StreamSummary[K]) allocNode(item K, err uint64) int32 {
 	return i
 }
 
+//hh:noalloc
 func (s *StreamSummary[K]) freeNodeIdx(i int32) {
 	var zero K
 	s.nodes[i].item = zero // drop any reference held by the slab slot
@@ -114,6 +117,7 @@ func (s *StreamSummary[K]) freeNodeIdx(i int32) {
 	s.freeNode = i
 }
 
+//hh:noalloc
 func (s *StreamSummary[K]) allocGroup(count uint64) int32 {
 	i := s.freeGroup
 	s.freeGroup = s.groups[i].next
@@ -121,6 +125,7 @@ func (s *StreamSummary[K]) allocGroup(count uint64) int32 {
 	return i
 }
 
+//hh:noalloc
 func (s *StreamSummary[K]) freeGroupIdx(i int32) {
 	s.groups[i].size = 0
 	s.groups[i].next = s.freeGroup
@@ -128,6 +133,8 @@ func (s *StreamSummary[K]) freeGroupIdx(i int32) {
 }
 
 // Update processes one occurrence of item.
+//
+//hh:noalloc
 func (s *StreamSummary[K]) Update(item K) {
 	s.n++
 	if nd, ok := s.items[item]; ok {
@@ -167,6 +174,8 @@ func (s *StreamSummary[K]) Update(item K) {
 // Update(item). Repositioning scans the group list forward, so a single
 // call costs O(groups crossed) rather than O(1); amortized over a batch
 // the cost matches feeding the occurrences one at a time.
+//
+//hh:noalloc
 func (s *StreamSummary[K]) AddN(item K, n uint64) {
 	if n == 0 {
 		return
@@ -195,6 +204,8 @@ func (s *StreamSummary[K]) AddN(item K, n uint64) {
 
 // bumpN moves nd to the bucket holding newCount (which must exceed its
 // current count), scanning forward from its current position.
+//
+//hh:noalloc
 func (s *StreamSummary[K]) bumpN(nd int32, newCount uint64) {
 	start := s.groups[s.nodes[nd].grp].next
 	s.unlinkNode(nd) // may remove nd's old group; start stays valid either way
@@ -210,6 +221,8 @@ func (s *StreamSummary[K]) bumpN(nd int32, newCount uint64) {
 }
 
 // bump moves nd to the bucket holding newCount, creating it if needed.
+//
+//hh:noalloc
 func (s *StreamSummary[K]) bump(nd int32, newCount uint64) {
 	g := s.nodes[nd].grp
 	target := s.groups[g].next
@@ -230,6 +243,8 @@ func (s *StreamSummary[K]) bump(nd int32, newCount uint64) {
 // placeWithCount inserts a fresh node into the bucket with the given
 // count, scanning from the head (the count is within one of the minimum,
 // so this is O(1)).
+//
+//hh:noalloc
 func (s *StreamSummary[K]) placeWithCount(nd int32, count uint64) {
 	g := s.head
 	for g != nilIdx && s.groups[g].count < count {
@@ -244,6 +259,8 @@ func (s *StreamSummary[K]) placeWithCount(nd int32, count uint64) {
 
 // Estimate returns the stored count of item, zero if absent. Stored
 // estimates never undercount: f_i ≤ c_i.
+//
+//hh:noalloc
 func (s *StreamSummary[K]) Estimate(item K) uint64 {
 	nd, ok := s.items[item]
 	if !ok {
@@ -256,6 +273,8 @@ func (s *StreamSummary[K]) Estimate(item K) uint64 {
 // entered the frequent set (zero if item is absent or entered on a free
 // counter). The guarantee c_i − ε_i ≤ f_i ≤ c_i holds per Lemma 3 of the
 // SpaceSaving paper.
+//
+//hh:noalloc
 func (s *StreamSummary[K]) ErrorOf(item K) uint64 {
 	nd, ok := s.items[item]
 	if !ok {
@@ -267,6 +286,8 @@ func (s *StreamSummary[K]) ErrorOf(item K) uint64 {
 // MinCount returns the smallest stored counter value Δ (zero when fewer
 // than m counters are in use). Section 4.2 uses Δ for the global
 // underestimate transform.
+//
+//hh:noalloc
 func (s *StreamSummary[K]) MinCount() uint64 {
 	if len(s.items) < s.m || s.head == nilIdx {
 		return 0
@@ -278,6 +299,8 @@ func (s *StreamSummary[K]) MinCount() uint64 {
 // (ties in FIFO bucket order), stopping early if yield returns false. It
 // performs no allocations; the structure must not be mutated during the
 // iteration.
+//
+//hh:noalloc
 func (s *StreamSummary[K]) Each(yield func(core.Entry[K]) bool) {
 	for g := s.tail; g != nilIdx; g = s.groups[g].prev {
 		count := s.groups[g].count
@@ -293,6 +316,8 @@ func (s *StreamSummary[K]) Each(yield func(core.Entry[K]) bool) {
 // dst, stopping after max entries when max >= 0, and returns the extended
 // slice. With a reused buffer of sufficient capacity it allocates
 // nothing.
+//
+//hh:noalloc
 func (s *StreamSummary[K]) AppendEntries(dst []core.Entry[K], max int) []core.Entry[K] {
 	if max == 0 {
 		return dst
@@ -329,6 +354,8 @@ func (s *StreamSummary[K]) N() uint64 { return s.n }
 
 // Reset restores the empty state, retaining the slabs and map storage so
 // a reset structure keeps updating allocation-free.
+//
+//hh:noalloc
 func (s *StreamSummary[K]) Reset() {
 	clear(s.items)
 	var zero K
@@ -344,6 +371,7 @@ func (s *StreamSummary[K]) Guarantee() core.TailGuarantee { return core.TailGuar
 
 // --- group-list plumbing (ascending by count) ---
 
+//hh:noalloc
 func (s *StreamSummary[K]) insertGroupAfter(g int32, count uint64) int32 {
 	ng := s.allocGroup(count)
 	next := s.groups[g].next
@@ -359,6 +387,8 @@ func (s *StreamSummary[K]) insertGroupAfter(g int32, count uint64) int32 {
 
 // insertGroupBefore inserts a new group before g; a nil g appends at the
 // tail (covers the empty-list case too).
+//
+//hh:noalloc
 func (s *StreamSummary[K]) insertGroupBefore(g int32, count uint64) int32 {
 	ng := s.allocGroup(count)
 	if g == nilIdx {
@@ -382,6 +412,7 @@ func (s *StreamSummary[K]) insertGroupBefore(g int32, count uint64) int32 {
 	return ng
 }
 
+//hh:noalloc
 func (s *StreamSummary[K]) removeGroup(g int32) {
 	prev, next := s.groups[g].prev, s.groups[g].next
 	if prev != nilIdx {
@@ -397,6 +428,7 @@ func (s *StreamSummary[K]) removeGroup(g int32) {
 	s.freeGroupIdx(g)
 }
 
+//hh:noalloc
 func (s *StreamSummary[K]) appendNode(g int32, nd int32) {
 	tail := s.groups[g].tail
 	s.nodes[nd].grp = g
@@ -410,6 +442,7 @@ func (s *StreamSummary[K]) appendNode(g int32, nd int32) {
 	s.groups[g].size++
 }
 
+//hh:noalloc
 func (s *StreamSummary[K]) unlinkNode(nd int32) {
 	g := s.nodes[nd].grp
 	prev, next := s.nodes[nd].prev, s.nodes[nd].next

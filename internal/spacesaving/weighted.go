@@ -56,6 +56,8 @@ func NewRSized[K comparable](m, hint int) *R[K] {
 
 // UpdateWeighted processes b occurrences' worth of item. It panics on
 // non-positive or non-finite b.
+//
+//hh:noalloc
 func (r *R[K]) UpdateWeighted(item K, b float64) {
 	if math.IsNaN(b) || math.IsInf(b, 0) {
 		// A non-finite weight would silently poison the running total
@@ -85,6 +87,8 @@ func (r *R[K]) UpdateWeighted(item K, b float64) {
 }
 
 // Update processes a unit-weight occurrence.
+//
+//hh:noalloc
 func (r *R[K]) Update(item K) { r.UpdateWeighted(item, 1) }
 
 // Absorb ingests one counter from another summary: count arrives as
@@ -94,6 +98,8 @@ func (r *R[K]) Update(item K) { r.UpdateWeighted(item, 1) }
 // that a merged summary's [c − ε, c] intervals remain certain bounds when
 // every input is an overestimating (SPACESAVING-family) summary. A
 // non-positive count is ignored.
+//
+//hh:noalloc
 func (r *R[K]) Absorb(item K, count, err float64) {
 	if count <= 0 {
 		return
@@ -120,6 +126,8 @@ func (r *R[K]) Absorb(item K, count, err float64) {
 
 // EstimateWeighted returns the stored counter for item, zero if absent.
 // Stored estimates never undercount.
+//
+//hh:noalloc
 func (r *R[K]) EstimateWeighted(item K) float64 {
 	i, ok := r.pos[item]
 	if !ok {
@@ -129,6 +137,8 @@ func (r *R[K]) EstimateWeighted(item K) float64 {
 }
 
 // ErrorOf returns the recorded ε for item (zero if absent).
+//
+//hh:noalloc
 func (r *R[K]) ErrorOf(item K) float64 {
 	i, ok := r.pos[item]
 	if !ok {
@@ -138,6 +148,8 @@ func (r *R[K]) ErrorOf(item K) float64 {
 }
 
 // MinCount returns the smallest stored counter Δ (zero when not full).
+//
+//hh:noalloc
 func (r *R[K]) MinCount() float64 {
 	if len(r.elems) < r.m || len(r.elems) == 0 {
 		return 0
@@ -150,6 +162,8 @@ func (r *R[K]) MinCount() float64 {
 // the extended slice. The counters live in a heap, so all of them are
 // materialized and sorted before truncation; with a reused buffer of
 // sufficient capacity the call still allocates nothing.
+//
+//hh:noalloc
 func (r *R[K]) AppendWeightedEntries(dst []core.WeightedEntry[K], max int) []core.WeightedEntry[K] {
 	if max == 0 {
 		return dst
@@ -183,6 +197,8 @@ func (r *R[K]) TotalWeight() float64 { return r.total }
 // Reset restores the empty state, retaining the map and element storage
 // so a reset structure keeps updating allocation-free (the window
 // layer's epoch rotation relies on this).
+//
+//hh:noalloc
 func (r *R[K]) Reset() {
 	clear(r.pos)
 	// Zero the elements so slab slots do not pin evicted keys for GC.
@@ -196,6 +212,8 @@ func (r *R[K]) Reset() {
 // decay layer. All of R's state is linear in the update weights, so
 // scaling is exact up to float rounding and preserves the heap order
 // and every guarantee.
+//
+//hh:noalloc
 func (r *R[K]) Scale(f float64) {
 	for i := range r.elems {
 		r.elems[i].count *= f
@@ -207,12 +225,14 @@ func (r *R[K]) Scale(f float64) {
 // Guarantee returns the Theorem 10 tail constants A = B = 1.
 func (r *R[K]) Guarantee() core.TailGuarantee { return core.TailGuarantee{A: 1, B: 1} }
 
+//hh:noalloc
 func (r *R[K]) swap(i, j int) {
 	r.elems[i], r.elems[j] = r.elems[j], r.elems[i]
 	r.pos[r.elems[i].item] = i
 	r.pos[r.elems[j].item] = j
 }
 
+//hh:noalloc
 func (r *R[K]) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -224,6 +244,7 @@ func (r *R[K]) siftUp(i int) {
 	}
 }
 
+//hh:noalloc
 func (r *R[K]) siftDown(i int) {
 	n := len(r.elems)
 	for {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package testutil
+
+// RaceEnabled reports whether the race detector is instrumenting this
+// build; see race_on.go.
+const RaceEnabled = false

@@ -1,9 +1,9 @@
 //go:build race
 
-package heavyhitters_test
+package testutil
 
-// raceEnabled reports that the race detector is instrumenting this
+// RaceEnabled reports that the race detector is instrumenting this
 // build. Allocation-regression tests skip under it: the instrumentation
 // itself allocates (and sync.Pool deliberately degrades), so
 // testing.AllocsPerRun measures the detector, not the code.
-const raceEnabled = true
+const RaceEnabled = true

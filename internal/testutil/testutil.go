@@ -1,0 +1,5 @@
+// Package testutil holds small helpers shared by tests across the
+// module, starting with the build-tag-derived RaceEnabled constant
+// (race_on.go / race_off.go) that allocation-accounting tests consult
+// before trusting testing.AllocsPerRun.
+package testutil

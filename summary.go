@@ -202,14 +202,14 @@ func newCoreBackend[K comparable](cfg config, shard int, hash func(K) uint64) ba
 	case cfg.algo == AlgoCountMin:
 		return &sketchBackend[K]{
 			cm:    sketch.NewCountMin(cfg.depth, cfg.m, cfg.seed+uint64(shard)),
-			hash:  hash,
+			hash:  hash, //hh:allocok hash is a keyHasher closure; its branches call only mix64/fnv1a/maphash.Comparable
 			width: cfg.m,
 			track: newTracker[K](cfg.m),
 		}
 	case cfg.algo == AlgoCountSketch:
 		return &sketchBackend[K]{
 			cs:    sketch.NewCountSketch(cfg.depth, cfg.m, cfg.seed+uint64(shard)),
-			hash:  hash,
+			hash:  hash, //hh:allocok hash is a keyHasher closure; its branches call only mix64/fnv1a/maphash.Comparable
 			width: cfg.m,
 			track: newTracker[K](cfg.m),
 		}
@@ -240,16 +240,22 @@ func newCoreBackend[K comparable](cfg config, shard int, hash func(K) uint64) ba
 // backend is the internal contract the summary wrapper drives. Counts
 // are float64 across the board; unit backends convert exactly.
 type backend[K comparable] interface {
+	//hh:noalloc
 	update(item K)
+	//hh:noalloc
 	updateN(item K, n uint64)
+	//hh:noalloc
 	updateWeighted(item K, w float64)
 	// updateBatch records one occurrence of every item. hashes, when
 	// non-nil, carries the precomputed key hash of every item (the
 	// sharded backend partitions with the same hash family the sketch
 	// key mapping uses, so one hash per key serves both); backends that
 	// do not hash ignore it.
+	//hh:noalloc
 	updateBatch(items []K, hashes []uint64)
+	//hh:noalloc
 	estimate(item K) float64
+	//hh:noalloc
 	bounds(item K) (lo, hi float64)
 	// appendEntries appends the stored counters in decreasing count
 	// order to dst — all of them, or the top max when max >= 0 — and
@@ -257,11 +263,13 @@ type backend[K comparable] interface {
 	// the single snapshot primitive behind Top, TopAppend, All, Merge,
 	// Recover and the codec: with a reused buffer, unsharded counter
 	// backends append without allocating.
+	//hh:noalloc
 	appendEntries(dst []WeightedEntry[K], max int) []WeightedEntry[K]
 	// each yields the stored counters in decreasing count order,
 	// streaming off the live structure where the backend maintains one
 	// (the bucket-list counters) and snapshotting first where it does
 	// not (sharded, heap- or map-backed state).
+	//hh:noalloc
 	each(yield func(WeightedEntry[K]) bool)
 	capacity() int
 	length() int
@@ -289,6 +297,7 @@ type backend[K comparable] interface {
 	// window, false for whole-stream (and decayed) backends. Tick
 	// windows expire aged epochs before reporting.
 	windowState() (WindowState, bool)
+	//hh:noalloc
 	reset()
 }
 
@@ -298,8 +307,13 @@ type summary[K comparable] struct {
 	be   backend[K]
 }
 
-func (s *summary[K]) Update(item K)         { s.be.update(item) }
+//hh:noalloc
+func (s *summary[K]) Update(item K) { s.be.update(item) }
+
+//hh:noalloc
 func (s *summary[K]) UpdateBatch(items []K) { s.be.updateBatch(items, nil) }
+
+//hh:noalloc
 func (s *summary[K]) UpdateWeighted(item K, w float64) {
 	if math.IsNaN(w) || math.IsInf(w, 0) {
 		// A NaN or infinite weight would silently poison the total mass
@@ -311,7 +325,11 @@ func (s *summary[K]) UpdateWeighted(item K, w float64) {
 	}
 	s.be.updateWeighted(item, w)
 }
-func (s *summary[K]) Estimate(item K) float64                { return s.be.estimate(item) }
+
+//hh:noalloc
+func (s *summary[K]) Estimate(item K) float64 { return s.be.estimate(item) }
+
+//hh:noalloc
 func (s *summary[K]) EstimateBounds(item K) (lo, hi float64) { return s.be.bounds(item) }
 func (s *summary[K]) Algorithm() Algo                        { return s.algo }
 func (s *summary[K]) Capacity() int                          { return s.be.capacity() }
@@ -319,7 +337,9 @@ func (s *summary[K]) Len() int                               { return s.be.lengt
 func (s *summary[K]) N() float64                             { return s.be.total() }
 func (s *summary[K]) Guarantee() (TailGuarantee, bool)       { return s.be.guarantee() }
 func (s *summary[K]) Window() (WindowState, bool)            { return s.be.windowState() }
-func (s *summary[K]) Reset()                                 { s.be.reset() }
+
+//hh:noalloc
+func (s *summary[K]) Reset() { s.be.reset() }
 
 func (s *summary[K]) Top(k int) []WeightedEntry[K] {
 	if k <= 0 {
@@ -328,6 +348,7 @@ func (s *summary[K]) Top(k int) []WeightedEntry[K] {
 	return s.be.appendEntries(nil, k)
 }
 
+//hh:noalloc
 func (s *summary[K]) TopAppend(dst []WeightedEntry[K], k int) []WeightedEntry[K] {
 	if k <= 0 {
 		return dst
@@ -456,11 +477,13 @@ func MergeSummaries[K comparable](m int, summaries ...Summary[K]) (Summary[K], e
 
 type unitBackend[K comparable] struct {
 	alg  Counter[K]
-	addN func(K, uint64) // native integral-weight path; nil = repeat Update
+	addN func(K, uint64) //hh:noalloc -- native integral-weight path; nil = repeat Update
 	// appendRaw is the backend's allocation-free snapshot primitive
+	//hh:noalloc
 	// (AppendEntries on the concrete structure): counters appended in
 	// decreasing order, truncated to max when max >= 0.
 	appendRaw func([]Entry[K], int) []Entry[K]
+	//hh:noalloc
 	// eachRaw streams counters in decreasing order straight off the live
 	// structure; nil when the structure has no sorted iteration order
 	// (LOSSYCOUNTING's hash map), in which case each buffers through
@@ -476,8 +499,10 @@ type unitBackend[K comparable] struct {
 	over    bool // SPACESAVING convention: Err fields are overestimate bounds
 }
 
+//hh:noalloc
 func (b *unitBackend[K]) update(item K) { b.alg.Update(item) }
 
+//hh:noalloc
 func (b *unitBackend[K]) updateN(item K, n uint64) {
 	if b.addN != nil {
 		b.addN(item, n)
@@ -488,6 +513,7 @@ func (b *unitBackend[K]) updateN(item K, n uint64) {
 	}
 }
 
+//hh:noalloc
 func (b *unitBackend[K]) updateWeighted(item K, w float64) {
 	if w != math.Trunc(w) {
 		panic("heavyhitters: this backend accepts integral weights only; construct with WithWeighted() for real-valued updates")
@@ -500,19 +526,23 @@ func (b *unitBackend[K]) updateWeighted(item K, w float64) {
 	b.updateN(item, uint64(w))
 }
 
+//hh:noalloc
 func (b *unitBackend[K]) updateBatch(items []K, _ []uint64) {
 	for _, it := range items {
 		b.alg.Update(it)
 	}
 }
 
+//hh:noalloc
 func (b *unitBackend[K]) estimate(item K) float64 { return float64(b.alg.Estimate(item)) }
 
+//hh:noalloc
 func (b *unitBackend[K]) bounds(item K) (float64, float64) {
 	lo, hi := EstimateBounds(b.alg, item)
 	return float64(lo), float64(hi)
 }
 
+//hh:noalloc
 func (b *unitBackend[K]) appendEntries(dst []WeightedEntry[K], max int) []WeightedEntry[K] {
 	b.scratch = b.appendRaw(b.scratch[:0], max)
 	for _, e := range b.scratch {
@@ -521,6 +551,7 @@ func (b *unitBackend[K]) appendEntries(dst []WeightedEntry[K], max int) []Weight
 	return dst
 }
 
+//hh:noalloc
 func (b *unitBackend[K]) each(yield func(WeightedEntry[K]) bool) {
 	if b.eachRaw != nil {
 		b.eachRaw(func(e Entry[K]) bool {
@@ -548,7 +579,9 @@ func (b *unitBackend[K]) guarantee() (TailGuarantee, bool) { return b.g, b.hasG 
 func (b *unitBackend[K]) mergeable() bool                  { return true }
 func (b *unitBackend[K]) overEst() bool                    { return b.over }
 func (b *unitBackend[K]) windowState() (WindowState, bool) { return WindowState{}, false }
-func (b *unitBackend[K]) reset()                           { b.alg.Reset() }
+
+//hh:noalloc
+func (b *unitBackend[K]) reset() { b.alg.Reset() }
 
 func (b *unitBackend[K]) slackOut() float64 {
 	switch alg := any(b.alg).(type) {
@@ -604,6 +637,7 @@ type weightedBackend[K comparable] struct {
 	scratch []WeightedEntry[K]
 }
 
+//hh:noalloc
 func (b *weightedBackend[K]) alg() WeightedCounter[K] {
 	if b.ssr != nil {
 		return b.ssr
@@ -611,14 +645,20 @@ func (b *weightedBackend[K]) alg() WeightedCounter[K] {
 	return b.fqr
 }
 
+//hh:noalloc
 func (b *weightedBackend[K]) update(item K) { b.alg().UpdateWeighted(item, 1) }
+
+//hh:noalloc
 func (b *weightedBackend[K]) updateN(item K, n uint64) {
 	if n > 0 {
 		b.alg().UpdateWeighted(item, float64(n))
 	}
 }
+
+//hh:noalloc
 func (b *weightedBackend[K]) updateWeighted(item K, w float64) { b.alg().UpdateWeighted(item, w) }
 
+//hh:noalloc
 func (b *weightedBackend[K]) updateBatch(items []K, _ []uint64) {
 	a := b.alg()
 	for _, it := range items {
@@ -626,6 +666,7 @@ func (b *weightedBackend[K]) updateBatch(items []K, _ []uint64) {
 	}
 }
 
+//hh:noalloc
 func (b *weightedBackend[K]) estimate(item K) float64 { return b.alg().EstimateWeighted(item) }
 
 // deficit is the total undercounted mass of a FREQUENTR structure: the
@@ -633,16 +674,14 @@ func (b *weightedBackend[K]) estimate(item K) float64 { return b.alg().EstimateW
 // undercount is at most this. The O(m) scan is cached against the
 // monotone total weight, so repeated bounds queries between updates
 // (HeavyHitters) pay it once.
+//
+//hh:noalloc
 func (b *weightedBackend[K]) deficit() float64 {
 	total := b.fqr.TotalWeight()
 	if total == b.defCacheAt && total != 0 {
 		return b.defCache
 	}
-	var stored float64
-	for _, e := range b.fqr.WeightedEntries() {
-		stored += e.Count
-	}
-	d := total - stored
+	d := total - b.fqr.StoredWeight()
 	if d < 0 {
 		d = 0
 	}
@@ -650,6 +689,7 @@ func (b *weightedBackend[K]) deficit() float64 {
 	return d
 }
 
+//hh:noalloc
 func (b *weightedBackend[K]) bounds(item K) (float64, float64) {
 	if b.ssr != nil {
 		c := b.ssr.EstimateWeighted(item)
@@ -670,6 +710,7 @@ func (b *weightedBackend[K]) bounds(item K) (float64, float64) {
 	return c, c + d + b.slack
 }
 
+//hh:noalloc
 func (b *weightedBackend[K]) appendEntries(dst []WeightedEntry[K], max int) []WeightedEntry[K] {
 	if b.ssr != nil {
 		return b.ssr.AppendWeightedEntries(dst, max)
@@ -677,6 +718,7 @@ func (b *weightedBackend[K]) appendEntries(dst []WeightedEntry[K], max int) []We
 	return b.fqr.AppendWeightedEntries(dst, max)
 }
 
+//hh:noalloc
 func (b *weightedBackend[K]) each(yield func(WeightedEntry[K]) bool) {
 	// Heap- and map-backed storage has no sorted live order: snapshot,
 	// then yield. The buffer is detached from the backend while user
@@ -725,6 +767,7 @@ func (b *weightedBackend[K]) carryExtraMass(produced float64) {
 	}
 }
 
+//hh:noalloc
 func (b *weightedBackend[K]) reset() {
 	b.alg().Reset()
 	b.slack, b.absentSlack, b.extraMass = 0, 0, 0
@@ -735,14 +778,14 @@ func (b *weightedBackend[K]) reset() {
 
 type shardSlot[K comparable] struct {
 	mu sync.Mutex
-	be backend[K]
+	be backend[K] //hh:guardedby mu
 	// Padding to keep shard locks on distinct cache lines.
 	_ [40]byte
 }
 
 type shardedBackend[K comparable] struct {
 	slots []shardSlot[K]
-	hash  func(K) uint64
+	hash  func(K) uint64 //hh:noalloc
 	// pool recycles batch-partition scratch buffers (one per concurrent
 	// UpdateBatch in flight), so steady-state batch ingestion performs
 	// no per-batch bucket allocations.
@@ -770,6 +813,7 @@ type batchScratch[K comparable] struct {
 }
 
 func newShardedBackend[K comparable](p int, hash func(K) uint64, mk func(int) backend[K]) *shardedBackend[K] {
+	//hh:allocok hash is a keyHasher closure; its branches call only mix64/fnv1a/maphash.Comparable
 	b := &shardedBackend[K]{slots: make([]shardSlot[K], p), hash: hash}
 	for i := range b.slots {
 		b.slots[i].be = mk(i)
@@ -781,10 +825,12 @@ func newShardedBackend[K comparable](p int, hash func(K) uint64, mk func(int) ba
 	return b
 }
 
+//hh:noalloc
 func (b *shardedBackend[K]) slot(item K) *shardSlot[K] {
 	return &b.slots[b.hash(item)%uint64(len(b.slots))]
 }
 
+//hh:noalloc
 func (b *shardedBackend[K]) update(item K) {
 	sl := b.slot(item)
 	sl.mu.Lock()
@@ -792,6 +838,7 @@ func (b *shardedBackend[K]) update(item K) {
 	sl.mu.Unlock()
 }
 
+//hh:noalloc
 func (b *shardedBackend[K]) updateN(item K, n uint64) {
 	sl := b.slot(item)
 	sl.mu.Lock()
@@ -799,6 +846,7 @@ func (b *shardedBackend[K]) updateN(item K, n uint64) {
 	sl.mu.Unlock()
 }
 
+//hh:noalloc
 func (b *shardedBackend[K]) updateWeighted(item K, w float64) {
 	sl := b.slot(item)
 	sl.mu.Lock()
@@ -811,6 +859,8 @@ func (b *shardedBackend[K]) updateWeighted(item K, w float64) {
 // fast path on sharded summaries. Each key is hashed exactly once: the
 // partition hash doubles as the key hash of sketch backends (both are
 // keyHasher(seed)), and the buckets live in pooled scratch buffers.
+//
+//hh:noalloc
 func (b *shardedBackend[K]) updateBatch(items []K, _ []uint64) {
 	p := uint64(len(b.slots))
 	if p == 1 {
@@ -848,6 +898,7 @@ func (b *shardedBackend[K]) updateBatch(items []K, _ []uint64) {
 	b.pool.Put(sc)
 }
 
+//hh:noalloc
 func (b *shardedBackend[K]) estimate(item K) float64 {
 	sl := b.slot(item)
 	sl.mu.Lock()
@@ -855,6 +906,7 @@ func (b *shardedBackend[K]) estimate(item K) float64 {
 	return sl.be.estimate(item)
 }
 
+//hh:noalloc
 func (b *shardedBackend[K]) bounds(item K) (float64, float64) {
 	sl := b.slot(item)
 	sl.mu.Lock()
@@ -871,6 +923,8 @@ func (b *shardedBackend[K]) bounds(item K) (float64, float64) {
 // the runs (n·log p moves through pooled scratch) rather than
 // re-sorting the concatenation, which profiled as the dominant cost of
 // aggregate queries and concurrency-tier snapshot rebuilds.
+//
+//hh:noalloc
 func (b *shardedBackend[K]) appendEntries(dst []WeightedEntry[K], max int) []WeightedEntry[K] {
 	if max == 0 {
 		return dst
@@ -906,6 +960,8 @@ func (b *shardedBackend[K]) appendEntries(dst []WeightedEntry[K], max int) []Wei
 // run's entries first, so the result is identical to a stable sort of
 // the concatenation. Returns the (possibly grown) scratch buffer and
 // boundary slices for pooling; data holds the sorted result.
+//
+//hh:noalloc
 func mergeSortedRuns[K comparable](data, buf []WeightedEntry[K], bounds, bounds2 []int) ([]WeightedEntry[K], []int, []int) {
 	src, out := data, buf
 	bs, bo := bounds, bounds2
@@ -936,6 +992,8 @@ func mergeSortedRuns[K comparable](data, buf []WeightedEntry[K], bounds, bounds2
 
 // mergeTwoRuns merges two decreasing-order runs into dst, preferring a
 // on ties (stability: a is the earlier run).
+//
+//hh:noalloc
 func mergeTwoRuns[K comparable](dst []WeightedEntry[K], a, b []WeightedEntry[K]) []WeightedEntry[K] {
 	for len(a) > 0 && len(b) > 0 {
 		if b[0].Count > a[0].Count {
@@ -953,6 +1011,8 @@ func mergeTwoRuns[K comparable](dst []WeightedEntry[K], a, b []WeightedEntry[K])
 // each snapshots first (a sharded summary is concurrent: yielding under
 // a shard lock could deadlock a consumer that queries the summary), then
 // yields from the private snapshot.
+//
+//hh:noalloc
 func (b *shardedBackend[K]) each(yield func(WeightedEntry[K]) bool) {
 	for _, e := range b.appendEntries(nil, -1) {
 		if !yield(e) {
@@ -961,6 +1021,11 @@ func (b *shardedBackend[K]) each(yield func(WeightedEntry[K]) bool) {
 	}
 }
 
+// The four config accessors below read shard 0's backend without its
+// lock: backend wiring and configuration are set once at construction
+// and never reassigned, so the reads race with nothing.
+
+//hh:unguarded backend wiring is construction-time constant
 func (b *shardedBackend[K]) capacity() int { return b.slots[0].be.capacity() }
 
 func (b *shardedBackend[K]) length() int {
@@ -985,9 +1050,14 @@ func (b *shardedBackend[K]) total() float64 {
 	return t
 }
 
+//hh:unguarded backend wiring is construction-time constant
 func (b *shardedBackend[K]) guarantee() (TailGuarantee, bool) { return b.slots[0].be.guarantee() }
-func (b *shardedBackend[K]) mergeable() bool                  { return b.slots[0].be.mergeable() }
-func (b *shardedBackend[K]) overEst() bool                    { return b.slots[0].be.overEst() }
+
+//hh:unguarded backend wiring is construction-time constant
+func (b *shardedBackend[K]) mergeable() bool { return b.slots[0].be.mergeable() }
+
+//hh:unguarded backend wiring is construction-time constant
+func (b *shardedBackend[K]) overEst() bool { return b.slots[0].be.overEst() }
 
 func (b *shardedBackend[K]) slackOut() float64 {
 	var s float64
@@ -1040,6 +1110,7 @@ func (b *shardedBackend[K]) windowState() (WindowState, bool) {
 	return agg, true
 }
 
+//hh:noalloc
 func (b *shardedBackend[K]) reset() {
 	for i := range b.slots {
 		sl := &b.slots[i]
@@ -1060,7 +1131,7 @@ func (b *shardedBackend[K]) reset() {
 type sketchBackend[K comparable] struct {
 	cm    *sketch.CountMin
 	cs    *sketch.CountSketch
-	hash  func(K) uint64
+	hash  func(K) uint64 //hh:noalloc
 	width int
 	track *tracker[K]
 	// scratch is reused across each calls; see unitBackend.scratch.
@@ -1069,6 +1140,7 @@ type sketchBackend[K comparable] struct {
 	scratch []WeightedEntry[K]
 }
 
+//hh:noalloc
 func (b *sketchBackend[K]) add(h uint64, n uint64) {
 	if b.cm != nil {
 		b.cm.Add(h, n)
@@ -1077,6 +1149,7 @@ func (b *sketchBackend[K]) add(h uint64, n uint64) {
 	b.cs.Add(h, int64(n))
 }
 
+//hh:noalloc
 func (b *sketchBackend[K]) estimateHash(h uint64) float64 {
 	if b.cm != nil {
 		return float64(b.cm.Estimate(h))
@@ -1084,8 +1157,10 @@ func (b *sketchBackend[K]) estimateHash(h uint64) float64 {
 	return float64(b.cs.EstimateNonNegative(h))
 }
 
+//hh:noalloc
 func (b *sketchBackend[K]) update(item K) { b.updateN(item, 1) }
 
+//hh:noalloc
 func (b *sketchBackend[K]) updateN(item K, n uint64) {
 	if n == 0 {
 		return
@@ -1095,6 +1170,7 @@ func (b *sketchBackend[K]) updateN(item K, n uint64) {
 	b.track.offer(item, b.estimateHash(h))
 }
 
+//hh:noalloc
 func (b *sketchBackend[K]) updateWeighted(item K, w float64) {
 	if w != math.Trunc(w) {
 		panic("heavyhitters: sketch backends accept integral weights only")
@@ -1108,6 +1184,8 @@ func (b *sketchBackend[K]) updateWeighted(item K, w float64) {
 // updateBatch ingests a batch; when the sharded partitioner supplies the
 // keys' hashes (the same keyHasher family this backend uses), each key's
 // hash is reused instead of recomputed — one hash per key end to end.
+//
+//hh:noalloc
 func (b *sketchBackend[K]) updateBatch(items []K, hashes []uint64) {
 	if hashes == nil {
 		for _, it := range items {
@@ -1122,8 +1200,10 @@ func (b *sketchBackend[K]) updateBatch(items []K, hashes []uint64) {
 	}
 }
 
+//hh:noalloc
 func (b *sketchBackend[K]) estimate(item K) float64 { return b.estimateHash(b.hash(item)) }
 
+//hh:noalloc
 func (b *sketchBackend[K]) bounds(item K) (float64, float64) {
 	if b.cm != nil {
 		// Count-Min deterministically overestimates: f ≤ estimate.
@@ -1133,6 +1213,7 @@ func (b *sketchBackend[K]) bounds(item K) (float64, float64) {
 	return 0, b.total()
 }
 
+//hh:noalloc
 func (b *sketchBackend[K]) appendEntries(dst []WeightedEntry[K], max int) []WeightedEntry[K] {
 	if max == 0 {
 		return dst
@@ -1148,6 +1229,7 @@ func (b *sketchBackend[K]) appendEntries(dst []WeightedEntry[K], max int) []Weig
 	return dst
 }
 
+//hh:noalloc
 func (b *sketchBackend[K]) each(yield func(WeightedEntry[K]) bool) {
 	// The candidate heap has no sorted live order: snapshot, then yield;
 	// the buffer is detached while user code runs (see unitBackend.each).
@@ -1164,6 +1246,7 @@ func (b *sketchBackend[K]) each(yield func(WeightedEntry[K]) bool) {
 func (b *sketchBackend[K]) capacity() int { return b.width }
 func (b *sketchBackend[K]) length() int   { return b.track.len() }
 
+//hh:noalloc
 func (b *sketchBackend[K]) total() float64 {
 	if b.cm != nil {
 		return float64(b.cm.N())
@@ -1178,6 +1261,7 @@ func (b *sketchBackend[K]) slackOut() float64                { return 0 }
 func (b *sketchBackend[K]) absentExtra() float64             { return 0 }
 func (b *sketchBackend[K]) windowState() (WindowState, bool) { return WindowState{}, false }
 
+//hh:noalloc
 func (b *sketchBackend[K]) reset() {
 	if b.cm != nil {
 		b.cm.Reset()
@@ -1205,13 +1289,16 @@ func newTracker[K comparable](k int) *tracker[K] {
 	return &tracker[K]{k: k, pos: make(map[K]int, k)}
 }
 
+//hh:noalloc
 func (t *tracker[K]) len() int { return len(t.heap) }
 
+//hh:noalloc
 func (t *tracker[K]) reset() {
-	t.pos = make(map[K]int, t.k)
+	clear(t.pos)
 	t.heap = t.heap[:0]
 }
 
+//hh:noalloc
 func (t *tracker[K]) offer(item K, est float64) {
 	if i, ok := t.pos[item]; ok {
 		// Estimates can fall as well as rise (Count-Sketch medians), so
@@ -1240,6 +1327,7 @@ func (t *tracker[K]) offer(item K, est float64) {
 	t.siftDown(0)
 }
 
+//hh:noalloc
 func (t *tracker[K]) siftUp(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
@@ -1251,6 +1339,7 @@ func (t *tracker[K]) siftUp(i int) {
 	}
 }
 
+//hh:noalloc
 func (t *tracker[K]) siftDown(i int) {
 	for {
 		l, r, min := 2*i+1, 2*i+2, i
@@ -1268,6 +1357,7 @@ func (t *tracker[K]) siftDown(i int) {
 	}
 }
 
+//hh:noalloc
 func (t *tracker[K]) swap(i, j int) {
 	t.heap[i], t.heap[j] = t.heap[j], t.heap[i]
 	t.pos[t.heap[i].item] = i
@@ -1294,12 +1384,14 @@ func keyHasher[K comparable](seed uint64) func(K) uint64 {
 	}
 }
 
+//hh:noalloc
 func mix64(x uint64) uint64 {
 	x ^= x >> 33
 	x *= 0x9e3779b97f4a7c15
 	return x ^ x>>29
 }
 
+//hh:noalloc
 func fnv1a(s string, seed uint64) uint64 {
 	const (
 		offset = 14695981039346656037

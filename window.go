@@ -150,6 +150,8 @@ func newWindowBackend[K comparable](cfg config, shard int, hash func(K) uint64) 
 // rotate closes the current epoch and recycles the oldest slot in
 // place. Reset retains slabs and map storage, so rotation allocates
 // nothing at steady state.
+//
+//hh:noalloc
 func (b *windowBackend[K]) rotate() {
 	b.cur = (b.cur + 1) % len(b.ring)
 	b.ring[b.cur].reset()
@@ -162,6 +164,8 @@ func (b *windowBackend[K]) rotate() {
 // advance rotates the ring as far as the stream position requires; it
 // is called before every write. After advance the current epoch always
 // has room for at least one more item.
+//
+//hh:noalloc
 func (b *windowBackend[K]) advance() {
 	if b.epochLen > 0 {
 		if b.curItems >= b.epochLen {
@@ -195,12 +199,15 @@ func (b *windowBackend[K]) advance() {
 // reads: a count window rotates lazily before the next write, so a
 // query between item epochLen and item epochLen+1 still sees the full
 // ring.
+//
+//hh:noalloc
 func (b *windowBackend[K]) sync() {
 	if b.tick > 0 {
 		b.advance()
 	}
 }
 
+//hh:noalloc
 func (b *windowBackend[K]) update(item K) {
 	b.advance()
 	b.ring[b.cur].update(item)
@@ -209,6 +216,8 @@ func (b *windowBackend[K]) update(item K) {
 
 // updateN spreads n unit occurrences across epoch boundaries, so a
 // large AddN cannot stretch one epoch beyond epochLen items.
+//
+//hh:noalloc
 func (b *windowBackend[K]) updateN(item K, n uint64) {
 	for n > 0 {
 		b.advance()
@@ -227,6 +236,8 @@ func (b *windowBackend[K]) updateN(item K, n uint64) {
 // updateWeighted records one weighted arrival. A count window counts
 // arrivals, not weight: the window is "the last n updates", whatever
 // mass they carried.
+//
+//hh:noalloc
 func (b *windowBackend[K]) updateWeighted(item K, w float64) {
 	b.advance()
 	b.ring[b.cur].updateWeighted(item, w)
@@ -235,6 +246,8 @@ func (b *windowBackend[K]) updateWeighted(item K, w float64) {
 
 // updateBatch splits the batch at rotation boundaries, handing each
 // piece (and the matching precomputed hashes) to the owning epoch.
+//
+//hh:noalloc
 func (b *windowBackend[K]) updateBatch(items []K, hashes []uint64) {
 	for len(items) > 0 {
 		b.advance()
@@ -257,6 +270,7 @@ func (b *windowBackend[K]) updateBatch(items []K, hashes []uint64) {
 	}
 }
 
+//hh:noalloc
 func (b *windowBackend[K]) estimate(item K) float64 {
 	b.sync()
 	var c float64
@@ -271,6 +285,8 @@ func (b *windowBackend[K]) estimate(item K) float64 {
 // concatenation of the epoch sub-streams, so the sums are certain
 // against the covered suffix (an epoch that does not store the item
 // contributes its own absent-item interval).
+//
+//hh:noalloc
 func (b *windowBackend[K]) bounds(item K) (float64, float64) {
 	b.sync()
 	var lo, hi float64
@@ -286,6 +302,8 @@ func (b *windowBackend[K]) bounds(item K) (float64, float64) {
 // summing counts and error metadata, and leaves the result sorted in
 // decreasing count order in b.scratch. The map and buffer are reused,
 // so steady-state polling settles into allocation-free operation.
+//
+//hh:noalloc
 func (b *windowBackend[K]) gather() {
 	b.scratch = b.scratch[:0]
 	clear(b.agg)
@@ -304,6 +322,7 @@ func (b *windowBackend[K]) gather() {
 	core.SortWeightedEntries(b.scratch)
 }
 
+//hh:noalloc
 func (b *windowBackend[K]) appendEntries(dst []WeightedEntry[K], max int) []WeightedEntry[K] {
 	if max == 0 {
 		return dst
@@ -317,6 +336,7 @@ func (b *windowBackend[K]) appendEntries(dst []WeightedEntry[K], max int) []Weig
 	return append(dst, b.scratch[:take]...)
 }
 
+//hh:noalloc
 func (b *windowBackend[K]) each(yield func(WeightedEntry[K]) bool) {
 	b.sync()
 	b.gather()
@@ -408,6 +428,7 @@ func (b *windowBackend[K]) slackOut() float64 {
 // upper bounds), so absent items owe nothing beyond it.
 func (b *windowBackend[K]) absentExtra() float64 { return 0 }
 
+//hh:noalloc
 func (b *windowBackend[K]) reset() {
 	for _, ep := range b.ring {
 		ep.reset()
@@ -468,11 +489,15 @@ func newDecayBackend[K comparable](cfg config, shard int, hash func(K) uint64) *
 
 // norm is the factor that converts stored (inflated) mass into decayed
 // mass as of the current tick.
+//
+//hh:noalloc
 func (b *decayBackend[K]) norm() float64 { return math.Exp(b.base - b.lambda*b.t) }
 
 // tickWeight advances the decay clock by one arrival and returns the
 // stored-scale weight for it, renormalizing the inner structure first
 // when the running exponent would grow too large.
+//
+//hh:noalloc
 func (b *decayBackend[K]) tickWeight(w float64) float64 {
 	b.t++
 	exp := b.lambda*b.t - b.base
@@ -484,8 +509,10 @@ func (b *decayBackend[K]) tickWeight(w float64) float64 {
 	return w * math.Exp(exp)
 }
 
+//hh:noalloc
 func (b *decayBackend[K]) update(item K) { b.updateWeighted(item, 1) }
 
+//hh:noalloc
 func (b *decayBackend[K]) updateN(item K, n uint64) {
 	if n > 0 {
 		// n simultaneous occurrences: one arrival of weight n, matching
@@ -494,24 +521,29 @@ func (b *decayBackend[K]) updateN(item K, n uint64) {
 	}
 }
 
+//hh:noalloc
 func (b *decayBackend[K]) updateWeighted(item K, w float64) {
 	b.inner.updateWeighted(item, b.tickWeight(w))
 }
 
+//hh:noalloc
 func (b *decayBackend[K]) updateBatch(items []K, _ []uint64) {
 	for _, it := range items {
 		b.updateWeighted(it, 1)
 	}
 }
 
+//hh:noalloc
 func (b *decayBackend[K]) estimate(item K) float64 { return b.inner.estimate(item) * b.norm() }
 
+//hh:noalloc
 func (b *decayBackend[K]) bounds(item K) (float64, float64) {
 	lo, hi := b.inner.bounds(item)
 	n := b.norm()
 	return lo * n, hi * n
 }
 
+//hh:noalloc
 func (b *decayBackend[K]) appendEntries(dst []WeightedEntry[K], max int) []WeightedEntry[K] {
 	start := len(dst)
 	dst = b.inner.appendEntries(dst, max)
@@ -523,6 +555,7 @@ func (b *decayBackend[K]) appendEntries(dst []WeightedEntry[K], max int) []Weigh
 	return dst
 }
 
+//hh:noalloc
 func (b *decayBackend[K]) each(yield func(WeightedEntry[K]) bool) {
 	n := b.norm()
 	b.inner.each(func(e WeightedEntry[K]) bool {
@@ -546,6 +579,7 @@ func (b *decayBackend[K]) overEst() bool                    { return b.inner.ove
 func (b *decayBackend[K]) slackOut() float64                { return b.inner.slackOut() * b.norm() }
 func (b *decayBackend[K]) absentExtra() float64             { return b.inner.absentExtra() * b.norm() }
 
+//hh:noalloc
 func (b *decayBackend[K]) reset() {
 	b.inner.reset()
 	b.t, b.base = 0, 0
@@ -555,6 +589,8 @@ func (b *decayBackend[K]) windowState() (WindowState, bool) { return WindowState
 
 // scale rescales the weighted backend's stored state by f — counters,
 // error metadata, slack and carried mass alike (all weight-linear).
+//
+//hh:noalloc
 func (b *weightedBackend[K]) scale(f float64) {
 	if b.ssr != nil {
 		b.ssr.Scale(f)
