@@ -1,0 +1,163 @@
+package heavyhitters
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"unsafe"
+)
+
+// The borrowed-keys contract (WithBorrowedKeys): a summary fed keys
+// that alias a buffer the caller scribbles over after every batch must
+// end in exactly the state of a twin summary fed durable copies of the
+// same stream. This drives every composition tier through the clone
+// hooks: plain, sharded, windowed, decay, weighted, concurrent, and
+// the sketches' candidate tracker.
+
+// borrowedBatcher owns one reused byte buffer; each batch's keys are
+// unsafe string views into it, and scramble() overwrites the backing
+// memory to expose any retained alias.
+type borrowedBatcher struct {
+	buf  []byte
+	keys []string
+}
+
+func (b *borrowedBatcher) batch(durable []string) []string {
+	b.buf = b.buf[:0]
+	b.keys = b.keys[:0]
+	for _, k := range durable {
+		b.buf = append(b.buf, k...)
+	}
+	off := 0
+	for _, k := range durable {
+		view := b.buf[off : off+len(k)]
+		b.keys = append(b.keys, unsafe.String(unsafe.SliceData(view), len(view)))
+		off += len(k)
+	}
+	return b.keys
+}
+
+func (b *borrowedBatcher) scramble() {
+	for i := range b.buf {
+		b.buf[i] = 0xAA
+	}
+}
+
+// skewedKeys deterministically generates a skewed stream: a small hot
+// set plus a large churning tail, so both the hit path (never clones)
+// and the insert/evict path (must clone) run constantly.
+func skewedKeys(rng *rand.Rand, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		var id int
+		if rng.Intn(100) < 60 {
+			id = rng.Intn(32) // hot set
+		} else {
+			id = 32 + rng.Intn(50000) // churning tail
+		}
+		out[i] = fmt.Sprintf("key-%06d", id)
+	}
+	return out
+}
+
+func TestBorrowedKeysMatchDurable(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"spacesaving", []Option{WithCapacity(128)}},
+		{"frequent", []Option{WithAlgorithm(AlgoFrequent), WithCapacity(128)}},
+		{"lossycounting", []Option{WithAlgorithm(AlgoLossyCounting), WithCapacity(128)}},
+		{"spacesaving/sharded", []Option{WithCapacity(128), WithShards(4), WithSeed(7)}},
+		{"spacesaving/windowed", []Option{WithCapacity(128), WithWindow(5000)}},
+		{"spacesaving/weighted", []Option{WithCapacity(128), WithWeighted()}},
+		{"frequent/weighted", []Option{WithAlgorithm(AlgoFrequent), WithCapacity(128), WithWeighted()}},
+		{"spacesaving/decay", []Option{WithCapacity(128), WithDecay(1e-4)}},
+		{"spacesaving/concurrent", []Option{WithCapacity(128), WithConcurrent()}},
+		{"countmin", []Option{WithAlgorithm(AlgoCountMin), WithCapacity(256), WithSeed(7)}},
+		{"countsketch", []Option{WithAlgorithm(AlgoCountSketch), WithCapacity(256), WithSeed(7)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			borrowed := New[string](append([]Option{WithBorrowedKeys()}, tc.opts...)...)
+			oracle := New[string](tc.opts...)
+			rng := rand.New(rand.NewSource(42))
+			var bb borrowedBatcher
+			for batch := 0; batch < 40; batch++ {
+				durable := skewedKeys(rng, 512)
+				borrowed.UpdateBatch(bb.batch(durable))
+				bb.scramble()
+				oracle.UpdateBatch(durable)
+			}
+			if got, want := borrowed.N(), oracle.N(); got != want {
+				t.Fatalf("N: borrowed %v, oracle %v", got, want)
+			}
+			compareSummaries(t, borrowed, oracle)
+		})
+	}
+}
+
+func compareSummaries(t *testing.T, borrowed, oracle Summary[string]) {
+	t.Helper()
+	want := oracle.Top(oracle.Capacity())
+	got := borrowed.Top(borrowed.Capacity())
+	if len(got) != len(want) {
+		t.Fatalf("Top lengths differ: borrowed %d, oracle %d", len(got), len(want))
+	}
+	// Equal counts may order arbitrarily; compare as sorted sets.
+	key := func(e WeightedEntry[string]) string { return fmt.Sprintf("%s|%v|%v", e.Item, e.Count, e.Err) }
+	gs := make([]string, len(got))
+	ws := make([]string, len(want))
+	for i := range got {
+		gs[i], ws[i] = key(got[i]), key(want[i])
+	}
+	sort.Strings(gs)
+	sort.Strings(ws)
+	for i := range gs {
+		if gs[i] != ws[i] {
+			t.Fatalf("entry %d: borrowed %q, oracle %q", i, gs[i], ws[i])
+		}
+	}
+	for _, e := range want {
+		if g, w := borrowed.Estimate(e.Item), oracle.Estimate(e.Item); g != w {
+			t.Errorf("Estimate(%q): borrowed %v, oracle %v", e.Item, g, w)
+		}
+	}
+}
+
+// Pointer-free key types need no cloning: the option must be accepted
+// and behave identically.
+func TestBorrowedKeysPointerFreeNoop(t *testing.T) {
+	s := New[uint64](WithCapacity(64), WithBorrowedKeys())
+	for i := uint64(0); i < 1000; i++ {
+		s.Update(i % 97)
+	}
+	if s.N() != 1000 {
+		t.Fatalf("N = %v, want 1000", s.N())
+	}
+}
+
+// Named string kinds clone through the same representation trick.
+func TestBorrowedKeysNamedStringKind(t *testing.T) {
+	type myKey string
+	s := New[myKey](WithCapacity(8), WithBorrowedKeys())
+	buf := []byte("volatile")
+	s.Update(myKey(unsafe.String(unsafe.SliceData(buf), len(buf))))
+	copy(buf, "XXXXXXXX")
+	if got := s.Top(1); len(got) != 1 || got[0].Item != "volatile" {
+		t.Fatalf("Top = %v, want the pre-scramble key", got)
+	}
+}
+
+// Reference-bearing non-string key types cannot be cloned generically;
+// New must reject them loudly rather than corrupt silently.
+func TestBorrowedKeysUnsupportedKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New did not panic for a pointer-bearing key type")
+		}
+	}()
+	type bad struct{ p *int }
+	_ = New[bad](WithCapacity(8), WithBorrowedKeys())
+}

@@ -1,10 +1,3 @@
-// Package client is the typed Go wrapper around hhserverd's HTTP API:
-// agents use it to push raw batches (Push/PushBinary) or locally
-// summarized blobs (MergeBlob/MergeSummary — the Theorem 11 wire-level
-// merge), and consumers to run bound-carrying queries (Top,
-// HeavyHitters, Estimate) or pull portable snapshots (Snapshot,
-// Encode). One Client addresses one named summary on one server; it is
-// safe for concurrent use.
 package client
 
 import (

@@ -1,0 +1,49 @@
+package client_test
+
+import (
+	"fmt"
+	"net"
+
+	hh "repro"
+	"repro/client"
+	"repro/internal/registry"
+	"repro/internal/wire"
+)
+
+// ExampleWireConn_PushBatch drives the hhwire binary ingest protocol
+// (docs/WIRE.md) end to end against an in-process server: a registry
+// with one summary, a wire listener on an ephemeral loopback port, and
+// a WireConn pushing a batch through it. Against a real deployment the
+// address comes from hhserverd's -wire-addr instead.
+func ExampleWireConn_PushBatch() {
+	reg, err := registry.New(registry.Config{
+		Summaries: map[string]hh.Spec{"words": {Capacity: 64}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	l := wire.NewListener(reg, registry.DefaultMaxBodyBytes)
+	go l.ServeTCP(ln)
+
+	c, err := client.DialWire(ln.Addr().String(), "words")
+	if err != nil {
+		panic(err)
+	}
+	if err := c.PushBatch([]string{"alpha", "beta", "alpha"}); err != nil {
+		panic(err)
+	}
+	// Flush is the acknowledged sync barrier: once it returns, every
+	// frame pushed above has been ingested by the server.
+	if err := c.Flush(); err != nil {
+		panic(err)
+	}
+	c.Close()
+
+	e, _ := reg.Get("words")
+	fmt.Println(e.Live().N(), e.Live().Estimate("alpha"))
+	// Output: 3 2
+}

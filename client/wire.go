@@ -1,0 +1,221 @@
+package client
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/wire"
+)
+
+// WireConn is the hhwire ingest client: one persistent connection to
+// an hhserverd wire listener, addressing one named summary, pushing
+// length-prefixed binary frames (docs/WIRE.md) instead of HTTP
+// requests. It is the path for agents that push at wire speed — no
+// per-batch headers, no response parsing, a single reused frame
+// buffer.
+//
+// Reliability model: TCP frames are not individually acknowledged, so
+// a connection that dies mid-stream may lose frames already handed to
+// the kernel; Flush sends an acknowledged frame and waits for it,
+// giving the caller a sync barrier ("everything pushed before this
+// Flush is ingested"). Writes that fail redial once and retry the
+// current frame, so a server restart costs at most the unacknowledged
+// window, never an error surfaced for a transient blip. UDP mode
+// (DialWireUDP) drops all of this: frames are fire-and-forget
+// datagrams, Flush only drains the pending batch, and loss is the
+// accepted price.
+//
+// A WireConn is safe for concurrent use; pushes serialize on an
+// internal lock (use one WireConn per goroutine for parallel ingest —
+// they are cheap).
+type WireConn struct {
+	addr string
+	name string
+	udp  bool
+
+	// flushAt bounds how many pending body bytes Push accumulates
+	// before auto-sending.
+	flushAt int
+
+	mu      sync.Mutex
+	conn    net.Conn
+	frame   []byte // frame build scratch, reused
+	pending []byte // body bytes accumulated by Push
+	ackBuf  [wire.AckLen]byte
+}
+
+// WireOption customizes a WireConn.
+type WireOption func(*WireConn)
+
+// WithFlushBytes sets the pending-body threshold at which Push
+// auto-sends a frame. The default is 32 KiB over TCP and 1400 bytes —
+// a conservative single-MTU payload — over UDP; UDP callers on
+// loopback or jumbo-frame networks can raise it toward the 64 KiB
+// datagram ceiling.
+func WithFlushBytes(n int) WireOption {
+	return func(w *WireConn) {
+		if n > 0 {
+			w.flushAt = n
+		}
+	}
+}
+
+// DialWire connects to an hhserverd wire listener at addr
+// (host:port) and addresses the summary named name over TCP.
+func DialWire(addr, name string, opts ...WireOption) (*WireConn, error) {
+	return dialWire(addr, name, false, opts)
+}
+
+// DialWireUDP is DialWire over UDP: every frame becomes one
+// fire-and-forget datagram. Use it for telemetry where losing a batch
+// is cheaper than backpressure; counts become lower bounds under loss.
+func DialWireUDP(addr, name string, opts ...WireOption) (*WireConn, error) {
+	return dialWire(addr, name, true, opts)
+}
+
+func dialWire(addr, name string, udp bool, opts []WireOption) (*WireConn, error) {
+	if len(name) < 1 || len(name) > wire.MaxNameLen {
+		return nil, fmt.Errorf("client: summary name length %d outside [1, %d]", len(name), wire.MaxNameLen)
+	}
+	w := &WireConn{addr: addr, name: name, udp: udp, flushAt: 32 << 10}
+	if udp {
+		w.flushAt = 1400
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	if err := w.redial(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// redial (re)establishes the connection. Caller holds w.mu or is the
+// constructor.
+func (w *WireConn) redial() error {
+	if w.conn != nil {
+		w.conn.Close()
+		w.conn = nil
+	}
+	network := "tcp"
+	if w.udp {
+		network = "udp"
+	}
+	c, err := net.DialTimeout(network, w.addr, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("client: dial %s %s: %w", network, w.addr, err)
+	}
+	w.conn = c
+	return nil
+}
+
+// Push appends one key to the pending batch, sending a frame when the
+// batch reaches the flush threshold. Keys are copied immediately — the
+// caller may reuse the backing memory as soon as Push returns.
+func (w *WireConn) Push(key string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pending = registry.AppendBinaryRecord(w.pending, key)
+	if len(w.pending) >= w.flushAt {
+		return w.sendPendingLocked(0)
+	}
+	return nil
+}
+
+// PushBatch sends keys as one frame immediately (flushing any pending
+// Push keys first, preserving order). Over UDP the frame must fit one
+// datagram; prefer batches of at most a few hundred short keys.
+func (w *WireConn) PushBatch(keys []string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.pending) > 0 {
+		if err := w.sendPendingLocked(0); err != nil {
+			return err
+		}
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	w.pending = w.pending[:0]
+	for _, k := range keys {
+		w.pending = registry.AppendBinaryRecord(w.pending, k)
+	}
+	return w.sendPendingLocked(0)
+}
+
+// Flush sends any pending keys and, over TCP, performs an acknowledged
+// round-trip: when Flush returns nil, every key pushed before it has
+// been ingested by the server. Over UDP it only drains the pending
+// batch (datagrams cannot be acknowledged).
+func (w *WireConn) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.udp {
+		if len(w.pending) == 0 {
+			return nil
+		}
+		return w.sendPendingLocked(0)
+	}
+	// The barrier frame carries the ack flag; an empty body is a valid
+	// frame, so Flush works even with nothing pending.
+	if err := w.sendPendingLocked(wire.FlagAck); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(w.conn, w.ackBuf[:]); err != nil {
+		return fmt.Errorf("client: reading ack: %w", err)
+	}
+	status, err := wire.ParseAck(w.ackBuf[:])
+	if err != nil {
+		return err
+	}
+	if status != wire.AckStatusOK {
+		return fmt.Errorf("client: server ack status %d", status)
+	}
+	return nil
+}
+
+// Close flushes pending keys (without an ack round-trip) and closes
+// the connection.
+func (w *WireConn) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var err error
+	if len(w.pending) > 0 {
+		err = w.sendPendingLocked(0)
+	}
+	if w.conn != nil {
+		if cerr := w.conn.Close(); err == nil {
+			err = cerr
+		}
+		w.conn = nil
+	}
+	return err
+}
+
+// sendPendingLocked frames and writes the pending body, then resets
+// it. A write error redials once and retries the same frame — the
+// automatic-reconnect contract: a restarted server costs at most the
+// frames the kernel never delivered, and the caller sees an error only
+// when the redial itself fails.
+func (w *WireConn) sendPendingLocked(flags byte) error {
+	w.frame = wire.AppendFrame(w.frame[:0], w.name, flags, w.pending)
+	w.pending = w.pending[:0]
+	if w.conn == nil {
+		if err := w.redial(); err != nil {
+			return err
+		}
+	}
+	if _, err := w.conn.Write(w.frame); err != nil {
+		if rerr := w.redial(); rerr != nil {
+			return rerr
+		}
+		if _, err := w.conn.Write(w.frame); err != nil {
+			return fmt.Errorf("client: write after reconnect: %w", err)
+		}
+	}
+	return nil
+}

@@ -95,6 +95,13 @@ func runJSON(path string, n uint64, universe int, seed uint64, m int) error {
 		fmt.Fprintf(os.Stderr, "%-45s %8.2f M items/s  %6.1f ns/op  %.3f allocs/op\n",
 			rec.Name, rec.ItemsPerSec/1e6, rec.NsPerOp, rec.AllocsPerOp)
 	}
+	// Wire-path rows: the same stream pushed through the hhwire binary
+	// protocol (docs/WIRE.md) over loopback TCP and UDP.
+	for _, rec := range measureServerWire(zipf, m) {
+		report.Add(rec)
+		fmt.Fprintf(os.Stderr, "%-45s %8.2f M items/s  %6.1f ns/op  %.3f allocs/op\n",
+			rec.Name, rec.ItemsPerSec/1e6, rec.NsPerOp, rec.AllocsPerOp)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -24,9 +24,27 @@ import (
 	"repro/internal/stream"
 )
 
+// serverd is a booted hhserverd process: its base HTTP URL, the bound
+// hhwire addresses (empty when the listeners are disabled), and the
+// process handle for tests that kill and restart it.
+type serverd struct {
+	base     string
+	wireAddr string
+	udpAddr  string
+	cmd      *exec.Cmd
+}
+
 // startServerd builds and boots hhserverd with the given config JSON,
 // returning the base URL. The process is killed at test cleanup.
 func startServerd(t *testing.T, configJSON string) string {
+	return bootServerd(t, configJSON).base
+}
+
+// bootServerd builds and boots hhserverd, passing extraArgs through,
+// and parses the startup contract off stdout: the HTTP line first,
+// then — when -wire-addr / -udp-addr are given — the wire and udp
+// lines, in that order. The process is killed at test cleanup.
+func bootServerd(t *testing.T, configJSON string, extraArgs ...string) serverd {
 	t.Helper()
 	dir := t.TempDir()
 	bin := filepath.Join(dir, "hhserverd")
@@ -44,6 +62,7 @@ func startServerd(t *testing.T, configJSON string) string {
 		}
 		args = append(args, "-config", cfg)
 	}
+	args = append(args, extraArgs...)
 	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -60,21 +79,32 @@ func startServerd(t *testing.T, configJSON string) string {
 
 	// The startup contract: first stdout line names the bound address.
 	sc := bufio.NewScanner(stdout)
-	if !sc.Scan() {
-		t.Fatalf("hhserverd exited before announcing its address: %v", sc.Err())
+	readAddr := func(marker string) string {
+		if !sc.Scan() {
+			t.Fatalf("hhserverd exited before announcing %q: %v", marker, sc.Err())
+		}
+		line := sc.Text()
+		i := strings.Index(line, marker)
+		if i < 0 {
+			t.Fatalf("unexpected startup line %q (want %q)", line, marker)
+		}
+		return strings.Fields(line[i+len(marker):])[0]
 	}
-	line := sc.Text()
-	const marker = "listening on "
-	i := strings.Index(line, marker)
-	if i < 0 {
-		t.Fatalf("unexpected startup line %q", line)
+	s := serverd{cmd: cmd}
+	s.base = "http://" + readAddr("listening on ")
+	for _, a := range extraArgs {
+		switch a {
+		case "-wire-addr":
+			s.wireAddr = readAddr("wire listening on ")
+		case "-udp-addr":
+			s.udpAddr = readAddr("udp listening on ")
+		}
 	}
-	addr := strings.Fields(line[i+len(marker):])[0]
 	go func() { // drain so the child never blocks on a full pipe
 		for sc.Scan() {
 		}
 	}()
-	return "http://" + addr
+	return s
 }
 
 func moduleRoot(t *testing.T) string {

@@ -2,17 +2,22 @@
 // it owns a named registry of summaries (declared in a JSON config
 // file, or created at runtime with PUT /v1/{name}) and serves the
 // distributed-ingest HTTP API — batch ingest, wire-level Theorem 11
-// blob merging, bound-carrying queries, and portable snapshots.
+// blob merging, bound-carrying queries, and portable snapshots — plus,
+// when configured, the hhwire binary ingest protocol (docs/WIRE.md)
+// over persistent TCP connections and lossy UDP datagrams.
 //
 // Usage:
 //
 //	hhserverd -config serverd.json
 //	hhserverd -addr 127.0.0.1:0            # empty registry, ephemeral port
+//	hhserverd -addr 127.0.0.1:0 -wire-addr 127.0.0.1:0 -udp-addr 127.0.0.1:0
 //
 // Config file schema (registry.Config):
 //
 //	{
 //	  "listen": "127.0.0.1:8070",
+//	  "wire_addr": "127.0.0.1:8071",
+//	  "udp_addr": "127.0.0.1:8072",
 //	  "max_body_bytes": 33554432,
 //	  "max_blobs": 64,
 //	  "summaries": {
@@ -23,10 +28,14 @@
 //
 // Each summary stanza is a heavyhitters.Spec; the registry forces
 // WithConcurrent onto deterministic counter algorithms so queries are
-// lock-free against ingest. On startup the daemon prints
+// lock-free against ingest, and WithBorrowedKeys onto every summary so
+// the ingest decoders parse zero-copy. On startup the daemon prints
 // "hhserverd listening on <addr>" with the bound address — with
 // ":0" that is the kernel-assigned port, which scripts (and the e2e
-// CI job) parse. SIGINT/SIGTERM drain in-flight requests and exit.
+// CI job) parse — plus "hhserverd wire listening on <addr>" and
+// "hhserverd udp listening on <addr>" for the hhwire listeners when
+// enabled. SIGINT/SIGTERM drain in-flight requests and connections
+// and exit.
 package main
 
 import (
@@ -42,16 +51,19 @@ import (
 	"time"
 
 	"repro/internal/registry"
+	"repro/internal/wire"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "", `listen address (overrides the config file's "listen"; default :8070)`)
-		cfgPath = flag.String("config", "", "JSON config file (registry.Config schema); empty starts an empty registry")
+		addr     = flag.String("addr", "", `HTTP listen address (overrides the config file's "listen"; default :8070)`)
+		wireAddr = flag.String("wire-addr", "", `hhwire TCP ingest address (overrides "wire_addr"; empty disables)`)
+		udpAddr  = flag.String("udp-addr", "", `hhwire UDP ingest address (overrides "udp_addr"; empty disables)`)
+		cfgPath  = flag.String("config", "", "JSON config file (registry.Config schema); empty starts an empty registry")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: hhserverd [-addr host:port] [-config serverd.json]")
+		fmt.Fprintln(os.Stderr, "usage: hhserverd [-addr host:port] [-wire-addr host:port] [-udp-addr host:port] [-config serverd.json]")
 		os.Exit(2)
 	}
 
@@ -70,6 +82,12 @@ func main() {
 	if listen == "" {
 		listen = ":8070"
 	}
+	if *wireAddr != "" {
+		cfg.WireAddr = *wireAddr
+	}
+	if *udpAddr != "" {
+		cfg.UDPAddr = *udpAddr
+	}
 
 	reg, err := registry.New(cfg)
 	if err != nil {
@@ -85,11 +103,38 @@ func main() {
 	// The parseable startup line: scripts read the bound address off it.
 	fmt.Printf("hhserverd listening on %s (%d summaries)\n", ln.Addr(), reg.Len())
 
+	done := make(chan error, 3)
+
+	// hhwire listeners: same registry, same summaries, no HTTP in the
+	// ingest path. Started before the HTTP server so the wire startup
+	// lines always follow the parseable HTTP line in order.
+	var wl *wire.Listener
+	if cfg.WireAddr != "" || cfg.UDPAddr != "" {
+		wl = wire.NewListener(reg, cfg.MaxBodyBytes)
+		if cfg.WireAddr != "" {
+			wln, err := net.Listen("tcp", cfg.WireAddr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hhserverd: wire: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("hhserverd wire listening on %s\n", wln.Addr())
+			go func() { done <- wl.ServeTCP(wln) }()
+		}
+		if cfg.UDPAddr != "" {
+			pc, err := net.ListenPacket("udp", cfg.UDPAddr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hhserverd: udp: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("hhserverd udp listening on %s\n", pc.LocalAddr())
+			go func() { done <- wl.ServeUDP(pc) }()
+		}
+	}
+
 	srv := &http.Server{
 		Handler:           registry.NewServer(reg, cfg.MaxBodyBytes),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 
 	sig := make(chan os.Signal, 1)
@@ -104,8 +149,21 @@ func main() {
 		fmt.Printf("hhserverd: %v, draining\n", s)
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
+		failed := false
 		if err := srv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "hhserverd: shutdown: %v\n", err)
+			failed = true
+		}
+		if wl != nil {
+			if err := wl.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "hhserverd: wire shutdown: %v\n", err)
+				failed = true
+			}
+			st := wl.Stats()
+			fmt.Printf("hhserverd wire drained: %d frames, %d datagrams, %d items, %d kills, %d drops\n",
+				st.Frames, st.Datagrams, st.Items, st.Kills, st.Drops)
+		}
+		if failed {
 			os.Exit(1)
 		}
 	}

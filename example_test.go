@@ -1,6 +1,7 @@
 package heavyhitters_test
 
 import (
+	"encoding/json"
 	"fmt"
 
 	hh "repro"
@@ -124,4 +125,30 @@ func ExampleWithWindow() {
 	// old-hot 0
 	// new-hot 6
 	// covering the last 6 items
+}
+
+// NewFromSpec builds a summary from the JSON-portable Spec — the
+// declarative twin of the option list, and the form hhserverd's
+// registry config uses. The zero fields resolve like the zero-option
+// New call.
+func ExampleNewFromSpec() {
+	var sp hh.Spec
+	if err := json.Unmarshal([]byte(`{
+		"algorithm": "spacesaving",
+		"capacity":  8,
+		"shards":    4,
+		"concurrent": true
+	}`), &sp); err != nil {
+		panic(err)
+	}
+	s, err := hh.NewFromSpec[string](sp)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Update("hot")
+	}
+	s.Update("cold")
+	fmt.Printf("N=%.0f hot=%.0f\n", s.N(), s.Estimate("hot"))
+	// Output: N=6 hot=5
 }

@@ -59,7 +59,17 @@ type Frequent[K comparable] struct {
 	head, tail int32
 	n          uint64
 	decrements uint64 // d in the Appendix B analysis
+	// clone, when set, copies a key at the moment it is retained
+	// (SetKeyClone) so callers may pass keys aliasing reused memory.
+	clone func(K) K
 }
+
+// SetKeyClone installs fn as the borrowed-key clone hook: every key the
+// structure decides to store is first passed through fn, so callers may
+// hand Update/AddN keys whose backing memory is reused after the call.
+// Keys that hit an existing counter — or bounce off a full table as a
+// decrement — are never cloned. Must be called before the first update.
+func (f *Frequent[K]) SetKeyClone(fn func(K) K) { f.clone = fn }
 
 // New returns a FREQUENT instance with m counters. It panics if m < 1.
 func New[K comparable](m int) *Frequent[K] {
@@ -206,6 +216,9 @@ func (f *Frequent[K]) incrementN(nd int32, n uint64) {
 //
 //hh:noalloc
 func (f *Frequent[K]) insertN(item K, n uint64) {
+	if f.clone != nil {
+		item = f.clone(item) //hh:allocok borrowed-key inserts copy the key by contract
+	}
 	nd := f.allocNode(item)
 	f.items[item] = nd
 	sv := f.base + n
@@ -245,6 +258,9 @@ func (f *Frequent[K]) increment(nd int32) {
 //
 //hh:noalloc
 func (f *Frequent[K]) insert(item K) {
+	if f.clone != nil {
+		item = f.clone(item) //hh:allocok borrowed-key inserts copy the key by contract
+	}
 	nd := f.allocNode(item)
 	f.items[item] = nd
 	target := f.head

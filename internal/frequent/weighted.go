@@ -31,7 +31,18 @@ type FrequentR[K comparable] struct {
 	vals  map[K]float64
 	heap  []heapEntry[K]
 	total float64
+	// clone, when set, copies a key at the moment it is retained
+	// (SetKeyClone) so callers may pass keys aliasing reused memory.
+	clone func(K) K
 }
+
+// SetKeyClone installs fn as the borrowed-key clone hook so callers may
+// hand updates keys whose backing memory is reused after the call.
+// Unlike the slab structures, FREQUENTR's lazy min-heap records a fresh
+// entry (retaining the key) on every update including hits, so every
+// arrival is cloned — the hook's dedup cache is what keeps that
+// affordable. Must be called before the first update.
+func (f *FrequentR[K]) SetKeyClone(fn func(K) K) { f.clone = fn }
 
 type heapEntry[K comparable] struct {
 	val  float64
@@ -58,6 +69,9 @@ func (f *FrequentR[K]) UpdateWeighted(item K, b float64) {
 	}
 	if b <= 0 {
 		panic("frequent: non-positive weight")
+	}
+	if f.clone != nil {
+		item = f.clone(item) //hh:allocok borrowed-key updates copy the key by contract
 	}
 	f.total += b
 	if v, ok := f.vals[item]; ok {

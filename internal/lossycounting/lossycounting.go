@@ -27,7 +27,18 @@ type LossyCounting[K comparable] struct {
 	n       uint64
 	bucket  uint64 // current window index b = ⌈N/w⌉
 	maxLen  int    // high-water mark of stored entries
+	// clone, when set, copies a key at the moment it is retained
+	// (SetKeyClone) so callers may pass keys aliasing reused memory.
+	clone func(K) K
 }
+
+// SetKeyClone installs fn as the borrowed-key clone hook, so callers
+// may hand Update/AddN keys whose backing memory is reused after the
+// call. Every arrival is cloned — LOSSYCOUNTING writes its map on hits
+// as well as inserts, and a string-keyed map assignment replaces the
+// stored key — so the hook's dedup cache carries the cost. Must be
+// called before the first update.
+func (l *LossyCounting[K]) SetKeyClone(fn func(K) K) { l.clone = fn }
 
 // New returns a LOSSYCOUNTING instance with window width w (error
 // parameter ε = 1/w). It panics if w < 1.
@@ -43,6 +54,13 @@ func New[K comparable](w int) *LossyCounting[K] {
 //hh:noalloc
 func (l *LossyCounting[K]) Update(item K) {
 	l.n++
+	if l.clone != nil {
+		// Unlike the slab structures, every arrival writes the map —
+		// and a map assignment to an existing string key replaces the
+		// stored key (the runtime's needkeyupdate behavior), so even
+		// the hit path would retain a borrowed key. Clone up front.
+		item = l.clone(item) //hh:allocok borrowed-key updates copy the key by contract
+	}
 	if e, ok := l.entries[item]; ok {
 		e.count++
 		l.entries[item] = e
@@ -73,6 +91,11 @@ func (l *LossyCounting[K]) AddN(item K, n uint64) {
 	}
 	before := l.n
 	l.n += n
+	if l.clone != nil {
+		// See Update: every arrival writes the map, and string-keyed
+		// map assignment replaces the stored key even on hits.
+		item = l.clone(item) //hh:allocok borrowed-key updates copy the key by contract
+	}
 	if e, ok := l.entries[item]; ok {
 		e.count += n
 		l.entries[item] = e

@@ -22,6 +22,14 @@ type Config struct {
 	// Listen is the address to serve on (overridden by the -addr flag);
 	// empty means the daemon default.
 	Listen string `json:"listen,omitempty"`
+	// WireAddr, when set, additionally serves the hhwire binary ingest
+	// protocol (docs/WIRE.md) on this TCP address. HTTP stays the
+	// control plane; hhwire handles only batch ingest.
+	WireAddr string `json:"wire_addr,omitempty"`
+	// UDPAddr, when set, additionally accepts hhwire frames as UDP
+	// datagrams on this address — the lossy telemetry path (malformed
+	// or unroutable datagrams are dropped, never answered).
+	UDPAddr string `json:"udp_addr,omitempty"`
 	// MaxBodyBytes bounds the body of a single /update or /merge
 	// request; 0 means the 32 MiB default.
 	MaxBodyBytes int64 `json:"max_body_bytes,omitempty"`
@@ -96,9 +104,11 @@ func New(cfg Config) (*Registry, error) {
 // Create builds the summary for spec and registers it under name. The
 // registry hardens every spec for concurrent serving: deterministic
 // counter algorithms get WithConcurrent (queries must be lock-free
-// against the ingest handlers), and sketch algorithms — which the
+// against the ingest handlers), sketch algorithms — which the
 // concurrency tier rejects — get at least one locked shard so handler
-// goroutines never race on an unsynchronized structure.
+// goroutines never race on an unsynchronized structure, and every
+// summary gets WithBorrowedKeys so the ingest decoders may alias keys
+// into reused buffers.
 func (r *Registry) Create(name string, spec hh.Spec) (*Entry, error) {
 	if !nameRE.MatchString(name) {
 		return nil, fmt.Errorf("invalid summary name %q (want 1-128 of [A-Za-z0-9._-], starting alphanumeric)", name)
@@ -117,6 +127,11 @@ func (r *Registry) Create(name string, spec hh.Spec) (*Entry, error) {
 	} else if spec.Shards < 1 {
 		spec.Shards = 1
 	}
+	// Every registry summary accepts borrowed keys: the ingest paths
+	// (HTTP /update and the hhwire listeners) parse keys as zero-copy
+	// views into pooled request/frame buffers, and the summary clones
+	// only what it retains.
+	spec.BorrowedKeys = true
 	live, err := hh.NewFromSpec[string](spec)
 	if err != nil {
 		return nil, err

@@ -154,11 +154,14 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	// Zero-copy parse: the keys alias sc.body, which stays untouched
+	// until IngestBatch returns; registry summaries are built with
+	// borrowed-key ingest and clone anything they retain.
 	switch ct {
 	case ContentTypeBinary:
-		sc.keys, err = AppendBinaryKeys(sc.keys[:0], sc.body)
+		sc.keys, err = AppendBinaryKeysBorrowed(sc.keys[:0], sc.body)
 	default:
-		sc.keys, err = AppendTextKeys(sc.keys[:0], sc.body)
+		sc.keys, err = AppendTextKeysBorrowed(sc.keys[:0], sc.body)
 	}
 	if err != nil {
 		// Nothing was ingested: the batch parses fully before any update.

@@ -1,18 +1,9 @@
-// Package registry implements the multi-tenant heavy-hitter serving
-// tier behind cmd/hhserverd: a named registry of Summary[string]
-// instances built from declarative JSON Specs, plus the HTTP surface
-// that ingests batches, absorbs encoded summary blobs pushed by remote
-// agents (wire-level Theorem 11 merging), and answers bound-carrying
-// queries — all against a live, concurrently written summary.
-//
-// The split from cmd/hhserverd keeps every behavior testable in
-// process: the daemon binary is a thin flag-parsing shell around
-// New + NewServer + net/http.
 package registry
 
 import (
 	"encoding/binary"
 	"fmt"
+	"unsafe"
 )
 
 // Ingest batch wire formats of POST /v1/{name}/update. Two encodings
@@ -94,6 +85,72 @@ func AppendBinaryKeys(dst []string, body []byte) ([]string, error) {
 		off += int(n)
 	}
 	return dst, nil
+}
+
+// AppendBinaryKeysBorrowed parses a length-prefixed batch body like
+// AppendBinaryKeys, but the appended keys are zero-copy views aliasing
+// body's memory instead of fresh strings. The caller must (a) keep body
+// unmodified until the keys have been consumed and (b) feed the keys
+// only to summaries built with borrowed-key ingest (hh.WithBorrowedKeys
+// — every registry-created summary), which clone any key they retain.
+// This is the serving hot path: parsing costs no allocations at all,
+// and only the insertion tail of the stream is ever copied.
+//
+//hh:nopanic
+func AppendBinaryKeysBorrowed(dst []string, body []byte) ([]string, error) {
+	for off := 0; off < len(body); {
+		n, w := binary.Uvarint(body[off:])
+		if w <= 0 {
+			return dst, fmt.Errorf("registry: record at byte %d: truncated or overlong key length", off)
+		}
+		off += w
+		if n > MaxKeyLen {
+			return dst, fmt.Errorf("registry: record at byte %d: key of %d bytes exceeds the %d-byte limit", off-w, n, MaxKeyLen)
+		}
+		if uint64(len(body)-off) < n {
+			return dst, fmt.Errorf("registry: record at byte %d: key length %d runs past the body", off-w, n)
+		}
+		dst = append(dst, unsafeString(body[off:off+int(n)]))
+		off += int(n)
+	}
+	return dst, nil
+}
+
+// AppendTextKeysBorrowed parses a newline-delimited batch body like
+// AppendTextKeys, with the same zero-copy contract as
+// AppendBinaryKeysBorrowed: the appended keys alias body.
+//
+//hh:nopanic
+func AppendTextKeysBorrowed(dst []string, body []byte) ([]string, error) {
+	for start := 0; start < len(body); {
+		end := start
+		for end < len(body) && body[end] != '\n' {
+			end++
+		}
+		line := body[start:end]
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		if len(line) > MaxKeyLen {
+			return dst, fmt.Errorf("registry: key of %d bytes exceeds the %d-byte limit", len(line), MaxKeyLen)
+		}
+		if len(line) > 0 {
+			dst = append(dst, unsafeString(line))
+		}
+		start = end + 1
+	}
+	return dst, nil
+}
+
+// unsafeString returns a string view over b without copying. The view
+// is only valid while b's memory is neither reused nor mutated.
+//
+//hh:nopanic
+func unsafeString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
 }
 
 // AppendBinaryRecord appends one length-prefixed record for key to buf —

@@ -64,7 +64,18 @@ type StreamSummary[K comparable] struct {
 	// head/tail of the group list, ascending by count.
 	head, tail int32
 	n          uint64
+	// clone, when set, copies a key at the moment it is retained so
+	// callers may pass keys aliasing reused memory (SetKeyClone).
+	clone func(K) K
 }
+
+// SetKeyClone installs fn as the borrowed-key clone hook: every key the
+// structure decides to retain (fresh insertion or eviction replacement)
+// is first passed through fn, so callers may hand Update/AddN keys
+// whose backing memory is reused after the call. Keys that only hit an
+// existing counter are never cloned. A nil fn restores the default
+// aliasing behavior. Must be called before the first update.
+func (s *StreamSummary[K]) SetKeyClone(fn func(K) K) { s.clone = fn }
 
 // New returns a SPACESAVING instance with m counters backed by a
 // Stream-Summary. It panics if m < 1.
@@ -141,6 +152,9 @@ func (s *StreamSummary[K]) Update(item K) {
 		s.bump(nd, s.groups[s.nodes[nd].grp].count+1)
 		return
 	}
+	if s.clone != nil {
+		item = s.clone(item) //hh:allocok borrowed-key inserts copy the key by contract
+	}
 	if len(s.items) < s.m {
 		nd := s.allocNode(item, 0)
 		s.items[item] = nd
@@ -184,6 +198,9 @@ func (s *StreamSummary[K]) AddN(item K, n uint64) {
 	if nd, ok := s.items[item]; ok {
 		s.bumpN(nd, s.groups[s.nodes[nd].grp].count+n)
 		return
+	}
+	if s.clone != nil {
+		item = s.clone(item) //hh:allocok borrowed-key inserts copy the key by contract
 	}
 	if len(s.items) < s.m {
 		nd := s.allocNode(item, 0)

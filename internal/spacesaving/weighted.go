@@ -21,7 +21,17 @@ type R[K comparable] struct {
 	pos   map[K]int
 	elems []rElem[K]
 	total float64
+	// clone, when set, copies a key at the moment it is retained
+	// (SetKeyClone) so callers may pass keys aliasing reused memory.
+	clone func(K) K
 }
+
+// SetKeyClone installs fn as the borrowed-key clone hook: every key the
+// structure decides to retain is first passed through fn, so callers
+// may hand updates keys whose backing memory is reused after the call.
+// Keys that only hit an existing counter are never cloned. Must be
+// called before the first update.
+func (r *R[K]) SetKeyClone(fn func(K) K) { r.clone = fn }
 
 type rElem[K comparable] struct {
 	item  K
@@ -73,6 +83,9 @@ func (r *R[K]) UpdateWeighted(item K, b float64) {
 		r.siftDown(i)
 		return
 	}
+	if r.clone != nil {
+		item = r.clone(item) //hh:allocok borrowed-key inserts copy the key by contract
+	}
 	if len(r.elems) < r.m {
 		r.elems = append(r.elems, rElem[K]{item: item, count: b})
 		r.pos[item] = len(r.elems) - 1
@@ -110,6 +123,9 @@ func (r *R[K]) Absorb(item K, count, err float64) {
 		r.elems[i].err += err
 		r.siftDown(i)
 		return
+	}
+	if r.clone != nil {
+		item = r.clone(item) //hh:allocok borrowed-key inserts copy the key by contract
 	}
 	if len(r.elems) < r.m {
 		r.elems = append(r.elems, rElem[K]{item: item, count: count, err: err})

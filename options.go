@@ -41,6 +41,11 @@ type config struct {
 	// Concurrency tier (WithConcurrent): striped writer locks plus
 	// generation-tracked read snapshots on top of the composition.
 	concurrent bool
+
+	// Borrowed-key ingest (WithBorrowedKeys): the summary clones any
+	// key it retains, so callers may pass keys whose backing memory is
+	// reused after the call returns.
+	borrowKeys bool
 }
 
 // windowed reports whether the configuration asks for the epoch-ring
@@ -119,6 +124,31 @@ func WithShards(p int) Option {
 // "Concurrency" section for the full semantics.
 func WithConcurrent() Option {
 	return func(c *config) { c.concurrent = true }
+}
+
+// WithBorrowedKeys lets Update/UpdateBatch callers pass keys whose
+// backing memory they reuse or overwrite after the call returns — the
+// shape of a zero-copy decoder that aliases string keys straight into a
+// network or file buffer (internal/wire parses frames this way). The
+// summary copies any key at the moment it is retained (counter
+// insertion, sketch candidate tracking); lookups, increments to
+// already-tracked items, and rejected candidates never copy, so the
+// skewed-stream hot path stays zero-alloc and only the insertion tail
+// pays. String-keyed summaries route insertions through a small
+// per-structure dedup cache (sized from the counter budget) so a
+// recurring tail key is usually copied once, not per insertion.
+//
+// Valid key types: strings (any string kind) and pointer-free types
+// (integers, floats, arrays/structs thereof — which need no copying and
+// make the option a no-op). New panics for key types holding other
+// references (slices, pointers, maps...), which cannot be cloned
+// generically.
+//
+// Without this option, the library's usual contract applies: the
+// summary aliases the keys it is handed and callers must not mutate
+// their backing memory afterwards.
+func WithBorrowedKeys() Option {
+	return func(c *config) { c.borrowKeys = true }
 }
 
 // WithSeed fixes the seed of randomized backends (Count-Min,

@@ -44,6 +44,9 @@ type Spec struct {
 	// Concurrent wraps the composition in the lock-free read tier
 	// (WithConcurrent).
 	Concurrent bool `json:"concurrent,omitempty"`
+	// BorrowedKeys makes the summary clone retained keys so ingest
+	// paths may alias keys into reused buffers (WithBorrowedKeys).
+	BorrowedKeys bool `json:"borrowed_keys,omitempty"`
 	// Seed fixes the hash/sketch seed (WithSeed); 0 means unset.
 	Seed uint64 `json:"seed,omitempty"`
 	// Depth sets the sketch row count (WithDepth); 0 means default.
@@ -94,6 +97,9 @@ func (sp Spec) Options() ([]Option, error) {
 	}
 	if sp.Concurrent {
 		opts = append(opts, WithConcurrent())
+	}
+	if sp.BorrowedKeys {
+		opts = append(opts, WithBorrowedKeys())
 	}
 	if sp.Seed != 0 {
 		opts = append(opts, WithSeed(sp.Seed))

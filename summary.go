@@ -183,13 +183,21 @@ func New[K comparable](opts ...Option) Summary[K] {
 // newBackend builds the backend for one shard, layering the window or
 // decay tier on top of the core structure when configured.
 func newBackend[K comparable](cfg config, shard int, hash func(K) uint64) backend[K] {
+	// One cloner (and one dedup cache) per shard, shared by every
+	// structure the shard's composition builds — window epochs rotate
+	// under the same writer, so sharing is safe and keeps a tail key's
+	// clone warm across epoch boundaries.
+	var cl func(K) K
+	if cfg.borrowKeys {
+		cl = newKeyCloner[K](cfg.m)
+	}
 	switch {
 	case cfg.windowed():
-		return newWindowBackend[K](cfg, shard, hash)
+		return newWindowBackend[K](cfg, shard, hash, cl)
 	case cfg.decay > 0:
-		return newDecayBackend[K](cfg, shard, hash)
+		return newDecayBackend[K](cfg, shard, hash, cl)
 	default:
-		return newCoreBackend[K](cfg, shard, hash)
+		return newCoreBackend[K](cfg, shard, hash, cl)
 	}
 }
 
@@ -197,40 +205,53 @@ func newBackend[K comparable](cfg config, shard int, hash func(K) uint64) backen
 // (shard indices decorrelate sketch seeds; counter algorithms ignore
 // them). hash must be the same closure the sharded partitioner uses, so
 // precomputed hashes handed to updateBatch match this backend's own.
-func newCoreBackend[K comparable](cfg config, shard int, hash func(K) uint64) backend[K] {
+// cl, when non-nil, is installed as the borrowed-key clone hook on the
+// structure's retention paths (WithBorrowedKeys).
+func newCoreBackend[K comparable](cfg config, shard int, hash func(K) uint64, cl func(K) K) backend[K] {
 	switch {
 	case cfg.algo == AlgoCountMin:
-		return &sketchBackend[K]{
+		b := &sketchBackend[K]{
 			cm:    sketch.NewCountMin(cfg.depth, cfg.m, cfg.seed+uint64(shard)),
 			hash:  hash, //hh:allocok hash is a keyHasher closure; its branches call only mix64/fnv1a/maphash.Comparable
 			width: cfg.m,
 			track: newTracker[K](cfg.m),
 		}
+		b.track.clone = cl
+		return b
 	case cfg.algo == AlgoCountSketch:
-		return &sketchBackend[K]{
+		b := &sketchBackend[K]{
 			cs:    sketch.NewCountSketch(cfg.depth, cfg.m, cfg.seed+uint64(shard)),
 			hash:  hash, //hh:allocok hash is a keyHasher closure; its branches call only mix64/fnv1a/maphash.Comparable
 			width: cfg.m,
 			track: newTracker[K](cfg.m),
 		}
+		b.track.clone = cl
+		return b
 	case cfg.weighted && cfg.algo == AlgoSpaceSaving:
-		return &weightedBackend[K]{ssr: spacesaving.NewR[K](cfg.m), g: TailGuarantee{A: 1, B: 1}, hasG: true}
+		ssr := spacesaving.NewR[K](cfg.m)
+		ssr.SetKeyClone(cl)
+		return &weightedBackend[K]{ssr: ssr, g: TailGuarantee{A: 1, B: 1}, hasG: true}
 	case cfg.weighted && cfg.algo == AlgoFrequent:
-		return &weightedBackend[K]{fqr: frequent.NewR[K](cfg.m), g: TailGuarantee{A: 1, B: 1}, hasG: true}
+		fqr := frequent.NewR[K](cfg.m)
+		fqr.SetKeyClone(cl)
+		return &weightedBackend[K]{fqr: fqr, g: TailGuarantee{A: 1, B: 1}, hasG: true}
 	case cfg.algo == AlgoSpaceSaving:
 		ss := spacesaving.New[K](cfg.m)
+		ss.SetKeyClone(cl)
 		return &unitBackend[K]{
 			alg: ss, addN: ss.AddN, appendRaw: ss.AppendEntries, eachRaw: ss.Each,
 			g: TailGuarantee{A: 1, B: 1}, hasG: true, over: true,
 		}
 	case cfg.algo == AlgoFrequent:
 		fq := frequent.New[K](cfg.m)
+		fq.SetKeyClone(cl)
 		return &unitBackend[K]{
 			alg: fq, addN: fq.AddN, appendRaw: fq.AppendEntries, eachRaw: fq.Each,
 			g: TailGuarantee{A: 1, B: 1}, hasG: true,
 		}
 	case cfg.algo == AlgoLossyCounting:
 		lc := lossycounting.New[K](cfg.m)
+		lc.SetKeyClone(cl)
 		return &unitBackend[K]{alg: lc, addN: lc.AddN, appendRaw: lc.AppendEntries}
 	default:
 		panic(fmt.Sprintf("heavyhitters: unhandled algorithm %v", cfg.algo))
@@ -1278,6 +1299,11 @@ type tracker[K comparable] struct {
 	k    int
 	pos  map[K]int
 	heap []trackedEntry[K]
+	// clone, when set, copies a key at the moment it enters the
+	// candidate set, so offered keys may alias reused memory
+	// (WithBorrowedKeys). Rejected and already-tracked candidates are
+	// never cloned.
+	clone func(K) K
 }
 
 type trackedEntry[K comparable] struct {
@@ -1313,6 +1339,9 @@ func (t *tracker[K]) offer(item K, est float64) {
 		return
 	}
 	if len(t.heap) < t.k {
+		if t.clone != nil {
+			item = t.clone(item) //hh:allocok borrowed-key inserts copy the key by contract
+		}
 		t.heap = append(t.heap, trackedEntry[K]{item, est})
 		t.pos[item] = len(t.heap) - 1
 		t.siftUp(len(t.heap) - 1)
@@ -1320,6 +1349,9 @@ func (t *tracker[K]) offer(item K, est float64) {
 	}
 	if est <= t.heap[0].est {
 		return
+	}
+	if t.clone != nil {
+		item = t.clone(item) //hh:allocok borrowed-key inserts copy the key by contract
 	}
 	delete(t.pos, t.heap[0].item)
 	t.heap[0] = trackedEntry[K]{item, est}

@@ -114,14 +114,14 @@ type windowBackend[K comparable] struct {
 // divide the window across shards (each shard sees ~1/p of arrivals
 // under the partitioner's uniform hashing); tick windows share the
 // clock, so every shard covers the same time span.
-func newWindowBackend[K comparable](cfg config, shard int, hash func(K) uint64) *windowBackend[K] {
+func newWindowBackend[K comparable](cfg config, shard int, hash func(K) uint64, cl func(K) K) *windowBackend[K] {
 	b := &windowBackend[K]{
 		ring: make([]backend[K], cfg.epochs),
 		live: 1,
 		agg:  make(map[K]int),
 	}
 	for i := range b.ring {
-		b.ring[i] = newCoreBackend[K](cfg, shard, hash)
+		b.ring[i] = newCoreBackend[K](cfg, shard, hash, cl)
 	}
 	if cfg.tick > 0 {
 		b.tick = cfg.tick / time.Duration(cfg.epochs)
@@ -472,7 +472,7 @@ type decayBackend[K comparable] struct {
 	base   float64 // log-scale origin: stored mass is e^(base) units
 }
 
-func newDecayBackend[K comparable](cfg config, shard int, hash func(K) uint64) *decayBackend[K] {
+func newDecayBackend[K comparable](cfg config, shard int, hash func(K) uint64, cl func(K) K) *decayBackend[K] {
 	lambda := cfg.decay
 	if cfg.shards > 1 {
 		// Each shard's decay clock ticks only on its own ~1/p of the
@@ -482,7 +482,7 @@ func newDecayBackend[K comparable](cfg config, shard int, hash func(K) uint64) *
 		lambda *= float64(cfg.shards)
 	}
 	return &decayBackend[K]{
-		inner:  newCoreBackend[K](cfg, shard, hash).(*weightedBackend[K]),
+		inner:  newCoreBackend[K](cfg, shard, hash, cl).(*weightedBackend[K]),
 		lambda: lambda,
 	}
 }
