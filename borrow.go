@@ -17,6 +17,14 @@ import (
 // the moment it decides to store it. Hits, increments and rejected
 // candidates never clone, so for skewed streams only the insertion
 // tail (a small fraction of arrivals) pays.
+//
+// Arena interplay (WithArena): on an arena-backed summary no clone
+// hook is installed at all. The arena's Put interns the key bytes
+// straight into its slabs and the structure stores the slab-aliased
+// view, so a borrowed key is copied exactly once — from the caller's
+// buffer into the slab — with no intermediate heap string and no
+// clone cache. summary.go wires this: the hook is built only when
+// EnableArena declined (non-string keys) or arena is off.
 
 // newKeyCloner builds the per-structure clone hook for key type K, or
 // nil when K needs no cloning (pointer-free types own their bytes).

@@ -1,0 +1,154 @@
+package main
+
+// The capacity tier of the -json suite: string-keyed trace replay at
+// realistic counter budgets, measuring what the throughput rows cannot
+// — the steady-state memory a tracked key costs and the number of heap
+// objects the live structure makes every GC mark phase walk. Each
+// budget is measured twice, arena-backed (WithArena) and map-backed,
+// so the report carries its own control: the arena rows must hold
+// bytes_per_tracked_key near the slab geometry and heap_objects O(1)
+// in m, while the map rows document what the default path costs.
+//
+// Keys are formatted into a reused buffer and passed as zero-copy
+// views under WithBorrowedKeys — exactly the hhwire decoder's ingest
+// shape, so the arena rows measure the one-copy intern path and the
+// map rows the clone-cache path.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"time"
+	"unsafe"
+
+	hh "repro"
+	"repro/internal/benchjson"
+	"repro/internal/stream"
+)
+
+// capacityBudgets enumerates the measured counter budgets. The m=1M
+// row replays enough distinct keys to be GC-interesting and is skipped
+// in -smoke runs (the CI gate measures m=64k; the nightly job runs the
+// full tier).
+var capacityBudgets = []struct {
+	name      string
+	m         int
+	universe  int
+	smokeSafe bool
+}{
+	{"m64k", 64 << 10, 1 << 20, true},
+	{"m1m", 1 << 20, 1 << 22, false},
+}
+
+// capacityPasses: the replay is long enough (items >> m) that two
+// passes suffice for a stable minimum; the memory columns do not
+// depend on pass timing at all.
+const capacityPasses = 2
+
+// measureCapacity replays s (as decimal-formatted string keys) into a
+// SPACESAVING summary of budget m and reports the v2 capacity columns.
+func measureCapacity(budget string, m int, s []uint64, useArena bool) benchjson.Record {
+	variant := "map"
+	opts := []hh.Option{hh.WithCapacity(m), hh.WithBorrowedKeys(), hh.WithSeed(1)}
+	if useArena {
+		variant = "arena"
+		opts = append(opts, hh.WithArena())
+	}
+
+	// The live-heap baseline, before the structure exists.
+	runtime.GC()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	sum := hh.New[string](opts...)
+	var buf []byte
+	replay := func() {
+		for _, x := range s {
+			buf = strconv.AppendUint(buf[:0], x, 10)
+			sum.Update(unsafe.String(&buf[0], len(buf)))
+		}
+	}
+	replay() // warm: fill counters, converge slab classes / clone cache
+
+	var allocBefore, allocAfter runtime.MemStats
+	runtime.ReadMemStats(&allocBefore)
+	var elapsed time.Duration
+	for pass := 0; pass < capacityPasses; pass++ {
+		start := time.Now()
+		replay()
+		if d := time.Since(start); pass == 0 || d < elapsed {
+			elapsed = d
+		}
+	}
+	runtime.ReadMemStats(&allocAfter)
+
+	// p99 GC pause over the replay's recent history (the runtime keeps
+	// the last 256 pauses; the replay dominates them at these stream
+	// lengths). Report-only — see benchjson.Compare.
+	var gcs debug.GCStats
+	gcs.PauseQuantiles = make([]time.Duration, 101)
+	debug.ReadGCStats(&gcs)
+	pauseP99 := float64(gcs.PauseQuantiles[99].Nanoseconds())
+
+	// The steady-state live footprint: what this warm structure pins
+	// across a forced GC, amortized over its tracked keys. Includes the
+	// counter slabs (identical across variants), so the arena-vs-map
+	// delta isolates key storage + index.
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	liveBytes := float64(after.HeapAlloc) - float64(before.HeapAlloc)
+	liveObjects := int64(after.HeapObjects) - int64(before.HeapObjects)
+	if liveBytes < 0 {
+		liveBytes = 0
+	}
+	if liveObjects < 0 {
+		liveObjects = 0
+	}
+	tracked := sum.Len()
+	if tracked == 0 {
+		tracked = 1
+	}
+	runtime.KeepAlive(buf)
+
+	n := float64(len(s))
+	return benchjson.Record{
+		Name:               fmt.Sprintf("capacity/spacesaving/zipf-1.1/%s/%s", budget, variant),
+		Algo:               hh.AlgoSpaceSaving.String(),
+		Workload:           "zipf-1.1",
+		Batch:              1, // per-item borrowed-key Update, the wire shape
+		Items:              uint64(len(s)),
+		NsPerOp:            float64(elapsed.Nanoseconds()) / n,
+		ItemsPerSec:        n / elapsed.Seconds(),
+		AllocsPerOp:        float64(allocAfter.Mallocs-allocBefore.Mallocs) / (n * capacityPasses),
+		BytesPerOp:         float64(allocAfter.TotalAlloc-allocBefore.TotalAlloc) / (n * capacityPasses),
+		BytesPerTrackedKey: liveBytes / float64(tracked),
+		HeapObjects:        uint64(liveObjects),
+		GCPauseP99Ns:       pauseP99,
+	}
+}
+
+// runCapacity appends the capacity rows to the report. smoke runs only
+// the smoke-safe budgets at a shorter replay; the full suite replays
+// 10M+ items per budget.
+func runCapacity(report *benchjson.Report, seed uint64, smoke bool) {
+	items := 12_000_000
+	if smoke {
+		items = 2_000_000
+	}
+	for _, b := range capacityBudgets {
+		if smoke && !b.smokeSafe {
+			continue
+		}
+		s := stream.Zipf(b.universe, 1.1, uint64(items), stream.OrderRandom, seed)
+		for _, useArena := range []bool{true, false} {
+			rec := measureCapacity(b.name, b.m, s, useArena)
+			report.Add(rec)
+			fmt.Fprintf(os.Stderr, "%-45s %8.2f M items/s  %6.1f ns/op  %.3f allocs/op  %7.1f B/key  %8d objs  p99 pause %.2f ms\n",
+				rec.Name, rec.ItemsPerSec/1e6, rec.NsPerOp, rec.AllocsPerOp,
+				rec.BytesPerTrackedKey, rec.HeapObjects, rec.GCPauseP99Ns/1e6)
+		}
+	}
+}

@@ -56,7 +56,9 @@ const windowDiv = 16
 
 // runJSON runs the suite and writes the report to path. n is the
 // measured stream length per configuration; m the counter budget.
-func runJSON(path string, n uint64, universe int, seed uint64, m int) error {
+// smoke selects the CI-sized capacity tier (m=64k only, shorter
+// replay); the full run includes the m=1M rows.
+func runJSON(path string, n uint64, universe int, seed uint64, m int, smoke bool) error {
 	report := benchjson.New()
 	for _, w := range jsonWorkloads {
 		var s []uint64
@@ -102,6 +104,10 @@ func runJSON(path string, n uint64, universe int, seed uint64, m int) error {
 		fmt.Fprintf(os.Stderr, "%-45s %8.2f M items/s  %6.1f ns/op  %.3f allocs/op\n",
 			rec.Name, rec.ItemsPerSec/1e6, rec.NsPerOp, rec.AllocsPerOp)
 	}
+	// Capacity-tier rows: string-keyed trace replay at realistic
+	// budgets, measuring bytes per tracked key, live heap objects and
+	// GC pauses — arena vs map (capacity.go).
+	runCapacity(report, seed, smoke)
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -240,7 +240,7 @@ func main() {
 		if *seed != 0 {
 			js = *seed
 		}
-		if err := runJSON(*jsonOut, jn, ju, js, *m); err != nil {
+		if err := runJSON(*jsonOut, jn, ju, js, *m, *smoke); err != nil {
 			fmt.Fprintf(os.Stderr, "hhbench: writing %s: %v\n", *jsonOut, err)
 			os.Exit(1)
 		}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	hh "repro"
+	"repro/internal/arena"
 	"repro/internal/exact"
 	"repro/internal/stream"
 	"repro/internal/zipfmath"
@@ -65,6 +66,25 @@ func reportSummary[K comparable](s hh.Summary[K], k int) {
 	fmt.Fprintf(tw, "estimated F1^res(%d)\t<= %.1f\n", k, res)
 	if g, ok := s.Guarantee(); ok {
 		fmt.Fprintf(tw, "k-tail error bound\t%.1f\n", hh.ErrorBound(g, s.Capacity(), k, res))
+	}
+	// For string-keyed blobs, the steady-state footprint this summary
+	// would occupy hosted arena-backed (hhserverd's configuration):
+	// class-rounded slab bytes for the stored keys plus the
+	// open-addressing index sized for the counter budget.
+	var keyBytes uint64
+	strKeys := false
+	for e := range s.All() {
+		ks, ok := any(e.Item).(string)
+		if !ok {
+			break
+		}
+		strKeys = true
+		keyBytes += uint64(arena.RegionSize(len(ks)))
+	}
+	if strKeys {
+		slots, idxBytes := arena.IndexFootprint(s.Capacity())
+		fmt.Fprintf(tw, "est. arena serving footprint\t%d key bytes + %d index bytes (%d slots), %.1f B/key\n",
+			keyBytes, idxBytes, slots, float64(keyBytes+idxBytes)/float64(s.Len()))
 	}
 	tw.Flush()
 	fmt.Printf("\n(summary blobs carry no exact norms; run hhstat on the original trace for Zipf-fit sizing)\n")

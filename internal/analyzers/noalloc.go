@@ -422,6 +422,11 @@ func (na *noAllocPass) checkCall(call *ast.CallExpr, report func(token.Pos, stri
 		case "len", "cap", "copy", "delete", "clear", "min", "max",
 			"panic", "recover", "print", "println", "real", "imag", "complex":
 			// non-allocating (or failure-path-only) builtins
+		case "Sizeof", "Alignof", "Offsetof", "Add",
+			"String", "StringData", "Slice", "SliceData":
+			// the unsafe builtins: compile-time constants, pointer
+			// arithmetic, and header construction over existing memory —
+			// none allocate (unsafe.String/Slice alias, never copy)
 		default:
 			report(call.Pos(), "builtin %s not allowed in noalloc code", callee.Name())
 		}

@@ -50,3 +50,26 @@ func waivedMake(n int) []int {
 	s := make([]int, n) //hh:allocok fixture demonstrates a reasoned waiver
 	return s
 }
+
+// keyIndex exercises the annotated-interface-method idiom (the
+// arena.Index pattern): a marker on the interface method admits calls
+// through the interface from noalloc code, binding every
+// implementation to the contract; unannotated methods stay barred.
+type keyIndex interface {
+	// Get is part of the zero-alloc contract.
+	//
+	//hh:noalloc
+	Get(k string) (int32, bool)
+	// Materialize is the export-boundary copy; deliberately unannotated.
+	Materialize(k string) string
+}
+
+//hh:noalloc
+func viaAnnotatedMethod(ix keyIndex) (int32, bool) {
+	return ix.Get("k")
+}
+
+//hh:noalloc
+func viaUnannotatedMethod(ix keyIndex) string {
+	return ix.Materialize("k") // want:noalloc "not //hh:noalloc"
+}

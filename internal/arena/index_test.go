@@ -1,0 +1,286 @@
+package arena
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestClassFor pins the size-class geometry: power-of-two rounding with
+// an 8-byte floor (the freelist link needs 4 bytes).
+func TestClassFor(t *testing.T) {
+	cases := map[int]uint{0: 3, 1: 3, 8: 3, 9: 4, 16: 4, 17: 5, 255: 8, 256: 8, 257: 9, SlabSize: 16}
+	for n, want := range cases {
+		if got := classFor(n); got != want {
+			t.Errorf("classFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestStringIndexBasic drives the fundamental operations, including
+// empty-string keys and value overwrites.
+func TestStringIndexBasic(t *testing.T) {
+	x := NewStringIndex(16, 1)
+	if _, ok := x.Get("a"); ok {
+		t.Fatal("Get on empty index reported a hit")
+	}
+	ka := x.Put("a", 1)
+	if ka != "a" {
+		t.Fatalf("Put returned %q, want \"a\"", ka)
+	}
+	if v, ok := x.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	x.Put("a", 2)
+	if v, _ := x.Get("a"); v != 2 {
+		t.Fatalf("overwrite: Get(a) = %d, want 2", v)
+	}
+	if k := x.Put("", 3); k != "" {
+		t.Fatalf("Put(\"\") returned %q", k)
+	}
+	if v, ok := x.Get(""); !ok || v != 3 {
+		t.Fatalf("Get(\"\") = %d, %v", v, ok)
+	}
+	if x.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", x.Len())
+	}
+	x.Delete("a")
+	if _, ok := x.Get("a"); ok {
+		t.Fatal("Get after Delete reported a hit")
+	}
+	x.Delete("never-inserted") // must be a no-op
+	if x.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", x.Len())
+	}
+	x.Reset()
+	if x.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", x.Len())
+	}
+	if _, ok := x.Get(""); ok {
+		t.Fatal("Get after Reset reported a hit")
+	}
+}
+
+// TestStringIndexAliasStability pins the retained-key contract: the
+// view Put returns stays equal to the key while the key is live, even
+// as unrelated churn recycles other regions.
+func TestStringIndexAliasStability(t *testing.T) {
+	x := NewStringIndex(8, 7)
+	keep := x.Put("long-lived-key", 42)
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("churn-%d", i)
+		x.Put(k, int32(i))
+		x.Delete(k)
+	}
+	if keep != "long-lived-key" {
+		t.Fatalf("retained view corrupted by churn: %q", keep)
+	}
+	if v, ok := x.Get("long-lived-key"); !ok || v != 42 {
+		t.Fatalf("Get = %d, %v", v, ok)
+	}
+}
+
+// TestStringIndexBigKeys covers keys longer than a slab: dedicated
+// slabs, first-fit recycling.
+func TestStringIndexBigKeys(t *testing.T) {
+	x := NewStringIndex(8, 3)
+	big := strings.Repeat("x", SlabSize+100)
+	bigger := strings.Repeat("y", 2*SlabSize)
+	x.Put(big, 1)
+	if v, ok := x.Get(big); !ok || v != 1 {
+		t.Fatalf("Get(big) = %d, %v", v, ok)
+	}
+	x.Delete(big)
+	slabs := x.Mem().Slabs
+	// A same-size big key must reuse the freed dedicated slab.
+	x.Put(big, 2)
+	if got := x.Mem().Slabs; got != slabs {
+		t.Fatalf("same-size big key did not recycle: %d slabs, had %d", got, slabs)
+	}
+	x.Put(bigger, 3)
+	for _, k := range []string{big, bigger} {
+		if _, ok := x.Get(k); !ok {
+			t.Fatalf("big key %d bytes lost", len(k))
+		}
+	}
+}
+
+// applyOps drives an index and a map oracle through a randomized
+// op sequence and fails on the first divergence. Returned strings from
+// Put are checked for equality (they may alias the arena).
+func applyOps(t *testing.T, x *StringIndex, ops []byte) {
+	t.Helper()
+	oracle := map[string]int32{}
+	keyFor := func(b byte) string {
+		// 64 distinct keys of wildly varying length exercise several size
+		// classes and probe collisions.
+		n := int(b % 64)
+		return strings.Repeat("k", n%7) + fmt.Sprintf("key-%d-%s", n, strings.Repeat("pad", n%5))
+	}
+	for i, op := range ops {
+		k := keyFor(op)
+		switch op % 4 {
+		case 0, 1: // insert/overwrite twice as likely as delete
+			v := int32(i)
+			ret := x.Put(k, v)
+			if ret != k {
+				t.Fatalf("op %d: Put(%q) returned %q", i, k, ret)
+			}
+			oracle[k] = v
+		case 2:
+			x.Delete(k)
+			delete(oracle, k)
+		case 3:
+			if op%8 == 3 {
+				x.Reset()
+				clear(oracle)
+			}
+		}
+		if x.Len() != len(oracle) {
+			t.Fatalf("op %d: Len = %d, oracle %d", i, x.Len(), len(oracle))
+		}
+	}
+	for k, want := range oracle {
+		if got, ok := x.Get(k); !ok || got != want {
+			t.Fatalf("final: Get(%q) = %d, %v; oracle %d", k, got, ok, want)
+		}
+	}
+	// Probe a few known-absent keys.
+	for _, k := range []string{"absent", "", "zzz"} {
+		if _, inOracle := oracle[k]; !inOracle {
+			if _, ok := x.Get(k); ok {
+				t.Fatalf("phantom key %q", k)
+			}
+		}
+	}
+}
+
+// TestStringIndexOracle is the property test: randomized
+// insert/overwrite/delete/Reset sequences against a map[string]int32
+// oracle, at a deliberately tiny initial size so growth rehashes fire.
+func TestStringIndexOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for round := 0; round < 50; round++ {
+		ops := make([]byte, 2000)
+		rng.Read(ops)
+		x := NewStringIndex(1, uint64(round)) // min-size: forces doubling
+		applyOps(t, x, ops)
+	}
+}
+
+// FuzzStringIndexOps lets the fuzzer drive the same oracle harness.
+func FuzzStringIndexOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 7, 0, 0, 2})
+	f.Add([]byte("insert-delete-insert"))
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		applyOps(t, NewStringIndex(1, 99), ops)
+	})
+}
+
+// TestArenaBoundedGrowth is the eviction-churn invariant: an
+// eviction-heavy workload (every insert followed by a delete, Zipf-ish
+// mix of key lengths, vastly more distinct keys than live slots) must
+// recycle regions through the free lists instead of growing the slabs.
+func TestArenaBoundedGrowth(t *testing.T) {
+	const live = 1024
+	x := NewStringIndex(live, 5)
+	rng := rand.New(rand.NewSource(2))
+	key := func(i int) string {
+		return fmt.Sprintf("%s-%d", strings.Repeat("p", rng.Intn(48)), i)
+	}
+	// Fill to the live bound, tracking the live set in a ring so every
+	// delete names a key that is actually stored.
+	ring := make([]string, live)
+	for i := range ring {
+		ring[i] = key(i)
+		x.Put(ring[i], int32(i))
+	}
+	churn := func(n int) {
+		for i := 0; i < n; i++ {
+			old := ring[i%live]
+			ring[i%live] = key(rng.Int())
+			x.Put(ring[i%live], int32(i))
+			x.Delete(old)
+		}
+	}
+	churn(20 * live)
+	after := x.Mem()
+	churn(200 * live)
+	final := x.Mem()
+	if final.SlabBytes > after.SlabBytes*2 {
+		t.Fatalf("arena grew unboundedly under eviction churn: %d -> %d slab bytes", after.SlabBytes, final.SlabBytes)
+	}
+	if final.LiveKeys != live {
+		t.Fatalf("LiveKeys = %d, want %d", final.LiveKeys, live)
+	}
+	if final.LiveBytes+final.FreeBytes > final.SlabBytes {
+		t.Fatalf("accounting: live %d + free %d > slabs %d", final.LiveBytes, final.FreeBytes, final.SlabBytes)
+	}
+}
+
+// TestArenaResetReuse pins the slab-retaining Reset: a reset index
+// refills without growing its backing.
+func TestArenaResetReuse(t *testing.T) {
+	x := NewStringIndex(512, 11)
+	fill := func() {
+		for i := 0; i < 512; i++ {
+			x.Put(fmt.Sprintf("key-%d-%s", i, strings.Repeat("f", i%33)), int32(i))
+		}
+	}
+	fill()
+	x.Reset()
+	before := x.Mem().SlabBytes
+	for round := 0; round < 5; round++ {
+		fill()
+		x.Reset()
+	}
+	if got := x.Mem().SlabBytes; got != before {
+		t.Fatalf("Reset did not retain/reuse slabs: %d -> %d bytes", before, got)
+	}
+}
+
+func TestMapIndex(t *testing.T) {
+	ix := NewMap[uint64](8)
+	ix.Put(7, 1)
+	if v, ok := ix.Get(7); !ok || v != 1 {
+		t.Fatalf("Get = %d, %v", v, ok)
+	}
+	if k := ix.Materialize(7); k != 7 {
+		t.Fatalf("Materialize = %d", k)
+	}
+	if _, ok := ix.Mem(); ok {
+		t.Fatal("map index claimed arena stats")
+	}
+	ix.Delete(7)
+	if ix.Len() != 0 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+// TestNewForString covers the kind gate: string kinds get the arena,
+// everything else declines.
+func TestNewForString(t *testing.T) {
+	if _, ok := NewForString[uint64](8, 1); ok {
+		t.Fatal("uint64 got an arena index")
+	}
+	type tenant string
+	ix, ok := NewForString[tenant](8, 1)
+	if !ok {
+		t.Fatal("named string kind declined")
+	}
+	ret := ix.Put(tenant("t0"), 5)
+	if ret != "t0" {
+		t.Fatalf("Put returned %q", ret)
+	}
+	if v, ok := ix.Get(tenant("t0")); !ok || v != 5 {
+		t.Fatalf("Get = %d, %v", v, ok)
+	}
+	m := ix.Materialize(ret)
+	if m != "t0" {
+		t.Fatalf("Materialize = %q", m)
+	}
+}

@@ -19,9 +19,13 @@ import (
 	"sort"
 )
 
-// Schema identifies the current report format. Readers reject reports
-// whose schema field does not match.
-const Schema = "hhbench/v1"
+// Schema identifies the current report format. Writers emit it;
+// readers accept it and SchemaV1 (v2 only adds the capacity-tier
+// memory columns, so a v1 baseline remains comparable).
+const (
+	Schema   = "hhbench/v2"
+	SchemaV1 = "hhbench/v1"
+)
 
 // Record is one measured configuration.
 type Record struct {
@@ -38,6 +42,22 @@ type Record struct {
 	ItemsPerSec float64 `json:"items_per_sec"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+
+	// The v2 capacity-tier columns, reported by the capacity/*
+	// benchmarks only (zero elsewhere, and omitted from the JSON).
+	//
+	// BytesPerTrackedKey is the steady-state heap bytes attributable to
+	// key storage, amortized over the tracked keys (HeapAlloc delta
+	// after a forced GC, divided by Len).
+	BytesPerTrackedKey float64 `json:"bytes_per_tracked_key,omitempty"`
+	// HeapObjects is the live-object delta the warm structure holds
+	// after a forced GC — the number GC mark cost scales with.
+	HeapObjects uint64 `json:"heap_objects,omitempty"`
+	// GCPauseP99Ns is the 99th-percentile stop-the-world pause observed
+	// while replaying the trace (debug.ReadGCStats quantiles). Recorded
+	// for dashboards; Compare reports but does not gate it (pauses are
+	// scheduler-noisy).
+	GCPauseP99Ns float64 `json:"gc_pause_p99_ns,omitempty"`
 }
 
 // Report is the top-level document.
@@ -81,8 +101,8 @@ func Read(rd io.Reader) (*Report, error) {
 	if err := dec.Decode(&r); err != nil {
 		return nil, fmt.Errorf("benchjson: %w", err)
 	}
-	if r.Schema != Schema {
-		return nil, fmt.Errorf("benchjson: schema %q, want %q", r.Schema, Schema)
+	if r.Schema != Schema && r.Schema != SchemaV1 {
+		return nil, fmt.Errorf("benchjson: schema %q, want %q or %q", r.Schema, Schema, SchemaV1)
 	}
 	seen := make(map[string]bool, len(r.Records))
 	for _, rec := range r.Records {
@@ -130,9 +150,25 @@ func Min(reports ...*Report) *Report {
 			}
 			best.AllocsPerOp = math.Min(best.AllocsPerOp, rec.AllocsPerOp)
 			best.BytesPerOp = math.Min(best.BytesPerOp, rec.BytesPerOp)
+			best.BytesPerTrackedKey = minNonzero(best.BytesPerTrackedKey, rec.BytesPerTrackedKey)
+			best.HeapObjects = uint64(minNonzero(float64(best.HeapObjects), float64(rec.HeapObjects)))
+			best.GCPauseP99Ns = minNonzero(best.GCPauseP99Ns, rec.GCPauseP99Ns)
 		}
 	}
 	return out
+}
+
+// minNonzero is the Min rule for the v2 columns: zero means "not
+// measured" (the column is capacity-tier only), so it never wins.
+func minNonzero(a, b float64) float64 {
+	switch {
+	case a == 0:
+		return b
+	case b == 0:
+		return a
+	default:
+		return math.Min(a, b)
+	}
 }
 
 // Regression is one gate violation found by Compare.
@@ -206,6 +242,19 @@ func Compare(base, cur *Report, threshold float64) ([]Regression, float64) {
 		}
 		if c.AllocsPerOp > b.AllocsPerOp+allocSlack {
 			out = append(out, Regression{Name: b.Name, Metric: "allocs_per_op", Base: b.AllocsPerOp, Current: c.AllocsPerOp})
+		}
+		// The v2 memory columns gate like ns/op but without hardware
+		// normalization — bytes and object counts are deterministic
+		// properties of the structure, not of the machine. A zero base
+		// means the baseline predates the column (or the record is not a
+		// capacity row); skip rather than divide by it. GCPauseP99Ns is
+		// deliberately not gated: pauses are scheduler-noisy, and the
+		// object counts gated here are what drives them.
+		if b.BytesPerTrackedKey > 0 && c.BytesPerTrackedKey > b.BytesPerTrackedKey*(1+threshold) {
+			out = append(out, Regression{Name: b.Name, Metric: "bytes_per_tracked_key", Base: b.BytesPerTrackedKey, Current: c.BytesPerTrackedKey})
+		}
+		if b.HeapObjects > 0 && float64(c.HeapObjects) > float64(b.HeapObjects)*(1+threshold) {
+			out = append(out, Regression{Name: b.Name, Metric: "heap_objects", Base: float64(b.HeapObjects), Current: float64(c.HeapObjects)})
 		}
 	}
 	return out, med

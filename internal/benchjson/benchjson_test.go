@@ -168,6 +168,91 @@ func TestMin(t *testing.T) {
 	}
 }
 
+// TestReadAcceptsV1 pins cross-version compatibility: a v1 baseline
+// (no capacity columns) still reads and gates against v2 measurements.
+func TestReadAcceptsV1(t *testing.T) {
+	v1 := `{"schema":"hhbench/v1","records":[{"name":"a","ns_per_op":10}]}`
+	r, err := Read(strings.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Records) != 1 || r.Records[0].BytesPerTrackedKey != 0 {
+		t.Fatalf("v1 read: %+v", r.Records)
+	}
+	// Gating a v2 measurement against it only uses the shared columns.
+	cur := &Report{Schema: Schema, Records: []Record{
+		{Name: "a", NsPerOp: 10, BytesPerTrackedKey: 64, HeapObjects: 100, GCPauseP99Ns: 5e4},
+	}}
+	if regs, _ := Compare(r, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("v1 baseline flagged v2 columns: %v", regs)
+	}
+}
+
+// TestCompareV2Columns gates the capacity-tier memory columns: bytes
+// per tracked key and heap objects regress on relative growth,
+// gc_pause_p99_ns never gates.
+func TestCompareV2Columns(t *testing.T) {
+	capRec := func() Record {
+		return Record{Name: "capacity/spacesaving/zipf-1.1/m64k/arena",
+			NsPerOp: 100, BytesPerTrackedKey: 40, HeapObjects: 300, GCPauseP99Ns: 1e5}
+	}
+	base := &Report{Schema: Schema, Records: []Record{capRec()}}
+
+	cur := &Report{Schema: Schema, Records: []Record{capRec()}}
+	cur.Records[0].BytesPerTrackedKey = 40 * 1.3
+	regs, _ := Compare(base, cur, 0.15)
+	if len(regs) != 1 || regs[0].Metric != "bytes_per_tracked_key" {
+		t.Fatalf("want bytes_per_tracked_key regression, got %v", regs)
+	}
+
+	cur = &Report{Schema: Schema, Records: []Record{capRec()}}
+	cur.Records[0].HeapObjects = 500
+	regs, _ = Compare(base, cur, 0.15)
+	if len(regs) != 1 || regs[0].Metric != "heap_objects" {
+		t.Fatalf("want heap_objects regression, got %v", regs)
+	}
+
+	// Within threshold: clean.
+	cur = &Report{Schema: Schema, Records: []Record{capRec()}}
+	cur.Records[0].BytesPerTrackedKey = 40 * 1.1
+	cur.Records[0].HeapObjects = 330
+	if regs, _ := Compare(base, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("within-threshold growth flagged: %v", regs)
+	}
+
+	// Pauses are report-only: a 100x pause blowup alone does not gate.
+	cur = &Report{Schema: Schema, Records: []Record{capRec()}}
+	cur.Records[0].GCPauseP99Ns = 1e7
+	if regs, _ := Compare(base, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("gc pause gated: %v", regs)
+	}
+
+	// A zero-column base (v1 or non-capacity row) never gates.
+	base.Records[0].BytesPerTrackedKey = 0
+	base.Records[0].HeapObjects = 0
+	cur.Records[0].BytesPerTrackedKey = 1e9
+	cur.Records[0].HeapObjects = 1 << 40
+	if regs, _ := Compare(base, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("zero base gated: %v", regs)
+	}
+}
+
+// TestMinV2Columns: zero means "not measured" for the v2 columns, so
+// Min never lets it win over a real measurement.
+func TestMinV2Columns(t *testing.T) {
+	a := &Report{Schema: Schema, Records: []Record{
+		{Name: "c", NsPerOp: 10, BytesPerTrackedKey: 50, HeapObjects: 400, GCPauseP99Ns: 2e5},
+	}}
+	b := &Report{Schema: Schema, Records: []Record{
+		{Name: "c", NsPerOp: 12, BytesPerTrackedKey: 45, HeapObjects: 0, GCPauseP99Ns: 1e5},
+	}}
+	m := Min(a, b)
+	got := m.Records[0]
+	if got.BytesPerTrackedKey != 45 || got.HeapObjects != 400 || got.GCPauseP99Ns != 1e5 {
+		t.Fatalf("v2 min merge: %+v", got)
+	}
+}
+
 func TestMedian(t *testing.T) {
 	if got := median(nil); got != 1 {
 		t.Fatalf("median(nil) = %v, want neutral 1", got)

@@ -17,6 +17,7 @@ package frequent
 import (
 	"math"
 
+	"repro/internal/arena"
 	"repro/internal/core"
 )
 
@@ -46,10 +47,22 @@ type node[K comparable] struct {
 // contiguous memory and performs zero heap allocations once constructed.
 // The zero value is not usable; construct with New.
 type Frequent[K comparable] struct {
-	m     int
-	base  uint64 // number of decrement-all operations so far
-	items map[K]int32
-	nodes []node[K]
+	m    int
+	base uint64 // number of decrement-all operations so far
+	// items maps a stored key to its node index. The default is a map;
+	// EnableArena swaps in the pointer-free open-addressing index for
+	// string keys, after which every stored node.item aliases the
+	// arena's slabs and exported entries pass through Materialize.
+	items arena.Index[K]
+	// fast aliases items as the concrete map while the default index is
+	// in place, nil after EnableArena; the hot path branches on it so
+	// map-backed ingest keeps direct (inlineable) map operations instead
+	// of an interface call per Get/Put/Delete.
+	fast arena.Map[K]
+	// arenaOn records the swap so SetKeyClone stays a no-op (the arena
+	// interns every retained key itself).
+	arenaOn bool
+	nodes   []node[K]
 	// Groups can momentarily number one more than the live nodes while a
 	// node is detached during a move, hence the m+1 slab.
 	groups    []group
@@ -69,7 +82,88 @@ type Frequent[K comparable] struct {
 // hand Update/AddN keys whose backing memory is reused after the call.
 // Keys that hit an existing counter — or bounce off a full table as a
 // decrement — are never cloned. Must be called before the first update.
-func (f *Frequent[K]) SetKeyClone(fn func(K) K) { f.clone = fn }
+// On an arena-backed structure (EnableArena) the hook is ignored: the
+// arena copies every retained key into its slabs already.
+func (f *Frequent[K]) SetKeyClone(fn func(K) K) {
+	if f.arenaOn {
+		return
+	}
+	f.clone = fn
+}
+
+// EnableArena swaps the key index for the arena-backed open-addressing
+// index of internal/arena: stored keys live in byte slabs as
+// (offset, len) references, so the steady-state heap holds no per-key
+// objects. Valid only for string-kind K (returns false otherwise — the
+// map path stays) and only before the first update. seed salts the
+// index hash (the keyHasher FNV-1a family). Borrowed keys need no
+// separate clone hook afterwards: insertion interns the key bytes
+// straight into the slabs, one copy, no intermediate string.
+func (f *Frequent[K]) EnableArena(seed uint64) bool {
+	if f.n != 0 || f.items.Len() != 0 {
+		panic("frequent: EnableArena after updates")
+	}
+	ix, ok := arena.NewForString[K](f.m, seed)
+	if !ok {
+		return false
+	}
+	f.items = ix
+	f.fast = nil
+	f.arenaOn = true
+	f.clone = nil
+	return true
+}
+
+// lookup, store, unstore, and size are the hot-path face of the key
+// index: direct map operations while fast is non-nil (the default),
+// one interface call otherwise (arena). Decrement-heavy streams pay
+// these per item, so the default path must not fund the arena's
+// abstraction. Update and AddN spell the lookup branch out inline
+// instead of calling lookup: the comma-ok map access plus the
+// interface fallback push the shape instantiation of a lookup helper
+// over the inline budget, which costs ~15% on uniform streams.
+//
+//hh:noalloc
+func (f *Frequent[K]) lookup(item K) (int32, bool) {
+	if f.fast != nil {
+		nd, ok := f.fast[item]
+		return nd, ok
+	}
+	return f.items.Get(item)
+}
+
+// store retains item → nd and returns the retained key (a slab view on
+// the arena path; item itself otherwise).
+//
+//hh:noalloc
+func (f *Frequent[K]) store(item K, nd int32) K {
+	if f.fast != nil {
+		f.fast[item] = nd
+		return item
+	}
+	return f.items.Put(item, nd)
+}
+
+//hh:noalloc
+func (f *Frequent[K]) unstore(item K) {
+	if f.fast != nil {
+		delete(f.fast, item)
+		return
+	}
+	f.items.Delete(item)
+}
+
+//hh:noalloc
+func (f *Frequent[K]) size() int {
+	if f.fast != nil {
+		return len(f.fast)
+	}
+	return f.items.Len()
+}
+
+// MemoryFootprint reports the arena + index footprint; ok is false on
+// the map path, whose footprint the runtime owns.
+func (f *Frequent[K]) MemoryFootprint() (arena.MemStats, bool) { return f.items.Mem() }
 
 // New returns a FREQUENT instance with m counters. It panics if m < 1.
 func New[K comparable](m int) *Frequent[K] {
@@ -81,9 +175,11 @@ func New[K comparable](m int) *Frequent[K] {
 		// m would wrap them. Fail loudly instead of corrupting.
 		panic("frequent: m exceeds the int32 slab index range")
 	}
+	mp := arena.NewMap[K](m)
 	f := &Frequent[K]{
 		m:      m,
-		items:  make(map[K]int32, m),
+		items:  mp,
+		fast:   mp,
 		nodes:  make([]node[K], m),
 		groups: make([]group, m+1),
 	}
@@ -141,11 +237,18 @@ func (f *Frequent[K]) freeGroupIdx(i int32) {
 //hh:noalloc
 func (f *Frequent[K]) Update(item K) {
 	f.n++
-	if nd, ok := f.items[item]; ok {
+	var nd int32
+	var ok bool
+	if f.fast != nil {
+		nd, ok = f.fast[item]
+	} else {
+		nd, ok = f.items.Get(item)
+	}
+	if ok {
 		f.increment(nd)
 		return
 	}
-	if len(f.items) < f.m {
+	if f.size() < f.m {
 		f.insert(item)
 		return
 	}
@@ -166,11 +269,18 @@ func (f *Frequent[K]) AddN(item K, n uint64) {
 		return
 	}
 	f.n += n
-	if nd, ok := f.items[item]; ok {
+	var nd int32
+	var ok bool
+	if f.fast != nil {
+		nd, ok = f.fast[item]
+	} else {
+		nd, ok = f.items.Get(item)
+	}
+	if ok {
 		f.incrementN(nd, n)
 		return
 	}
-	if len(f.items) < f.m {
+	if f.size() < f.m {
 		f.insertN(item, n)
 		return
 	}
@@ -220,7 +330,7 @@ func (f *Frequent[K]) insertN(item K, n uint64) {
 		item = f.clone(item) //hh:allocok borrowed-key inserts copy the key by contract
 	}
 	nd := f.allocNode(item)
-	f.items[item] = nd
+	f.nodes[nd].item = f.store(item, nd)
 	sv := f.base + n
 	t := f.head
 	for t != nilIdx && f.groups[t].sv < sv {
@@ -262,7 +372,7 @@ func (f *Frequent[K]) insert(item K) {
 		item = f.clone(item) //hh:allocok borrowed-key inserts copy the key by contract
 	}
 	nd := f.allocNode(item)
-	f.items[item] = nd
+	f.nodes[nd].item = f.store(item, nd)
 	target := f.head
 	if target == nilIdx || f.groups[target].sv != f.base+1 {
 		target = f.insertGroupBefore(f.head, f.base+1)
@@ -289,7 +399,7 @@ func (f *Frequent[K]) decrementAll() {
 func (f *Frequent[K]) dismantleGroup(g int32) {
 	for nd := f.groups[g].head; nd != nilIdx; {
 		next := f.nodes[nd].next
-		delete(f.items, f.nodes[nd].item)
+		f.unstore(f.nodes[nd].item)
 		f.freeNodeIdx(nd)
 		nd = next
 	}
@@ -301,7 +411,7 @@ func (f *Frequent[K]) dismantleGroup(g int32) {
 //
 //hh:noalloc
 func (f *Frequent[K]) Estimate(item K) uint64 {
-	nd, ok := f.items[item]
+	nd, ok := f.lookup(item)
 	if !ok {
 		return 0
 	}
@@ -318,7 +428,7 @@ func (f *Frequent[K]) Each(yield func(core.Entry[K]) bool) {
 	for g := f.tail; g != nilIdx; g = f.groups[g].prev {
 		count := f.groups[g].sv - f.base
 		for nd := f.groups[g].head; nd != nilIdx; nd = f.nodes[nd].next {
-			if !yield(core.Entry[K]{Item: f.nodes[nd].item, Count: count}) {
+			if !yield(core.Entry[K]{Item: f.items.Materialize(f.nodes[nd].item), Count: count}) {
 				return
 			}
 		}
@@ -339,7 +449,7 @@ func (f *Frequent[K]) AppendEntries(dst []core.Entry[K], max int) []core.Entry[K
 	for g := f.tail; g != nilIdx; g = f.groups[g].prev {
 		count := f.groups[g].sv - f.base
 		for nd := f.groups[g].head; nd != nilIdx; nd = f.nodes[nd].next {
-			dst = append(dst, core.Entry[K]{Item: f.nodes[nd].item, Count: count})
+			dst = append(dst, core.Entry[K]{Item: f.items.Materialize(f.nodes[nd].item), Count: count})
 			taken++
 			if max > 0 && taken >= max {
 				return dst
@@ -351,14 +461,14 @@ func (f *Frequent[K]) AppendEntries(dst []core.Entry[K], max int) []core.Entry[K
 
 // Entries returns the stored counters sorted by decreasing count.
 func (f *Frequent[K]) Entries() []core.Entry[K] {
-	return f.AppendEntries(make([]core.Entry[K], 0, len(f.items)), -1)
+	return f.AppendEntries(make([]core.Entry[K], 0, f.items.Len()), -1)
 }
 
 // Capacity returns m.
 func (f *Frequent[K]) Capacity() int { return f.m }
 
 // Len returns the number of stored counters.
-func (f *Frequent[K]) Len() int { return len(f.items) }
+func (f *Frequent[K]) Len() int { return f.items.Len() }
 
 // N returns the number of processed stream elements.
 func (f *Frequent[K]) N() uint64 { return f.n }
@@ -375,7 +485,7 @@ func (f *Frequent[K]) Decrements() uint64 { return f.decrements }
 //hh:noalloc
 func (f *Frequent[K]) Reset() {
 	f.base, f.n, f.decrements = 0, 0, 0
-	clear(f.items)
+	f.items.Reset()
 	var zero K
 	for i := range f.nodes {
 		f.nodes[i].item = zero

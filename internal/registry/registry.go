@@ -124,6 +124,12 @@ func (r *Registry) Create(name string, spec hh.Spec) (*Entry, error) {
 	deterministic := algo != hh.AlgoCountMin && algo != hh.AlgoCountSketch
 	if deterministic {
 		spec.Concurrent = true
+		// Registry summaries are string-keyed: store the keys in
+		// pointer-free arena slabs so a large live summary contributes
+		// O(1) objects to every GC mark phase of the serving process.
+		// (A no-op for the configurations the arena does not apply to —
+		// weighted and decayed cores keep their map path.)
+		spec.Arena = true
 	} else if spec.Shards < 1 {
 		spec.Shards = 1
 	}
@@ -438,6 +444,54 @@ type Stats struct {
 	// IngestRate is the /update item rate (items/s) averaged since the
 	// previous /metricsz scrape.
 	IngestRate float64 `json:"ingest_rate"`
+	// Memory is the live summary's arena footprint — present only when
+	// the summary stores its keys in arena slabs (the registry arms
+	// WithArena on every deterministic stanza).
+	Memory *MemStats `json:"memory,omitempty"`
+}
+
+// MemStats is the /metricsz memory block of one arena-backed summary.
+type MemStats struct {
+	// ArenaBytes is the total slab backing holding the tracked keys;
+	// Slabs its slab count.
+	ArenaBytes uint64 `json:"arena_bytes"`
+	Slabs      int    `json:"slabs"`
+	// LiveBytes/FreeBytes split the slab regions into live keys and
+	// free-list parking; LiveRatio = live/(live+free) is the slab
+	// occupancy (1.0 = no churn slack).
+	LiveBytes uint64  `json:"live_bytes"`
+	FreeBytes uint64  `json:"free_bytes"`
+	LiveRatio float64 `json:"live_ratio"`
+	LiveKeys  int     `json:"live_keys"`
+	// IndexSlots/IndexBytes size the open-addressing index arrays.
+	IndexSlots int    `json:"index_slots"`
+	IndexBytes uint64 `json:"index_bytes"`
+	// BytesPerTrackedKey is (ArenaBytes+IndexBytes)/LiveKeys — the
+	// capacity-planning number (see docs/OPERATIONS.md).
+	BytesPerTrackedKey float64 `json:"bytes_per_tracked_key"`
+}
+
+// readMemory assembles the memory block from the live summary's arena
+// walk; nil when the summary is map-backed.
+func readMemory(s hh.Summary[string]) *MemStats {
+	m, ok := s.Memory()
+	if !ok {
+		return nil
+	}
+	ms := &MemStats{
+		ArenaBytes:         m.ArenaBytes,
+		Slabs:              m.ArenaSlabs,
+		LiveBytes:          m.LiveBytes,
+		FreeBytes:          m.FreeBytes,
+		LiveKeys:           m.LiveKeys,
+		IndexSlots:         m.IndexSlots,
+		IndexBytes:         m.IndexBytes,
+		BytesPerTrackedKey: m.BytesPerTrackedKey(),
+	}
+	if t := m.LiveBytes + m.FreeBytes; t > 0 {
+		ms.LiveRatio = float64(m.LiveBytes) / float64(t)
+	}
+	return ms
 }
 
 // ReadStats assembles the metrics block, advancing the scrape-window
@@ -474,5 +528,6 @@ func (e *Entry) ReadStats() Stats {
 		MergedBlobs:        e.blobs.Load(),
 		SnapshotGeneration: e.snapGen.Load(),
 		IngestRate:         rate,
+		Memory:             readMemory(e.live),
 	}
 }

@@ -24,6 +24,7 @@ package spacesaving
 import (
 	"math"
 
+	"repro/internal/arena"
 	"repro/internal/core"
 )
 
@@ -53,9 +54,21 @@ type ssNode[K comparable] struct {
 // path touches contiguous memory and performs zero heap allocations
 // once constructed. The zero value is not usable; construct with New.
 type StreamSummary[K comparable] struct {
-	m     int
-	items map[K]int32
-	nodes []ssNode[K]
+	m int
+	// items maps a stored key to its node index. The default is a map;
+	// EnableArena swaps in the pointer-free open-addressing index for
+	// string keys, after which every stored node.item aliases the
+	// arena's slabs and exported entries pass through Materialize.
+	items arena.Index[K]
+	// fast aliases items as the concrete map while the default index is
+	// in place, nil after EnableArena; the hot path branches on it so
+	// map-backed ingest keeps direct (inlineable) map operations instead
+	// of an interface call per Get/Put/Delete.
+	fast arena.Map[K]
+	// arenaOn records the swap so SetKeyClone stays a no-op (the arena
+	// interns every retained key itself).
+	arenaOn bool
+	nodes   []ssNode[K]
 	// Groups can momentarily number one more than the live nodes while a
 	// node is detached during a move, hence the m+1 slab.
 	groups    []ssGroup
@@ -74,8 +87,89 @@ type StreamSummary[K comparable] struct {
 // is first passed through fn, so callers may hand Update/AddN keys
 // whose backing memory is reused after the call. Keys that only hit an
 // existing counter are never cloned. A nil fn restores the default
-// aliasing behavior. Must be called before the first update.
-func (s *StreamSummary[K]) SetKeyClone(fn func(K) K) { s.clone = fn }
+// aliasing behavior. Must be called before the first update. On an
+// arena-backed structure (EnableArena) the hook is ignored: the arena
+// copies every retained key into its slabs already.
+func (s *StreamSummary[K]) SetKeyClone(fn func(K) K) {
+	if s.arenaOn {
+		return
+	}
+	s.clone = fn
+}
+
+// EnableArena swaps the key index for the arena-backed open-addressing
+// index of internal/arena: stored keys live in byte slabs as
+// (offset, len) references, so the steady-state heap holds no per-key
+// objects. Valid only for string-kind K (returns false otherwise — the
+// map path stays) and only before the first update. seed salts the
+// index hash (the keyHasher FNV-1a family). Borrowed keys need no
+// separate clone hook afterwards: insertion interns the key bytes
+// straight into the slabs, one copy, no intermediate string.
+func (s *StreamSummary[K]) EnableArena(seed uint64) bool {
+	if s.n != 0 || s.items.Len() != 0 {
+		panic("spacesaving: EnableArena after updates")
+	}
+	ix, ok := arena.NewForString[K](s.m, seed)
+	if !ok {
+		return false
+	}
+	s.items = ix
+	s.fast = nil
+	s.arenaOn = true
+	s.clone = nil
+	return true
+}
+
+// lookup, store, unstore, and size are the hot-path face of the key
+// index: direct map operations while fast is non-nil (the default),
+// one interface call otherwise (arena). Eviction-heavy streams pay
+// these per item, so the default path must not fund the arena's
+// abstraction. Update and AddN spell the lookup branch out inline
+// instead of calling lookup: the comma-ok map access plus the
+// interface fallback push the shape instantiation of a lookup helper
+// over the inline budget, which costs ~15% on uniform streams.
+//
+//hh:noalloc
+func (s *StreamSummary[K]) lookup(item K) (int32, bool) {
+	if s.fast != nil {
+		nd, ok := s.fast[item]
+		return nd, ok
+	}
+	return s.items.Get(item)
+}
+
+// store retains item → nd and returns the retained key (a slab view on
+// the arena path; item itself otherwise).
+//
+//hh:noalloc
+func (s *StreamSummary[K]) store(item K, nd int32) K {
+	if s.fast != nil {
+		s.fast[item] = nd
+		return item
+	}
+	return s.items.Put(item, nd)
+}
+
+//hh:noalloc
+func (s *StreamSummary[K]) unstore(item K) {
+	if s.fast != nil {
+		delete(s.fast, item)
+		return
+	}
+	s.items.Delete(item)
+}
+
+//hh:noalloc
+func (s *StreamSummary[K]) size() int {
+	if s.fast != nil {
+		return len(s.fast)
+	}
+	return s.items.Len()
+}
+
+// MemoryFootprint reports the arena + index footprint; ok is false on
+// the map path, whose footprint the runtime owns.
+func (s *StreamSummary[K]) MemoryFootprint() (arena.MemStats, bool) { return s.items.Mem() }
 
 // New returns a SPACESAVING instance with m counters backed by a
 // Stream-Summary. It panics if m < 1.
@@ -88,9 +182,11 @@ func New[K comparable](m int) *StreamSummary[K] {
 		// m would wrap them. Fail loudly instead of corrupting.
 		panic("spacesaving: m exceeds the int32 slab index range")
 	}
+	mp := arena.NewMap[K](m)
 	s := &StreamSummary[K]{
 		m:      m,
-		items:  make(map[K]int32, m),
+		items:  mp,
+		fast:   mp,
 		nodes:  make([]ssNode[K], m),
 		groups: make([]ssGroup, m+1),
 	}
@@ -148,21 +244,28 @@ func (s *StreamSummary[K]) freeGroupIdx(i int32) {
 //hh:noalloc
 func (s *StreamSummary[K]) Update(item K) {
 	s.n++
-	if nd, ok := s.items[item]; ok {
+	var nd int32
+	var ok bool
+	if s.fast != nil {
+		nd, ok = s.fast[item]
+	} else {
+		nd, ok = s.items.Get(item)
+	}
+	if ok {
 		s.bump(nd, s.groups[s.nodes[nd].grp].count+1)
 		return
 	}
 	if s.clone != nil {
 		item = s.clone(item) //hh:allocok borrowed-key inserts copy the key by contract
 	}
-	if len(s.items) < s.m {
-		nd := s.allocNode(item, 0)
-		s.items[item] = nd
+	if s.size() < s.m {
+		fresh := s.allocNode(item, 0)
+		s.nodes[fresh].item = s.store(item, fresh)
 		target := s.head
 		if target == nilIdx || s.groups[target].count != 1 {
 			target = s.insertGroupBefore(s.head, 1)
 		}
-		s.appendNode(target, nd)
+		s.appendNode(target, fresh)
 		return
 	}
 	// Evict the oldest member of the minimum bucket; the newcomer
@@ -170,11 +273,11 @@ func (s *StreamSummary[K]) Update(item K) {
 	minG := s.head
 	minCount := s.groups[minG].count
 	victim := s.groups[minG].head
-	delete(s.items, s.nodes[victim].item)
+	s.unstore(s.nodes[victim].item)
 	s.unlinkNode(victim)
 	s.freeNodeIdx(victim)
-	nd := s.allocNode(item, minCount)
-	s.items[item] = nd
+	nd = s.allocNode(item, minCount)
+	s.nodes[nd].item = s.store(item, nd)
 	// minG may have been removed if the victim was its only member; the
 	// newcomer belongs to the bucket with count minCount+1 which, if it
 	// must be created, sits exactly where minG was (or after it).
@@ -195,27 +298,34 @@ func (s *StreamSummary[K]) AddN(item K, n uint64) {
 		return
 	}
 	s.n += n
-	if nd, ok := s.items[item]; ok {
+	var nd int32
+	var ok bool
+	if s.fast != nil {
+		nd, ok = s.fast[item]
+	} else {
+		nd, ok = s.items.Get(item)
+	}
+	if ok {
 		s.bumpN(nd, s.groups[s.nodes[nd].grp].count+n)
 		return
 	}
 	if s.clone != nil {
 		item = s.clone(item) //hh:allocok borrowed-key inserts copy the key by contract
 	}
-	if len(s.items) < s.m {
-		nd := s.allocNode(item, 0)
-		s.items[item] = nd
-		s.placeWithCount(nd, n)
+	if s.size() < s.m {
+		fresh := s.allocNode(item, 0)
+		s.nodes[fresh].item = s.store(item, fresh)
+		s.placeWithCount(fresh, n)
 		return
 	}
 	minG := s.head
 	minCount := s.groups[minG].count
 	victim := s.groups[minG].head
-	delete(s.items, s.nodes[victim].item)
+	s.unstore(s.nodes[victim].item)
 	s.unlinkNode(victim)
 	s.freeNodeIdx(victim)
-	nd := s.allocNode(item, minCount)
-	s.items[item] = nd
+	nd = s.allocNode(item, minCount)
+	s.nodes[nd].item = s.store(item, nd)
 	s.placeWithCount(nd, minCount+n)
 }
 
@@ -279,7 +389,7 @@ func (s *StreamSummary[K]) placeWithCount(nd int32, count uint64) {
 //
 //hh:noalloc
 func (s *StreamSummary[K]) Estimate(item K) uint64 {
-	nd, ok := s.items[item]
+	nd, ok := s.lookup(item)
 	if !ok {
 		return 0
 	}
@@ -293,7 +403,7 @@ func (s *StreamSummary[K]) Estimate(item K) uint64 {
 //
 //hh:noalloc
 func (s *StreamSummary[K]) ErrorOf(item K) uint64 {
-	nd, ok := s.items[item]
+	nd, ok := s.lookup(item)
 	if !ok {
 		return 0
 	}
@@ -306,7 +416,7 @@ func (s *StreamSummary[K]) ErrorOf(item K) uint64 {
 //
 //hh:noalloc
 func (s *StreamSummary[K]) MinCount() uint64 {
-	if len(s.items) < s.m || s.head == nilIdx {
+	if s.size() < s.m || s.head == nilIdx {
 		return 0
 	}
 	return s.groups[s.head].count
@@ -322,7 +432,7 @@ func (s *StreamSummary[K]) Each(yield func(core.Entry[K]) bool) {
 	for g := s.tail; g != nilIdx; g = s.groups[g].prev {
 		count := s.groups[g].count
 		for nd := s.groups[g].head; nd != nilIdx; nd = s.nodes[nd].next {
-			if !yield(core.Entry[K]{Item: s.nodes[nd].item, Count: count, Err: s.nodes[nd].err}) {
+			if !yield(core.Entry[K]{Item: s.items.Materialize(s.nodes[nd].item), Count: count, Err: s.nodes[nd].err}) {
 				return
 			}
 		}
@@ -343,7 +453,7 @@ func (s *StreamSummary[K]) AppendEntries(dst []core.Entry[K], max int) []core.En
 	for g := s.tail; g != nilIdx; g = s.groups[g].prev {
 		count := s.groups[g].count
 		for nd := s.groups[g].head; nd != nilIdx; nd = s.nodes[nd].next {
-			dst = append(dst, core.Entry[K]{Item: s.nodes[nd].item, Count: count, Err: s.nodes[nd].err})
+			dst = append(dst, core.Entry[K]{Item: s.items.Materialize(s.nodes[nd].item), Count: count, Err: s.nodes[nd].err})
 			taken++
 			if max > 0 && taken >= max {
 				return dst
@@ -356,14 +466,14 @@ func (s *StreamSummary[K]) AppendEntries(dst []core.Entry[K], max int) []core.En
 // Entries returns the stored counters sorted by decreasing count; each
 // entry carries its ε_i in Err.
 func (s *StreamSummary[K]) Entries() []core.Entry[K] {
-	return s.AppendEntries(make([]core.Entry[K], 0, len(s.items)), -1)
+	return s.AppendEntries(make([]core.Entry[K], 0, s.items.Len()), -1)
 }
 
 // Capacity returns m.
 func (s *StreamSummary[K]) Capacity() int { return s.m }
 
 // Len returns the number of stored counters.
-func (s *StreamSummary[K]) Len() int { return len(s.items) }
+func (s *StreamSummary[K]) Len() int { return s.items.Len() }
 
 // N returns the number of processed stream elements. For SPACESAVING the
 // stored counters always sum to exactly this value.
@@ -374,7 +484,7 @@ func (s *StreamSummary[K]) N() uint64 { return s.n }
 //
 //hh:noalloc
 func (s *StreamSummary[K]) Reset() {
-	clear(s.items)
+	s.items.Reset()
 	var zero K
 	for i := range s.nodes {
 		s.nodes[i].item = zero

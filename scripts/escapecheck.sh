@@ -10,7 +10,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PKGS=(. ./internal/spacesaving ./internal/frequent ./internal/lossycounting
-	./internal/sketch ./internal/hashing ./internal/core)
+	./internal/sketch ./internal/hashing ./internal/core ./internal/arena)
 BASELINE=scripts/escape_baseline.txt
 
 # A fresh build cache: -gcflags=-m diagnostics are not replayed for

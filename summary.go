@@ -127,6 +127,13 @@ type Summary[K comparable] interface {
 	// full E·m counter budget — equal to the per-epoch bound
 	// A·res/(m − B·k), the honest price of rotating E epochs.
 	Guarantee() (TailGuarantee, bool)
+	// Memory reports the summary's arena footprint — slab and index
+	// bytes attributed to tracked-key storage, summed over shards and
+	// window epochs — when the summary is arena-backed (WithArena with
+	// string-kind keys). The second result is false for map-backed
+	// summaries, whose key storage belongs to the runtime heap and has
+	// no exact per-summary attribution.
+	Memory() (MemoryStats, bool)
 	// Window reports the epoch-ring rotation state of a summary built
 	// with WithWindow or WithTickWindow: ring size, live epochs, the
 	// window granularity (items per epoch, or the covered duration)
@@ -237,14 +244,20 @@ func newCoreBackend[K comparable](cfg config, shard int, hash func(K) uint64, cl
 		return &weightedBackend[K]{fqr: fqr, g: TailGuarantee{A: 1, B: 1}, hasG: true}
 	case cfg.algo == AlgoSpaceSaving:
 		ss := spacesaving.New[K](cfg.m)
-		ss.SetKeyClone(cl)
+		// The arena interns retained keys itself; the clone hook is only
+		// for the map path (EnableArena declines non-string keys).
+		if !cfg.arena || !ss.EnableArena(cfg.seed) {
+			ss.SetKeyClone(cl)
+		}
 		return &unitBackend[K]{
 			alg: ss, addN: ss.AddN, appendRaw: ss.AppendEntries, eachRaw: ss.Each,
 			g: TailGuarantee{A: 1, B: 1}, hasG: true, over: true,
 		}
 	case cfg.algo == AlgoFrequent:
 		fq := frequent.New[K](cfg.m)
-		fq.SetKeyClone(cl)
+		if !cfg.arena || !fq.EnableArena(cfg.seed) {
+			fq.SetKeyClone(cl)
+		}
 		return &unitBackend[K]{
 			alg: fq, addN: fq.AddN, appendRaw: fq.AppendEntries, eachRaw: fq.Each,
 			g: TailGuarantee{A: 1, B: 1}, hasG: true,
