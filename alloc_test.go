@@ -209,3 +209,68 @@ func TestShardedHotPathZeroAllocs(t *testing.T) {
 			buf = sum.TopAppend(buf[:0], 10)
 		})
 }
+
+// TestCoalescedIngestZeroAllocs pins the in-batch coalescing path: the
+// open-addressing scratch table, per-shard key/hash/count arrays, and
+// the AddNBatch two-pass kernels must all run out of pooled memory at
+// steady state — on dup-heavy batches and on the all-distinct worst
+// case alike.
+func TestCoalescedIngestZeroAllocs(t *testing.T) {
+	dup := make([]uint64, 4096)
+	for i := range dup {
+		dup[i] = uint64(i % 37) // ~110 copies of each key per batch
+	}
+	distinct := make([]uint64, 4096)
+	for i := range distinct {
+		distinct[i] = uint64(i) // every key unique: coalescing finds nothing
+	}
+	for _, tc := range []struct {
+		name  string
+		batch []uint64
+		algos []hh.Algo
+	}{
+		// Every counter algorithm shares the pooled partition scratch.
+		{"dup-heavy", dup, counterAlgos},
+		// The all-distinct worst case is a property of the coalescing
+		// kernel, which only SPACESAVING and FREQUENT take (LOSSYCOUNTING
+		// is excluded from coalescing, and its map-backed core can grow
+		// overflow buckets under all-distinct churn depending on the
+		// process hash seed — not a kernel regression).
+		{"all-distinct", distinct, []hh.Algo{hh.AlgoSpaceSaving, hh.AlgoFrequent}},
+	} {
+		for _, a := range tc.algos {
+			sum := hh.New[uint64](hh.WithAlgorithm(a), hh.WithCapacity(256), hh.WithShards(8))
+			assertZeroAllocs(t, a.String()+"/"+tc.name,
+				func() { sum.UpdateBatch(tc.batch) },
+				func() { sum.UpdateBatch(tc.batch) })
+		}
+	}
+}
+
+// TestPipelinedIngestZeroAllocs pins the WithPipeline enqueue path:
+// producer-side partition+coalesce scratch, ring-slot key/count/hash
+// arrays, and the flush barrier are all reused, so steady-state
+// pipelined ingest allocates nothing on either side of the rings (the
+// worker's kernel work is counted too — AllocsPerRun reads the global
+// allocation counters, and the Flush in the loop drains every job).
+func TestPipelinedIngestZeroAllocs(t *testing.T) {
+	batch := make([]uint64, 4096)
+	for i := range batch {
+		batch[i] = uint64(i % 37)
+	}
+	sum := hh.New[uint64](hh.WithCapacity(256), hh.WithShards(4), hh.WithPipeline())
+	assertZeroAllocs(t, "pipelined UpdateBatch+Flush",
+		func() {
+			// Steady state here means every ring slot's arrays have
+			// grown to the sub-batch high-water mark: jobs rotate
+			// through the whole ring, so warm one full lap.
+			for i := 0; i < 80; i++ {
+				sum.UpdateBatch(batch)
+			}
+			sum.Flush()
+		},
+		func() {
+			sum.UpdateBatch(batch)
+			sum.Flush()
+		})
+}

@@ -80,12 +80,49 @@ func runJSON(path string, n uint64, universe int, seed uint64, m int, smoke bool
 			}
 		}
 	}
+	// Coalesce rows: the in-batch coalescing kernel on the workloads it
+	// was built for and against. burst-1.3 delivers 4096-item batches
+	// where 90% of each batch repeats an in-batch key (stream.Burst) —
+	// coalescing collapses those to one AddN per distinct key. The
+	// all-distinct row is the adversarial worst case: every key of every
+	// batch is unique, so the coalescing table is pure overhead and the
+	// row prices its bound (plus maximal eviction churn).
+	burst := stream.Burst(universe, 1.3, n, jsonBatch, 0.9, seed)
+	distinct := make([]uint64, n)
+	for i := range distinct {
+		distinct[i] = uint64(i)
+	}
+	for _, a := range []hh.Algo{hh.AlgoSpaceSaving, hh.AlgoFrequent} {
+		for _, cw := range []struct {
+			name string
+			s    []uint64
+		}{
+			{"burst-1.3-dup0.9", burst},
+			{"all-distinct", distinct},
+		} {
+			rec := measureIngestFamily("coalesce", a, cw.name, 8, 0, cw.s, m)
+			report.Add(rec)
+			fmt.Fprintf(os.Stderr, "%-45s %8.2f M items/s  %6.1f ns/op  %.3f allocs/op\n",
+				rec.Name, rec.ItemsPerSec/1e6, rec.NsPerOp, rec.AllocsPerOp)
+		}
+	}
 	// Contended-ingest rows: the concurrency tier under 1/4/8 writer
 	// goroutines, a mixed reader+writer run, the per-item Update path
 	// and the deprecated Concurrent[K] it replaced (kept as the
 	// regression baseline the new tier must not fall below).
 	zipf := stream.Zipf(universe, 1.1, n, stream.OrderRandom, seed)
 	for _, rec := range measureContended(zipf, m) {
+		report.Add(rec)
+		fmt.Fprintf(os.Stderr, "%-45s %8.2f M items/s  %6.1f ns/op  %.3f allocs/op\n",
+			rec.Name, rec.ItemsPerSec/1e6, rec.NsPerOp, rec.AllocsPerOp)
+	}
+	// Pipeline rows: WithPipeline's single-writer shard workers under 1
+	// and 4 producers (each timed pass ends with a Flush so the drain is
+	// inside the measurement). On a single-core runner these price the
+	// enqueue+handoff overhead rather than showing parallel speedup —
+	// the pipelined rows are gated on not regressing, not on beating
+	// the locked-shard contended rows.
+	for _, rec := range measurePipeline(zipf, m) {
 		report.Add(rec)
 		fmt.Fprintf(os.Stderr, "%-45s %8.2f M items/s  %6.1f ns/op  %.3f allocs/op\n",
 			rec.Name, rec.ItemsPerSec/1e6, rec.NsPerOp, rec.AllocsPerOp)
@@ -181,6 +218,31 @@ func measureContended(s []uint64, m int) []benchjson.Record {
 	return recs
 }
 
+// measurePipeline times the WithPipeline tier: producers enqueue
+// pre-partitioned sub-batches into per-shard SPSC rings and the shard
+// workers apply them. Each writer's pass ends with a Flush so the
+// rings are drained inside the timed region — throughput here is
+// applied mass, never mass parked in a ring.
+func measurePipeline(s []uint64, m int) []benchjson.Record {
+	newSum := func() hh.Summary[uint64] {
+		return hh.New[uint64](hh.WithCapacity(m), hh.WithShards(contendedShards),
+			hh.WithPipeline(), hh.WithConcurrent())
+	}
+	batchFlushW := func(sum hh.Summary[uint64], part []uint64) {
+		for lo := 0; lo < len(part); lo += jsonBatch {
+			sum.UpdateBatch(part[lo:min(lo+jsonBatch, len(part))])
+		}
+		sum.Flush()
+	}
+	var recs []benchjson.Record
+	for _, writers := range []int{1, 4} {
+		recs = append(recs, timeContended(
+			fmt.Sprintf("pipeline/spacesaving/zipf-1.1/pipelined%d/w%d", contendedShards, writers),
+			s, writers, jsonBatch, newSum(), batchFlushW, nil))
+	}
+	return recs
+}
+
 // timeContended warms the summary once, then times contendedPasses
 // runs of `writers` goroutines splitting the stream, keeping the
 // fastest. When reader is non-nil one extra goroutine polls for the
@@ -258,6 +320,12 @@ const measurePasses = 5
 // steady-state hot path, which is the regression the CI gate guards —
 // construction cost is a one-off.
 func measureIngest(a hh.Algo, workload string, shards int, window uint64, s []uint64, m int) benchjson.Record {
+	return measureIngestFamily("ingest", a, workload, shards, window, s, m)
+}
+
+// measureIngestFamily is measureIngest with an explicit row-family
+// prefix, shared by the ingest/ and coalesce/ families.
+func measureIngestFamily(family string, a hh.Algo, workload string, shards int, window uint64, s []uint64, m int) benchjson.Record {
 	opts := []hh.Option{hh.WithAlgorithm(a), hh.WithCapacity(m)}
 	if shards > 0 {
 		opts = append(opts, hh.WithShards(shards))
@@ -287,7 +355,7 @@ func measureIngest(a hh.Algo, workload string, shards int, window uint64, s []ui
 	runtime.ReadMemStats(&after)
 
 	n := float64(len(s))
-	name := fmt.Sprintf("ingest/%v/%s/%s", a, workload, shardingName(shards, window))
+	name := fmt.Sprintf("%s/%v/%s/%s", family, a, workload, shardingName(shards, window))
 	return benchjson.Record{
 		Name:        name,
 		Algo:        a.String(),

@@ -8,6 +8,7 @@
 //	hhgen -kind uniform ...
 //	hhgen -kind weighted-zipf -o flows.bin     # weighted update stream
 //	hhgen -kind drift -period 100000 -o drift.bin
+//	hhgen -kind burst -batch 4096 -dup 0.9 -o burst.bin
 //
 // Orders for -kind zipf: random, sorted-asc, sorted-desc, round-robin,
 // blocks.
@@ -16,6 +17,12 @@
 // hot set rotates every -period items, so windowed summaries (hhcli
 // -window) surface the current hot set while whole-stream summaries
 // smear across all of them.
+//
+// -kind burst is the batch-ingest workload: Zipfian draws delivered in
+// -batch-sized blocks where a -dup fraction of each block repeats an
+// earlier item of the same block (interleaved, not adjacent) — the
+// duplication profile in-batch coalescing collapses to one probe per
+// distinct key.
 //
 // Every generator is seeded: -seed (default 1) fully determines the
 // output for a given kind and parameter set, so traces are reproducible
@@ -33,12 +40,14 @@ import (
 
 func main() {
 	var (
-		kind     = flag.String("kind", "zipf", "workload: zipf | zipf-sampled | uniform | weighted-zipf | drift")
+		kind     = flag.String("kind", "zipf", "workload: zipf | zipf-sampled | uniform | weighted-zipf | drift | burst")
 		n        = flag.Uint64("n", 1_000_000, "stream length (total weight for weighted kinds)")
 		universe = flag.Int("universe", 100_000, "number of distinct items")
 		alpha    = flag.Float64("alpha", 1.1, "Zipf parameter")
 		order    = flag.String("order", "random", "arrival order for -kind zipf")
 		period   = flag.Uint64("period", 100_000, "hot-set rotation period for -kind drift")
+		batch    = flag.Uint64("batch", 4096, "ingest batch size for -kind burst")
+		dup      = flag.Float64("dup", 0.9, "per-batch duplication fraction in [0,1) for -kind burst")
 		seed     = flag.Uint64("seed", 1, "random seed; fully determines the stream, so equal flags reproduce byte-identical traces")
 		out      = flag.String("o", "", "output file (required)")
 	)
@@ -71,6 +80,12 @@ func main() {
 		err = stream.WriteWeighted(f, stream.WeightedZipf(*universe, *alpha, float64(*n), 4, *seed))
 	case "drift":
 		err = stream.WriteUnit(f, stream.Drift(*universe, *alpha, *n, *period, *seed))
+	case "burst":
+		if *dup < 0 || *dup >= 1 {
+			fmt.Fprintf(os.Stderr, "hhgen: -dup %v out of range [0,1)\n", *dup)
+			os.Exit(2)
+		}
+		err = stream.WriteUnit(f, stream.Burst(*universe, *alpha, *n, *batch, *dup, *seed))
 	default:
 		fmt.Fprintf(os.Stderr, "hhgen: unknown kind %q\n", *kind)
 		os.Exit(2)

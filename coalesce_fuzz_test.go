@@ -1,0 +1,61 @@
+package heavyhitters_test
+
+// FuzzCoalesce is the nightly-CI soundness check for in-batch
+// coalescing: for arbitrary batch contents and batch splits, coalesced
+// sharded ingest must leave N(), Len(), and the certain bounds
+// identical to per-item ingest of the same stream — where "per-item"
+// replays each batch in first-occurrence-grouped order, the documented
+// UpdateBatch semantics (AddN(k, n) ≡ n unit updates, Section 6).
+
+import (
+	"testing"
+
+	hh "repro"
+)
+
+func FuzzCoalesce(f *testing.F) {
+	f.Add([]byte("aabbccab"), uint8(4), uint8(2))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 7}, uint8(1), uint8(1))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), uint8(16), uint8(4))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(3), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, chunk, shards uint8) {
+		if len(data) == 0 {
+			return
+		}
+		// Shape knobs from the fuzzed bytes: batch split size and shard
+		// count, both clamped to their contracts.
+		cs := int(chunk%32) + 1
+		p := int(shards%8) + 1
+		// A small universe forces heavy in-batch duplication, a small
+		// capacity forces evictions mid-batch.
+		keys := make([]uint64, len(data))
+		for i, b := range data {
+			keys[i] = uint64(b % 23)
+		}
+		for _, algo := range []hh.Algo{hh.AlgoSpaceSaving, hh.AlgoFrequent} {
+			opts := []hh.Option{hh.WithAlgorithm(algo), hh.WithCapacity(8), hh.WithShards(p)}
+			batch, unit := hh.New[uint64](opts...), hh.New[uint64](opts...)
+			for lo := 0; lo < len(keys); lo += cs {
+				c := keys[lo:min(lo+cs, len(keys))]
+				batch.UpdateBatch(c)
+				for _, x := range coalesceBatch(c) {
+					unit.Update(x)
+				}
+			}
+			if b, u := batch.N(), unit.N(); b != u {
+				t.Fatalf("%v: N: batch %v, unit %v", algo, b, u)
+			}
+			if b, u := batch.Len(), unit.Len(); b != u {
+				t.Fatalf("%v: Len: batch %v, unit %v", algo, b, u)
+			}
+			for k := uint64(0); k < 23; k++ {
+				blo, bhi := batch.EstimateBounds(k)
+				ulo, uhi := unit.EstimateBounds(k)
+				if blo != ulo || bhi != uhi {
+					t.Fatalf("%v: EstimateBounds(%d): batch [%v,%v], unit [%v,%v]",
+						algo, k, blo, bhi, ulo, uhi)
+				}
+			}
+		}
+	})
+}

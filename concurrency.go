@@ -87,7 +87,11 @@ type concurrentTier[K comparable] struct {
 // newConcurrentTier wraps inner in the concurrency tier.
 func newConcurrentTier[K comparable](cfg config, inner backend[K]) *concurrentTier[K] {
 	t := &concurrentTier[K]{inner: inner}
-	if _, ok := inner.(*shardedBackend[K]); ok {
+	switch inner.(type) {
+	case *shardedBackend[K], *pipelineTier[K]:
+		// Both serialize their own mutations: the sharded tier through
+		// its per-shard mutexes, the pipeline tier through single-writer
+		// shard workers (whose reads barrier on ring drain).
 		t.selfLocked = true
 	}
 	if cfg.tickSet {
@@ -176,6 +180,18 @@ func (t *concurrentTier[K]) updateBatch(items []K, hashes []uint64) {
 	} else {
 		t.wmu.Lock()
 		t.inner.updateBatch(items, hashes)
+		t.wmu.Unlock()
+	}
+	t.gen.Add(1)
+}
+
+//hh:noalloc
+func (t *concurrentTier[K]) updateBatchN(items []K, counts []uint32, hashes []uint64) {
+	if t.selfLocked {
+		t.inner.updateBatchN(items, counts, hashes)
+	} else {
+		t.wmu.Lock()
+		t.inner.updateBatchN(items, counts, hashes)
 		t.wmu.Unlock()
 	}
 	t.gen.Add(1)
@@ -420,6 +436,11 @@ func (s *concurrentSnapshot[K]) updateWeighted(K, float64) {
 
 //hh:noalloc
 func (s *concurrentSnapshot[K]) updateBatch([]K, []uint64) {
+	panic("heavyhitters: write through snapshot")
+}
+
+//hh:noalloc
+func (s *concurrentSnapshot[K]) updateBatchN([]K, []uint32, []uint64) {
 	panic("heavyhitters: write through snapshot")
 }
 

@@ -67,7 +67,7 @@ func NewConcurrent[K comparable](p, m int, hash func(K) uint64) *Concurrent[K] {
 	// depends on which shard owns an item).
 	cfg := config{algo: AlgoSpaceSaving, m: m, shards: p, concurrent: true, seed: 1}
 	mk := func(shard int) backend[K] { return newBackend[K](cfg, shard, hash) }
-	sb := newShardedBackend(p, hash, mk)
+	sb := newShardedBackend(p, cfg.coalescible(), hash, mk)
 	be := newConcurrentTier[K](cfg, sb)
 	return &Concurrent[K]{s: &summary[K]{algo: AlgoSpaceSaving, be: be}, shards: sb, p: p, m: m}
 }

@@ -51,6 +51,35 @@ func waivedMake(n int) []int {
 	return s
 }
 
+// scratch mirrors the batch-coalescing buffers (summary.go's
+// coalesceScratch) and the two-pass kernels' probe scratch: pooled
+// per-shard slice-of-slices grown through indexed self-append, and a
+// flat hint buffer recycled by reslice. Both must stay admissible —
+// the contract is amortized-zero growth of storage the scratch owns.
+type scratch struct {
+	keys  [][]int
+	probe []int
+}
+
+//hh:noalloc
+func (sc *scratch) indexedSelfAppend(si, v int) {
+	sc.keys[si] = append(sc.keys[si], v)
+}
+
+//hh:noalloc
+func (sc *scratch) indexedStrayAppend(si, sj, v int) {
+	sc.keys[si] = append(sc.keys[sj], v) // want:noalloc "append outside self-assignment"
+}
+
+//hh:noalloc
+func (sc *scratch) probePass(items []int) int {
+	sc.probe = sc.probe[:0]
+	for _, it := range items {
+		sc.probe = append(sc.probe, it)
+	}
+	return len(sc.probe)
+}
+
 // keyIndex exercises the annotated-interface-method idiom (the
 // arena.Index pattern): a marker on the interface method admits calls
 // through the interface from noalloc code, binding every

@@ -18,6 +18,15 @@ type Index[K comparable] interface {
 	//
 	//hh:noalloc
 	Get(k K) (int32, bool)
+	// GetHashed is Get with the key hash precomputed by the caller. The
+	// hash must come from the same seeded FNV-1a family this index was
+	// built with (the root package's keyHasher) — the sharded batch
+	// partitioner computes exactly that hash once per key, so batch
+	// kernels probe without rehashing. The map implementation ignores
+	// the hash (Go maps hash internally).
+	//
+	//hh:noalloc
+	GetHashed(k K, h uint64) (int32, bool)
 	// Put stores k → v and returns the retained key: k itself on the
 	// map path, a slab-aliased view on the arena path. The structure
 	// must store the returned key, not k.
@@ -87,6 +96,9 @@ type Map[K comparable] map[K]int32
 func (ix Map[K]) Get(k K) (int32, bool) { v, ok := ix[k]; return v, ok }
 
 //hh:noalloc
+func (ix Map[K]) GetHashed(k K, _ uint64) (int32, bool) { v, ok := ix[k]; return v, ok }
+
+//hh:noalloc
 func (ix Map[K]) Put(k K, v int32) K { ix[k] = v; return k }
 
 //hh:noalloc
@@ -111,6 +123,9 @@ type strIndex[K comparable] struct {
 
 //hh:noalloc
 func (w strIndex[K]) Get(k K) (int32, bool) { return w.ix.Get(asString(k)) }
+
+//hh:noalloc
+func (w strIndex[K]) GetHashed(k K, h uint64) (int32, bool) { return w.ix.GetHashed(asString(k), h) }
 
 //hh:noalloc
 func (w strIndex[K]) Put(k K, v int32) K { return asK[K](w.ix.Put(asString(k), v)) }
@@ -201,6 +216,29 @@ func (x *StringIndex) Get(k string) (int32, bool) {
 		return 0, false
 	}
 	h := hashString(k, x.seed)
+	i := h & x.mask
+	for {
+		s := &x.slots[i]
+		if s.off == refNil {
+			return 0, false
+		}
+		if s.hash == h && int(s.klen) == len(k) && x.ar.view(s.off, int(s.klen)) == k {
+			return s.val, true
+		}
+		i = (i + 1) & x.mask
+	}
+}
+
+// GetHashed is Get with h = hashString(k, x.seed) precomputed by the
+// caller — the two-pass batch kernels hand down the partition hash
+// (the identical keyHasher FNV-1a family with the identical seed), so
+// a batch probe pass touches only the slot array and key bytes.
+//
+//hh:noalloc
+func (x *StringIndex) GetHashed(k string, h uint64) (int32, bool) {
+	if x.live == 0 {
+		return 0, false
+	}
 	i := h & x.mask
 	for {
 		s := &x.slots[i]

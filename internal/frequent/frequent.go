@@ -75,6 +75,10 @@ type Frequent[K comparable] struct {
 	// clone, when set, copies a key at the moment it is retained
 	// (SetKeyClone) so callers may pass keys aliasing reused memory.
 	clone func(K) K
+	// probe is the hit-hint scratch of AddNBatch (one node index per
+	// batch key), reused across batches so steady-state batch ingest
+	// allocates nothing.
+	probe []int32
 }
 
 // SetKeyClone installs fn as the borrowed-key clone hook: every key the
@@ -213,6 +217,11 @@ func (f *Frequent[K]) allocNode(item K) int32 {
 func (f *Frequent[K]) freeNodeIdx(i int32) {
 	var zero K
 	f.nodes[i].item = zero // drop any reference held by the slab slot
+	// grp = nilIdx marks the node dead: AddNBatch validates its probe
+	// hints against it, so a hint to a freed-but-unreused node (whose
+	// zeroed item could equal a legitimate zero-value key — dismantled
+	// groups free many nodes without reusing them) is rejected.
+	f.nodes[i].grp = nilIdx
 	f.nodes[i].next = f.freeNode
 	f.freeNode = i
 }
@@ -294,6 +303,100 @@ func (f *Frequent[K]) AddN(item K, n uint64) {
 	}
 	// δ = c_min: the minimum group zeroes out and the newcomer keeps
 	// the rest.
+	f.base += minCount
+	f.decrements += minCount
+	f.dismantleGroup(f.head) // sv == f.base now
+	if rem := n - minCount; rem > 0 {
+		f.insertN(item, rem)
+	}
+}
+
+// AddNBatch processes a coalesced batch: counts[i] occurrences of
+// items[i], equivalent to calling AddN(items[i], counts[i]) in order.
+// Batch keys must be pairwise distinct; a nil counts means every key
+// occurs once. hashes, when non-nil on an arena-backed structure, must
+// carry each key's keyHasher hash with the structure's seed (the
+// partition hash). On the arena index the kernel is two-pass,
+// mirroring spacesaving.AddNBatch: an index probe pass records hit
+// hints, an apply pass validates each hint against the live node (a
+// decrement in the same batch can dismantle the whole minimum group,
+// freeing many nodes) and falls to the miss path on any staleness —
+// sound because batch keys are distinct, so an evicted batch key stays
+// absent. The map-backed fast path stays single-pass.
+//
+//hh:noalloc
+func (f *Frequent[K]) AddNBatch(items []K, counts []uint32, hashes []uint64) {
+	// Map-backed fast path: single-pass — a Go map probe gains nothing
+	// from the hint scratch (see the spacesaving kernel's note).
+	if f.fast != nil {
+		for i, it := range items {
+			n := uint64(1)
+			if counts != nil {
+				n = uint64(counts[i])
+			}
+			if n == 0 {
+				continue
+			}
+			if nd, ok := f.fast[it]; ok {
+				f.n += n
+				f.incrementN(nd, n)
+				continue
+			}
+			f.addNMiss(it, n)
+		}
+		return
+	}
+	f.probe = f.probe[:0]
+	if hashes != nil {
+		for i, it := range items {
+			nd, ok := f.items.GetHashed(it, hashes[i])
+			if !ok {
+				nd = nilIdx
+			}
+			f.probe = append(f.probe, nd)
+		}
+	} else {
+		for _, it := range items {
+			nd, ok := f.items.Get(it)
+			if !ok {
+				nd = nilIdx
+			}
+			f.probe = append(f.probe, nd)
+		}
+	}
+	for i, it := range items {
+		n := uint64(1)
+		if counts != nil {
+			n = uint64(counts[i])
+		}
+		if n == 0 {
+			continue
+		}
+		if nd := f.probe[i]; nd != nilIdx && f.nodes[nd].grp != nilIdx && f.nodes[nd].item == it {
+			f.n += n
+			f.incrementN(nd, n)
+			continue
+		}
+		f.addNMiss(it, n)
+	}
+}
+
+// addNMiss is AddN's insert/decrement tail for a key known to be
+// absent — the batch kernel's miss path, which needs no index probe.
+//
+//hh:noalloc
+func (f *Frequent[K]) addNMiss(item K, n uint64) {
+	f.n += n
+	if f.size() < f.m {
+		f.insertN(item, n)
+		return
+	}
+	minCount := f.groups[f.head].sv - f.base
+	if n < minCount {
+		f.base += n
+		f.decrements += n
+		return
+	}
 	f.base += minCount
 	f.decrements += minCount
 	f.dismantleGroup(f.head) // sv == f.base now

@@ -80,6 +80,10 @@ type StreamSummary[K comparable] struct {
 	// clone, when set, copies a key at the moment it is retained so
 	// callers may pass keys aliasing reused memory (SetKeyClone).
 	clone func(K) K
+	// probe is the hit-hint scratch of AddNBatch (one node index per
+	// batch key), reused across batches so steady-state batch ingest
+	// allocates nothing.
+	probe []int32
 }
 
 // SetKeyClone installs fn as the borrowed-key clone hook: every key the
@@ -220,6 +224,10 @@ func (s *StreamSummary[K]) allocNode(item K, err uint64) int32 {
 func (s *StreamSummary[K]) freeNodeIdx(i int32) {
 	var zero K
 	s.nodes[i].item = zero // drop any reference held by the slab slot
+	// grp = nilIdx marks the node dead: AddNBatch validates its probe
+	// hints against it, so a hint to a freed-but-unreused node (whose
+	// zeroed item could equal a legitimate zero-value key) is rejected.
+	s.nodes[i].grp = nilIdx
 	s.nodes[i].next = s.freeNode
 	s.freeNode = i
 }
@@ -325,6 +333,110 @@ func (s *StreamSummary[K]) AddN(item K, n uint64) {
 	s.unlinkNode(victim)
 	s.freeNodeIdx(victim)
 	nd = s.allocNode(item, minCount)
+	s.nodes[nd].item = s.store(item, nd)
+	s.placeWithCount(nd, minCount+n)
+}
+
+// AddNBatch processes a coalesced batch: counts[i] occurrences of
+// items[i], equivalent to calling AddN(items[i], counts[i]) in order.
+// Batch keys must be pairwise distinct (the coalescing partitioner
+// guarantees it); a nil counts means every key occurs once. hashes,
+// when non-nil on an arena-backed structure, must carry each key's
+// keyHasher hash with the structure's seed (the partition hash) and is
+// used to probe the index without rehashing.
+//
+// On the arena index the kernel is two-pass: the first pass only
+// probes the key index, recording each key's node as a hit hint — a
+// tight loop of independent lookups the CPU can overlap, instead of
+// interleaving each dependent probe with the bucket-list mutation that
+// follows it. The second pass applies the counts. A hint can go stale
+// when an earlier miss in the same batch evicts its node, so every
+// hint is validated against the live node (grp lifetime mark + key
+// equality) before use; a stale hit is by construction a miss — batch
+// keys are distinct, so nothing re-inserts an evicted batch key — and
+// takes the miss path directly. The map-backed fast path stays
+// single-pass: a Go map probe cannot be overlapped the same way, so
+// the hint scratch would be pure overhead there.
+//
+//hh:noalloc
+func (s *StreamSummary[K]) AddNBatch(items []K, counts []uint32, hashes []uint64) {
+	if s.fast != nil {
+		for i, it := range items {
+			n := uint64(1)
+			if counts != nil {
+				n = uint64(counts[i])
+			}
+			if n == 0 {
+				continue
+			}
+			if nd, ok := s.fast[it]; ok {
+				s.n += n
+				s.bumpN(nd, s.groups[s.nodes[nd].grp].count+n)
+				continue
+			}
+			s.addNMiss(it, n)
+		}
+		return
+	}
+	s.probe = s.probe[:0]
+	if hashes != nil {
+		for i, it := range items {
+			nd, ok := s.items.GetHashed(it, hashes[i])
+			if !ok {
+				nd = nilIdx
+			}
+			s.probe = append(s.probe, nd)
+		}
+	} else {
+		for _, it := range items {
+			nd, ok := s.items.Get(it)
+			if !ok {
+				nd = nilIdx
+			}
+			s.probe = append(s.probe, nd)
+		}
+	}
+	for i, it := range items {
+		n := uint64(1)
+		if counts != nil {
+			n = uint64(counts[i])
+		}
+		if n == 0 {
+			continue
+		}
+		if nd := s.probe[i]; nd != nilIdx && s.nodes[nd].grp != nilIdx && s.nodes[nd].item == it {
+			s.n += n
+			s.bumpN(nd, s.groups[s.nodes[nd].grp].count+n)
+			continue
+		}
+		s.addNMiss(it, n)
+	}
+}
+
+// addNMiss is AddN's insert/evict tail for a key known to be absent —
+// the batch kernel's miss path, which needs no index probe (a miss
+// verdict cannot go stale inside a batch of distinct keys: no later
+// group re-inserts the key).
+//
+//hh:noalloc
+func (s *StreamSummary[K]) addNMiss(item K, n uint64) {
+	s.n += n
+	if s.clone != nil {
+		item = s.clone(item) //hh:allocok borrowed-key inserts copy the key by contract
+	}
+	if s.size() < s.m {
+		fresh := s.allocNode(item, 0)
+		s.nodes[fresh].item = s.store(item, fresh)
+		s.placeWithCount(fresh, n)
+		return
+	}
+	minG := s.head
+	minCount := s.groups[minG].count
+	victim := s.groups[minG].head
+	s.unstore(s.nodes[victim].item)
+	s.unlinkNode(victim)
+	s.freeNodeIdx(victim)
+	nd := s.allocNode(item, minCount)
 	s.nodes[nd].item = s.store(item, nd)
 	s.placeWithCount(nd, minCount+n)
 }

@@ -1,0 +1,90 @@
+package stream
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Burst generates the workload in-batch coalescing exists for: a
+// Zipfian stream delivered in fixed-size ingest batches where most of
+// each batch repeats a small set of distinct keys — the duplication
+// profile of fan-in collectors, where one flush window sees the same
+// hot keys over and over. The stream is cut into blocks of batch
+// items; each block draws its distinct set i.i.d. from the Zipfian
+// distribution over n items and then fills the block by cycling
+// through that set in random order.
+//
+// dup in [0, 1) is the per-batch duplication knob: the fraction of
+// each batch that repeats an earlier item of the same batch. A batch
+// of B items carries ceil(B·(1−dup)) distinct draws — dup=0
+// degenerates to plain ZipfSampled (every slot its own draw), while
+// dup=0.9 gives a coalescing kernel ten-fold fewer probes than
+// arrivals. Duplicates are spread across the batch (the distinct set
+// is cycled, not run-length grouped), so a kernel cannot exploit
+// adjacency — only true in-batch grouping collapses them.
+//
+// Like Drift, the generator is fully seeded: two runs with the same
+// (n, alpha, total, batch, dup, seed) produce identical streams — the
+// reproducibility contract of the bench pipeline (hhgen -seed).
+func Burst(n int, alpha float64, total, batch uint64, dup float64, seed uint64) []uint64 {
+	if n < 1 {
+		panic("stream: Burst requires n >= 1")
+	}
+	if batch < 1 {
+		panic("stream: Burst requires batch >= 1")
+	}
+	if dup < 0 || dup >= 1 {
+		panic("stream: Burst requires 0 <= dup < 1")
+	}
+	// Cumulative weights of the (unnormalised) Zipf pmf, shared by
+	// every block's draws (same sampler as ZipfSampled).
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), alpha)
+		cdf[i] = sum
+	}
+	src := rng.New(seed)
+	out := make([]uint64, total)
+	distinct := make([]uint64, 0, batch)
+	for lo := uint64(0); lo < total; lo += batch {
+		b := batch
+		if rem := total - lo; rem < b {
+			b = rem
+		}
+		// ceil(b·(1−dup)) distinct draws, at least one.
+		d := uint64(math.Ceil(float64(b) * (1 - dup)))
+		if d < 1 {
+			d = 1
+		}
+		if d > b {
+			d = b
+		}
+		distinct = distinct[:0]
+		for i := uint64(0); i < d; i++ {
+			u := src.Float64() * sum
+			klo, khi := 0, n-1
+			for klo < khi {
+				mid := (klo + khi) / 2
+				if cdf[mid] < u {
+					klo = mid + 1
+				} else {
+					khi = mid
+				}
+			}
+			distinct = append(distinct, uint64(klo))
+		}
+		blk := out[lo : lo+b]
+		for i := range blk {
+			blk[i] = distinct[uint64(i)%d]
+		}
+		// Shuffle within the block so duplicates are interleaved, not
+		// adjacent runs.
+		for i := len(blk) - 1; i > 0; i-- {
+			j := src.Uint64n(uint64(i + 1))
+			blk[i], blk[j] = blk[j], blk[i]
+		}
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/exact"
@@ -213,5 +214,95 @@ func TestDriftStepNeverDegenerates(t *testing.T) {
 				t.Fatalf("n=%d seed=%d: hot set frozen across blocks (modal %d)", n, seed, m0)
 			}
 		}
+	}
+}
+
+func TestBurstDuplicationProfile(t *testing.T) {
+	const (
+		n     = 20000
+		total = 65536
+		batch = 4096
+		dup   = 0.9
+	)
+	s := Burst(n, 1.3, total, batch, dup, 7)
+	if len(s) != total {
+		t.Fatalf("length %d, want %d", len(s), total)
+	}
+	// Reproducible for a fixed seed, different for another.
+	s2 := Burst(n, 1.3, total, batch, dup, 7)
+	for i := range s {
+		if s[i] != s2[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	s3 := Burst(n, 1.3, total, batch, dup, 8)
+	same := 0
+	for i := range s {
+		if s[i] == s3[i] {
+			same++
+		}
+	}
+	if same == total {
+		t.Error("different seeds produced identical streams")
+	}
+	// Each batch must carry at most ceil(batch·(1−dup)) distinct items
+	// (Zipf draw collisions can only shrink the set), and items stay
+	// inside the universe.
+	maxDistinct := int(math.Ceil(batch * (1 - dup)))
+	for lo := 0; lo < total; lo += batch {
+		seen := map[uint64]struct{}{}
+		for _, x := range s[lo : lo+batch] {
+			if int(x) >= n {
+				t.Fatalf("item %d outside universe %d", x, n)
+			}
+			seen[x] = struct{}{}
+		}
+		if len(seen) > maxDistinct {
+			t.Fatalf("batch at %d has %d distinct items, want <= %d", lo, len(seen), maxDistinct)
+		}
+		if len(seen) < 2 {
+			t.Fatalf("batch at %d degenerated to %d distinct items", lo, len(seen))
+		}
+	}
+	// Duplicates must be interleaved, not run-length grouped: in a
+	// shuffled batch of 4096 with ~410 distinct items, long runs of one
+	// item are vanishingly unlikely.
+	maxRun, run := 1, 1
+	for i := 1; i < batch; i++ {
+		if s[i] == s[i-1] {
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		} else {
+			run = 1
+		}
+	}
+	if maxRun > 10 {
+		t.Errorf("first batch has a run of %d identical items; duplicates should be interleaved", maxRun)
+	}
+}
+
+// dup=0 degenerates to one draw per slot — every batch may be fully
+// distinct — and the parameter contract panics on out-of-range knobs.
+func TestBurstParamContract(t *testing.T) {
+	s := Burst(1000, 1.1, 1000, 256, 0, 3)
+	if len(s) != 1000 {
+		t.Fatalf("length %d, want 1000", len(s))
+	}
+	for _, bad := range []func(){
+		func() { Burst(0, 1.1, 10, 4, 0.5, 1) },
+		func() { Burst(10, 1.1, 10, 0, 0.5, 1) },
+		func() { Burst(10, 1.1, 10, 4, -0.1, 1) },
+		func() { Burst(10, 1.1, 10, 4, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
 	}
 }

@@ -148,6 +148,57 @@ func TestListenerTCPIngestAndAck(t *testing.T) {
 	}
 }
 
+// With a pipelined summary the batch is parked in shard rings when
+// IngestBatch returns; the listener must drain them before answering
+// FlagAck so an ack always means "applied", and queries after the ack
+// must see the full mass.
+func TestListenerTCPAckFlushesPipeline(t *testing.T) {
+	reg, err := registry.New(registry.Config{
+		Summaries: map[string]hh.Spec{"p": {Capacity: 64, Shards: 4, Pipeline: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := wire.NewListener(reg, 1<<20)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go l.ServeTCP(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		l.Shutdown(ctx)
+	})
+	e, _ := reg.Get("p")
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var buf []byte
+	for i := 0; i < 9; i++ {
+		buf = append(buf, frame("p", 0, "a", "b", "c", "a")...)
+	}
+	buf = append(buf, frame("p", wire.FlagAck, "a", "d")...)
+	if _, err := c.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	ack := make([]byte, wire.AckLen)
+	if _, err := io.ReadFull(c, ack); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := wire.ParseAck(ack); err != nil || st != wire.AckStatusOK {
+		t.Fatalf("ack = %d, %v", st, err)
+	}
+	if n := e.Live().N(); n != 38 {
+		t.Fatalf("N after ack = %v, want 38", n)
+	}
+	if got := e.Live().Estimate("a"); got != 19 {
+		t.Fatalf("Estimate(a) = %v, want 19", got)
+	}
+}
+
 // A malformed frame must kill the connection without moving any
 // summary's mass — the whole-or-nothing contract.
 func TestListenerTCPMalformedKillsConn(t *testing.T) {

@@ -42,6 +42,10 @@ type config struct {
 	// generation-tracked read snapshots on top of the composition.
 	concurrent bool
 
+	// Pipelined ingest (WithPipeline): per-shard single-writer worker
+	// goroutines fed by bounded SPSC rings, on top of WithShards.
+	pipeline bool
+
 	// Borrowed-key ingest (WithBorrowedKeys): the summary clones any
 	// key it retains, so callers may pass keys whose backing memory is
 	// reused after the call returns.
@@ -56,6 +60,17 @@ type config struct {
 // windowed reports whether the configuration asks for the epoch-ring
 // window layer.
 func (c *config) windowed() bool { return c.window > 0 || c.tick > 0 }
+
+// coalescible reports whether the sharded batch path may group a batch's
+// duplicate keys and apply each group as one n-fold update. True exactly
+// when the composition's n-fold update is bit-identical to n unit
+// updates (the Section-6 equivalence): decay is out (its clock advances
+// per arrival) and so is LOSSYCOUNTING (AddN deliberately keeps the
+// added item's full count across the batched prune, so it can exceed
+// the unit-loop state).
+func (c *config) coalescible() bool {
+	return c.decay == 0 && c.algo != AlgoLossyCounting
+}
 
 // Option configures a Summary under construction by New.
 type Option func(*config)
@@ -129,6 +144,25 @@ func WithShards(p int) Option {
 // "Concurrency" section for the full semantics.
 func WithConcurrent() Option {
 	return func(c *config) { c.concurrent = true }
+}
+
+// WithPipeline moves ingest onto per-shard single-writer worker
+// goroutines fed by bounded SPSC rings, on top of WithShards(p):
+// UpdateBatch partitions (and coalesces) a batch exactly as the locked
+// sharded path does, but enqueues each shard's sub-batch onto the
+// owning shard's ring and returns — the shard worker is the only
+// goroutine applying counter work in the steady state, so shard state
+// stays core-local and producers never stall on counter work, only on
+// a full ring (bounded memory, honest backpressure). Ingest becomes
+// asynchronous: a write is visible to queries once its shard worker
+// has applied it, and every query method drains the rings first, so a
+// single goroutine that writes then reads still observes its own
+// writes (Flush exposes the same barrier directly). Composes with
+// every sharded configuration, including WithConcurrent on top, whose
+// snapshot capture inherits the drain barrier. Requires WithShards;
+// New panics otherwise.
+func WithPipeline() Option {
+	return func(c *config) { c.pipeline = true }
 }
 
 // WithBorrowedKeys lets Update/UpdateBatch callers pass keys whose
@@ -382,6 +416,9 @@ func (c *config) resolve() error {
 			// permanently empty; clamp so every epoch holds >= 1 item.
 			c.epochs = int(c.window)
 		}
+	}
+	if c.pipeline && c.shards < 1 {
+		return fmt.Errorf("heavyhitters: WithPipeline requires WithShards")
 	}
 	if c.concurrent && !c.algo.deterministic() {
 		return fmt.Errorf("heavyhitters: WithConcurrent requires a deterministic counter algorithm, got %v (use WithShards alone for thread-safe sketches)", c.algo)

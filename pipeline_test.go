@@ -1,0 +1,168 @@
+package heavyhitters_test
+
+// Tests of the WithPipeline tier: the SPSC ring discipline under
+// concurrent producers (the hammer is the -race check for the
+// ring's publication protocol), the flush barrier on queries, and
+// exact mass accounting across every write verb.
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+
+	hh "repro"
+)
+
+// unsafeView returns a string aliasing b's bytes, valid only while b
+// is unmodified — the borrowed-key hazard the tier must defuse.
+func unsafeView(b []byte) string {
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// TestPipelineProducerHammer drives many producer goroutines through
+// every write verb against a pipelined summary while readers flush and
+// query concurrently. Under -race this is the ring-protocol check:
+// producers contend on the ring mutex and backpressure waits, workers
+// publish head/tail across goroutines, and readers race flush barriers
+// against both. The final mass must be exact — an ack'd enqueue is
+// never lost, double-applied, or overwritten by a concurrent producer.
+func TestPipelineProducerHammer(t *testing.T) {
+	const (
+		producers = 8
+		batches   = 100
+		batchLen  = 64
+	)
+	for _, opts := range [][]hh.Option{
+		{hh.WithCapacity(128), hh.WithShards(4), hh.WithPipeline()},
+		{hh.WithCapacity(128), hh.WithShards(4), hh.WithPipeline(), hh.WithConcurrent()},
+	} {
+		sum := hh.New[uint64](opts...)
+		var prod, read sync.WaitGroup
+		stop := make(chan struct{})
+		// Readers: flush barriers and snapshot queries racing ingest.
+		for r := 0; r < 2; r++ {
+			read.Add(1)
+			go func() {
+				defer read.Done()
+				var buf []hh.WeightedEntry[uint64]
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					sum.Flush()
+					_ = sum.N()
+					buf = sum.TopAppend(buf[:0], 8)
+				}
+			}()
+		}
+		for p := 0; p < producers; p++ {
+			prod.Add(1)
+			go func(p int) {
+				defer prod.Done()
+				batch := make([]uint64, batchLen)
+				for b := 0; b < batches; b++ {
+					for i := range batch {
+						// Dup-heavy so the coalescing path is exercised.
+						batch[i] = uint64((p*batches + b + i) % 37)
+					}
+					sum.UpdateBatch(batch)
+					sum.Update(uint64(b % 37))
+					sum.UpdateWeighted(uint64(b%37), 2)
+				}
+			}(p)
+		}
+		prod.Wait()
+		close(stop)
+		read.Wait()
+		sum.Flush()
+		want := float64(producers * batches * (batchLen + 3))
+		if got := sum.N(); got != want {
+			t.Fatalf("N = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestPipelineFlushBarrier: every query path must drain the rings
+// first, so a write that returned is visible to the very next read —
+// no explicit Flush required.
+func TestPipelineFlushBarrier(t *testing.T) {
+	sum := hh.New[uint64](hh.WithCapacity(64), hh.WithShards(4), hh.WithPipeline())
+	batch := make([]uint64, 256)
+	for i := range batch {
+		batch[i] = uint64(i % 13)
+	}
+	sum.UpdateBatch(batch)
+	if got := sum.N(); got != 256 {
+		t.Fatalf("N after UpdateBatch = %v, want 256 (query barrier must drain rings)", got)
+	}
+	sum.Update(99)
+	if got := sum.Estimate(99); got < 1 {
+		t.Fatalf("Estimate(99) = %v after Update, want >= 1", got)
+	}
+	sum.UpdateWeighted(99, 5)
+	lo, _ := sum.EstimateBounds(99)
+	if lo < 1 {
+		t.Fatalf("EstimateBounds(99) lo = %v, want >= 1", lo)
+	}
+	if got := sum.N(); got != 262 {
+		t.Fatalf("N = %v, want 262", got)
+	}
+}
+
+// TestPipelineBorrowedStrings: with WithBorrowedKeys the producer's
+// batch buffer may be reused the moment UpdateBatch returns, while the
+// job is still parked in a ring — the tier must have deep-copied the
+// strings at enqueue time.
+func TestPipelineBorrowedStrings(t *testing.T) {
+	sum := hh.New[string](hh.WithCapacity(64), hh.WithShards(2),
+		hh.WithPipeline(), hh.WithBorrowedKeys())
+	buf := []byte("hot-key")
+	batch := make([]string, 32)
+	for i := range batch {
+		batch[i] = string(buf[:]) // one shared backing in spirit; keys equal
+	}
+	// Alias the same byte buffer for every batch and clobber it between
+	// enqueue and flush.
+	for r := 0; r < 50; r++ {
+		key := unsafeView(buf)
+		for i := range batch {
+			batch[i] = key
+		}
+		sum.UpdateBatch(batch)
+		copy(buf, "CLOBBER")
+		copy(buf, "hot-key")
+	}
+	sum.Flush()
+	if got := sum.Estimate("hot-key"); got != 50*32 {
+		t.Fatalf("Estimate(hot-key) = %v, want %v", got, 50*32)
+	}
+}
+
+// TestPipelineReset: Reset must drain the rings before clearing, so a
+// reset summary starts empty and stays usable.
+func TestPipelineReset(t *testing.T) {
+	sum := hh.New[uint64](hh.WithCapacity(64), hh.WithShards(4), hh.WithPipeline())
+	for i := 0; i < 1000; i++ {
+		sum.Update(uint64(i % 7))
+	}
+	sum.Reset()
+	if got := sum.N(); got != 0 {
+		t.Fatalf("N after Reset = %v, want 0", got)
+	}
+	sum.Update(3)
+	if got := sum.N(); got != 1 {
+		t.Fatalf("N after post-Reset Update = %v, want 1", got)
+	}
+}
+
+// TestPipelineRequiresShards: the option contract is validated at New.
+func TestPipelineRequiresShards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(WithPipeline()) without WithShards must panic")
+		}
+	}()
+	hh.New[uint64](hh.WithCapacity(64), hh.WithPipeline())
+}

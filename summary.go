@@ -7,6 +7,7 @@ import (
 	"io"
 	"iter"
 	"math"
+	"math/bits"
 	"slices"
 	"sync"
 
@@ -141,6 +142,14 @@ type Summary[K comparable] interface {
 	// against). The second result is false for unwindowed summaries,
 	// including WithDecay ones (decay has no ring).
 	Window() (WindowState, bool)
+	// Flush blocks until every previously issued update has been applied
+	// to the counter state. Synchronous summaries apply updates inline,
+	// so Flush is a no-op everywhere except under WithPipeline, whose
+	// ingest is asynchronous: there it drains the shard rings — the
+	// barrier every query method already takes implicitly. Call it to
+	// bound ingest latency explicitly (e.g. before tearing down a
+	// producer) without issuing a query.
+	Flush()
 	// Reset restores the empty state, retaining configuration.
 	Reset()
 }
@@ -177,7 +186,12 @@ func New[K comparable](opts ...Option) Summary[K] {
 	mk := func(shard int) backend[K] { return newBackend[K](cfg, shard, hash) }
 	var be backend[K]
 	if cfg.shards > 0 {
-		be = newShardedBackend(cfg.shards, hash, mk)
+		sb := newShardedBackend(cfg.shards, cfg.coalescible(), hash, mk)
+		if cfg.pipeline {
+			be = newPipelineTier(cfg, sb)
+		} else {
+			be = sb
+		}
 	} else {
 		be = mk(0)
 	}
@@ -250,7 +264,8 @@ func newCoreBackend[K comparable](cfg config, shard int, hash func(K) uint64, cl
 			ss.SetKeyClone(cl)
 		}
 		return &unitBackend[K]{
-			alg: ss, addN: ss.AddN, appendRaw: ss.AppendEntries, eachRaw: ss.Each,
+			alg: ss, addN: ss.AddN, addNBatch: ss.AddNBatch,
+			appendRaw: ss.AppendEntries, eachRaw: ss.Each,
 			g: TailGuarantee{A: 1, B: 1}, hasG: true, over: true,
 		}
 	case cfg.algo == AlgoFrequent:
@@ -259,7 +274,8 @@ func newCoreBackend[K comparable](cfg config, shard int, hash func(K) uint64, cl
 			fq.SetKeyClone(cl)
 		}
 		return &unitBackend[K]{
-			alg: fq, addN: fq.AddN, appendRaw: fq.AppendEntries, eachRaw: fq.Each,
+			alg: fq, addN: fq.AddN, addNBatch: fq.AddNBatch,
+			appendRaw: fq.AppendEntries, eachRaw: fq.Each,
 			g: TailGuarantee{A: 1, B: 1}, hasG: true,
 		}
 	case cfg.algo == AlgoLossyCounting:
@@ -287,6 +303,16 @@ type backend[K comparable] interface {
 	// do not hash ignore it.
 	//hh:noalloc
 	updateBatch(items []K, hashes []uint64)
+	// updateBatchN records counts[i] occurrences of items[i] — the
+	// coalesced batch: the sharded partitioner groups a batch's
+	// duplicate keys and hands each shard one entry per distinct key.
+	// Keys must be pairwise distinct and counts non-nil with
+	// len(counts) == len(items); counts is caller scratch and may be
+	// mutated (the window tier splits groups at rotation boundaries in
+	// place). hashes follows the updateBatch contract. Equivalent to
+	// calling updateN(items[i], counts[i]) in order.
+	//hh:noalloc
+	updateBatchN(items []K, counts []uint32, hashes []uint64)
 	//hh:noalloc
 	estimate(item K) float64
 	//hh:noalloc
@@ -374,6 +400,18 @@ func (s *summary[K]) Window() (WindowState, bool)            { return s.be.windo
 
 //hh:noalloc
 func (s *summary[K]) Reset() { s.be.reset() }
+
+// Flush drains the pipeline rings when the composition has them; every
+// other composition applies updates synchronously and returns at once.
+func (s *summary[K]) Flush() {
+	be := s.be
+	if ct, ok := be.(*concurrentTier[K]); ok {
+		be = ct.inner
+	}
+	if pt, ok := be.(*pipelineTier[K]); ok {
+		pt.flush()
+	}
+}
 
 func (s *summary[K]) Top(k int) []WeightedEntry[K] {
 	if k <= 0 {
@@ -512,6 +550,12 @@ func MergeSummaries[K comparable](m int, summaries ...Summary[K]) (Summary[K], e
 type unitBackend[K comparable] struct {
 	alg  Counter[K]
 	addN func(K, uint64) //hh:noalloc -- native integral-weight path; nil = repeat Update
+	// addNBatch is the structure's two-pass coalesced-batch kernel
+	// (AddNBatch on SPACESAVING/FREQUENT): hash/probe all keys into
+	// scratch first, then apply — restoring the memory-level parallelism
+	// the one-at-a-time probe loop serializes away. nil = repeat updateN.
+	//hh:noalloc
+	addNBatch func(items []K, counts []uint32, hashes []uint64)
 	// appendRaw is the backend's allocation-free snapshot primitive
 	//hh:noalloc
 	// (AppendEntries on the concrete structure): counters appended in
@@ -564,6 +608,17 @@ func (b *unitBackend[K]) updateWeighted(item K, w float64) {
 func (b *unitBackend[K]) updateBatch(items []K, _ []uint64) {
 	for _, it := range items {
 		b.alg.Update(it)
+	}
+}
+
+//hh:noalloc
+func (b *unitBackend[K]) updateBatchN(items []K, counts []uint32, hashes []uint64) {
+	if b.addNBatch != nil {
+		b.addNBatch(items, counts, hashes)
+		return
+	}
+	for i, it := range items {
+		b.updateN(it, uint64(counts[i]))
 	}
 }
 
@@ -700,6 +755,20 @@ func (b *weightedBackend[K]) updateBatch(items []K, _ []uint64) {
 	}
 }
 
+// updateBatchN applies each coalesced group as one weighted arrival —
+// sound because UpdateWeighted(k, n) ≡ n unit arrivals for integral n
+// (Section 6.1 reduces to the integral semantics on whole weights).
+//
+//hh:noalloc
+func (b *weightedBackend[K]) updateBatchN(items []K, counts []uint32, _ []uint64) {
+	a := b.alg()
+	for i, it := range items {
+		if counts[i] > 0 {
+			a.UpdateWeighted(it, float64(counts[i]))
+		}
+	}
+}
+
 //hh:noalloc
 func (b *weightedBackend[K]) estimate(item K) float64 { return b.alg().EstimateWeighted(item) }
 
@@ -820,6 +889,18 @@ type shardSlot[K comparable] struct {
 type shardedBackend[K comparable] struct {
 	slots []shardSlot[K]
 	hash  func(K) uint64 //hh:noalloc
+	// coalesce gates in-batch duplicate grouping: updateBatch merges a
+	// batch's repeated keys into one (key, count) group per shard and
+	// applies each group as one AddN — lossless by the Section-6
+	// integer-weight equivalence (AddN(k, n) ≡ n unit updates), and
+	// O(distinct) probes instead of O(batch) on skewed streams. Off for
+	// compositions whose n-fold update is not bit-identical to n unit
+	// updates: decay (the clock advances once per *arrival*, so a
+	// coalesced group would tick time by 1 instead of n) and
+	// LOSSYCOUNTING (AddN deliberately skips mid-batch prune/re-insert
+	// of the added item, so it can exceed the unit-loop state). See
+	// config.coalescible.
+	coalesce bool
 	// pool recycles batch-partition scratch buffers (one per concurrent
 	// UpdateBatch in flight), so steady-state batch ingestion performs
 	// no per-batch bucket allocations.
@@ -840,20 +921,48 @@ type shardMergeScratch[K comparable] struct {
 
 // batchScratch is the reusable partition workspace of one UpdateBatch
 // call: per-shard key buckets plus each key's hash, computed once and
-// reused by hashing backends for their row hashes.
+// reused by hashing backends for their row hashes, and — when the
+// composition coalesces — per-group occurrence counts plus the
+// open-addressing dedup table that builds them.
 type batchScratch[K comparable] struct {
 	keys   [][]K
 	hashes [][]uint64
+	counts [][]uint32
+	// tab is the coalescing hash table: generation-stamped entries, so
+	// clearing between batches is a single counter bump rather than an
+	// O(len(tab)) wipe. Probe positions come from the hash's high bits
+	// (shard placement uses h mod p, i.e. the low bits — distinct bits
+	// keep table occupancy decorrelated from shard assignment). Sized to
+	// the next power of two ≥ 2× the largest batch seen, then reused.
+	tab   []coalEntry
+	gen   uint32
+	shift uint // 64 − log2(len(tab)): h >> shift is the home position
 }
 
-func newShardedBackend[K comparable](p int, hash func(K) uint64, mk func(int) backend[K]) *shardedBackend[K] {
+// coalEntry is one coalescing-table slot: the key's full hash for cheap
+// rejection, the stamping generation, and the group's index inside its
+// shard bucket. The shard itself is not stored — it re-derives as
+// h % p on the (rare relative to misses) duplicate hit — keeping the
+// entry at 16 bytes, which matters because every probe is a random
+// access into a table sized 2× the batch.
+type coalEntry struct {
+	h   uint64
+	gen uint32
+	idx int32
+}
+
+func newShardedBackend[K comparable](p int, coalesce bool, hash func(K) uint64, mk func(int) backend[K]) *shardedBackend[K] {
 	//hh:allocok hash is a keyHasher closure; its branches call only mix64/fnv1a/maphash.Comparable
-	b := &shardedBackend[K]{slots: make([]shardSlot[K], p), hash: hash}
+	b := &shardedBackend[K]{slots: make([]shardSlot[K], p), hash: hash, coalesce: coalesce}
 	for i := range b.slots {
 		b.slots[i].be = mk(i)
 	}
 	b.pool.New = func() any {
-		return &batchScratch[K]{keys: make([][]K, p), hashes: make([][]uint64, p)}
+		return &batchScratch[K]{
+			keys:   make([][]K, p),
+			hashes: make([][]uint64, p),
+			counts: make([][]uint32, p),
+		}
 	}
 	b.mergePool.New = func() any { return &shardMergeScratch[K]{} }
 	return b
@@ -893,35 +1002,66 @@ func (b *shardedBackend[K]) updateWeighted(item K, w float64) {
 // fast path on sharded summaries. Each key is hashed exactly once: the
 // partition hash doubles as the key hash of sketch backends (both are
 // keyHasher(seed)), and the buckets live in pooled scratch buffers.
+// Coalescing compositions additionally group the batch's duplicate keys
+// during partitioning and apply each group as one AddN — see coalesceInto
+// for the transform and the coalesce field for its soundness argument.
 //
 //hh:noalloc
 func (b *shardedBackend[K]) updateBatch(items []K, _ []uint64) {
+	if len(items) == 0 {
+		return
+	}
 	p := uint64(len(b.slots))
-	if p == 1 {
-		sl := &b.slots[0]
-		sl.mu.Lock()
-		sl.be.updateBatch(items, nil)
-		sl.mu.Unlock()
+	if !b.coalesce {
+		if p == 1 {
+			sl := &b.slots[0]
+			sl.mu.Lock()
+			sl.be.updateBatch(items, nil)
+			sl.mu.Unlock()
+			return
+		}
+		sc := b.pool.Get().(*batchScratch[K])
+		for i := range sc.keys {
+			sc.keys[i] = sc.keys[i][:0]
+			sc.hashes[i] = sc.hashes[i][:0]
+		}
+		for _, it := range items {
+			h := b.hash(it)
+			i := h % p
+			sc.keys[i] = append(sc.keys[i], it)
+			sc.hashes[i] = append(sc.hashes[i], h)
+		}
+		for i := range sc.keys {
+			if len(sc.keys[i]) == 0 {
+				continue
+			}
+			sl := &b.slots[i]
+			sl.mu.Lock()
+			sl.be.updateBatch(sc.keys[i], sc.hashes[i])
+			sl.mu.Unlock()
+		}
+		for i := range sc.keys {
+			// Drop key references before pooling so a parked scratch buffer
+			// cannot pin the previous batch's keys in memory.
+			clear(sc.keys[i])
+		}
+		b.pool.Put(sc)
 		return
 	}
 	sc := b.pool.Get().(*batchScratch[K])
 	for i := range sc.keys {
 		sc.keys[i] = sc.keys[i][:0]
 		sc.hashes[i] = sc.hashes[i][:0]
+		sc.counts[i] = sc.counts[i][:0]
 	}
-	for _, it := range items {
-		h := b.hash(it)
-		i := h % p
-		sc.keys[i] = append(sc.keys[i], it)
-		sc.hashes[i] = append(sc.hashes[i], h)
-	}
+	b.coalesceInto(sc, items)
 	for i := range sc.keys {
 		if len(sc.keys[i]) == 0 {
 			continue
 		}
 		sl := &b.slots[i]
 		sl.mu.Lock()
-		sl.be.updateBatch(sc.keys[i], sc.hashes[i])
+		sl.be.updateBatchN(sc.keys[i], sc.counts[i], sc.hashes[i])
 		sl.mu.Unlock()
 	}
 	for i := range sc.keys {
@@ -930,6 +1070,75 @@ func (b *shardedBackend[K]) updateBatch(items []K, _ []uint64) {
 		clear(sc.keys[i])
 	}
 	b.pool.Put(sc)
+}
+
+// coalesceInto partitions items across the shard buckets of sc while
+// grouping duplicate keys: each distinct key lands in its shard's bucket
+// once, in first-occurrence order, with counts carrying the number of
+// occurrences. The dedup table probes on the hash's high bits, confirms
+// candidate identity by comparing the full hash and then the key itself
+// (a colliding hash never merges distinct keys), and is cleared between
+// batches by a generation bump. The table grows to the high-water batch
+// size and is pooled with the buckets, so the steady state allocates
+// nothing.
+//
+//hh:noalloc
+func (b *shardedBackend[K]) coalesceInto(sc *batchScratch[K], items []K) {
+	if need := 2 * len(items); need > len(sc.tab) {
+		n := 64
+		for n < need {
+			n <<= 1
+		}
+		sc.tab = make([]coalEntry, n) //hh:allocok pooled table grows to the high-water batch size, then is reused
+		sc.shift = 64 - uint(bits.TrailingZeros(uint(n)))
+		sc.gen = 0
+	}
+	sc.gen++
+	if sc.gen == 0 {
+		// Generation counter wrapped: stale entries from 2^32 batches ago
+		// could alias the new generation, so take the one-off O(len) wipe.
+		clear(sc.tab)
+		sc.gen = 1
+	}
+	gen := sc.gen
+	p := uint64(len(b.slots))
+	mask := uint64(len(sc.tab) - 1)
+	for _, it := range items {
+		h := b.hash(it)
+		pos := h >> sc.shift
+		for {
+			e := &sc.tab[pos]
+			if e.gen != gen {
+				si := h % p
+				*e = coalEntry{h: h, gen: gen, idx: int32(len(sc.keys[si]))}
+				sc.keys[si] = append(sc.keys[si], it)
+				sc.hashes[si] = append(sc.hashes[si], h)
+				sc.counts[si] = append(sc.counts[si], 1)
+				break
+			}
+			if e.h == h {
+				si := h % p
+				if sc.keys[si][e.idx] == it {
+					sc.counts[si][e.idx]++
+					break
+				}
+			}
+			pos = (pos + 1) & mask
+		}
+	}
+}
+
+// updateBatchN routes pre-coalesced groups (the pipeline tier re-submits
+// partitioned sub-batches through this) item by item; it is not on the
+// direct UpdateBatch hot path, which coalesces and locks per shard above.
+//
+//hh:noalloc
+func (b *shardedBackend[K]) updateBatchN(items []K, counts []uint32, _ []uint64) {
+	for i, it := range items {
+		if counts[i] > 0 {
+			b.updateN(it, uint64(counts[i]))
+		}
+	}
 }
 
 //hh:noalloc
@@ -1230,6 +1439,28 @@ func (b *sketchBackend[K]) updateBatch(items []K, hashes []uint64) {
 	for i, it := range items {
 		h := hashes[i]
 		b.add(h, 1)
+		b.track.offer(it, b.estimateHash(h))
+	}
+}
+
+// updateBatchN adds each coalesced group in one sketch update (Add is
+// linear in the added mass) and offers the key to the candidate tracker
+// once at its post-group estimate — the same estimate the last of n
+// consecutive per-item offers would have seen, so the tracker reaches
+// the same final decision for the group.
+//
+//hh:noalloc
+func (b *sketchBackend[K]) updateBatchN(items []K, counts []uint32, hashes []uint64) {
+	for i, it := range items {
+		n := uint64(counts[i])
+		if n == 0 {
+			continue
+		}
+		h := b.hash(it)
+		if hashes != nil {
+			h = hashes[i]
+		}
+		b.add(h, n)
 		b.track.offer(it, b.estimateHash(h))
 	}
 }

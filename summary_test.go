@@ -111,7 +111,11 @@ func TestNewEveryAlgorithmBatchUpdates(t *testing.T) {
 func TestBatchMatchesSequential(t *testing.T) {
 	// The deterministic backends must reach the identical counter state
 	// whether a stream arrives item-by-item or in batches — sharded
-	// included (same seed => same partition).
+	// included (same seed => same partition). The sharded batch path of
+	// the coalescing algorithms (SPACESAVING, FREQUENT) groups duplicates
+	// inside each batch, so its per-item reference is the batch's
+	// first-occurrence-grouped order (see coalesceBatch); LOSSYCOUNTING
+	// and the unsharded batch paths preserve arrival order exactly.
 	items := stream.Zipf(200, 1.1, 20000, stream.OrderRandom, 5)
 	for _, algo := range counterAlgos {
 		for _, shards := range []int{0, 4} {
@@ -121,11 +125,15 @@ func TestBatchMatchesSequential(t *testing.T) {
 			}
 			seq := hh.New[uint64](opts...)
 			bat := hh.New[uint64](opts...)
-			for _, x := range items {
-				seq.Update(x)
-			}
 			for lo := 0; lo < len(items); lo += 1000 {
 				hi := min(lo+1000, len(items))
+				ref := items[lo:hi]
+				if shards > 0 && algo != hh.AlgoLossyCounting {
+					ref = coalesceBatch(items[lo:hi])
+				}
+				for _, x := range ref {
+					seq.Update(x)
+				}
 				bat.UpdateBatch(items[lo:hi])
 			}
 			se, be := seq.Top(seq.Len()), bat.Top(bat.Len())
@@ -144,6 +152,34 @@ func TestBatchMatchesSequential(t *testing.T) {
 			}
 		}
 	}
+}
+
+// coalesceBatch replays one batch in its first-occurrence-grouped order:
+// all occurrences of a key contiguous at the position of the key's first
+// appearance. This is the per-item reference stream of coalesced batch
+// ingest — UpdateBatch on a sharded summary groups each batch's
+// duplicates and applies every group as one AddN, which by the
+// Section-6 equivalence matches unit updates in exactly this order.
+func coalesceBatch[K comparable](batch []K) []K {
+	idx := map[K]int{}
+	keys := make([]K, 0, len(batch))
+	counts := make([]int, 0, len(batch))
+	for _, it := range batch {
+		if i, ok := idx[it]; ok {
+			counts[i]++
+			continue
+		}
+		idx[it] = len(keys)
+		keys = append(keys, it)
+		counts = append(counts, 1)
+	}
+	out := make([]K, 0, len(batch))
+	for i, k := range keys {
+		for j := 0; j < counts[i]; j++ {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 func TestFrequentAddNMatchesUnitLoop(t *testing.T) {

@@ -270,6 +270,61 @@ func (b *windowBackend[K]) updateBatch(items []K, hashes []uint64) {
 	}
 }
 
+// updateBatchN splits a coalesced batch at rotation boundaries: each
+// group's mass counts as counts[i] items toward the epoch length
+// (coalescing must not stretch epochs), so the split point falls between
+// groups where whole groups fit, and inside a group — splitting it via
+// updateN, in place through counts — where one group alone straddles
+// the boundary. Group order is preserved, so the result is identical to
+// updateN(items[i], counts[i]) applied in order.
+//
+//hh:noalloc
+func (b *windowBackend[K]) updateBatchN(items []K, counts []uint32, hashes []uint64) {
+	for len(items) > 0 {
+		b.advance()
+		if b.epochLen == 0 {
+			// Tick windows rotate on time, not item count: after advance
+			// the whole remainder belongs to the current epoch.
+			b.ring[b.cur].updateBatchN(items, counts, hashes)
+			for _, c := range counts {
+				b.curItems += uint64(c)
+			}
+			return
+		}
+		room := b.epochLen - b.curItems
+		take, used := 0, uint64(0)
+		for take < len(items) {
+			c := uint64(counts[take])
+			if used+c > room {
+				break
+			}
+			used += c
+			take++
+		}
+		if take > 0 {
+			var hs []uint64
+			if hashes != nil {
+				hs = hashes[:take]
+			}
+			b.ring[b.cur].updateBatchN(items[:take], counts[:take], hs)
+			b.curItems += used
+			items = items[take:]
+			counts = counts[take:]
+			if hashes != nil {
+				hashes = hashes[take:]
+			}
+			continue
+		}
+		// The leading group alone overflows the epoch: spend exactly the
+		// remaining room on it (room < counts[0] ≤ 2^32−1, so the cast is
+		// exact) and leave the rest for the next epoch.
+		part := uint32(room)
+		b.ring[b.cur].updateN(items[0], uint64(part))
+		counts[0] -= part
+		b.curItems += uint64(part)
+	}
+}
+
 //hh:noalloc
 func (b *windowBackend[K]) estimate(item K) float64 {
 	b.sync()
@@ -530,6 +585,21 @@ func (b *decayBackend[K]) updateWeighted(item K, w float64) {
 func (b *decayBackend[K]) updateBatch(items []K, _ []uint64) {
 	for _, it := range items {
 		b.updateWeighted(it, 1)
+	}
+}
+
+// updateBatchN exists for the backend contract but must never see
+// coalesced input from the sharded fast path: the decay clock advances
+// once per arrival, so a coalesced group is n separate arrivals, not one
+// weighted one — newShardedBackend gates coalescing off for decayed
+// compositions. This fallback replays the occurrences faithfully.
+//
+//hh:noalloc
+func (b *decayBackend[K]) updateBatchN(items []K, counts []uint32, _ []uint64) {
+	for i, it := range items {
+		for j := uint32(0); j < counts[i]; j++ {
+			b.updateWeighted(it, 1)
+		}
 	}
 }
 

@@ -7,7 +7,9 @@ package heavyhitters_test
 
 import (
 	"bytes"
+	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -205,31 +207,108 @@ func TestWindowHeavyHittersOracle(t *testing.T) {
 	}
 }
 
-// TestWindowBatchMatchesUnit asserts batch ingestion splits at rotation
-// boundaries exactly like per-item updates: both paths must land in
-// identical epoch layouts, hence identical estimates and totals.
+// TestWindowBatchMatchesUnit is the batch-kernel equivalence matrix:
+// across algo × window × shard × pipeline × arena compositions, batch
+// ingestion must be bit-identical to per-item ingestion — including
+// rotation splits landing in identical epoch layouts. Where the
+// sharded tier coalesces (counter algorithms other than LOSSYCOUNTING),
+// the per-item reference replays each batch in first-occurrence-grouped
+// order, which is the documented batch semantics (UpdateBatch); for
+// the rest, arrival order is the reference.
 func TestWindowBatchMatchesUnit(t *testing.T) {
 	str := stream.Zipf(500, 1.1, 20000, stream.OrderRandom, 5)
-	mk := func() hh.Summary[uint64] {
-		return hh.New[uint64](hh.WithCapacity(64), hh.WithWindow(4096), hh.WithEpochs(4))
-	}
-	unit, batch := mk(), mk()
-	for _, x := range str {
-		unit.Update(x)
-	}
-	// A batch size that is coprime to the epoch length forces splits at
-	// every possible offset.
-	for lo := 0; lo < len(str); lo += 333 {
-		batch.UpdateBatch(str[lo:min(lo+333, len(str))])
-	}
-	if unit.N() != batch.N() {
-		t.Fatalf("N: unit %v, batch %v", unit.N(), batch.N())
-	}
-	for i := uint64(0); i < 500; i++ {
-		if u, b := unit.Estimate(i), batch.Estimate(i); u != b {
-			t.Fatalf("Estimate(%d): unit %v, batch %v", i, u, b)
+	// A batch size coprime to the epoch length forces rotation splits
+	// at every possible offset.
+	const stride = 333
+	for _, algo := range []hh.Algo{hh.AlgoSpaceSaving, hh.AlgoFrequent, hh.AlgoLossyCounting} {
+		for _, window := range []uint64{0, 4096} {
+			for _, shards := range []int{0, 4} {
+				for _, pipeline := range []bool{false, true} {
+					if pipeline && shards == 0 {
+						continue // WithPipeline requires WithShards
+					}
+					for _, arena := range []bool{false, true} {
+						name := fmt.Sprintf("%v/window=%d/shards=%d/pipeline=%v/arena=%v",
+							algo, window, shards, pipeline, arena)
+						t.Run(name, func(t *testing.T) {
+							opts := []hh.Option{hh.WithAlgorithm(algo), hh.WithCapacity(64)}
+							if window != 0 {
+								opts = append(opts, hh.WithWindow(window), hh.WithEpochs(4))
+							}
+							if shards != 0 {
+								opts = append(opts, hh.WithShards(shards))
+							}
+							if pipeline {
+								opts = append(opts, hh.WithPipeline())
+							}
+							if arena {
+								opts = append(opts, hh.WithArena())
+							}
+							coalesced := shards > 0 && algo != hh.AlgoLossyCounting
+							if arena {
+								runBatchUnitEquiv(t, opts, strKeys(str), stride, coalesced, 500)
+							} else {
+								runBatchUnitEquiv(t, opts, str, stride, coalesced, 500)
+							}
+						})
+					}
+				}
+			}
 		}
 	}
+}
+
+// runBatchUnitEquiv feeds the same stream through UpdateBatch and
+// through per-item updates (in grouped order where the batch path
+// coalesces) and requires identical N, Len, estimates, and bounds.
+func runBatchUnitEquiv[K comparable](t *testing.T, opts []hh.Option, str []K, stride int, coalesced bool, universe int) {
+	t.Helper()
+	unit, batch := hh.New[K](opts...), hh.New[K](opts...)
+	for lo := 0; lo < len(str); lo += stride {
+		chunk := str[lo:min(lo+stride, len(str))]
+		ref := chunk
+		if coalesced {
+			ref = coalesceBatch(chunk)
+		}
+		for _, x := range ref {
+			unit.Update(x)
+		}
+		batch.UpdateBatch(chunk)
+	}
+	batch.Flush()
+	if u, b := unit.N(), batch.N(); u != b {
+		t.Fatalf("N: unit %v, batch %v", u, b)
+	}
+	if u, b := unit.Len(), batch.Len(); u != b {
+		t.Fatalf("Len: unit %v, batch %v", u, b)
+	}
+	seen := map[K]struct{}{}
+	for _, x := range str {
+		if _, dup := seen[x]; dup {
+			continue
+		}
+		seen[x] = struct{}{}
+		if u, b := unit.Estimate(x), batch.Estimate(x); u != b {
+			t.Fatalf("Estimate(%v): unit %v, batch %v", x, u, b)
+		}
+		ulo, uhi := unit.EstimateBounds(x)
+		blo, bhi := batch.EstimateBounds(x)
+		if ulo != blo || uhi != bhi {
+			t.Fatalf("EstimateBounds(%v): unit [%v,%v], batch [%v,%v]", x, ulo, uhi, blo, bhi)
+		}
+	}
+	if len(seen) > universe {
+		t.Fatalf("stream touched %d items, universe %d", len(seen), universe)
+	}
+}
+
+// strKeys maps a uint64 stream to string keys for the arena matrix.
+func strKeys(str []uint64) []string {
+	out := make([]string, len(str))
+	for i, x := range str {
+		out[i] = "k" + strconv.FormatUint(x, 10)
+	}
+	return out
 }
 
 // TestWindowWeightedArrivals covers the weighted backends under the
