@@ -16,6 +16,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -32,6 +33,34 @@ type serverd struct {
 	wireAddr string
 	udpAddr  string
 	cmd      *exec.Cmd
+
+	// mu guards out, which accumulates stdout printed after the startup
+	// address lines — recovery reports, drain summaries — for the crash
+	// tests' assertions.
+	mu  sync.Mutex
+	out strings.Builder //hh:guardedby mu
+}
+
+// stdoutText returns everything the daemon printed after the startup
+// address lines so far.
+func (s *serverd) stdoutText() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.out.String()
+}
+
+// waitStdout polls until substr appears on the daemon's post-startup
+// stdout (the drain goroutine races the caller, so a one-shot check
+// would be flaky).
+func waitStdout(t *testing.T, s *serverd, substr string) {
+	t.Helper()
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if strings.Contains(s.stdoutText(), substr) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("daemon stdout never contained %q; got:\n%s", substr, s.stdoutText())
 }
 
 // startServerd builds and boots hhserverd with the given config JSON,
@@ -44,7 +73,7 @@ func startServerd(t *testing.T, configJSON string) string {
 // and parses the startup contract off stdout: the HTTP line first,
 // then — when -wire-addr / -udp-addr are given — the wire and udp
 // lines, in that order. The process is killed at test cleanup.
-func bootServerd(t *testing.T, configJSON string, extraArgs ...string) serverd {
+func bootServerd(t *testing.T, configJSON string, extraArgs ...string) *serverd {
 	t.Helper()
 	dir := t.TempDir()
 	bin := filepath.Join(dir, "hhserverd")
@@ -90,7 +119,7 @@ func bootServerd(t *testing.T, configJSON string, extraArgs ...string) serverd {
 		}
 		return strings.Fields(line[i+len(marker):])[0]
 	}
-	s := serverd{cmd: cmd}
+	s := &serverd{cmd: cmd}
 	s.base = "http://" + readAddr("listening on ")
 	for _, a := range extraArgs {
 		switch a {
@@ -100,8 +129,12 @@ func bootServerd(t *testing.T, configJSON string, extraArgs ...string) serverd {
 			s.udpAddr = readAddr("udp listening on ")
 		}
 	}
-	go func() { // drain so the child never blocks on a full pipe
+	go func() { // drain (and record) so the child never blocks on a full pipe
 		for sc.Scan() {
+			s.mu.Lock()
+			s.out.WriteString(sc.Text())
+			s.out.WriteByte('\n')
+			s.mu.Unlock()
 		}
 	}()
 	return s

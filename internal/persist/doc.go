@@ -1,0 +1,42 @@
+// Package persist gives the serving daemon durable, restartable state:
+// periodic atomic snapshots of encoded summary blobs layered over a
+// lightweight batch write-ahead log, so a crashed process replays
+// snapshot + WAL tail and recovers its registry with the paper's
+// (A, B) bounds intact. The on-disk formats are normative in
+// docs/DURABILITY.md; this package is the reference implementation.
+// (The name avoids clashing with the paper's frequency-"Recover".)
+//
+// # Data directory
+//
+// A Store owns one directory:
+//
+//	<dir>/CURRENT              committed-snapshot pointer (one line)
+//	<dir>/snap-<16hex>/        one snapshot epoch: MANIFEST.json + blobs
+//	<dir>/wal/wal-<16hex>.log  WAL segments, monotonically numbered
+//
+// A snapshot becomes the recovery base only when CURRENT — written to
+// a temp file, fsynced, and atomically renamed into place — names its
+// directory; a crash mid-snapshot leaves an orphan directory that
+// recovery ignores and the next snapshot garbage-collects. The WAL is
+// CRC-framed and segment-rotated; a torn tail (a partially written
+// final record, the expected artifact of kill -9) truncates cleanly,
+// while corruption behind the tail fails recovery loudly.
+//
+// # Replay model: at least once, then deduplicated
+//
+// The WAL is appended before the in-memory state is updated, so after
+// a crash every applied batch is either in the committed snapshot or
+// in the log — possibly both, and possibly alongside logged batches
+// that were never applied. Replay is therefore at-least-once delivery:
+// the same record can be observed again across snapshot+tail, or when
+// a tail is replayed twice. Idempotence is restored by sequencing, not
+// by the log: every record carries a per-summary monotonic sequence
+// number, the snapshot manifest pins the last sequence it covers, and
+// the consumer skips any record whose sequence is not strictly greater
+// than the state it already holds. Replaying a tail twice is a no-op
+// by construction.
+//
+// The Store does not interpret summary state; it moves bytes. The
+// registry (internal/registry) owns the mapping between records and
+// live summaries and drives recovery.
+package persist

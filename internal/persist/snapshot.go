@@ -1,0 +1,302 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Snapshot layout names (normative in docs/DURABILITY.md §2).
+const (
+	// ManifestFormat is the value of the manifest's "format" field —
+	// and, because it is the manifest's first field, the sniffable
+	// prefix tools use to recognize one.
+	ManifestFormat = "hhsnap/v1"
+	// ManifestName is the manifest file inside a snapshot directory.
+	ManifestName = "MANIFEST.json"
+	// CurrentName is the committed-snapshot pointer file in the data
+	// directory root: one line naming the committed snapshot directory.
+	CurrentName = "CURRENT"
+	// BlobSuffix is appended to a summary's name to form its blob file.
+	BlobSuffix = ".hhsum"
+	// WALDirName is the WAL subdirectory of the data directory.
+	WALDirName = "wal"
+
+	snapPrefix = "snap-"
+)
+
+// Manifest is the snapshot manifest: the JSON document that makes a
+// snapshot directory self-describing and pins, per summary, the last
+// WAL sequence the snapshot covers. Field order matters only for
+// "format", which is declared first so the serialized document starts
+// with a recognizable prefix.
+type Manifest struct {
+	Format string `json:"format"`
+	// WrittenAt is informational (recovery never consults the clock).
+	WrittenAt time.Time `json:"written_at"`
+	// WALSegment is the lowest WAL segment index NOT covered by this
+	// snapshot: replay starts there, and every lower-numbered segment
+	// is prunable once the snapshot commits.
+	WALSegment uint64 `json:"wal_segment"`
+	// Summaries lists one entry per persisted summary, sorted by name.
+	Summaries []ManifestSummary `json:"summaries"`
+}
+
+// ManifestGuarantee records the summary's (A, B) tail-guarantee
+// constants at snapshot time — informational for tools; recovery
+// re-derives guarantees from the spec.
+type ManifestGuarantee struct {
+	A float64 `json:"a"`
+	B float64 `json:"b"`
+}
+
+// ManifestSummary describes one summary's blob within the snapshot.
+type ManifestSummary struct {
+	Name string `json:"name"`
+	// Blob is the blob's file name inside the snapshot directory;
+	// Size and CRC32C (Castagnoli) authenticate its content.
+	Size   int64  `json:"size"`
+	CRC32C uint32 `json:"crc32c"`
+	Blob   string `json:"blob"`
+	// Seq is the last WAL sequence number this blob covers: replay
+	// skips records for this summary with sequence <= Seq.
+	Seq uint64 `json:"seq"`
+	// N, Len, Algorithm and Guarantee mirror the encoded state —
+	// informational cross-checks for tools and recovery sanity tests.
+	N         float64            `json:"n"`
+	Len       int                `json:"len"`
+	Algorithm string             `json:"algorithm,omitempty"`
+	Guarantee *ManifestGuarantee `json:"guarantee,omitempty"`
+	// Spec is the summary's full (hardened) construction spec; recovery
+	// rebuilds the summary from it, so a recovered Guarantee() equals
+	// the pre-crash one.
+	Spec json.RawMessage `json:"spec"`
+}
+
+// SummarySnapshot is the write-side input: one summary's state as
+// captured under the registry's quiesce.
+type SummarySnapshot struct {
+	Name      string
+	Spec      json.RawMessage
+	Seq       uint64
+	N         float64
+	Len       int
+	Algorithm string
+	Guarantee *ManifestGuarantee
+	Blob      []byte
+}
+
+func snapDirName(epoch uint64) string {
+	return fmt.Sprintf("%s%016x", snapPrefix, epoch)
+}
+
+// snapEpoch parses a snapshot directory name; ok is false for foreign
+// directories.
+func snapEpoch(name string) (uint64, bool) {
+	hex, found := strings.CutPrefix(name, snapPrefix)
+	if !found || len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// ReadManifest reads a data directory's committed snapshot manifest:
+// the CURRENT pointer, then MANIFEST.json of the directory it names.
+// It returns the manifest and the snapshot directory's path, or
+// (nil, "", nil) when the store has no committed snapshot yet. It is
+// read-only — hhstat inspects live data directories with it.
+func ReadManifest(dir string) (*Manifest, string, error) {
+	cur, err := os.ReadFile(filepath.Join(dir, CurrentName))
+	if os.IsNotExist(err) {
+		return nil, "", nil
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	name := strings.TrimSpace(string(cur))
+	if _, ok := snapEpoch(name); !ok {
+		return nil, "", fmt.Errorf("persist: CURRENT names %q, not a snapshot directory", name)
+	}
+	snapDir := filepath.Join(dir, name)
+	man, err := readManifestFile(filepath.Join(snapDir, ManifestName))
+	if err != nil {
+		return nil, "", err
+	}
+	return man, snapDir, nil
+}
+
+// readManifestFile parses and validates one manifest document.
+func readManifestFile(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("persist: %s: %w", path, err)
+	}
+	if man.Format != ManifestFormat {
+		return nil, fmt.Errorf("persist: %s: format %q, want %q", path, man.Format, ManifestFormat)
+	}
+	for _, ms := range man.Summaries {
+		if ms.Name == "" || ms.Blob != filepath.Base(ms.Blob) {
+			return nil, fmt.Errorf("persist: %s: summary %q references blob %q outside the snapshot directory", path, ms.Name, ms.Blob)
+		}
+	}
+	return &man, nil
+}
+
+// LoadSnapshot reads the committed snapshot: the manifest plus every
+// referenced blob, each verified against its manifest size and CRC32C.
+// A store without a committed snapshot returns (nil, "", nil, nil).
+// Any mismatch is an error: the manifest was fsynced before CURRENT
+// flipped, so a bad blob is corruption, never an in-progress write.
+func (s *Store) LoadSnapshot() (*Manifest, string, map[string][]byte, error) {
+	man, snapDir, err := ReadManifest(s.dir)
+	if man == nil || err != nil {
+		return nil, "", nil, err
+	}
+	blobs := make(map[string][]byte, len(man.Summaries))
+	for _, ms := range man.Summaries {
+		data, err := os.ReadFile(filepath.Join(snapDir, ms.Blob))
+		if err != nil {
+			return nil, "", nil, fmt.Errorf("persist: snapshot blob for %q: %w", ms.Name, err)
+		}
+		if int64(len(data)) != ms.Size {
+			return nil, "", nil, fmt.Errorf("persist: snapshot blob for %q: %d bytes, manifest says %d", ms.Name, len(data), ms.Size)
+		}
+		if got := Checksum(data); got != ms.CRC32C {
+			return nil, "", nil, fmt.Errorf("persist: snapshot blob for %q: CRC32C %08x, manifest says %08x", ms.Name, got, ms.CRC32C)
+		}
+		blobs[ms.Name] = data
+	}
+	return man, snapDir, blobs, nil
+}
+
+// WriteSnapshot commits a new snapshot epoch atomically and prunes
+// what it supersedes. The protocol (normative in docs/DURABILITY.md
+// §4): write every blob and the manifest into a fresh snap-<epoch>
+// directory, fsyncing each file and then the directory; fsync-rename
+// CURRENT to point at it — the commit point; then garbage-collect
+// older snapshot directories and WAL segments below walSegment. A
+// crash before the rename leaves CURRENT untouched and the orphan
+// directory ignored; a crash after it re-runs only the idempotent
+// cleanup on the next snapshot.
+func (s *Store) WriteSnapshot(walSegment uint64, snaps []SummarySnapshot) error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	epoch := s.epoch + 1
+	dirName := snapDirName(epoch)
+	path := filepath.Join(s.dir, dirName)
+	if err := os.RemoveAll(path); err != nil {
+		return err
+	}
+	if err := os.Mkdir(path, 0o755); err != nil {
+		return err
+	}
+	man := &Manifest{
+		Format:     ManifestFormat,
+		WrittenAt:  time.Now().UTC(),
+		WALSegment: walSegment,
+	}
+	for _, sn := range snaps {
+		blobName := sn.Name + BlobSuffix
+		if err := writeFileSync(filepath.Join(path, blobName), sn.Blob); err != nil {
+			return err
+		}
+		man.Summaries = append(man.Summaries, ManifestSummary{
+			Name:      sn.Name,
+			Size:      int64(len(sn.Blob)),
+			CRC32C:    Checksum(sn.Blob),
+			Blob:      blobName,
+			Seq:       sn.Seq,
+			N:         sn.N,
+			Len:       sn.Len,
+			Algorithm: sn.Algorithm,
+			Guarantee: sn.Guarantee,
+			Spec:      sn.Spec,
+		})
+	}
+	doc, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if err := writeFileSync(filepath.Join(path, ManifestName), doc); err != nil {
+		return err
+	}
+	if err := syncDir(path); err != nil {
+		return err
+	}
+	// The commit point: CURRENT flips atomically to the new epoch.
+	if err := replaceFileSync(s.dir, CurrentName, []byte(dirName+"\n")); err != nil {
+		return err
+	}
+	s.epoch = epoch
+	// Cleanup below is best-effort bookkeeping after the commit.
+	if err := s.removeStaleSnapshots(dirName); err != nil {
+		return err
+	}
+	if _, err := s.wal.pruneBefore(walSegment); err != nil {
+		return err
+	}
+	return nil
+}
+
+// removeStaleSnapshots deletes every snapshot directory except keep —
+// superseded committed epochs and orphans of crashed snapshot writes
+// alike.
+func (s *Store) removeStaleSnapshots(keep string) error {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, de := range ents {
+		if _, ok := snapEpoch(de.Name()); !ok || de.Name() == keep {
+			continue
+		}
+		if err := os.RemoveAll(filepath.Join(s.dir, de.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFileSync writes data to path and fsyncs the file before close.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// replaceFileSync atomically replaces dir/name: write a temp file,
+// fsync it, rename over the target, fsync the directory. Readers see
+// either the old content or the new, never a prefix.
+func replaceFileSync(dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	if err := writeFileSync(tmp, data); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}

@@ -1,0 +1,374 @@
+package registry_test
+
+// Durability tests: recovery round-trips through snapshot + WAL tail,
+// replay idempotence at the daemon level, the ephemeral/sketch
+// exclusions, and the config-vs-recovered-state conflict check. The
+// byte-level format tests live in internal/persist; these drive the
+// registry's recovery semantics over real data directories.
+
+import (
+	"bytes"
+	"testing"
+
+	hh "repro"
+	"repro/internal/registry"
+	"repro/internal/testutil"
+)
+
+func durableConfig(dir string, summaries map[string]hh.Spec) registry.Config {
+	return registry.Config{
+		// A long snapshot interval keeps the periodic loop out of the
+		// tests' way: every snapshot below is explicit.
+		Durability: &hh.DurabilitySpec{Dir: dir, SnapshotInterval: "1h", Fsync: hh.FsyncRotate},
+		Summaries:  summaries,
+	}
+}
+
+func TestDurableRecoveryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir, map[string]hh.Spec{"words": {Capacity: 256, Shards: 4}})
+	reg, err := registry.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	e, _ := reg.Get("words")
+	keys := zipfKeys(2000, 30_000, 11)
+	exact := make(map[string]float64, 2000)
+	for _, k := range keys {
+		exact[k]++
+	}
+	const batch = 512
+	half := (len(keys) / (2 * batch)) * batch
+	tailBatches, tailItems := 0, 0
+	for lo := 0; lo < len(keys); lo += batch {
+		part := keys[lo:min(lo+batch, len(keys))]
+		if err := e.IngestBatch(part); err != nil {
+			t.Fatalf("IngestBatch: %v", err)
+		}
+		if lo >= half {
+			tailBatches++
+			tailItems += len(part)
+		}
+		if lo+batch == half {
+			// Snapshot mid-stream: recovery must stitch the blob and the
+			// replayed tail back into exactly the full stream's state.
+			if rep, err := reg.Snapshot(); err != nil || rep.Skipped {
+				t.Fatalf("Snapshot: %+v, %v", rep, err)
+			}
+		}
+	}
+	preStats := e.ReadStats()
+	if !preStats.Durable || preStats.WALSeq == 0 {
+		t.Fatalf("pre-crash stats = %+v, want durable with advancing wal_seq", preStats)
+	}
+	// Halt: flush + close with NO final snapshot — the controlled stand-in
+	// for a crash (minus the torn tail, which the persist tests cover).
+	if err := reg.Halt(); err != nil {
+		t.Fatalf("Halt: %v", err)
+	}
+
+	check := func(reg *registry.Registry, wantFromSnapshot bool, wantReplayedBatches int) {
+		t.Helper()
+		rep := reg.Recovery()
+		if !rep.Enabled || rep.Snapshot == "" {
+			t.Fatalf("recovery = %+v, want enabled with a committed snapshot", rep)
+		}
+		if len(rep.Summaries) != 1 {
+			t.Fatalf("recovered %d summaries, want 1", len(rep.Summaries))
+		}
+		s := rep.Summaries[0]
+		if s.Name != "words" || s.FromSnapshot != wantFromSnapshot || s.Mass != float64(len(keys)) {
+			t.Fatalf("recovered summary = %+v, want words, fromSnapshot=%v, mass %d", s, wantFromSnapshot, len(keys))
+		}
+		if wantReplayedBatches >= 0 && rep.ReplayedBatches != wantReplayedBatches {
+			t.Fatalf("replayed %d batches, want %d (report %+v)", rep.ReplayedBatches, wantReplayedBatches, rep)
+		}
+		e, ok := reg.Get("words")
+		if !ok {
+			t.Fatal("words missing after recovery")
+		}
+		v, err := e.View()
+		if err != nil {
+			t.Fatalf("View: %v", err)
+		}
+		if v.N() != float64(len(keys)) {
+			t.Fatalf("recovered N = %.0f, want %d", v.N(), len(keys))
+		}
+		if _, ok := v.Guarantee(); !ok {
+			t.Fatal("recovered view carries no tail guarantee")
+		}
+		// Bound soundness against the exact oracle: every certain bound
+		// the recovered summary serves must still bracket the true count.
+		top := v.Top(20)
+		if len(top) == 0 {
+			t.Fatal("recovered view serves no counters")
+		}
+		for _, we := range top {
+			lo, hi := v.EstimateBounds(we.Item)
+			if ex := exact[we.Item]; lo > ex || ex > hi {
+				t.Errorf("recovered bounds for %q: [%.0f, %.0f] exclude exact %.0f", we.Item, lo, hi, ex)
+			}
+		}
+		// HH completeness: every phi-heavy item of the exact stream must
+		// appear in the recovered heavy-hitter set.
+		const phi = 0.02
+		hhSet := make(map[string]bool)
+		for _, res := range v.HeavyHitters(phi) {
+			hhSet[res.Item] = true
+		}
+		for k, ex := range exact {
+			if ex > phi*float64(len(keys)) && !hhSet[k] {
+				t.Errorf("exact heavy hitter %q (count %.0f) missing from the recovered set", k, ex)
+			}
+		}
+		st := e.ReadStats()
+		if !st.Durable || st.WALSeq != rep.Summaries[0].Seq || st.RestoredInputs == 0 {
+			t.Errorf("recovered stats = %+v, want durable, wal_seq %d, restored inputs", st, rep.Summaries[0].Seq)
+		}
+	}
+
+	// Boot 2: snapshot + WAL tail.
+	reg2, err := registry.New(cfg)
+	if err != nil {
+		t.Fatalf("recovery New: %v", err)
+	}
+	check(reg2, true, tailBatches)
+	if got := reg2.Recovery().ReplayedItems; got != tailItems {
+		t.Fatalf("replayed %d items, want %d", got, tailItems)
+	}
+	seq2 := reg2.Recovery().Summaries[0].Seq
+	if err := reg2.Halt(); err != nil {
+		t.Fatalf("Halt: %v", err)
+	}
+
+	// Boot 3 replays the SAME tail again (boot 2 wrote no snapshot):
+	// daemon-level double replay must change nothing.
+	reg3, err := registry.New(cfg)
+	if err != nil {
+		t.Fatalf("second recovery New: %v", err)
+	}
+	check(reg3, true, tailBatches)
+	if got := reg3.Recovery().Summaries[0].Seq; got != seq2 {
+		t.Fatalf("double replay moved seq %d -> %d", seq2, got)
+	}
+	// Boot 2 and 3 each logged a create record for the recovered name;
+	// replay must have skipped it, not grown the registry.
+	if reg3.Recovery().SkippedCreates == 0 {
+		t.Error("expected replayed create records to be skipped as duplicates")
+	}
+	// Graceful close: final snapshot, so the next boot needs no tail.
+	if err := reg3.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	reg4, err := registry.New(cfg)
+	if err != nil {
+		t.Fatalf("post-drain New: %v", err)
+	}
+	defer reg4.Halt()
+	check(reg4, true, 0)
+	if rep := reg4.Recovery(); rep.ReplayedItems != 0 || rep.ReplayedBlobs != 0 {
+		t.Fatalf("post-drain recovery replayed work: %+v", rep)
+	}
+}
+
+func TestDurableBlobRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir, map[string]hh.Spec{"words": {Capacity: 128}})
+	reg, err := registry.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := reg.Get("words")
+	if err := e.IngestBatch([]string{"x", "y", "x"}); err != nil {
+		t.Fatal(err)
+	}
+	// A remote agent's pushed blob must be WAL-logged verbatim and
+	// survive the restart with its Theorem 11 metadata.
+	remote := hh.New[string](hh.WithCapacity(128))
+	remote.UpdateBatch([]string{"a", "b", "a", "a"})
+	var blob bytes.Buffer
+	if err := remote.Encode(&blob); err != nil {
+		t.Fatal(err)
+	}
+	mass, err := e.AbsorbBlob(&blob)
+	if err != nil || mass != 4 {
+		t.Fatalf("AbsorbBlob = %v, %v; want mass 4", mass, err)
+	}
+	if err := reg.Halt(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2, err := registry.New(cfg)
+	if err != nil {
+		t.Fatalf("recovery New: %v", err)
+	}
+	defer reg2.Halt()
+	rep := reg2.Recovery()
+	if rep.ReplayedBlobs != 1 || rep.ReplayedBatches != 1 {
+		t.Fatalf("recovery = %+v, want 1 replayed blob + 1 batch", rep)
+	}
+	e2, _ := reg2.Get("words")
+	v, err := e2.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.N() != 7 {
+		t.Fatalf("recovered N = %.0f, want 7", v.N())
+	}
+	if est := v.Estimate("a"); est < 3 {
+		t.Fatalf("recovered estimate for pushed key 'a' = %.0f, want >= 3", est)
+	}
+}
+
+// TestDurableExclusions: ephemeral stanzas and sketch-backed summaries
+// are served but never persisted — they restart empty, by contract.
+func TestDurableExclusions(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir, map[string]hh.Spec{
+		"kept":   {Capacity: 64},
+		"eph":    {Capacity: 64, Ephemeral: true},
+		"sketch": {Algorithm: "countmin", Capacity: 64},
+	})
+	reg, err := registry.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"kept", "eph", "sketch"} {
+		e, _ := reg.Get(name)
+		if err := e.IngestBatch([]string{"k1", "k2", "k1"}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if s, _ := reg.Get("eph"); s.ReadStats().Durable {
+		t.Error("ephemeral summary reports durable")
+	}
+	if s, _ := reg.Get("sketch"); s.ReadStats().Durable {
+		t.Error("sketch summary reports durable")
+	}
+	if err := reg.Halt(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2, err := registry.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg2.Halt()
+	if rep := reg2.Recovery(); len(rep.Summaries) != 1 || rep.Summaries[0].Name != "kept" {
+		t.Fatalf("recovery = %+v, want exactly 'kept' recovered", rep)
+	}
+	for name, want := range map[string]float64{"kept": 3, "eph": 0, "sketch": 0} {
+		e, ok := reg2.Get(name)
+		if !ok {
+			t.Fatalf("%s missing after restart", name)
+		}
+		v, err := e.View()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.N() != want {
+			t.Errorf("%s: restarted N = %.0f, want %.0f", name, v.N(), want)
+		}
+	}
+}
+
+// TestDurableRuntimeCreateRecovered: a summary created at runtime (the
+// PUT path) is re-creatable from its WAL create record alone — no
+// config stanza, no snapshot needed.
+func TestDurableRuntimeCreateRecovered(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := registry.New(durableConfig(dir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := reg.Create("runtime", hh.Spec{Capacity: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.IngestBatch([]string{"a", "b", "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Halt(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2, err := registry.New(durableConfig(dir, nil))
+	if err != nil {
+		t.Fatalf("recovery New: %v", err)
+	}
+	defer reg2.Halt()
+	e2, ok := reg2.Get("runtime")
+	if !ok {
+		t.Fatal("runtime-created summary missing after restart")
+	}
+	v, err := e2.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.N() != 3 {
+		t.Fatalf("recovered N = %.0f, want 3", v.N())
+	}
+	if reg2.Recovery().Summaries[0].FromSnapshot {
+		t.Error("summary reported as snapshot-seeded; it was rebuilt from the WAL alone")
+	}
+}
+
+// TestDurableSpecConflict: a config stanza that disagrees with the
+// recovered state must fail the boot loudly, never silently re-bound.
+func TestDurableSpecConflict(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := registry.New(durableConfig(dir, map[string]hh.Spec{"words": {Capacity: 128}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := reg.Get("words")
+	if err := e.IngestBatch([]string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Halt(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := registry.New(durableConfig(dir, map[string]hh.Spec{"words": {Capacity: 256}})); err == nil {
+		t.Fatal("capacity change over recovered state accepted")
+	}
+	// The unchanged stanza still boots.
+	reg2, err := registry.New(durableConfig(dir, map[string]hh.Spec{"words": {Capacity: 128}}))
+	if err != nil {
+		t.Fatalf("unchanged stanza rejected: %v", err)
+	}
+	reg2.Halt()
+}
+
+// TestDurableIngestZeroAllocs pins the full durable ingest path —
+// quiesce RLock, WAL append, concurrent-tier batch apply — at zero
+// allocations per op at steady state, the acceptance bar for running
+// durability on the hot path at all.
+func TestDurableIngestZeroAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("race instrumentation allocates; allocation accounting is meaningless under -race")
+	}
+	reg, err := registry.New(durableConfig(t.TempDir(), map[string]hh.Spec{
+		"words": {Capacity: 1024},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Halt()
+	e, _ := reg.Get("words")
+	keys := zipfKeys(400, 4096, 5)
+	// Warm: track the working set and grow the WAL scratch.
+	if err := e.IngestBatch(keys); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(10, func() {
+		if err := e.IngestBatch(keys); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("durable IngestBatch: %.4f allocs per run at steady state, want 0", avg)
+	}
+}

@@ -1,0 +1,57 @@
+package registry_test
+
+import (
+	"fmt"
+	"os"
+
+	hh "repro"
+	"repro/internal/registry"
+)
+
+// Example_durableRecovery walks the full durability lifecycle in
+// process: ingest, an explicit atomic snapshot, more ingest that lives
+// only in the WAL tail, a crash-equivalent halt, and a recovering boot
+// that stitches the snapshot and the tail back together. The same
+// sequence over a real daemon — with kill -9 in place of Halt — is the
+// e2e crash test in cmd/hhserverd.
+func Example_durableRecovery() {
+	dir, err := os.MkdirTemp("", "hh-durable")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	cfg := registry.Config{
+		Durability: &hh.DurabilitySpec{Dir: dir, SnapshotInterval: "1h", Fsync: hh.FsyncAlways},
+		Summaries:  map[string]hh.Spec{"queries": {Capacity: 8}},
+	}
+
+	reg, err := registry.New(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	e, _ := reg.Get("queries")
+	e.IngestBatch([]string{"a", "b", "a"})    // seq 1: WAL-logged, then applied
+	if _, err := reg.Snapshot(); err != nil { // blob + manifest, CURRENT flips
+		fmt.Println(err)
+		return
+	}
+	e.IngestBatch([]string{"c"}) // seq 2: in the WAL tail only
+	reg.Halt()                   // close WITHOUT a final snapshot — a controlled crash
+
+	reg2, err := registry.New(cfg) // recovery: snapshot, then WAL tail
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer reg2.Close()
+	s := reg2.Recovery().Summaries[0]
+	fmt.Printf("recovered %q: mass %.0f, seq %d, from snapshot: %v\n", s.Name, s.Mass, s.Seq, s.FromSnapshot)
+	e2, _ := reg2.Get("queries")
+	v, _ := e2.View()
+	fmt.Printf("n=%.0f estimate(a)=%.0f\n", v.N(), v.Estimate("a"))
+	// Output:
+	// recovered "queries": mass 4, seq 2, from snapshot: true
+	// n=4 estimate(a)=2
+}

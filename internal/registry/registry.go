@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	hh "repro"
+	"repro/internal/persist"
 )
 
 // Config is the daemon configuration hhserverd loads from its JSON
@@ -36,6 +38,13 @@ type Config struct {
 	// MaxBlobs bounds how many pushed blobs a summary keeps un-merged
 	// (see Entry's staleness/compaction notes); 0 means the default 64.
 	MaxBlobs int `json:"max_blobs,omitempty"`
+	// Durability, when set, arms crash recovery: ingest is written to a
+	// batch WAL before it is applied, periodic atomic snapshots bound
+	// replay time, and New recovers the registry from the data
+	// directory before serving (docs/DURABILITY.md). Summaries with
+	// Spec.Ephemeral, and sketch-backed summaries (whose state has no
+	// wire encoding), stay memory-only and restart empty.
+	Durability *hh.DurabilitySpec `json:"durability,omitempty"`
 	// Summaries maps each summary name to its construction Spec.
 	Summaries map[string]hh.Spec `json:"summaries,omitempty"`
 }
@@ -74,9 +83,28 @@ type Registry struct {
 
 	mu      sync.RWMutex
 	entries map[string]*Entry //hh:guardedby mu
+
+	// Durability state (nil/zero without a Config.Durability stanza):
+	// the persist store, the recovery outcome, and the periodic
+	// snapshot loop. See durable.go.
+	store     *persist.Store
+	snapEvery time.Duration
+	recovery  RecoveryReport
+	snapMu    sync.Mutex
+	lastSig   uint64 //hh:guardedby snapMu
+	lastSnap  SnapshotReport
+	snapStop  chan struct{}
+	snapDone  chan struct{}
+	closeOnce sync.Once
 }
 
-// New builds a registry and creates an entry per config stanza.
+// New builds a registry and creates an entry per config stanza. With a
+// durability stanza it first recovers from the data directory —
+// committed snapshot, then WAL tail — and only then reconciles the
+// config: a stanza whose name was recovered must carry the same
+// (hardened) spec, a new stanza is created fresh, and a recovered
+// summary absent from the config (a runtime PUT from a previous life)
+// stays.
 func New(cfg Config) (*Registry, error) {
 	r := &Registry{
 		maxBlobs: cfg.MaxBlobs,
@@ -86,6 +114,11 @@ func New(cfg Config) (*Registry, error) {
 	if r.maxBlobs <= 0 {
 		r.maxBlobs = DefaultMaxBlobs
 	}
+	if cfg.Durability != nil {
+		if err := r.openDurability(*cfg.Durability, cfg.MaxBodyBytes); err != nil {
+			return nil, fmt.Errorf("registry: durability: %w", err)
+		}
+	}
 	// Deterministic creation order, so a config error always names the
 	// same stanza.
 	names := make([]string, 0, len(cfg.Summaries))
@@ -94,9 +127,28 @@ func New(cfg Config) (*Registry, error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		if _, err := r.Create(name, cfg.Summaries[name]); err != nil {
+		spec := cfg.Summaries[name]
+		if e, ok := r.Get(name); ok {
+			// Recovered before the config loop ran. The stanza must
+			// agree with the recovered spec — silently preferring either
+			// side would change bounds behind the operator's back.
+			hardened, _, err := hardenSpec(spec)
+			if err != nil {
+				return nil, fmt.Errorf("registry: summary %q: %w", name, err)
+			}
+			if hardened != e.spec {
+				return nil, fmt.Errorf("registry: summary %q: config spec conflicts with the recovered state (remove the stanza, restore it, or move the data dir)", name)
+			}
+			continue
+		}
+		if _, err := r.Create(name, spec); err != nil {
 			return nil, fmt.Errorf("registry: summary %q: %w", name, err)
 		}
+	}
+	if r.store != nil {
+		r.snapStop = make(chan struct{})
+		r.snapDone = make(chan struct{})
+		go r.snapshotLoop()
 	}
 	return r, nil
 }
@@ -113,31 +165,11 @@ func (r *Registry) Create(name string, spec hh.Spec) (*Entry, error) {
 	if !nameRE.MatchString(name) {
 		return nil, fmt.Errorf("invalid summary name %q (want 1-128 of [A-Za-z0-9._-], starting alphanumeric)", name)
 	}
-	algo := hh.AlgoSpaceSaving
-	if spec.Algorithm != "" {
-		a, err := hh.ParseAlgo(spec.Algorithm)
-		if err != nil {
-			return nil, err
-		}
-		algo = a
+	spec, algo, err := hardenSpec(spec)
+	if err != nil {
+		return nil, err
 	}
 	deterministic := algo != hh.AlgoCountMin && algo != hh.AlgoCountSketch
-	if deterministic {
-		spec.Concurrent = true
-		// Registry summaries are string-keyed: store the keys in
-		// pointer-free arena slabs so a large live summary contributes
-		// O(1) objects to every GC mark phase of the serving process.
-		// (A no-op for the configurations the arena does not apply to —
-		// weighted and decayed cores keep their map path.)
-		spec.Arena = true
-	} else if spec.Shards < 1 {
-		spec.Shards = 1
-	}
-	// Every registry summary accepts borrowed keys: the ingest paths
-	// (HTTP /update and the hhwire listeners) parse keys as zero-copy
-	// views into pooled request/frame buffers, and the summary clones
-	// only what it retains.
-	spec.BorrowedKeys = true
 	live, err := hh.NewFromSpec[string](spec)
 	if err != nil {
 		return nil, err
@@ -152,6 +184,23 @@ func (r *Registry) Create(name string, spec hh.Spec) (*Entry, error) {
 		maxBlobs:   r.maxBlobs,
 		lastScrape: time.Now(),
 	}
+	if r.store != nil && deterministic && !spec.Ephemeral {
+		e.durable = true
+		e.store = r.store
+		// Every durable creation is WAL-logged before the entry is
+		// visible — uniformly, on recovery boots too. Replay treats a
+		// create for an existing name as a no-op, so the duplicates
+		// this writes are harmless, and a summary PUT at runtime is
+		// re-creatable from the log alone even before its first
+		// snapshot.
+		specJSON, err := json.Marshal(spec)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.store.AppendCreate(name, specJSON); err != nil {
+			return nil, fmt.Errorf("logging creation of %q: %w", name, err)
+		}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.entries[name]; dup {
@@ -159,6 +208,35 @@ func (r *Registry) Create(name string, spec hh.Spec) (*Entry, error) {
 	}
 	r.entries[name] = e
 	return e, nil
+}
+
+// hardenSpec applies the registry's serving hardening to a stanza:
+// deterministic counter algorithms get WithConcurrent (queries must be
+// lock-free against the ingest handlers) and WithArena (pointer-free
+// key storage — O(1) GC objects per live summary), sketch algorithms —
+// which the concurrency tier rejects — get at least one locked shard
+// so handler goroutines never race on an unsynchronized structure, and
+// every summary gets WithBorrowedKeys so the ingest decoders may alias
+// keys into reused buffers. Hardening is idempotent, which is what
+// lets recovery compare a config stanza against an already-hardened
+// spec from a snapshot manifest.
+func hardenSpec(spec hh.Spec) (hh.Spec, hh.Algo, error) {
+	algo := hh.AlgoSpaceSaving
+	if spec.Algorithm != "" {
+		a, err := hh.ParseAlgo(spec.Algorithm)
+		if err != nil {
+			return spec, algo, err
+		}
+		algo = a
+	}
+	if algo != hh.AlgoCountMin && algo != hh.AlgoCountSketch {
+		spec.Concurrent = true
+		spec.Arena = true
+	} else if spec.Shards < 1 {
+		spec.Shards = 1
+	}
+	spec.BorrowedKeys = true
+	return spec, algo, nil
 }
 
 // Get returns the named entry.
@@ -231,6 +309,23 @@ type Entry struct {
 	batches atomic.Uint64
 	blobs   atomic.Uint64
 
+	// Durability plumbing (zero unless the registry has a store and the
+	// spec is neither sketch-backed nor ephemeral). durMu makes the
+	// {WAL append, live apply} pair atomic against snapshot capture:
+	// ingest holds it shared across the pair, the snapshot writer holds
+	// it exclusive while reading walSeq and encoding the state, so a
+	// captured blob covers exactly the batches of sequences 1..walSeq —
+	// the invariant the manifest's per-summary "seq" pin rests on.
+	// walSeq is advanced under the WAL's append lock (while durMu is
+	// held shared) and read only under durMu exclusive.
+	durable bool
+	store   *persist.Store
+	durMu   sync.RWMutex
+	walSeq  persist.Seq
+	// restored counts recovery inputs (snapshot base + replayed blobs),
+	// distinct from blobs, which counts live /merge traffic.
+	restored atomic.Uint64
+
 	// rateMu guards the scrape-to-scrape ingest-rate bookkeeping.
 	rateMu     sync.Mutex
 	lastItems  uint64    //hh:guardedby rateMu
@@ -282,6 +377,20 @@ func (v View) N() float64 {
 	return v.sum.N()
 }
 
+// Len returns the view's tracked-counter count.
+func (v View) Len() int {
+	v.lock()
+	defer v.unlock()
+	return v.sum.Len()
+}
+
+// Guarantee returns the view's (A, B) tail-guarantee constants.
+func (v View) Guarantee() (hh.TailGuarantee, bool) {
+	v.lock()
+	defer v.unlock()
+	return v.sum.Guarantee()
+}
+
 // Top returns the view's k largest counters.
 func (v View) Top(k int) []hh.WeightedEntry[string] {
 	v.lock()
@@ -329,14 +438,33 @@ func (e *Entry) Live() hh.Summary[string] { return e.live }
 // IngestBatch records one occurrence of every key — the /update fast
 // path, feeding the concurrent tier's batch ingestion (one hash per
 // key, pooled partition scratch, zero allocations past the keys
-// themselves).
-func (e *Entry) IngestBatch(keys []string) {
+// themselves, WAL append from the log's own scratch when durable).
+//
+// On a durable entry the batch is WAL-logged before it is applied; an
+// error means the record is not durable and nothing was applied — the
+// caller must refuse the batch (500 the request, kill the connection),
+// because acknowledging it would promise durability the log cannot
+// deliver.
+func (e *Entry) IngestBatch(keys []string) error {
 	if len(keys) == 0 {
-		return
+		return nil
 	}
-	e.live.UpdateBatch(keys)
+	if e.durable {
+		e.durMu.RLock()
+		err := e.store.AppendBatch(e.name, &e.walSeq, keys)
+		if err == nil {
+			e.live.UpdateBatch(keys)
+		}
+		e.durMu.RUnlock()
+		if err != nil {
+			return err
+		}
+	} else {
+		e.live.UpdateBatch(keys)
+	}
 	e.items.Add(uint64(len(keys)))
 	e.batches.Add(1)
+	return nil
 }
 
 // Flush drains any ingest still queued in the live summary's pipeline
@@ -355,10 +483,36 @@ func (e *Entry) AbsorbBlob(r io.Reader) (float64, error) {
 	if !e.mergeable {
 		return 0, fmt.Errorf("summary %q is sketch-backed (%v) and cannot absorb merges", e.name, e.algo)
 	}
-	s, err := hh.Decode[string](r)
+	if !e.durable {
+		s, err := hh.Decode[string](r)
+		if err != nil {
+			return 0, err
+		}
+		return e.absorbDecoded(s, true)
+	}
+	// Durable path: the raw bytes are the WAL record, so buffer them
+	// before decoding (merge is the control plane — the copy is fine).
+	data, err := io.ReadAll(r)
 	if err != nil {
 		return 0, err
 	}
+	s, err := hh.Decode[string](bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	e.durMu.RLock()
+	defer e.durMu.RUnlock()
+	if err := e.store.AppendBlob(e.name, &e.walSeq, data); err != nil {
+		return 0, err
+	}
+	return e.absorbDecoded(s, true)
+}
+
+// absorbDecoded adds one decoded summary to the merge set, compacting
+// past maxBlobs. Shared by the /merge path and recovery's blob-record
+// replay. counted selects whether the blobs metric advances (recovery
+// inputs count as restored instead).
+func (e *Entry) absorbDecoded(s hh.Summary[string], counted bool) (float64, error) {
 	mass := s.N()
 	e.mergeMu.Lock()
 	defer e.mergeMu.Unlock()
@@ -376,7 +530,11 @@ func (e *Entry) AbsorbBlob(r io.Reader) (float64, error) {
 		e.remotes = append(e.remotes[:0], compacted)
 	}
 	e.mergeGen.Add(1)
-	e.blobs.Add(1)
+	if counted {
+		e.blobs.Add(1)
+	} else {
+		e.restored.Add(1)
+	}
 	return mass, nil
 }
 
@@ -451,6 +609,13 @@ type Stats struct {
 	// IngestRate is the /update item rate (items/s) averaged since the
 	// previous /metricsz scrape.
 	IngestRate float64 `json:"ingest_rate"`
+	// Durable reports whether the summary is WAL-logged and
+	// snapshotted; WALSeq is its last allocated WAL sequence number and
+	// RestoredInputs how many recovery inputs (snapshot base + replayed
+	// merge blobs) back the current state. All zero without durability.
+	Durable        bool   `json:"durable,omitempty"`
+	WALSeq         uint64 `json:"wal_seq,omitempty"`
+	RestoredInputs uint64 `json:"restored_inputs,omitempty"`
 	// Memory is the live summary's arena footprint — present only when
 	// the summary stores its keys in arena slabs (the registry arms
 	// WithArena on every deterministic stanza).
@@ -535,6 +700,9 @@ func (e *Entry) ReadStats() Stats {
 		MergedBlobs:        e.blobs.Load(),
 		SnapshotGeneration: e.snapGen.Load(),
 		IngestRate:         rate,
+		Durable:            e.durable,
+		WALSeq:             e.walSeq.Load(),
+		RestoredInputs:     e.restored.Load(),
 		Memory:             readMemory(e.live),
 	}
 }

@@ -168,7 +168,12 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	e.IngestBatch(sc.keys)
+	if err := e.IngestBatch(sc.keys); err != nil {
+		// WAL append failed: the batch was not applied and must not be
+		// acknowledged — durability errors are server-side state.
+		writeErr(w, http.StatusInternalServerError, "durability: %v", err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"ingested": len(sc.keys)})
 }
 

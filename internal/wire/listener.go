@@ -141,7 +141,12 @@ func (l *Listener) ServeUDP(pc net.PacketConn) error {
 			l.drops.Add(1)
 			continue
 		}
-		e.IngestBatch(keys)
+		if err := e.IngestBatch(keys); err != nil {
+			// WAL append failed: the datagram was not applied. UDP is
+			// the lossy plane — count the drop and keep serving.
+			l.drops.Add(1)
+			continue
+		}
 		l.grams.Add(1)
 		l.items.Add(uint64(len(keys)))
 	}
@@ -200,7 +205,14 @@ func (l *Listener) serveConn(c net.Conn) {
 			l.kills.Add(1)
 			return
 		}
-		e.IngestBatch(keys)
+		if err := e.IngestBatch(keys); err != nil {
+			// WAL append failed: nothing was applied, and acking later
+			// frames while this one silently vanished would break the
+			// protocol's in-order promise — kill the connection so the
+			// client knows exactly which suffix to retry.
+			l.kills.Add(1)
+			return
+		}
 		l.frames.Add(1)
 		l.items.Add(uint64(len(keys)))
 		if flags&FlagAck != 0 {

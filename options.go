@@ -438,3 +438,112 @@ func (c *config) resolve() error {
 	}
 	return nil
 }
+
+// DurabilitySpec is the JSON-portable durability configuration: the
+// config-file stanza that arms crash recovery on a serving deployment
+// (hhserverd's registry config embeds one under "durability"). It is
+// declarative and host-independent, like Spec: the daemon resolves it
+// into concrete intervals and byte budgets with Resolve.
+//
+// The on-disk formats it governs — the snapshot manifest, the CURRENT
+// pointer, and the write-ahead-log segments — are specified normatively
+// in docs/DURABILITY.md; internal/persist is the reference
+// implementation.
+type DurabilitySpec struct {
+	// Dir is the data directory holding snapshots and the WAL. It is
+	// created if missing. Required: a durability stanza without a
+	// directory is a configuration error.
+	Dir string `json:"dir"`
+	// SnapshotInterval is the cadence of periodic atomic snapshots (Go
+	// duration syntax, e.g. "30s"); empty means the 1m default. Shorter
+	// intervals shrink WAL replay time after a crash at the cost of
+	// more snapshot I/O; see docs/OPERATIONS.md for the tradeoff.
+	SnapshotInterval string `json:"snapshot_interval,omitempty"`
+	// Fsync selects when appended WAL records are forced to stable
+	// storage: "always" (every batch, before it is applied — zero loss
+	// window), "interval" (a background ticker, the default — loss
+	// window bounded by FsyncInterval), or "rotate" (only on segment
+	// rotation and snapshots — largest loss window, least I/O).
+	Fsync string `json:"fsync,omitempty"`
+	// FsyncInterval is the ticker period for Fsync "interval"; empty
+	// means the 100ms default.
+	FsyncInterval string `json:"fsync_interval,omitempty"`
+	// SegmentBytes rotates the WAL to a fresh segment file once the
+	// current one exceeds this size; 0 means the 64 MiB default.
+	SegmentBytes int64 `json:"segment_bytes,omitempty"`
+}
+
+// Fsync mode names accepted by DurabilitySpec.Fsync.
+const (
+	FsyncAlways   = "always"
+	FsyncInterval = "interval"
+	FsyncRotate   = "rotate"
+)
+
+// Durability defaults applied by DurabilitySpec.Resolve.
+const (
+	DefaultSnapshotInterval = time.Minute
+	DefaultFsyncInterval    = 100 * time.Millisecond
+	DefaultSegmentBytes     = 64 << 20
+)
+
+// ResolvedDurability is a DurabilitySpec with defaults applied and
+// durations parsed — the form the registry hands to internal/persist.
+type ResolvedDurability struct {
+	Dir              string
+	SnapshotInterval time.Duration
+	Fsync            string
+	FsyncInterval    time.Duration
+	SegmentBytes     int64
+}
+
+// Resolve validates the spec and applies defaults. Errors name the
+// offending field so a daemon can reject a bad stanza at boot.
+func (d DurabilitySpec) Resolve() (ResolvedDurability, error) {
+	r := ResolvedDurability{
+		Dir:              d.Dir,
+		SnapshotInterval: DefaultSnapshotInterval,
+		Fsync:            FsyncInterval,
+		FsyncInterval:    DefaultFsyncInterval,
+		SegmentBytes:     DefaultSegmentBytes,
+	}
+	if r.Dir == "" {
+		return r, fmt.Errorf("heavyhitters: durability: dir is required")
+	}
+	if d.SnapshotInterval != "" {
+		v, err := time.ParseDuration(d.SnapshotInterval)
+		if err != nil {
+			return r, fmt.Errorf("heavyhitters: durability: snapshot_interval: %v", err)
+		}
+		if v <= 0 {
+			return r, fmt.Errorf("heavyhitters: durability: snapshot_interval must be positive, got %v", v)
+		}
+		r.SnapshotInterval = v
+	}
+	if d.Fsync != "" {
+		switch d.Fsync {
+		case FsyncAlways, FsyncInterval, FsyncRotate:
+			r.Fsync = d.Fsync
+		default:
+			return r, fmt.Errorf("heavyhitters: durability: fsync must be %q, %q or %q, got %q",
+				FsyncAlways, FsyncInterval, FsyncRotate, d.Fsync)
+		}
+	}
+	if d.FsyncInterval != "" {
+		v, err := time.ParseDuration(d.FsyncInterval)
+		if err != nil {
+			return r, fmt.Errorf("heavyhitters: durability: fsync_interval: %v", err)
+		}
+		if v <= 0 {
+			return r, fmt.Errorf("heavyhitters: durability: fsync_interval must be positive, got %v", v)
+		}
+		r.FsyncInterval = v
+	}
+	if d.SegmentBytes < 0 {
+		return r, fmt.Errorf("heavyhitters: durability: segment_bytes must be >= 0, got %d", d.SegmentBytes)
+	}
+	if d.SegmentBytes > 0 {
+		r.SegmentBytes = d.SegmentBytes
+	}
+	return r, nil
+}

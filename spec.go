@@ -56,6 +56,12 @@ type Spec struct {
 	Arena bool `json:"arena,omitempty"`
 	// Seed fixes the hash/sketch seed (WithSeed); 0 means unset.
 	Seed uint64 `json:"seed,omitempty"`
+	// Ephemeral excludes the summary from durability: on a daemon with
+	// a data directory configured, an ephemeral summary is neither
+	// WAL-logged nor snapshotted and restarts empty. Construction
+	// ignores it (there is no corresponding Option) — it is a serving
+	// policy, read by hhserverd's registry.
+	Ephemeral bool `json:"ephemeral,omitempty"`
 	// Depth sets the sketch row count (WithDepth); 0 means default.
 	Depth int `json:"depth,omitempty"`
 }

@@ -11,6 +11,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	hh "repro"
+	"repro/internal/registry"
 )
 
 // buildTool compiles ./cmd/<name> into dir and returns the binary path.
@@ -299,5 +302,72 @@ func TestToolsErrorPaths(t *testing.T) {
 	// Unknown experiment must exit non-zero.
 	if err := exec.Command(hhbench, "-experiment", "E99").Run(); err == nil {
 		t.Error("hhbench accepted an unknown experiment")
+	}
+}
+
+// TestToolsDurabilityInspect drives hhstat over the three hhserverd
+// durability artifacts (docs/DURABILITY.md): the data directory, a
+// single WAL segment file, and a snapshot manifest — built by a real
+// registry lifecycle (ingest → snapshot → tail ingest → halt).
+func TestToolsDurabilityInspect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool integration tests skipped in -short mode")
+	}
+	dir := t.TempDir()
+	hhstat := buildTool(t, dir, "hhstat")
+
+	dataDir := filepath.Join(dir, "data")
+	reg, err := registry.New(registry.Config{
+		Durability: &hh.DurabilitySpec{Dir: dataDir, SnapshotInterval: "1h", Fsync: hh.FsyncAlways},
+		Summaries:  map[string]hh.Spec{"queries": {Capacity: 64}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := reg.Get("queries")
+	if err := e.IngestBatch([]string{"a", "b", "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.IngestBatch([]string{"c"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Halt(); err != nil { // flush, no final snapshot: a live WAL tail remains
+		t.Fatal(err)
+	}
+
+	// Data-directory report: manifest summary re-verified, WAL tallied.
+	out := run(t, hhstat, dataDir)
+	for _, want := range []string{"snapshot manifest", "queries", "[verified]", "covered through seq 2", "clean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hhstat on data dir missing %q:\n%s", want, out)
+		}
+	}
+
+	// Single-segment report via the HHWL magic sniff.
+	segs, err := filepath.Glob(filepath.Join(dataDir, "wal", "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments found: %v", err)
+	}
+	out = run(t, hhstat, segs[0])
+	for _, want := range []string{"WAL segment", "covered through seq 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hhstat on WAL segment missing %q:\n%s", want, out)
+		}
+	}
+
+	// Manifest report via the hhsnap/v1 format sniff, blob verified from
+	// the sibling files.
+	manifests, err := filepath.Glob(filepath.Join(dataDir, "snap-*", "MANIFEST.json"))
+	if err != nil || len(manifests) == 0 {
+		t.Fatalf("no snapshot manifest found: %v", err)
+	}
+	out = run(t, hhstat, manifests[0])
+	for _, want := range []string{"snapshot manifest", "hhsnap/v1", "queries", "[verified]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hhstat on manifest missing %q:\n%s", want, out)
+		}
 	}
 }
